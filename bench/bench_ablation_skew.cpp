@@ -1,0 +1,108 @@
+// Ablation: how much can VNF migration save on a fat-tree, as a function
+// of spatial traffic concentration?
+//
+// This harness exists because of a reproduction finding (DESIGN.md §3,
+// EXPERIMENTS.md): on a fat-tree, every core switch is exactly 3 hops from
+// every host, so A(core) = B(core) = 3Λ *independently of where the
+// traffic lives*. Under the paper's literal workload (VM pairs uniform
+// over racks) the optimal SFC therefore parks in the core and migration
+// can never help; the paper's up-to-73% reduction (Fig. 11(c)/(d))
+// requires traffic whose spatial center of mass moves. The sweep below
+// varies the Zipf skew of rack popularity (s = 0 is the paper's literal
+// setup) and reports the migration gain, the fraction of traffic in the
+// busiest rack, and where the optimal chain sits — making the mechanism
+// visible.
+//
+// Options: --k --trials --l --n --mu --svalues --seed --csv
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+std::vector<double> parse_doubles(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppdc;
+  const Options opts = Options::parse(argc, argv);
+  opts.restrict_to({"k", "trials", "l", "n", "mu", "svalues", "seed", "csv"});
+  const int k = static_cast<int>(opts.get_int("k", 8));
+  const int trials = static_cast<int>(opts.get_int("trials", 5));
+  const int l = static_cast<int>(opts.get_int("l", 200));
+  const int n = static_cast<int>(opts.get_int("n", 3));
+  const double mu = opts.get_double("mu", 1e4);
+  const auto s_values =
+      parse_doubles(opts.get_string("svalues", "0,1,1.5,2,2.5,3"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 42));
+
+  bench::header("Ablation — migration gain vs spatial traffic skew",
+                "fat-tree k=" + std::to_string(k) + ", l=" +
+                    std::to_string(l) + ", n=" + std::to_string(n) +
+                    ", mu=" + TablePrinter::num(mu, 0) + ", " +
+                    std::to_string(trials) + " trials; s=0 is the paper's "
+                    "literal uniform-rack workload");
+
+  const Topology topo = build_fat_tree(k);
+  const AllPairs apsp(topo.graph);
+
+  TablePrinter table({"zipf s", "hot-rack mass (%)", "mPareto",
+                      "NoMigration", "reduction (%)", "VNF moves"});
+  for (const double s : s_values) {
+    // Measure the hot-rack mass fraction of this skew level.
+    Rng rng(seed);
+    VmPlacementConfig wcfg;
+    wcfg.num_pairs = l;
+    wcfg.rack_zipf_s = s;
+    const auto sample = generate_vm_flows(topo, wcfg, rng);
+    std::vector<double> rack_mass(topo.racks.size(), 0.0);
+    double total_mass = 0.0;
+    for (const auto& f : sample) {
+      for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+        if (std::find(topo.racks[r].begin(), topo.racks[r].end(),
+                      f.src_host) != topo.racks[r].end()) {
+          rack_mass[r] += f.rate;
+        }
+      }
+      total_mass += f.rate;
+    }
+    const double hot =
+        *std::max_element(rack_mass.begin(), rack_mass.end()) / total_mass;
+
+    ExperimentConfig cfg;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    cfg.workload = wcfg;
+    cfg.sfc_length = n;
+    ParetoMigrationPolicy pareto(mu);
+    NoMigrationPolicy none;
+    const auto stats = run_experiment(topo, apsp, cfg, {&pareto, &none});
+    const double reduction =
+        100.0 * (1.0 - stats[0].total_cost.mean / stats[1].total_cost.mean);
+    table.add_row({TablePrinter::num(s, 1),
+                   TablePrinter::num(100.0 * hot, 1),
+                   bench::cell(stats[0].total_cost),
+                   bench::cell(stats[1].total_cost),
+                   TablePrinter::num(reduction, 1),
+                   bench::cell(stats[0].vnf_migrations, 1)});
+  }
+  if (opts.get_bool("csv", false)) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nfinding: at s=0 (the paper's literal workload) the gain is "
+               "~0 because the optimal chain sits in the coast-agnostic "
+               "core; the gain grows with concentration, bounded by the "
+               "endpoint-leg share of Eq. 1 (the chain term (n-1)Λ is "
+               "placement-invariant).\n";
+  return 0;
+}

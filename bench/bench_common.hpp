@@ -1,0 +1,42 @@
+// Shared plumbing for the figure-reproduction harnesses: workload
+// construction per §VI's experiment setup, and result-table helpers.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc::bench {
+
+/// §VI experiment setup: fat-tree of arity k, VM pairs with 80% rack
+/// locality and Facebook-like rates. `rack_zipf_s` adds tenant skew for
+/// the dynamic experiments (see VmPlacementConfig::rack_zipf_s).
+inline std::vector<VmFlow> paper_workload(const Topology& topo, int l,
+                                          Rng& rng,
+                                          double rack_zipf_s = 0.0) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  cfg.intra_rack_fraction = 0.8;
+  cfg.rack_zipf_s = rack_zipf_s;
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+/// Prints the standard harness header: what figure, what setup.
+inline void header(const std::string& figure, const std::string& setup) {
+  print_banner(std::cout, figure);
+  std::cout << "setup: " << setup << "\n\n";
+}
+
+/// Formats a MeanCi cell.
+inline std::string cell(const MeanCi& mc, int precision = 0) {
+  return TablePrinter::num_ci(mc.mean, mc.ci95, precision);
+}
+
+}  // namespace ppdc::bench

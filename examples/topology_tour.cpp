@@ -1,0 +1,60 @@
+// Tour of the topology zoo: runs the same placement problem on every
+// fabric the library ships (fat-tree, leaf-spine, linear, ring, star,
+// random) and prints how the traffic-optimal SFC adapts — the paper's
+// claim that TOP/TOM "apply to any data center topology" (§III), made
+// concrete.
+//
+// Run:  ./example_topology_tour
+#include <iostream>
+
+#include "baselines/steering.hpp"
+#include "core/chain_search.hpp"
+#include "core/placement_dp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/linear.hpp"
+#include "topology/misc.hpp"
+#include "util/table.hpp"
+#include "workload/vm_placement.hpp"
+
+int main() {
+  using namespace ppdc;
+  std::vector<Topology> zoo;
+  zoo.push_back(build_fat_tree(4));
+  zoo.push_back(build_leaf_spine(6, 3, 4));
+  zoo.push_back(build_linear(8));
+  zoo.push_back(build_ring(10));
+  zoo.push_back(build_star(8));
+  zoo.push_back(build_random_connected(12, 16, 10, 0.5, 2.5, 99));
+
+  std::cout << "The same TOP instance (l=12 flows, n=3 VNFs) on every "
+               "fabric:\n\n";
+  TablePrinter t({"topology", "hosts", "switches", "diameter", "DP cost",
+                  "Optimal", "Steering", "chain"});
+  for (const Topology& topo : zoo) {
+    const AllPairs apsp(topo.graph);
+    VmPlacementConfig cfg;
+    cfg.num_pairs = 12;
+    Rng rng(5);
+    const auto flows = generate_vm_flows(topo, cfg, rng);
+    CostModel model(apsp, flows);
+    const PlacementResult dp = solve_top_dp(model, 3);
+    const ChainSearchResult opt = solve_top_exhaustive(model, 3);
+    const PlacementResult steering = solve_top_steering(model, 3);
+    std::string chain;
+    for (const NodeId w : dp.placement) {
+      chain += (chain.empty() ? "" : "->") + topo.graph.label(w);
+    }
+    t.add_row({topo.name, std::to_string(topo.num_hosts()),
+               std::to_string(topo.num_switches()),
+               TablePrinter::num(apsp.diameter(), 0),
+               TablePrinter::num(dp.comm_cost, 0),
+               TablePrinter::num(opt.objective, 0),
+               TablePrinter::num(steering.comm_cost, 0), chain});
+  }
+  t.print(std::cout);
+  std::cout << "\nnote how the optimal chain hugs the traffic on every "
+               "fabric while Steering's location-only heuristic pays for "
+               "ignoring chain adjacency.\n";
+  return 0;
+}

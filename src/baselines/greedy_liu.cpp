@@ -1,0 +1,68 @@
+#include "baselines/greedy_liu.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+PlacementResult solve_top_greedy_liu(const CostModel& model, int n) {
+  const AllPairs& apsp = model.apsp();
+  const auto& switches = apsp.graph().switches();
+  PPDC_REQUIRE(n >= 1, "need at least one VNF");
+  PPDC_REQUIRE(static_cast<std::size_t>(n) <= switches.size(),
+               "more VNFs than switches");
+
+  // Mean switch-to-switch distance from each switch — the "weighted
+  // average delay of all unplaced MBs to this MB" estimate (the locations
+  // of unplaced MBs are unknown, so the original heuristic averages over
+  // the candidate space).
+  std::vector<double> avg_dist(
+      static_cast<std::size_t>(apsp.num_nodes()), 0.0);
+  for (const NodeId w : switches) {
+    double sum = 0.0;
+    for (const NodeId v : switches) sum += apsp.cost(w, v);
+    avg_dist[static_cast<std::size_t>(w)] =
+        sum / static_cast<double>(switches.size());
+  }
+
+  // MBs are sorted by importance = number of policies using them; with a
+  // single SFC all are tied, so the processing order is arbitrary (not the
+  // chain order — the heuristic has no notion of intra-chain adjacency).
+  // Each MB goes to the switch with the minimum cost score: the increment
+  // of total end-to-end delay of routing every policy through the MB at
+  // that switch, plus the lookahead term above for the MBs still missing.
+  Placement p;
+  p.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const int unplaced_after = n - 1 - j;
+    double best = std::numeric_limits<double>::infinity();
+    NodeId best_w = kInvalidNode;
+    for (const NodeId w : switches) {
+      if (std::find(p.begin(), p.end(), w) != p.end()) continue;
+      // Delay increment of pulling all flows through an MB at w, measured
+      // against the flow endpoints (chain neighbours are unknown at
+      // placement time): half the round-trip attraction.
+      const double delta =
+          0.5 * (model.ingress_attraction(w) + model.egress_attraction(w));
+      const double lookahead = model.total_rate() *
+                               static_cast<double>(unplaced_after) *
+                               avg_dist[static_cast<std::size_t>(w)];
+      const double score = delta + lookahead;
+      if (score < best) {
+        best = score;
+        best_w = w;
+      }
+    }
+    PPDC_REQUIRE(best_w != kInvalidNode, "ran out of switches");
+    p.push_back(best_w);
+  }
+
+  PlacementResult r;
+  r.comm_cost = model.communication_cost(p);
+  r.placement = std::move(p);
+  return r;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,22 @@
+// Greedy (Liu et al., IEEE TSC 2017 [34]) — VNF placement baseline.
+//
+// Liu's two-step greedy first sorts middleboxes by importance (number of
+// policies traversing each — all tied under the paper's single-SFC model)
+// and then places each MB at the switch with the minimum *cost score*:
+// the increment of the total end-to-end delay caused by adding the MB at
+// that switch, plus the weighted average delay of all still-unplaced MBs
+// to that MB. Like Steering, the heuristic reasons about MBs relative to
+// the flow endpoints and the yet-unplaced MBs, not about the chain's
+// internal order; the lookahead term additionally pulls early placements
+// toward globally central switches, which is why Greedy trails Steering
+// in the paper's Figs. 9-10.
+#pragma once
+
+#include "core/placement_dp.hpp"
+
+namespace ppdc {
+
+/// Liu-style greedy placement for TOP.
+PlacementResult solve_top_greedy_liu(const CostModel& model, int n);
+
+}  // namespace ppdc

@@ -1,0 +1,46 @@
+#include "baselines/steering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+PlacementResult solve_top_steering(const CostModel& model, int n) {
+  const AllPairs& apsp = model.apsp();
+  const auto& switches = apsp.graph().switches();
+  PPDC_REQUIRE(n >= 1, "need at least one VNF");
+  PPDC_REQUIRE(static_cast<std::size_t>(n) <= switches.size(),
+               "more VNFs than switches");
+
+  // Steering places each service independently at its best location — the
+  // switch minimizing the traffic-weighted average time between the
+  // subscribers and the service, i.e. A(w) + B(w). It never reasons about
+  // the chain's internal adjacency (it was designed for many short chains
+  // sharing services), which is the gap the paper's DP exploits.
+  Placement p;
+  p.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    NodeId best_w = kInvalidNode;
+    for (const NodeId w : switches) {
+      if (std::find(p.begin(), p.end(), w) != p.end()) continue;
+      const double score =
+          model.ingress_attraction(w) + model.egress_attraction(w);
+      if (score < best) {
+        best = score;
+        best_w = w;
+      }
+    }
+    PPDC_REQUIRE(best_w != kInvalidNode, "ran out of switches");
+    p.push_back(best_w);
+  }
+
+  PlacementResult r;
+  r.comm_cost = model.communication_cost(p);
+  r.placement = std::move(p);
+  return r;
+}
+
+}  // namespace ppdc

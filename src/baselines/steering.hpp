@@ -1,0 +1,22 @@
+// Steering (Zhang et al., ICNP 2013 [55]) — VNF placement baseline.
+//
+// Steering orders services by dependency degree (traffic between
+// consecutive services of a chain) and places each at its best location —
+// the switch minimizing the traffic-weighted average time between
+// subscribers and the service. In the paper's single-SFC model (§VI) every
+// service carries the same aggregate traffic Λ, so Steering reduces to
+// placing f_1 .. f_n one by one, each at the unused switch with minimum
+// A(w) + B(w). Crucially, Steering was designed for fleets of short
+// chains sharing services and has no notion of a chain's *internal*
+// adjacency — which is why the chain-aware DP of Algorithm 3 beats it by
+// the 56-64% reported in Figs. 9-10.
+#pragma once
+
+#include "core/placement_dp.hpp"
+
+namespace ppdc {
+
+/// Steering placement for TOP.
+PlacementResult solve_top_steering(const CostModel& model, int n);
+
+}  // namespace ppdc

@@ -1,0 +1,230 @@
+#include "core/chain_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Depth-first branch-and-bound state.
+class Searcher {
+ public:
+  Searcher(const CostModel& model, int n,
+           const std::vector<std::vector<double>>& extra,
+           const ChainSearchConfig& config)
+      : model_(model),
+        apsp_(model.apsp()),
+        switches_(apsp_.graph().switches()),
+        n_(n),
+        extra_(extra),
+        config_(config) {
+    const std::size_t s = switches_.size();
+    PPDC_REQUIRE(n_ >= 1, "need at least one VNF");
+    PPDC_REQUIRE(static_cast<std::size_t>(n_) <= s,
+                 "more VNFs than switches");
+    PPDC_REQUIRE(extra_.empty() ||
+                     (extra_.size() == static_cast<std::size_t>(n_) &&
+                      extra_[0].size() == s),
+                 "extra matrix has wrong shape");
+
+    // Suffix lower bounds of the extra term: Σ_{j'>=j} min_w extra[j'][w].
+    extra_suffix_min_.assign(static_cast<std::size_t>(n_) + 1, 0.0);
+    if (!extra_.empty()) {
+      for (int j = n_ - 1; j >= 0; --j) {
+        const auto& row = extra_[static_cast<std::size_t>(j)];
+        extra_suffix_min_[static_cast<std::size_t>(j)] =
+            extra_suffix_min_[static_cast<std::size_t>(j) + 1] +
+            *std::min_element(row.begin(), row.end());
+      }
+    }
+
+    // Candidate orderings: per switch, all switches by increasing distance
+    // (drives the DFS toward cheap completions first).
+    by_distance_.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+      by_distance_[i].resize(s);
+      std::iota(by_distance_[i].begin(), by_distance_[i].end(), 0);
+      const NodeId u = switches_[i];
+      std::sort(by_distance_[i].begin(), by_distance_[i].end(),
+                [&](std::size_t a, std::size_t b) {
+                  return apsp_.cost(u, switches_[a]) <
+                         apsp_.cost(u, switches_[b]);
+                });
+    }
+
+    used_.assign(s, 0);
+    current_.assign(static_cast<std::size_t>(n_), kInvalidNode);
+
+    best_cost_ = kInf;
+    if (config_.initial.has_value()) {
+      best_cost_ = evaluate(*config_.initial);
+      best_ = *config_.initial;
+    }
+  }
+
+  ChainSearchResult run() {
+    // First position ordered by ingress attraction + its extra term.
+    std::vector<std::size_t> first_order(switches_.size());
+    std::iota(first_order.begin(), first_order.end(), 0);
+    std::sort(first_order.begin(), first_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return first_key(a) < first_key(b);
+              });
+    exhausted_ = false;
+    for (const std::size_t row : first_order) {
+      const NodeId w = switches_[row];
+      const double cost = model_.ingress_attraction(w) + extra_at(0, row);
+      descend(1, row, cost);
+      if (exhausted_) break;
+    }
+    ChainSearchResult r;
+    r.placement = best_;
+    r.objective = best_cost_;
+    r.proven_optimal = !exhausted_ && best_cost_ < kInf;
+    r.nodes_explored = nodes_;
+    PPDC_REQUIRE(!r.placement.empty(), "search found no placement");
+    return r;
+  }
+
+ private:
+  double extra_at(int j, std::size_t row) const {
+    return extra_.empty() ? 0.0
+                          : extra_[static_cast<std::size_t>(j)][row];
+  }
+
+  double first_key(std::size_t row) const {
+    return model_.ingress_attraction(switches_[row]) + extra_at(0, row);
+  }
+
+  double evaluate(const Placement& p) const {
+    PPDC_REQUIRE(static_cast<int>(p.size()) == n_, "warm start wrong size");
+    double c = model_.communication_cost(p);
+    if (!extra_.empty()) {
+      for (int j = 0; j < n_; ++j) {
+        const int row = row_of(p[static_cast<std::size_t>(j)]);
+        c += extra_[static_cast<std::size_t>(j)][static_cast<std::size_t>(row)];
+      }
+    }
+    return c;
+  }
+
+  int row_of(NodeId w) const {
+    const auto it = std::find(switches_.begin(), switches_.end(), w);
+    PPDC_REQUIRE(it != switches_.end(), "placement node is not a switch");
+    return static_cast<int>(it - switches_.begin());
+  }
+
+  /// Lower bound on any completion after `depth` positions are fixed with
+  /// accumulated cost `partial` (ingress + chain so far + extras so far).
+  double completion_bound(int depth, double partial) const {
+    const int remaining_edges = n_ - depth;
+    double bound = partial + extra_suffix_min_[static_cast<std::size_t>(depth)];
+    if (remaining_edges > 0) {
+      bound += model_.total_rate() * static_cast<double>(remaining_edges) *
+               apsp_.min_switch_distance();
+    }
+    bound += model_.min_egress_attraction();
+    return bound;
+  }
+
+  /// Expands position `depth` given the previous pick at `prev_row`.
+  /// `partial` excludes the final egress term.
+  void descend(int depth, std::size_t prev_row, double partial) {
+    if (exhausted_) return;
+    ++nodes_;
+    if (config_.node_budget != 0 && nodes_ > config_.node_budget) {
+      exhausted_ = true;
+      return;
+    }
+    used_[prev_row] = 1;
+    current_[static_cast<std::size_t>(depth - 1)] = switches_[prev_row];
+
+    if (depth == n_) {
+      const double total =
+          partial + model_.egress_attraction(switches_[prev_row]);
+      if (total < best_cost_) {
+        best_cost_ = total;
+        best_ = current_;
+      }
+      used_[prev_row] = 0;
+      return;
+    }
+
+    if (completion_bound(depth, partial) >= best_cost_) {
+      used_[prev_row] = 0;
+      return;
+    }
+
+    const NodeId prev = switches_[prev_row];
+    for (const std::size_t row : by_distance_[prev_row]) {
+      if (used_[row]) continue;
+      const double step = model_.total_rate() * apsp_.cost(prev, switches_[row]) +
+                          extra_at(depth, row);
+      const double next_partial = partial + step;
+      if (completion_bound(depth + 1, next_partial) >= best_cost_) {
+        // Candidates are sorted by distance from `prev`. Without an extra
+        // term the step cost is monotone in that order, so every later
+        // candidate fails the same bound; with extras prune only this one.
+        if (extra_.empty()) break;
+        continue;
+      }
+      descend(depth + 1, row, next_partial);
+      if (exhausted_) break;
+    }
+    used_[prev_row] = 0;
+  }
+
+  const CostModel& model_;
+  const AllPairs& apsp_;
+  const std::vector<NodeId>& switches_;
+  int n_;
+  const std::vector<std::vector<double>>& extra_;
+  ChainSearchConfig config_;
+
+  std::vector<std::vector<std::size_t>> by_distance_;
+  std::vector<double> extra_suffix_min_;
+  std::vector<char> used_;
+  Placement current_;
+  Placement best_;
+  double best_cost_ = kInf;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+ChainSearchResult chain_search(const CostModel& model, int n,
+                               const std::vector<std::vector<double>>& extra,
+                               const ChainSearchConfig& config) {
+  Searcher s(model, n, extra, config);
+  return s.run();
+}
+
+ChainSearchResult solve_top_exhaustive(const CostModel& model, int n,
+                                       const ChainSearchConfig& config) {
+  static const std::vector<std::vector<double>> kNoExtra;
+  return chain_search(model, n, kNoExtra, config);
+}
+
+ChainSearchResult solve_tom_exhaustive(const CostModel& model,
+                                       const Placement& from, double mu,
+                                       const ChainSearchConfig& config) {
+  PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
+  const auto& switches = model.apsp().graph().switches();
+  std::vector<std::vector<double>> extra(
+      from.size(), std::vector<double>(switches.size(), 0.0));
+  for (std::size_t j = 0; j < from.size(); ++j) {
+    for (std::size_t k = 0; k < switches.size(); ++k) {
+      extra[j][k] = mu * model.apsp().cost(from[j], switches[k]);
+    }
+  }
+  return chain_search(model, static_cast<int>(from.size()), extra, config);
+}
+
+}  // namespace ppdc

@@ -1,0 +1,39 @@
+#include "core/colocation.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+double colocated_communication_cost(const CostModel& model,
+                                    const Placement& p) {
+  PPDC_REQUIRE(!p.empty(), "empty placement");
+  const Graph& g = model.apsp().graph();
+  for (const NodeId w : p) {
+    PPDC_REQUIRE(g.is_switch(w), "VNFs may only be placed on switches");
+  }
+  return model.total_rate() * model.chain_cost(p) +
+         model.ingress_attraction(p.front()) +
+         model.egress_attraction(p.back());
+}
+
+ColocatedPlacement solve_top_colocated(const CostModel& model, int n,
+                                       int capacity,
+                                       const TopDpOptions& options) {
+  PPDC_REQUIRE(n >= 1, "need at least one VNF");
+  PPDC_REQUIRE(capacity >= 1, "capacity must be at least one VNF");
+
+  const int blocks = (n + capacity - 1) / capacity;
+  const PlacementResult block_placement =
+      solve_top_dp(model, blocks, options);
+
+  ColocatedPlacement out;
+  out.placement.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    out.placement.push_back(
+        block_placement.placement[static_cast<std::size_t>(j / capacity)]);
+  }
+  out.comm_cost = colocated_communication_cost(model, out.placement);
+  return out;
+}
+
+}  // namespace ppdc

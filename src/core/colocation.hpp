@@ -1,0 +1,38 @@
+// Co-location relaxation (paper §VII, future work): "a more general
+// scenario wherein each switch can install multiple VNFs".
+//
+// When a switch's attached server can host up to `capacity` VNFs, an
+// optimal placement packs the chain into ceil(n / capacity) consecutive
+// blocks — VNFs sharing a server communicate over the server's backplane
+// at zero network cost (§III: the switch-server link is negligible). The
+// problem therefore reduces *exactly* to TOP over the block sequence:
+// place ceil(n / capacity) block-switches with Algorithm 3 and assign
+// VNFs to blocks in chain order. With capacity >= n the whole SFC sits on
+// argmin_w A(w) + B(w) and the chain cost vanishes.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/placement_dp.hpp"
+
+namespace ppdc {
+
+/// Result of a co-located placement.
+struct ColocatedPlacement {
+  /// placement[j] = switch of VNF j+1; switches may repeat in runs of up
+  /// to `capacity`.
+  Placement placement;
+  double comm_cost = 0.0;
+};
+
+/// Eq. 1 evaluated without the distinct-switch requirement (repeated
+/// consecutive switches contribute zero chain legs).
+double colocated_communication_cost(const CostModel& model,
+                                    const Placement& p);
+
+/// Traffic-optimal placement when each switch can host up to
+/// `capacity` (>= 1) VNFs of the SFC. capacity == 1 is plain Algorithm 3.
+ColocatedPlacement solve_top_colocated(const CostModel& model, int n,
+                                       int capacity,
+                                       const TopDpOptions& options = {});
+
+}  // namespace ppdc

@@ -1,0 +1,108 @@
+#include "core/cost_model.hpp"
+
+#include <limits>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+void validate_placement(const Graph& g, const Placement& p) {
+  PPDC_REQUIRE(!p.empty(), "placement is empty");
+  std::unordered_set<NodeId> seen;
+  for (const NodeId s : p) {
+    PPDC_REQUIRE(s >= 0 && s < g.num_nodes(), "placement node out of range");
+    PPDC_REQUIRE(g.is_switch(s), "VNFs may only be placed on switches");
+    PPDC_REQUIRE(seen.insert(s).second,
+                 "VNFs of one SFC must sit on distinct switches");
+  }
+}
+
+CostModel::CostModel(const AllPairs& apsp, const std::vector<VmFlow>& flows)
+    : apsp_(&apsp), flows_(&flows) {
+  refresh();
+}
+
+void CostModel::refresh() {
+  const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  ingress_.assign(n, 0.0);
+  egress_.assign(n, 0.0);
+  lambda_sum_ = 0.0;
+  for (const auto& f : *flows_) {
+    PPDC_REQUIRE(f.rate >= 0.0, "negative traffic rate");
+    lambda_sum_ += f.rate;
+  }
+  const Graph& g = apsp_->graph();
+  min_ingress_ = std::numeric_limits<double>::infinity();
+  min_egress_ = std::numeric_limits<double>::infinity();
+  for (const NodeId sw : g.switches()) {
+    double a = 0.0, b = 0.0;
+    for (const auto& f : *flows_) {
+      a += f.rate * apsp_->cost(f.src_host, sw);
+      b += f.rate * apsp_->cost(sw, f.dst_host);
+    }
+    ingress_[static_cast<std::size_t>(sw)] = a;
+    egress_[static_cast<std::size_t>(sw)] = b;
+    if (a < min_ingress_) {
+      min_ingress_ = a;
+      best_ingress_ = sw;
+    }
+    if (b < min_egress_) {
+      min_egress_ = b;
+      best_egress_ = sw;
+    }
+  }
+}
+
+double CostModel::ingress_attraction(NodeId a) const {
+  PPDC_REQUIRE(apsp_->graph().is_switch(a), "ingress must be a switch");
+  return ingress_[static_cast<std::size_t>(a)];
+}
+
+double CostModel::egress_attraction(NodeId b) const {
+  PPDC_REQUIRE(apsp_->graph().is_switch(b), "egress must be a switch");
+  return egress_[static_cast<std::size_t>(b)];
+}
+
+double CostModel::chain_cost(const Placement& p) const {
+  double c = 0.0;
+  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+    c += apsp_->cost(p[j], p[j + 1]);
+  }
+  return c;
+}
+
+double CostModel::communication_cost(const Placement& p) const {
+  validate_placement(apsp_->graph(), p);
+  return lambda_sum_ * chain_cost(p) + ingress_attraction(p.front()) +
+         egress_attraction(p.back());
+}
+
+double CostModel::migration_cost(const Placement& from, const Placement& to,
+                                 double mu) const {
+  PPDC_REQUIRE(from.size() == to.size(),
+               "migration must preserve the SFC length");
+  PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
+  double c = 0.0;
+  for (std::size_t j = 0; j < from.size(); ++j) {
+    c += apsp_->cost(from[j], to[j]);
+  }
+  return mu * c;
+}
+
+double CostModel::total_cost(const Placement& from, const Placement& to,
+                             double mu) const {
+  return migration_cost(from, to, mu) + communication_cost(to);
+}
+
+double CostModel::flow_cost(const VmFlow& flow, const Placement& p) const {
+  PPDC_REQUIRE(!p.empty(), "placement is empty");
+  double chain = 0.0;
+  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+    chain += apsp_->cost(p[j], p[j + 1]);
+  }
+  return flow.rate * (apsp_->cost(flow.src_host, p.front()) + chain +
+                      apsp_->cost(p.back(), flow.dst_host));
+}
+
+}  // namespace ppdc

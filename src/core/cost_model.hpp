@@ -1,0 +1,93 @@
+// Topology-aware cost model of the paper (§III, Eq. 1 and Eq. 8).
+//
+// For an SFC (f_1 .. f_n) placed at switches p(1) .. p(n):
+//
+//   C_a(p) = Σ_i λ_i Σ_j c(p(j), p(j+1))
+//          + Σ_i λ_i ( c(s(v_i), p(1)) + c(p(n), s(v'_i)) )          (Eq. 1)
+//
+// which factorizes as  Λ · chain(p) + A(p(1)) + B(p(n))  with
+//   Λ    = Σ_i λ_i
+//   A(a) = Σ_i λ_i c(s(v_i), a)   (ingress attraction)
+//   B(b) = Σ_i λ_i c(b, s(v'_i)) (egress attraction)
+//
+// CostModel caches Λ, A(·) and B(·) per traffic vector so that the DP,
+// branch-and-bound, and frontier algorithms evaluate candidate placements
+// in O(n) instead of O(l·n). Migration adds C_b(p,m) = μ Σ_j c(p(j), m(j))
+// and the TOM objective is C_t(p,m) = C_b(p,m) + C_a(m)               (Eq. 8)
+#pragma once
+
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+/// A VNF placement: placement[j] is the switch hosting f_{j+1}.
+/// Invariant (§III footnote 3): entries are distinct switches.
+using Placement = std::vector<NodeId>;
+
+/// Validates that `p` is a legal placement of n distinct switches.
+void validate_placement(const Graph& g, const Placement& p);
+
+/// Cached cost evaluator for a fixed topology + flow set + rate vector.
+class CostModel {
+ public:
+  /// Builds the evaluator. `apsp` and `flows` must outlive the model.
+  CostModel(const AllPairs& apsp, const std::vector<VmFlow>& flows);
+
+  /// Re-derives Λ, A, B after the traffic rate vector changed in `flows`.
+  void refresh();
+
+  /// Σ_i λ_i.
+  double total_rate() const noexcept { return lambda_sum_; }
+
+  /// Ingress attraction A(a) = Σ_i λ_i c(s(v_i), a).
+  double ingress_attraction(NodeId a) const;
+
+  /// Egress attraction B(b) = Σ_i λ_i c(b, s(v'_i)).
+  double egress_attraction(NodeId b) const;
+
+  /// Chain cost Σ_j c(p(j), p(j+1)) — topology distance only, no rates.
+  double chain_cost(const Placement& p) const;
+
+  /// Eq. 1: total communication cost of all flows under placement p.
+  double communication_cost(const Placement& p) const;
+
+  /// C_b(p, m) = μ Σ_j c(p(j), m(j)).
+  double migration_cost(const Placement& from, const Placement& to,
+                        double mu) const;
+
+  /// Eq. 8: C_t(p, m) = C_b(p, m) + C_a(m).
+  double total_cost(const Placement& from, const Placement& to,
+                    double mu) const;
+
+  /// Communication cost of a single flow under placement p (diagnostics
+  /// and the PLAN/MCF baselines, which reason per flow).
+  double flow_cost(const VmFlow& flow, const Placement& p) const;
+
+  const AllPairs& apsp() const noexcept { return *apsp_; }
+  const std::vector<VmFlow>& flows() const noexcept { return *flows_; }
+
+  /// Switch minimizing A(·) (used as a B&B seed).
+  NodeId best_ingress() const noexcept { return best_ingress_; }
+  /// Switch minimizing B(·).
+  NodeId best_egress() const noexcept { return best_egress_; }
+  /// min_b B(b): admissible lower bound on any egress term.
+  double min_egress_attraction() const noexcept { return min_egress_; }
+  /// min_a A(a).
+  double min_ingress_attraction() const noexcept { return min_ingress_; }
+
+ private:
+  const AllPairs* apsp_;
+  const std::vector<VmFlow>* flows_;
+  double lambda_sum_ = 0.0;
+  std::vector<double> ingress_;  ///< indexed by NodeId
+  std::vector<double> egress_;
+  NodeId best_ingress_ = kInvalidNode;
+  NodeId best_egress_ = kInvalidNode;
+  double min_ingress_ = 0.0;
+  double min_egress_ = 0.0;
+};
+
+}  // namespace ppdc

@@ -1,0 +1,56 @@
+#include "core/explain.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+CostBreakdown explain_placement(const CostModel& model, const Placement& p) {
+  validate_placement(model.apsp().graph(), p);
+  CostBreakdown b;
+  b.ingress = model.ingress_attraction(p.front());
+  b.chain = model.total_rate() * model.chain_cost(p);
+  b.egress = model.egress_attraction(p.back());
+  b.total = b.ingress + b.chain + b.egress;
+
+  b.heaviest_flow = 0.0;
+  b.lightest_flow = std::numeric_limits<double>::infinity();
+  double weighted_hops = 0.0;
+  for (const auto& f : model.flows()) {
+    const double c = model.flow_cost(f, p);
+    b.heaviest_flow = std::max(b.heaviest_flow, c);
+    b.lightest_flow = std::min(b.lightest_flow, c);
+    if (f.rate > 0.0) weighted_hops += c;  // Σ λ_i · pathlen_i
+  }
+  if (model.flows().empty()) b.lightest_flow = 0.0;
+  b.mean_flow_hops =
+      model.total_rate() > 0.0 ? weighted_hops / model.total_rate() : 0.0;
+  return b;
+}
+
+void print_breakdown(std::ostream& os, const CostModel& model,
+                     const Placement& p, const std::string& title) {
+  const CostBreakdown b = explain_placement(model, p);
+  const std::ios::fmtflags saved_flags = os.flags();
+  const std::streamsize saved_precision = os.precision();
+  const auto pct = [&](double x) {
+    return b.total > 0.0 ? 100.0 * x / b.total : 0.0;
+  };
+  os << title << ": C_a = " << std::fixed << std::setprecision(0) << b.total
+     << "\n  ingress A(p1) " << b.ingress << " (" << std::setprecision(1)
+     << pct(b.ingress) << "%)"
+     << "\n  chain legs    " << std::setprecision(0) << b.chain << " ("
+     << std::setprecision(1) << pct(b.chain) << "%)"
+     << "\n  egress B(pn)  " << std::setprecision(0) << b.egress << " ("
+     << std::setprecision(1) << pct(b.egress) << "%)"
+     << "\n  rate-weighted mean path length " << std::setprecision(2)
+     << b.mean_flow_hops << "\n";
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+}  // namespace ppdc

@@ -1,0 +1,34 @@
+// Human-readable cost breakdowns: where does Eq. 1 spend its hops?
+//
+// Used by examples and benches to explain *why* a placement wins:
+// ingress attraction vs chain legs vs egress attraction, plus per-flow
+// extremes. Purely observational — no algorithmic role.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cost_model.hpp"
+
+namespace ppdc {
+
+/// Decomposition of C_a(p) into its Eq. 1 terms.
+struct CostBreakdown {
+  double ingress = 0.0;     ///< A(p_1)
+  double chain = 0.0;       ///< Λ Σ c(p_j, p_{j+1})
+  double egress = 0.0;      ///< B(p_n)
+  double total = 0.0;       ///< sum of the above == C_a(p)
+  double heaviest_flow = 0.0;   ///< max per-flow cost
+  double lightest_flow = 0.0;   ///< min per-flow cost
+  double mean_flow_hops = 0.0;  ///< rate-weighted mean path length (hops
+                                ///< in cost units per unit of rate)
+};
+
+/// Computes the breakdown for a valid placement.
+CostBreakdown explain_placement(const CostModel& model, const Placement& p);
+
+/// Writes a short multi-line report ("ingress 12% / chain 61% / ...").
+void print_breakdown(std::ostream& os, const CostModel& model,
+                     const Placement& p, const std::string& title);
+
+}  // namespace ppdc

@@ -1,0 +1,84 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+LocalSearchResult improve_placement(const CostModel& model,
+                                    const Placement& start,
+                                    const LocalSearchOptions& options) {
+  const Graph& g = model.apsp().graph();
+  validate_placement(g, start);
+  PPDC_REQUIRE(options.max_moves >= 0, "negative move cap");
+
+  LocalSearchResult r;
+  r.placement = start;
+  r.comm_cost = model.communication_cost(start);
+
+  const auto& switches = g.switches();
+  std::vector<char> used(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const NodeId w : r.placement) used[static_cast<std::size_t>(w)] = 1;
+
+  bool improved = true;
+  while (improved && r.moves_applied < options.max_moves) {
+    improved = false;
+    double best_cost = r.comm_cost;
+    Placement best = r.placement;
+
+    // Replace moves: VNF j -> any unused switch.
+    for (std::size_t j = 0; j < r.placement.size(); ++j) {
+      Placement cand = r.placement;
+      for (const NodeId w : switches) {
+        if (used[static_cast<std::size_t>(w)]) continue;
+        cand[j] = w;
+        const double c = model.communication_cost(cand);
+        if (c < best_cost - options.min_gain) {
+          best_cost = c;
+          best = cand;
+        }
+      }
+    }
+    // Swap moves: exchange positions of VNFs i and j.
+    for (std::size_t i = 0; i < r.placement.size(); ++i) {
+      for (std::size_t j = i + 1; j < r.placement.size(); ++j) {
+        Placement cand = r.placement;
+        std::swap(cand[i], cand[j]);
+        const double c = model.communication_cost(cand);
+        if (c < best_cost - options.min_gain) {
+          best_cost = c;
+          best = cand;
+        }
+      }
+    }
+
+    if (best_cost < r.comm_cost - options.min_gain) {
+      for (const NodeId w : r.placement) {
+        used[static_cast<std::size_t>(w)] = 0;
+      }
+      r.placement = std::move(best);
+      for (const NodeId w : r.placement) {
+        used[static_cast<std::size_t>(w)] = 1;
+      }
+      r.comm_cost = best_cost;
+      ++r.moves_applied;
+      improved = true;
+    }
+  }
+  return r;
+}
+
+double break_even_mu(const CostModel& model, const Placement& from,
+                     const Placement& to) {
+  const double gain =
+      model.communication_cost(from) - model.communication_cost(to);
+  const double distance = model.migration_cost(from, to, 1.0);
+  if (distance == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(0.0, gain / distance);
+}
+
+}  // namespace ppdc

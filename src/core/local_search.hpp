@@ -1,0 +1,41 @@
+// Local-search placement improver.
+//
+// A simple, fast post-optimizer over Eq. 1: starting from any valid
+// placement, repeatedly apply the best improving move among
+//   * replace — move one VNF to an unused switch,
+//   * swap    — exchange the switches of two VNFs (reorders the chain),
+// until a local optimum. Useful to polish heuristic placements (Steering,
+// Greedy, or the DP itself) and as an independent witness in tests: a
+// placement that local search improves was provably suboptimal.
+#pragma once
+
+#include "core/cost_model.hpp"
+
+namespace ppdc {
+
+/// Outcome of a local-search run.
+struct LocalSearchResult {
+  Placement placement;
+  double comm_cost = 0.0;
+  int moves_applied = 0;  ///< improving moves until the local optimum
+};
+
+/// Options for the search.
+struct LocalSearchOptions {
+  int max_moves = 10'000;  ///< safety cap on improving moves
+  double min_gain = 1e-9;  ///< ignore sub-noise improvements
+};
+
+/// Improves `start` to a replace/swap local optimum of Eq. 1.
+LocalSearchResult improve_placement(const CostModel& model,
+                                    const Placement& start,
+                                    const LocalSearchOptions& options = {});
+
+/// The largest migration coefficient at which moving from `from` to `to`
+/// still pays off within one epoch: μ* = (C_a(from) - C_a(to)) / distance.
+/// Returns +inf when the placements are identical (distance 0) and the
+/// move gains nothing or anything; 0 when `to` is no cheaper.
+double break_even_mu(const CostModel& model, const Placement& from,
+                     const Placement& to);
+
+}  // namespace ppdc

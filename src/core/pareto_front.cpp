@@ -1,0 +1,63 @@
+#include "core/pareto_front.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppdc {
+
+std::vector<FrontierPoint> pareto_front(std::vector<FrontierPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.migration_cost != b.migration_cost) {
+                return a.migration_cost < b.migration_cost;
+              }
+              return a.comm_cost < b.comm_cost;
+            });
+  std::vector<FrontierPoint> front;
+  double best_comm = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (p.comm_cost < best_comm - 1e-12) {
+      if (!front.empty() &&
+          front.back().migration_cost == p.migration_cost) {
+        front.back() = p;  // same x, strictly better y
+      } else {
+        front.push_back(p);
+      }
+      best_comm = p.comm_cost;
+    }
+  }
+  return front;
+}
+
+bool is_convex_front(const std::vector<FrontierPoint>& front,
+                     double tolerance) {
+  if (front.size() < 3) return true;
+  // Sorted by x with strictly decreasing y; convex iff consecutive slopes
+  // are non-decreasing (cross products turn consistently).
+  for (std::size_t i = 0; i + 2 < front.size(); ++i) {
+    const double x1 = front[i + 1].migration_cost - front[i].migration_cost;
+    const double y1 = front[i + 1].comm_cost - front[i].comm_cost;
+    const double x2 = front[i + 2].migration_cost - front[i + 1].migration_cost;
+    const double y2 = front[i + 2].comm_cost - front[i + 1].comm_cost;
+    const double cross = x1 * y2 - y1 * x2;
+    if (cross < -tolerance) return false;  // concave kink
+  }
+  return true;
+}
+
+bool is_mutually_nondominated(const std::vector<FrontierPoint>& front) {
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      const bool dominates =
+          front[i].migration_cost <= front[j].migration_cost &&
+          front[i].comm_cost <= front[j].comm_cost &&
+          (front[i].migration_cost < front[j].migration_cost ||
+           front[i].comm_cost < front[j].comm_cost);
+      if (dominates) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ppdc

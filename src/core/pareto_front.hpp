@@ -1,0 +1,30 @@
+// Pareto-front analysis of migration frontiers (Fig. 6(b), Theorem 5).
+//
+// The paper treats TOM as a two-objective problem over (C_b, C_a): Eq. 8
+// is a scalarization of the pair, and Theorem 5 states the scalarized
+// minimum is globally optimal when the Pareto front is convex. These
+// helpers extract the non-dominated subset of a frontier point cloud and
+// test it for convexity, so both the figure and the theorem's premise can
+// be checked empirically.
+#pragma once
+
+#include <vector>
+
+#include "core/migration_pareto.hpp"
+
+namespace ppdc {
+
+/// Non-dominated subset (minimizing both coordinates), sorted by
+/// migration_cost ascending. Duplicate coordinates are collapsed.
+std::vector<FrontierPoint> pareto_front(std::vector<FrontierPoint> points);
+
+/// True when `front` (as returned by pareto_front) lies on its own lower
+/// convex hull, i.e. the Pareto front is convex and Theorem 5 applies.
+bool is_convex_front(const std::vector<FrontierPoint>& front,
+                     double tolerance = 1e-9);
+
+/// True when no point in `front` strictly dominates another — a sanity
+/// check on pareto_front itself and a property-test hook.
+bool is_mutually_nondominated(const std::vector<FrontierPoint>& front);
+
+}  // namespace ppdc

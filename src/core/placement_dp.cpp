@@ -1,0 +1,112 @@
+#include "core/placement_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The `limit` switches with the smallest attraction under `key`.
+std::vector<NodeId> top_candidates(const std::vector<NodeId>& switches,
+                                   int limit, auto&& key) {
+  if (limit <= 0 || static_cast<std::size_t>(limit) >= switches.size()) {
+    return switches;
+  }
+  std::vector<NodeId> out = switches;
+  std::nth_element(out.begin(), out.begin() + limit, out.end(),
+                   [&](NodeId a, NodeId b) { return key(a) < key(b); });
+  out.resize(static_cast<std::size_t>(limit));
+  return out;
+}
+
+}  // namespace
+
+PlacementResult solve_top_dp(const CostModel& model, int n,
+                             const TopDpOptions& options) {
+  const AllPairs& apsp = model.apsp();
+  const auto& switches = apsp.graph().switches();
+  PPDC_REQUIRE(n >= 1, "need at least one VNF");
+  PPDC_REQUIRE(static_cast<std::size_t>(n) <= switches.size(),
+               "more VNFs than switches");
+
+  PlacementResult best;
+  double best_cost = kInf;
+
+  if (n == 1) {
+    for (const NodeId w : switches) {
+      const double c =
+          model.ingress_attraction(w) + model.egress_attraction(w);
+      if (c < best_cost) {
+        best_cost = c;
+        best.placement = {w};
+      }
+    }
+    best.comm_cost = best_cost;
+    return best;
+  }
+
+  if (n == 2) {
+    for (const NodeId a : switches) {
+      for (const NodeId b : switches) {
+        if (a == b) continue;
+        const double c = model.ingress_attraction(a) +
+                         model.total_rate() * apsp.cost(a, b) +
+                         model.egress_attraction(b);
+        if (c < best_cost) {
+          best_cost = c;
+          best.placement = {a, b};
+        }
+      }
+    }
+    best.comm_cost = best_cost;
+    return best;
+  }
+
+  // n >= 3: one stroll table per egress candidate, shared across ingress
+  // candidates (§IV.3). Λ = 0 degenerates every stroll to zero cost; use a
+  // unit rate then so the DP still prefers short chains.
+  const double rate =
+      model.total_rate() > 0.0 ? model.total_rate() : 1.0;
+  const std::vector<NodeId> egress_candidates = top_candidates(
+      switches, options.candidate_limit,
+      [&](NodeId w) { return model.egress_attraction(w); });
+  const std::vector<NodeId> ingress_candidates = top_candidates(
+      switches, options.candidate_limit,
+      [&](NodeId w) { return model.ingress_attraction(w); });
+  for (const NodeId egress : egress_candidates) {
+    StrollTable table(apsp, egress, rate);
+    for (const NodeId ingress : ingress_candidates) {
+      if (ingress == egress) continue;
+      StrollResult stroll = table.find(ingress, n - 2);
+      Placement p;
+      p.reserve(static_cast<std::size_t>(n));
+      p.push_back(ingress);
+      p.insert(p.end(), stroll.placement.begin(), stroll.placement.end());
+      p.push_back(egress);
+      // Score by the true Eq. 1 cost of the materialized placement (the
+      // stroll walk may detour; shortcutting it can only help).
+      const double c = model.communication_cost(p);
+      if (c < best_cost) {
+        best_cost = c;
+        best.placement = std::move(p);
+        best.used_fallback = stroll.used_fallback;
+      }
+    }
+  }
+  if (best_cost == kInf && options.candidate_limit > 0) {
+    // Degenerate pruning (e.g. limit 1 selecting the same switch twice for
+    // both roles): redo without pruning.
+    return solve_top_dp(model, n, TopDpOptions{});
+  }
+  PPDC_REQUIRE(best_cost < kInf, "no feasible placement found");
+  best.comm_cost = best_cost;
+  return best;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,41 @@
+// Algorithm 3: DP-based traffic-optimal VNF placement for TOP.
+//
+// For every ordered pair of candidate ingress/egress switches (s_i, s_j),
+// the endpoint cost a = A(s_i) + B(s_j) is combined with the cheapest
+// (n-2)-stroll between them, found by the Algorithm 2 DP (one StrollTable
+// per egress amortizes the DP across all ingress candidates). The
+// candidate minimizing the *actual* Eq. 1 cost of the materialized
+// placement wins. n = 1 and n = 2 have closed-form scans (the paper notes
+// "simple solutions" exist for these and only runs the DP for n >= 3).
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/stroll_dp.hpp"
+
+namespace ppdc {
+
+/// Result of a placement heuristic.
+struct PlacementResult {
+  Placement placement;
+  double comm_cost = 0.0;    ///< C_a(placement), Eq. 1
+  bool used_fallback = false;  ///< any inner stroll hit the DP growth cap
+};
+
+/// Tuning knobs for Algorithm 3.
+struct TopDpOptions {
+  /// When > 0, only the `candidate_limit` switches with the smallest
+  /// ingress attraction A(·) are tried as ingress and likewise for egress
+  /// by B(·). 0 tries every switch (the paper's algorithm). The pruned
+  /// variant is an engineering option for very large PPDCs (k = 16 runs of
+  /// Fig. 11): optimal ingress/egress switches are overwhelmingly the ones
+  /// close to the traffic mass, which is exactly what A/B rank.
+  int candidate_limit = 0;
+};
+
+/// Algorithm 3. Requires 1 <= n <= |V_s| and at least one flow with
+/// positive total rate (Λ > 0 keeps the objective meaningful; Λ == 0 is
+/// accepted and returns an arbitrary cheapest placement).
+PlacementResult solve_top_dp(const CostModel& model, int n,
+                             const TopDpOptions& options = {});
+
+}  // namespace ppdc

@@ -1,0 +1,143 @@
+#include "core/replication.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The switch a host hangs off (its top-of-rack switch).
+NodeId rack_switch_of(const Graph& g, NodeId host) {
+  for (const auto& a : g.neighbors(host)) {
+    if (g.is_switch(a.to)) return a.to;
+  }
+  throw PpdcError("host has no adjacent switch");
+}
+
+}  // namespace
+
+double replicated_flow_cost(const AllPairs& apsp, const VmFlow& flow,
+                            const ReplicatedPlacement& placement) {
+  PPDC_REQUIRE(!placement.chains.empty(), "no replica chains");
+  const int n = placement.sfc_length();
+  PPDC_REQUIRE(n >= 1, "empty SFC");
+  const int r = placement.num_replicas();
+
+  // Viterbi over stages: best[c] = cheapest path ending at replica c of
+  // the current stage.
+  std::vector<double> best(static_cast<std::size_t>(r));
+  for (int c = 0; c < r; ++c) {
+    best[static_cast<std::size_t>(c)] = apsp.cost(
+        flow.src_host,
+        placement.chains[static_cast<std::size_t>(c)][0]);
+  }
+  std::vector<double> next(static_cast<std::size_t>(r));
+  for (int j = 1; j < n; ++j) {
+    for (int c = 0; c < r; ++c) {
+      double b = kInf;
+      const NodeId here =
+          placement.chains[static_cast<std::size_t>(c)]
+                          [static_cast<std::size_t>(j)];
+      for (int prev = 0; prev < r; ++prev) {
+        const NodeId there =
+            placement.chains[static_cast<std::size_t>(prev)]
+                            [static_cast<std::size_t>(j - 1)];
+        b = std::min(b, best[static_cast<std::size_t>(prev)] +
+                            apsp.cost(there, here));
+      }
+      next[static_cast<std::size_t>(c)] = b;
+    }
+    best.swap(next);
+  }
+  double total = kInf;
+  for (int c = 0; c < r; ++c) {
+    const NodeId last = placement.chains[static_cast<std::size_t>(c)]
+                                        [static_cast<std::size_t>(n - 1)];
+    total = std::min(total, best[static_cast<std::size_t>(c)] +
+                                apsp.cost(last, flow.dst_host));
+  }
+  return flow.rate * total;
+}
+
+double replicated_communication_cost(const AllPairs& apsp,
+                                     const std::vector<VmFlow>& flows,
+                                     const ReplicatedPlacement& placement) {
+  double total = 0.0;
+  for (const auto& f : flows) {
+    total += replicated_flow_cost(apsp, f, placement);
+  }
+  return total;
+}
+
+ReplicatedPlacement solve_replicated_top(const CostModel& model, int n,
+                                         int replicas,
+                                         const TopDpOptions& options) {
+  PPDC_REQUIRE(replicas >= 1, "need at least one replica");
+  const AllPairs& apsp = model.apsp();
+  const Graph& g = apsp.graph();
+  const auto& flows = model.flows();
+  PPDC_REQUIRE(!flows.empty(), "need at least one flow");
+
+  // Traffic mass per source rack switch.
+  std::map<NodeId, double> mass;
+  for (const auto& f : flows) {
+    mass[rack_switch_of(g, f.src_host)] += f.rate;
+  }
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (const auto& [sw, m] : mass) ranked.emplace_back(m, sw);
+  std::sort(ranked.rbegin(), ranked.rend());
+  const int r = std::min<int>(replicas, static_cast<int>(ranked.size()));
+
+  // Cluster centers = the r heaviest source racks; each flow joins the
+  // center nearest to its source rack.
+  std::vector<NodeId> centers;
+  for (int c = 0; c < r; ++c) {
+    centers.push_back(ranked[static_cast<std::size_t>(c)].second);
+  }
+  std::vector<std::vector<VmFlow>> clusters(static_cast<std::size_t>(r));
+  for (const auto& f : flows) {
+    const NodeId anchor = rack_switch_of(g, f.src_host);
+    int best_c = 0;
+    double best_d = kInf;
+    for (int c = 0; c < r; ++c) {
+      const double d = apsp.cost(anchor, centers[static_cast<std::size_t>(c)]);
+      if (d < best_d) {
+        best_d = d;
+        best_c = c;
+      }
+    }
+    clusters[static_cast<std::size_t>(best_c)].push_back(f);
+  }
+
+  ReplicatedPlacement result;
+  for (int c = 0; c < r; ++c) {
+    auto& cluster = clusters[static_cast<std::size_t>(c)];
+    if (cluster.empty()) {
+      // Nothing routed here — still deploy a chain at the cluster center's
+      // neighbourhood so the placement shape stays uniform.
+      NodeId anchor_host = kInvalidNode;
+      for (const auto& a :
+           g.neighbors(centers[static_cast<std::size_t>(c)])) {
+        if (g.is_host(a.to)) {
+          anchor_host = a.to;
+          break;
+        }
+      }
+      PPDC_REQUIRE(anchor_host != kInvalidNode,
+                   "cluster center has no attached host");
+      cluster.push_back(VmFlow{anchor_host, anchor_host, 1.0});
+    }
+    CostModel cluster_model(apsp, cluster);
+    result.chains.push_back(
+        solve_top_dp(cluster_model, n, options).placement);
+  }
+  return result;
+}
+
+}  // namespace ppdc

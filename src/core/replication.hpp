@@ -1,0 +1,59 @@
+// VNF replication (paper §VII, future work): instead of migrating a
+// single SFC instance around the PPDC, deploy R replicas of every VNF and
+// let each flow choose, per chain stage, the replica that minimizes its
+// own policy-preserving path.
+//
+// Model:
+//  * `ReplicatedPlacement` holds R chains; replica chains may share
+//    switches with each other (footnote 3 only forbids two VNFs of the
+//    *same* SFC instance on one switch), but each individual chain is a
+//    valid placement.
+//  * A flow's cost is the Viterbi optimum over per-stage replica choices:
+//      min_{x_1..x_n, x_j in column j} c(s, x_1) + Σ c(x_j, x_j+1) + c(x_n, d)
+//    computed in O(n R^2) per flow.
+//  * `solve_replicated_top` clusters flows by traffic mass (top-R source
+//    pods, remaining flows joining the nearest cluster) and runs the
+//    Algorithm 3 DP per cluster — a natural generalization of TOP that
+//    keeps each replica chain traffic-optimal for its tenant cluster.
+//
+// The bench_ablation_replication harness answers the paper's open
+// question ("to which extent VNF replication could be beneficial ...
+// compared to VNF migration"): static replicas vs mPareto on the same
+// diurnal workload.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/placement_dp.hpp"
+
+namespace ppdc {
+
+/// R replica chains of the same SFC.
+struct ReplicatedPlacement {
+  std::vector<Placement> chains;  ///< chains[c][j]: replica c of VNF j+1
+
+  int num_replicas() const noexcept { return static_cast<int>(chains.size()); }
+  int sfc_length() const {
+    return chains.empty() ? 0 : static_cast<int>(chains.front().size());
+  }
+};
+
+/// Cheapest policy-preserving path of one flow through the replica
+/// columns (per-stage Viterbi). Requires a non-empty placement.
+double replicated_flow_cost(const AllPairs& apsp, const VmFlow& flow,
+                            const ReplicatedPlacement& placement);
+
+/// Total communication cost of all flows under per-stage replica choice.
+double replicated_communication_cost(const AllPairs& apsp,
+                                     const std::vector<VmFlow>& flows,
+                                     const ReplicatedPlacement& placement);
+
+/// Clustered replica placement: splits flows into `replicas` clusters by
+/// source-side traffic mass and solves TOP (Algorithm 3) per cluster.
+/// `replicas` must be >= 1; with 1 it degenerates to solve_top_dp.
+ReplicatedPlacement solve_replicated_top(const CostModel& model, int n,
+                                         int replicas,
+                                         const TopDpOptions& options = {});
+
+}  // namespace ppdc

@@ -1,0 +1,216 @@
+#include "core/stroll_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
+                         double rate)
+    : apsp_(&apsp), t_(destination), rate_(rate) {
+  PPDC_REQUIRE(rate > 0.0, "stroll rate must be positive");
+  const Graph& g = apsp.graph();
+  PPDC_REQUIRE(destination >= 0 && destination < g.num_nodes(),
+               "destination out of range");
+  switches_ = g.switches();
+  switch_index_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switch_index_[static_cast<std::size_t>(switches_[i])] =
+        static_cast<int>(i);
+  }
+}
+
+void StrollTable::extend(int e_max) {
+  const std::size_t rows = switches_.size();
+  while (static_cast<int>(cost_.size()) < e_max) {
+    const int e = static_cast<int>(cost_.size()) + 1;
+    std::vector<double> ce(rows, kInf);
+    std::vector<NodeId> se(rows, kInvalidNode);
+    if (e == 1) {
+      // Base case (pseudocode line 2): one metric edge straight to t.
+      for (std::size_t i = 0; i < rows; ++i) {
+        const NodeId u = switches_[i];
+        if (u == t_) continue;  // c(t,t,1) stays +inf
+        ce[i] = metric(u, t_);
+        se[i] = t_;
+      }
+    } else {
+      const auto& prev_cost = cost_.back();
+      const auto& prev_succ = succ_.back();
+      for (std::size_t i = 0; i < rows; ++i) {
+        const NodeId u = switches_[i];
+        double best = kInf;
+        NodeId best_w = kInvalidNode;
+        for (std::size_t k = 0; k < rows; ++k) {
+          const NodeId w = switches_[k];
+          // Line 6: intermediate w may be neither u itself nor t, and the
+          // stored continuation from w must not immediately return to u.
+          if (w == u || w == t_) continue;
+          if (prev_succ[k] == u) continue;
+          if (prev_cost[k] == kInf) continue;
+          const double cand = metric(u, w) + prev_cost[k];
+          if (cand < best) {
+            best = cand;
+            best_w = w;
+          }
+        }
+        ce[i] = best;
+        se[i] = best_w;
+      }
+    }
+    cost_.push_back(std::move(ce));
+    succ_.push_back(std::move(se));
+  }
+}
+
+std::pair<double, NodeId> StrollTable::source_row(NodeId s, int e) const {
+  PPDC_REQUIRE(e >= 1 && e <= static_cast<int>(cost_.size()),
+               "edge budget not materialized");
+  if (e == 1) {
+    if (s == t_) return {kInf, kInvalidNode};
+    return {metric(s, t_), t_};
+  }
+  const auto& prev_cost = cost_[static_cast<std::size_t>(e - 2)];
+  const auto& prev_succ = succ_[static_cast<std::size_t>(e - 2)];
+  double best = kInf;
+  NodeId best_w = kInvalidNode;
+  for (std::size_t k = 0; k < switches_.size(); ++k) {
+    const NodeId w = switches_[k];
+    if (w == s || w == t_) continue;
+    if (prev_succ[k] == s) continue;
+    if (prev_cost[k] == kInf) continue;
+    const double cand = metric(s, w) + prev_cost[k];
+    if (cand < best) {
+      best = cand;
+      best_w = w;
+    }
+  }
+  return {best, best_w};
+}
+
+StrollResult StrollTable::find(NodeId s, int n_distinct) {
+  const Graph& g = apsp_->graph();
+  PPDC_REQUIRE(s >= 0 && s < g.num_nodes(), "source out of range");
+  PPDC_REQUIRE(n_distinct >= 0, "negative distinct requirement");
+  // Switches available as intermediates (s and t do not count).
+  int usable = static_cast<int>(switches_.size());
+  if (g.is_switch(s)) --usable;
+  if (g.is_switch(t_) && t_ != s) --usable;
+  PPDC_REQUIRE(n_distinct <= usable,
+               "not enough switches to host the requested VNFs");
+
+  StrollResult out;
+  if (n_distinct == 0) {
+    out.cost = metric(s, t_);
+    out.walk = {s, t_};
+    out.edges_used = (s == t_) ? 0 : 1;
+    return out;
+  }
+
+  const int r_cap = n_distinct + 1 + std::max(16, n_distinct * 2);
+  std::vector<NodeId> best_partial;  // longest distinct prefix seen so far
+
+  for (int r = n_distinct + 1; r <= r_cap; ++r) {
+    extend(r);
+    const auto [total, first_hop] = source_row(s, r);
+    if (total == kInf) continue;  // no r-edge stroll exists (tiny graphs)
+
+    // Walk the successor chain (pseudocode lines 11-19).
+    std::vector<NodeId> walk{s};
+    std::vector<NodeId> distinct;
+    NodeId cur = first_hop;
+    int budget = r - 1;
+    while (true) {
+      walk.push_back(cur);
+      if (cur != s && cur != t_ && g.is_switch(cur) &&
+          std::find(distinct.begin(), distinct.end(), cur) ==
+              distinct.end()) {
+        distinct.push_back(cur);
+      }
+      if (budget == 0) break;
+      const int row = switch_index_[static_cast<std::size_t>(cur)];
+      PPDC_REQUIRE(row >= 0, "walk stepped outside the switch universe");
+      cur = succ_[static_cast<std::size_t>(budget - 1)]
+                 [static_cast<std::size_t>(row)];
+      PPDC_REQUIRE(cur != kInvalidNode, "broken successor chain");
+      --budget;
+    }
+    PPDC_REQUIRE(walk.back() == t_, "stroll must end at the destination");
+
+    if (static_cast<int>(distinct.size()) > static_cast<int>(best_partial.size())) {
+      best_partial = distinct;
+    }
+    if (static_cast<int>(distinct.size()) >= n_distinct) {
+      out.cost = total;
+      out.walk = std::move(walk);
+      distinct.resize(static_cast<std::size_t>(n_distinct));
+      out.placement = std::move(distinct);
+      out.edges_used = r;
+      return out;
+    }
+  }
+
+  // Cap hit: greedily complete the best partial cover with nearest unused
+  // switches so callers always receive a valid placement.
+  out.used_fallback = true;
+  std::vector<NodeId> seq = best_partial;
+  while (static_cast<int>(seq.size()) < n_distinct) {
+    const NodeId from = seq.empty() ? s : seq.back();
+    double best_d = kInf;
+    NodeId best_sw = kInvalidNode;
+    for (const NodeId w : switches_) {
+      if (w == s || w == t_) continue;
+      if (std::find(seq.begin(), seq.end(), w) != seq.end()) continue;
+      const double d = apsp_->cost(from, w);
+      if (d < best_d) {
+        best_d = d;
+        best_sw = w;
+      }
+    }
+    PPDC_REQUIRE(best_sw != kInvalidNode, "fallback ran out of switches");
+    seq.push_back(best_sw);
+  }
+  out.walk = {s};
+  out.walk.insert(out.walk.end(), seq.begin(), seq.end());
+  out.walk.push_back(t_);
+  out.cost = 0.0;
+  for (std::size_t i = 0; i + 1 < out.walk.size(); ++i) {
+    out.cost += metric(out.walk[i], out.walk[i + 1]);
+  }
+  out.placement = std::move(seq);
+  out.edges_used = static_cast<int>(out.walk.size()) - 1;
+  return out;
+}
+
+bool StrollTable::satisfies_theorem3(const StrollResult& result) const {
+  if (result.used_fallback || result.walk.size() < 2) return false;
+  const int r = result.edges_used;
+  if (r > static_cast<int>(cost_.size())) return false;
+  // For each position i >= 1 on the walk, the suffix starting there uses
+  // (r - i) edges; Theorem 3 requires it to be the cheapest (r-i)-edge
+  // stroll into t over every possible start row.
+  for (int i = 1; i < r; ++i) {
+    const NodeId u = result.walk[static_cast<std::size_t>(i)];
+    const int row = switch_index_[static_cast<std::size_t>(u)];
+    if (row < 0) return false;
+    const auto& level = cost_[static_cast<std::size_t>(r - i - 1)];
+    const double suffix = level[static_cast<std::size_t>(row)];
+    const double global_min = *std::min_element(level.begin(), level.end());
+    if (suffix > global_min + 1e-9) return false;
+  }
+  return true;
+}
+
+StrollResult solve_top1_dp(const AllPairs& apsp, NodeId s, NodeId t, int n,
+                           double rate) {
+  StrollTable table(apsp, t, rate);
+  return table.find(s, n);
+}
+
+}  // namespace ppdc

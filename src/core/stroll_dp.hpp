@@ -1,0 +1,92 @@
+// DP-Stroll: Algorithm 2 of the paper, the dynamic program for TOP-1.
+//
+// Finding a shortest s-t stroll that visits >= n *distinct* switches is
+// NP-hard (n-stroll, Theorem 1), but a shortest s-t stroll of exactly e
+// *edges* on the metric closure G'' is polynomial. Algorithm 2 therefore
+// computes, for growing edge budgets r = n+1, n+2, ..., the min-cost
+// r-edge stroll (forbidding immediate edge backtracking, line 6 of the
+// pseudocode) and stops at the first r whose stroll covers n distinct
+// switches. Example 2 / Fig. 4 shows why the *complete* (metric-closure)
+// graph is essential: on the raw graph the 3-edge optimum costs 7, on the
+// closure it costs 6.
+//
+// StrollTable fixes the destination t and exposes queries from any source
+// s; Algorithm 3 exploits this to amortize one DP over all ingress
+// candidates of a given egress switch.
+//
+// Design notes / documented deviations:
+//  * Intermediate nodes are restricted to switches. Hosts are leaves in
+//    every topology here, so detouring through one can never reduce a
+//    metric-closure stroll, and only switches count toward the n distinct
+//    nodes anyway (pseudocode line 14 skips s and t when collecting p).
+//  * The growth of r is capped; if the cap is hit (possible when the
+//    anti-backtrack rule keeps oscillating between cheap switches) the
+//    result is completed greedily with the nearest unused switches and
+//    flagged via StrollResult::used_fallback. The cap never triggered in
+//    any paper-scale experiment; it exists so the API is total.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "graph/apsp.hpp"
+
+namespace ppdc {
+
+/// Outcome of a stroll query.
+struct StrollResult {
+  double cost = 0.0;          ///< stroll cost in G'' units (rate * distance)
+  std::vector<NodeId> walk;   ///< node sequence s .. t on the metric closure
+  std::vector<NodeId> placement;  ///< first n distinct switches, walk order
+  int edges_used = 0;             ///< final edge budget r
+  bool used_fallback = false;     ///< true if the greedy completion kicked in
+};
+
+/// Per-destination DP table of Algorithm 2.
+class StrollTable {
+ public:
+  /// `rate` scales every metric distance (the λ_1 of TOP-1, or Λ when the
+  /// table is used inside Algorithm 3's chain placement).
+  StrollTable(const AllPairs& apsp, NodeId destination, double rate = 1.0);
+
+  /// Finds a min-cost stroll from `s` to the table's destination visiting
+  /// at least `n_distinct` distinct switches (excluding s and the
+  /// destination). n_distinct == 0 degenerates to the direct metric edge.
+  StrollResult find(NodeId s, int n_distinct);
+
+  /// Theorem 3 sufficient-optimality condition: every suffix of the found
+  /// walk must be a minimum-cost (r-i)-edge stroll to t over *all* start
+  /// nodes. True means the DP answer is provably optimal for this query.
+  bool satisfies_theorem3(const StrollResult& result) const;
+
+  NodeId destination() const noexcept { return t_; }
+  double rate() const noexcept { return rate_; }
+
+ private:
+  /// Extends the DP table to edge budget `e_max` (rows 1..e_max).
+  void extend(int e_max);
+
+  /// Cost of the best e-edge stroll from source `s` (possibly a host, not
+  /// in the switch rows) plus its first hop.
+  std::pair<double, NodeId> source_row(NodeId s, int e) const;
+
+  double metric(NodeId u, NodeId v) const {
+    return rate_ * apsp_->cost(u, v);
+  }
+
+  const AllPairs* apsp_;
+  NodeId t_;
+  double rate_;
+  std::vector<NodeId> switches_;       ///< DP row universe
+  std::vector<int> switch_index_;      ///< NodeId -> row, -1 for non-rows
+  /// cost_[e-1][row], succ_[e-1][row]: best e-edge stroll row -> t.
+  std::vector<std::vector<double>> cost_;
+  std::vector<std::vector<NodeId>> succ_;
+};
+
+/// Convenience wrapper for one-shot TOP-1 queries: builds the table for
+/// (s, t) and returns the stroll placing `n` VNFs (Algorithm 2's contract).
+StrollResult solve_top1_dp(const AllPairs& apsp, NodeId s, NodeId t, int n,
+                           double rate = 1.0);
+
+}  // namespace ppdc

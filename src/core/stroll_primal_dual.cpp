@@ -1,0 +1,358 @@
+#include "core/stroll_primal_dual.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One Goemans-Williamson moat-growing run over the metric closure.
+///
+/// Nodes are compact indices 0..m-1; node 0 is the root s, node 1 is t
+/// (infinite prize). Returns the pruned tree as an adjacency list.
+class GwRun {
+ public:
+  GwRun(std::vector<double> prize, const std::vector<std::vector<double>>& w)
+      : m_(static_cast<int>(prize.size())),
+        prize_(std::move(prize)),
+        w_(w),
+        comp_(static_cast<std::size_t>(m_)),
+        moat_(static_cast<std::size_t>(m_), 0.0),
+        dual_(static_cast<std::size_t>(m_), 0.0),
+        dead_on_merge_(static_cast<std::size_t>(m_), false) {
+    for (int v = 0; v < m_; ++v) comp_[static_cast<std::size_t>(v)] = v;
+  }
+
+  /// Runs growth + pruning; returns the node set of the pruned tree plus
+  /// its edges.
+  std::pair<std::vector<int>, std::vector<std::pair<int, int>>> run() {
+    grow();
+    return prune();
+  }
+
+ private:
+  int find(int v) {
+    while (comp_[static_cast<std::size_t>(v)] != v) {
+      comp_[static_cast<std::size_t>(v)] =
+          comp_[static_cast<std::size_t>(comp_[static_cast<std::size_t>(v)])];
+      v = comp_[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+
+  bool active(int root) const {
+    // The root component (contains s == node 0) never grows; components
+    // whose dual has exhausted their prize are deactivated.
+    return !contains_s_[static_cast<std::size_t>(root)] &&
+           dual_[static_cast<std::size_t>(root)] <
+               prize_sum_[static_cast<std::size_t>(root)] - 1e-12;
+  }
+
+  void grow() {
+    prize_sum_ = prize_;
+    contains_s_.assign(static_cast<std::size_t>(m_), false);
+    contains_s_[0] = true;
+
+    int alive = 0;
+    for (int v = 0; v < m_; ++v) {
+      if (active(find(v))) ++alive;
+    }
+    // Each iteration merges two components or deactivates one: <= 2m events.
+    for (int guard = 0; guard < 4 * m_ && alive > 0; ++guard) {
+      // Earliest edge event.
+      double best_dt = kInf;
+      int eu = -1, ev = -1;
+      for (int u = 0; u < m_; ++u) {
+        const int cu = find(u);
+        for (int v = u + 1; v < m_; ++v) {
+          const int cv = find(v);
+          if (cu == cv) continue;
+          const double speed = (active(cu) ? 1.0 : 0.0) +
+                               (active(cv) ? 1.0 : 0.0);
+          if (speed == 0.0) continue;
+          const double slack = w_[static_cast<std::size_t>(u)]
+                                 [static_cast<std::size_t>(v)] -
+                               moat_[static_cast<std::size_t>(u)] -
+                               moat_[static_cast<std::size_t>(v)];
+          const double dt = std::max(0.0, slack) / speed;
+          if (dt < best_dt) {
+            best_dt = dt;
+            eu = u;
+            ev = v;
+          }
+        }
+      }
+      // Earliest deactivation event.
+      double best_dd = kInf;
+      int dead_comp = -1;
+      for (int v = 0; v < m_; ++v) {
+        const int c = find(v);
+        if (c != v || !active(c)) continue;
+        const double dd = prize_sum_[static_cast<std::size_t>(c)] -
+                          dual_[static_cast<std::size_t>(c)];
+        if (dd < best_dd) {
+          best_dd = dd;
+          dead_comp = c;
+        }
+      }
+      if (eu < 0 && dead_comp < 0) break;
+
+      const double dt = std::min(best_dt, best_dd);
+      // Advance time: every node inside an active component grows.
+      for (int v = 0; v < m_; ++v) {
+        if (active(find(v))) moat_[static_cast<std::size_t>(v)] += dt;
+      }
+      for (int c = 0; c < m_; ++c) {
+        if (find(c) == c && active(c)) {
+          dual_[static_cast<std::size_t>(c)] += dt;
+        }
+      }
+
+      if (best_dt <= best_dd && eu >= 0) {
+        // Merge event: record the tight edge, union the components.
+        const int cu = find(eu), cv = find(ev);
+        tree_edges_.emplace_back(eu, ev);
+        // Remember whether the smaller side was already dead when it got
+        // absorbed — pruning removes such subtrees.
+        const bool cu_dead = !active(cu) && !contains_s_[static_cast<std::size_t>(cu)];
+        const bool cv_dead = !active(cv) && !contains_s_[static_cast<std::size_t>(cv)];
+        comp_[static_cast<std::size_t>(cv)] = cu;
+        prize_sum_[static_cast<std::size_t>(cu)] +=
+            prize_sum_[static_cast<std::size_t>(cv)];
+        dual_[static_cast<std::size_t>(cu)] +=
+            dual_[static_cast<std::size_t>(cv)];
+        contains_s_[static_cast<std::size_t>(cu)] =
+            contains_s_[static_cast<std::size_t>(cu)] ||
+            contains_s_[static_cast<std::size_t>(cv)];
+        if (cu_dead) dead_on_merge_[static_cast<std::size_t>(eu)] = true;
+        if (cv_dead) dead_on_merge_[static_cast<std::size_t>(ev)] = true;
+      }
+      // Deactivation needs no explicit bookkeeping: `active` recomputes
+      // from dual_ vs prize_sum_.
+
+      alive = 0;
+      for (int c = 0; c < m_; ++c) {
+        if (find(c) == c && active(c)) ++alive;
+      }
+    }
+  }
+
+  std::pair<std::vector<int>, std::vector<std::pair<int, int>>> prune() {
+    // Keep only the component containing s; then repeatedly strip leaves
+    // that (a) are not s or t and (b) hung off a deactivated moat.
+    const int root = find(0);
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(m_));
+    std::vector<std::pair<int, int>> kept;
+    for (const auto& [u, v] : tree_edges_) {
+      if (find(u) != root) continue;
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+      kept.emplace_back(u, v);
+    }
+    bool changed = true;
+    std::vector<bool> removed(static_cast<std::size_t>(m_), false);
+    while (changed) {
+      changed = false;
+      for (int v = 2; v < m_; ++v) {  // never strip s (0) or t (1)
+        if (removed[static_cast<std::size_t>(v)]) continue;
+        if (!dead_on_merge_[static_cast<std::size_t>(v)]) continue;
+        int degree = 0;
+        for (const int nb : adj[static_cast<std::size_t>(v)]) {
+          if (!removed[static_cast<std::size_t>(nb)]) ++degree;
+        }
+        if (degree <= 1) {
+          removed[static_cast<std::size_t>(v)] = true;
+          changed = true;
+        }
+      }
+    }
+    std::vector<std::pair<int, int>> pruned_edges;
+    for (const auto& [u, v] : kept) {
+      if (!removed[static_cast<std::size_t>(u)] &&
+          !removed[static_cast<std::size_t>(v)]) {
+        pruned_edges.emplace_back(u, v);
+      }
+    }
+    std::vector<int> nodes;
+    for (int v = 0; v < m_; ++v) {
+      if (find(v) == root && !removed[static_cast<std::size_t>(v)]) {
+        nodes.push_back(v);
+      }
+    }
+    return {nodes, pruned_edges};
+  }
+
+  int m_;
+  std::vector<double> prize_;
+  const std::vector<std::vector<double>>& w_;
+  std::vector<int> comp_;
+  std::vector<double> moat_;       ///< per-node accumulated moat radius
+  std::vector<double> dual_;      ///< per-component accumulated dual
+  std::vector<double> prize_sum_;  ///< per-component prize budget
+  std::vector<bool> contains_s_;
+  std::vector<bool> dead_on_merge_;
+  std::vector<std::pair<int, int>> tree_edges_;
+};
+
+/// Preorder walk of the tree from node 0, used to shortcut the doubled
+/// tree into a stroll.
+std::vector<int> preorder(int m, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(m));
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<int> order;
+  std::vector<bool> seen(static_cast<std::size_t>(m), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+StrollResult solve_top1_primal_dual(const AllPairs& apsp, NodeId s, NodeId t,
+                                    int n, double rate,
+                                    const PrimalDualOptions& options) {
+  const Graph& g = apsp.graph();
+  PPDC_REQUIRE(n >= 0, "negative quota");
+  PPDC_REQUIRE(rate > 0.0, "rate must be positive");
+
+  // Compact universe: 0 = s, 1 = t, then every switch other than s/t.
+  std::vector<NodeId> universe{s, t};
+  for (const NodeId w : g.switches()) {
+    if (w != s && w != t) universe.push_back(w);
+  }
+  const int m = static_cast<int>(universe.size());
+  PPDC_REQUIRE(n <= m - 2, "not enough switches for the quota");
+
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(m),
+      std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  double max_d = 0.0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          rate * apsp.cost(universe[static_cast<std::size_t>(i)],
+                           universe[static_cast<std::size_t>(j)]);
+      max_d = std::max(
+          max_d, w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+  }
+  // s == t (n-tour) gives a zero s-t edge; GW still works (they merge at
+  // time zero).
+
+  auto evaluate = [&](const std::vector<int>& nodes,
+                      const std::vector<std::pair<int, int>>& edges,
+                      StrollResult* out) -> bool {
+    // How many quota switches does the pruned tree span?
+    int quota_hit = 0;
+    for (const int v : nodes) {
+      if (v >= 2) ++quota_hit;
+    }
+    if (quota_hit < n) return false;
+    // Double-and-shortcut: preorder from s, t moved to the end.
+    std::vector<int> order = preorder(m, edges);
+    std::vector<NodeId> seq{s};
+    std::vector<NodeId> placement;
+    for (const int v : order) {
+      if (v < 2) continue;  // skip s and t inside the walk
+      if (static_cast<int>(placement.size()) == n) break;
+      placement.push_back(universe[static_cast<std::size_t>(v)]);
+      seq.push_back(universe[static_cast<std::size_t>(v)]);
+    }
+    seq.push_back(t);
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      cost += rate * apsp.cost(seq[i], seq[i + 1]);
+    }
+    if (out->walk.empty() || cost < out->cost) {
+      out->cost = cost;
+      out->walk = seq;
+      out->placement = placement;
+      out->edges_used = static_cast<int>(seq.size()) - 1;
+    }
+    return true;
+  };
+
+  StrollResult best;
+  if (n == 0) {
+    best.cost = rate * apsp.cost(s, t);
+    best.walk = {s, t};
+    best.edges_used = (s == t) ? 0 : 1;
+    return best;
+  }
+
+  // Outer Lagrangean search over the uniform prize π: small π prunes
+  // aggressively (few switches kept), large π keeps everything.
+  double lo = 0.0;
+  double hi = 2.0 * max_d * static_cast<double>(n + 2) + 1.0;
+  for (int it = 0; it < options.search_iterations; ++it) {
+    const double pi = 0.5 * (lo + hi);
+    std::vector<double> prize(static_cast<std::size_t>(m), pi);
+    prize[0] = 0.0;   // root needs no prize
+    prize[1] = kInf;  // t must connect
+    GwRun run(prize, w);
+    const auto [nodes, edges] = run.run();
+    if (evaluate(nodes, edges, &best)) {
+      hi = pi;  // quota met: try cheaper trees
+    } else {
+      lo = pi;
+    }
+  }
+
+  if (best.walk.empty()) {
+    // Even the largest penalty missed the quota (can only happen on
+    // degenerate inputs); fall back to nearest-switch completion.
+    best.used_fallback = true;
+    std::vector<NodeId> seq{s};
+    std::vector<NodeId> placement;
+    while (static_cast<int>(placement.size()) < n) {
+      double bd = kInf;
+      NodeId bw = kInvalidNode;
+      for (const NodeId cand : g.switches()) {
+        if (cand == s || cand == t) continue;
+        if (std::find(placement.begin(), placement.end(), cand) !=
+            placement.end()) {
+          continue;
+        }
+        const double d = apsp.cost(seq.back(), cand);
+        if (d < bd) {
+          bd = d;
+          bw = cand;
+        }
+      }
+      PPDC_REQUIRE(bw != kInvalidNode, "fallback ran out of switches");
+      placement.push_back(bw);
+      seq.push_back(bw);
+    }
+    seq.push_back(t);
+    best.cost = 0.0;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      best.cost += rate * apsp.cost(seq[i], seq[i + 1]);
+    }
+    best.walk = seq;
+    best.placement = placement;
+    best.edges_used = static_cast<int>(seq.size()) - 1;
+  }
+  return best;
+}
+
+}  // namespace ppdc

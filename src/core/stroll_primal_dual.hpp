@@ -1,0 +1,42 @@
+// PrimalDual: Algorithm 1 of the paper, the 2+ε-approximation for TOP-1.
+//
+// The paper instantiates the primal-dual n-stroll machinery of Chaudhuri,
+// Godfrey, Rao and Talwar (FOCS 2003): an LP relaxation whose dual is
+// grown moat-by-moat (growth phase), followed by pruning, and a final
+// doubling/shortcutting of the tree into an s-t stroll spanning n
+// switches. This file implements that scheme concretely:
+//
+//  * Goemans-Williamson moat growing on the metric closure, rooted at s,
+//    with t carrying an infinite prize (it must connect) and every other
+//    switch a uniform prize π (the Lagrangean relaxation of the quota
+//    constraint Σ x_v >= n, ILP constraint (7)).
+//  * GW pruning removes subtrees hanging off deactivated moats.
+//  * An outer search over π finds the smallest penalty whose pruned tree
+//    spans >= n switches; the tree is doubled and shortcut into the final
+//    stroll (cost <= 2 w(T), the source of the factor 2; ε absorbs the
+//    quota rounding, exactly as in the paper's Theorem 2 discussion).
+//
+// Note that the paper's own evaluation (§VI, Table II discussion) plots
+// PrimalDual as "the 2+ε guarantee (i.e., two times of Optimal)"; the Fig. 7
+// harness reproduces that curve as well, so this implementation can be
+// judged against both the guarantee and DP-Stroll.
+#pragma once
+
+#include "core/stroll_dp.hpp"
+#include "graph/apsp.hpp"
+
+namespace ppdc {
+
+/// Tuning for the outer penalty search.
+struct PrimalDualOptions {
+  int search_iterations = 24;  ///< binary-search steps over the penalty π
+};
+
+/// Algorithm 1: primal-dual n-stroll between s and t (>= n distinct
+/// switches excluding s and t). Returns the stroll and the placement of
+/// the first n switches along it. `rate` scales metric distances (λ_1).
+StrollResult solve_top1_primal_dual(const AllPairs& apsp, NodeId s, NodeId t,
+                                    int n, double rate = 1.0,
+                                    const PrimalDualOptions& options = {});
+
+}  // namespace ppdc

@@ -1,0 +1,60 @@
+// Minimum-cost maximum-flow solver.
+//
+// Substrate for the MCF VM-migration baseline (Flores et al., INFOCOM 2020
+// [24]), which casts "which VM moves to which host" as a transportation
+// problem. Implementation: successive shortest augmenting paths with
+// Johnson potentials — Bellman-Ford once to admit negative edge costs,
+// Dijkstra with reduced costs afterwards. Exact on integer capacities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+/// Min-cost max-flow network on dense integer vertex ids.
+class MinCostFlow {
+ public:
+  /// Creates a network with `num_nodes` vertices.
+  explicit MinCostFlow(int num_nodes);
+
+  /// Adds a directed arc u -> v; returns the arc id (for flow queries).
+  /// Capacity must be >= 0. Costs may be negative (no negative cycles).
+  int add_arc(int u, int v, std::int64_t capacity, double cost);
+
+  /// Result of a solve: achieved flow value and its total cost.
+  struct Result {
+    std::int64_t flow = 0;
+    double cost = 0.0;
+  };
+
+  /// Sends up to `max_flow` units from `source` to `sink` at minimum cost.
+  /// Pass max_flow = kInfiniteFlow for a full max-flow computation.
+  Result solve(int source, int sink,
+               std::int64_t max_flow = kInfiniteFlow);
+
+  /// Flow currently routed on arc `arc_id` (after solve()).
+  std::int64_t flow_on(int arc_id) const;
+
+  static constexpr std::int64_t kInfiniteFlow =
+      std::int64_t{1} << 62;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;
+    double cost;
+    int rev;  ///< index of the reverse arc in graph_[to]
+  };
+
+  int n_;
+  std::vector<std::vector<Arc>> graph_;
+  /// (node, index) locator for each externally added arc.
+  std::vector<std::pair<int, int>> arc_locator_;
+  std::vector<std::int64_t> initial_cap_;
+  bool has_negative_cost_ = false;
+};
+
+}  // namespace ppdc

@@ -1,0 +1,87 @@
+#include "graph/apsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+namespace {
+
+bool all_unit_weights(const Graph& g) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      if (a.weight != 1.0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AllPairs::AllPairs(const Graph& g) : g_(&g), n_(g.num_nodes()) {
+  PPDC_REQUIRE(n_ > 0, "empty graph");
+  PPDC_REQUIRE(g.is_connected(), "PPDC graph must be connected");
+  const auto n = static_cast<std::size_t>(n_);
+  dist_.assign(n * n, kUnreachable);
+  parent_.assign(n * n, kInvalidNode);
+
+  const bool unit = all_unit_weights(g);
+
+#if defined(PPDC_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+#endif
+  for (NodeId src = 0; src < n_; ++src) {
+    const SsspResult r =
+        unit ? bfs_shortest_paths(g, src) : dijkstra(g, src);
+    const std::size_t row = static_cast<std::size_t>(src) * n;
+    std::copy(r.dist.begin(), r.dist.end(), dist_.begin() + row);
+    std::copy(r.parent.begin(), r.parent.end(),
+              parent_.begin() + static_cast<std::ptrdiff_t>(row));
+  }
+
+  for (const double d : dist_) {
+    PPDC_REQUIRE(d != kUnreachable, "graph must be connected");
+    diameter_ = std::max(diameter_, d);
+  }
+  for (const NodeId a : g.switches()) {
+    for (const NodeId b : g.switches()) {
+      if (a != b) min_switch_dist_ = std::min(min_switch_dist_, cost(a, b));
+    }
+  }
+}
+
+std::vector<NodeId> AllPairs::path(NodeId u, NodeId v) const {
+  PPDC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "node out of range");
+  std::vector<NodeId> p;
+  const std::size_t row =
+      static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+  for (NodeId cur = v; cur != kInvalidNode;
+       cur = parent_[row + static_cast<std::size_t>(cur)]) {
+    p.push_back(cur);
+    if (cur == u) break;
+  }
+  PPDC_REQUIRE(!p.empty() && p.back() == u, "broken parent chain");
+  std::reverse(p.begin(), p.end());
+  return p;
+}
+
+int AllPairs::path_length_nodes(NodeId u, NodeId v) const {
+  if (u == v) return 1;
+  return static_cast<int>(path(u, v).size());
+}
+
+bool AllPairs::check_triangle_inequality(int samples,
+                                         std::uint64_t seed) const {
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const NodeId x = static_cast<NodeId>(rng.uniform_int(0, n_ - 1));
+    const NodeId y = static_cast<NodeId>(rng.uniform_int(0, n_ - 1));
+    const NodeId z = static_cast<NodeId>(rng.uniform_int(0, n_ - 1));
+    if (cost(x, z) > cost(x, y) + cost(y, z) + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,67 @@
+// All-pairs shortest paths over the PPDC graph.
+//
+// Everything in the paper's cost model is expressed through c(u,v), the
+// shortest-path cost between two devices (§III, Table I). AllPairs
+// precomputes the full distance matrix once per topology (OpenMP-parallel
+// across sources) and serves c(u,v) in O(1) plus shortest-path vertex
+// sequences for migration frontiers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace ppdc {
+
+/// Precomputed all-pairs shortest path distances and parents.
+class AllPairs {
+ public:
+  /// Runs one SSSP per vertex. Uses BFS when every edge weight equals 1
+  /// (hop metric) and Dijkstra otherwise. Requires a connected graph.
+  explicit AllPairs(const Graph& g);
+
+  /// Shortest-path cost c(u,v). O(1).
+  double cost(NodeId u, NodeId v) const {
+    return dist_[index(u, v)];
+  }
+
+  /// Shortest-path vertex sequence u -> v (inclusive of both endpoints).
+  std::vector<NodeId> path(NodeId u, NodeId v) const;
+
+  /// Number of vertices on the shortest path from u to v, i.e. the h_j of
+  /// Definition 1 (1 when u == v).
+  int path_length_nodes(NodeId u, NodeId v) const;
+
+  /// Graph diameter: max over all pairs of cost(u,v).
+  double diameter() const noexcept { return diameter_; }
+
+  /// Smallest positive switch-to-switch distance (branch-and-bound lower
+  /// bounds use this as the cheapest possible chain hop).
+  double min_switch_distance() const noexcept { return min_switch_dist_; }
+
+  NodeId num_nodes() const noexcept { return n_; }
+
+  const Graph& graph() const noexcept { return *g_; }
+
+  /// True if the metric satisfies the triangle inequality for all sampled
+  /// triples (it always should — shortest-path metrics are metrics; this is
+  /// exposed for property tests).
+  bool check_triangle_inequality(int samples, std::uint64_t seed) const;
+
+ private:
+  std::size_t index(NodeId u, NodeId v) const {
+    PPDC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "node out of range");
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v);
+  }
+
+  const Graph* g_;
+  NodeId n_ = 0;
+  std::vector<double> dist_;    ///< row-major n x n
+  std::vector<NodeId> parent_;  ///< parent_[u*n+v]: predecessor of v on u->v
+  double diameter_ = 0.0;
+  double min_switch_dist_ = kUnreachable;
+};
+
+}  // namespace ppdc

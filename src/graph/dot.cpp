@@ -1,0 +1,56 @@
+#include "graph/dot.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace ppdc {
+
+void to_dot(std::ostream& os, const Topology& topo,
+            const DotOptions& options) {
+  const Graph& g = topo.graph;
+  os << "graph \"" << topo.name << "\" {\n"
+     << "  layout=neato;\n  overlap=false;\n  node [fontsize=10];\n";
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << g.label(v) << "\"";
+    if (g.is_host(v)) {
+      os << ", shape=box, style=filled, fillcolor=\"#eeeeee\"";
+    } else {
+      const auto it = std::find(options.placement.begin(),
+                                options.placement.end(), v);
+      if (it != options.placement.end()) {
+        const auto idx = it - options.placement.begin() + 1;
+        os << ", shape=ellipse, style=filled, fillcolor=\"#ffd27f\", "
+           << "xlabel=\"f" << idx << "\"";
+      } else {
+        os << ", shape=ellipse";
+      }
+    }
+    os << "];\n";
+  }
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      if (u >= a.to) continue;  // one line per undirected edge
+      os << "  n" << u << " -- n" << a.to;
+      if (options.edge_weights) {
+        os << " [label=\"" << std::setprecision(3) << a.weight << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  double max_rate = 0.0;
+  for (const auto& f : options.flows) max_rate = std::max(max_rate, f.rate);
+  for (const auto& f : options.flows) {
+    const double width =
+        max_rate > 0.0 ? 0.5 + 3.0 * f.rate / max_rate : 1.0;
+    os << "  n" << f.src_host << " -- n" << f.dst_host
+       << " [style=dashed, color=\"#c04040\", penwidth="
+       << std::setprecision(3) << width << "];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace ppdc

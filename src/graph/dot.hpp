@@ -1,0 +1,30 @@
+// Graphviz DOT export of PPDC topologies, placements and flows — for
+// inspecting what the algorithms actually did ("dot -Tsvg out.dot").
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "topology/topology.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+/// Rendering options for to_dot.
+struct DotOptions {
+  /// Switches currently hosting VNFs, highlighted and labelled f1..fn in
+  /// placement order.
+  Placement placement;
+  /// Flows drawn as dashed host-to-host edges, penwidth scaled by rate.
+  std::vector<VmFlow> flows;
+  /// Show edge weights on fabric links.
+  bool edge_weights = false;
+};
+
+/// Writes the topology (hosts = boxes, switches = ellipses, VNF-carrying
+/// switches filled) as an undirected DOT graph.
+void to_dot(std::ostream& os, const Topology& topo,
+            const DotOptions& options = {});
+
+}  // namespace ppdc

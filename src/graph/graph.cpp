@@ -1,0 +1,93 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ppdc {
+
+NodeId Graph::add_node(NodeKind kind, std::string label) {
+  const NodeId id = num_nodes();
+  kind_.push_back(kind);
+  if (label.empty()) {
+    label = (kind == NodeKind::kHost ? "h" : "s") + std::to_string(id);
+  }
+  labels_.push_back(std::move(label));
+  adj_.emplace_back();
+  (kind == NodeKind::kHost ? hosts_ : switches_).push_back(id);
+  return id;
+}
+
+void Graph::add_edge(NodeId u, NodeId v, double w) {
+  check_node(u);
+  check_node(v);
+  PPDC_REQUIRE(u != v, "self loops are not allowed");
+  PPDC_REQUIRE(w > 0.0, "edge weight must be positive");
+  PPDC_REQUIRE(!has_edge(u, v), "parallel edge " + label(u) + "-" + label(v));
+  adj_[static_cast<std::size_t>(u)].push_back({v, w});
+  adj_[static_cast<std::size_t>(v)].push_back({u, w});
+  ++edge_count_;
+}
+
+void Graph::set_edge_weight(NodeId u, NodeId v, double w) {
+  check_node(u);
+  check_node(v);
+  PPDC_REQUIRE(w > 0.0, "edge weight must be positive");
+  bool found = false;
+  for (auto& a : adj_[static_cast<std::size_t>(u)]) {
+    if (a.to == v) {
+      a.weight = w;
+      found = true;
+    }
+  }
+  for (auto& a : adj_[static_cast<std::size_t>(v)]) {
+    if (a.to == u) a.weight = w;
+  }
+  PPDC_REQUIRE(found, "set_edge_weight: edge does not exist");
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nu = adj_[static_cast<std::size_t>(u)];
+  return std::any_of(nu.begin(), nu.end(),
+                     [v](const Adjacency& a) { return a.to == v; });
+}
+
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (const auto& a : adj_[static_cast<std::size_t>(u)]) {
+    if (a.to == v) return a.weight;
+  }
+  throw PpdcError("edge_weight: edge does not exist");
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const auto& a : adj_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
+        ++visited;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return visited == static_cast<std::size_t>(num_nodes());
+}
+
+double Graph::total_edge_weight() const noexcept {
+  double sum = 0.0;
+  for (const auto& nbrs : adj_) {
+    for (const auto& a : nbrs) sum += a.weight;
+  }
+  return sum / 2.0;
+}
+
+}  // namespace ppdc

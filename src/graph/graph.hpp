@@ -1,0 +1,107 @@
+// Undirected weighted graph model of a policy-preserving data center (PPDC).
+//
+// Matches the paper's system model (§III): V = V_h ∪ V_s, where hosts are
+// leaves that store VMs and every switch has an attached server able to run
+// VNFs. Edges carry a non-negative weight w(u,v) — network delay or energy
+// cost per unit of VM communication / VNF migration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+/// Dense vertex identifier; indices into Graph storage.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Role of a vertex in the PPDC.
+enum class NodeKind : std::uint8_t {
+  kHost,    ///< stores VMs (V_h)
+  kSwitch,  ///< has an attached server that can run one VNF (V_s)
+};
+
+/// A half-edge in the adjacency list.
+struct Adjacency {
+  NodeId to = kInvalidNode;
+  double weight = 1.0;
+};
+
+/// Mutable undirected weighted multigraph with typed vertices.
+///
+/// Parallel edges are rejected (a data center link is unique between two
+/// devices); self loops are rejected. Node labels are optional and used
+/// only for diagnostics and example output.
+class Graph {
+ public:
+  /// Adds a vertex of the given kind; returns its id.
+  NodeId add_node(NodeKind kind, std::string label = {});
+
+  /// Adds an undirected edge with weight `w` (> 0).
+  void add_edge(NodeId u, NodeId v, double w = 1.0);
+
+  /// Updates the weight of an existing edge (both directions).
+  void set_edge_weight(NodeId u, NodeId v, double w);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(kind_.size());
+  }
+  std::size_t num_edges() const noexcept { return edge_count_; }
+
+  NodeKind kind(NodeId v) const {
+    check_node(v);
+    return kind_[static_cast<std::size_t>(v)];
+  }
+  bool is_switch(NodeId v) const { return kind(v) == NodeKind::kSwitch; }
+  bool is_host(NodeId v) const { return kind(v) == NodeKind::kHost; }
+
+  const std::string& label(NodeId v) const {
+    check_node(v);
+    return labels_[static_cast<std::size_t>(v)];
+  }
+
+  std::span<const Adjacency> neighbors(NodeId v) const {
+    check_node(v);
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree of vertex v.
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// All host vertices, in id order.
+  const std::vector<NodeId>& hosts() const noexcept { return hosts_; }
+  /// All switch vertices, in id order.
+  const std::vector<NodeId>& switches() const noexcept { return switches_; }
+
+  /// True if an edge u-v exists.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of edge u-v; throws if absent.
+  double edge_weight(NodeId u, NodeId v) const;
+
+  /// True when every vertex can reach every other vertex.
+  bool is_connected() const;
+
+  /// Sum of all edge weights (each undirected edge counted once).
+  double total_edge_weight() const noexcept;
+
+ private:
+  void check_node(NodeId v) const {
+    PPDC_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+  }
+
+  std::vector<NodeKind> kind_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Adjacency>> adj_;
+  std::vector<NodeId> hosts_;
+  std::vector<NodeId> switches_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ppdc

@@ -1,0 +1,36 @@
+// Single-source shortest paths: BFS for unit-weight graphs, Dijkstra for
+// weighted graphs. Both return distances and parent pointers so that the
+// actual vertex sequence of a shortest path (needed for VNF migration
+// frontiers, Def. 1) can be reconstructed.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppdc {
+
+/// Distance value representing "unreachable".
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path computation.
+struct SsspResult {
+  std::vector<double> dist;    ///< dist[v], kUnreachable if no path
+  std::vector<NodeId> parent;  ///< predecessor on a shortest path, or -1
+};
+
+/// Breadth-first shortest paths treating every edge as weight `unit`
+/// (hop-count metric, used by the unweighted PPDC experiments).
+SsspResult bfs_shortest_paths(const Graph& g, NodeId source,
+                              double unit = 1.0);
+
+/// Dijkstra with a binary heap; edge weights must be positive.
+SsspResult dijkstra(const Graph& g, NodeId source);
+
+/// Reconstructs the vertex sequence source -> target from parent pointers.
+/// Returns an empty vector when target is unreachable.
+std::vector<NodeId> reconstruct_path(const SsspResult& sp, NodeId source,
+                                     NodeId target);
+
+}  // namespace ppdc

@@ -1,0 +1,156 @@
+#include "io/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+/// Reads the next meaningful line (skips blanks and '#' comments).
+bool next_line(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const auto first = line->find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if ((*line)[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+void expect_header(std::istream& is, const std::string& magic) {
+  std::string line;
+  PPDC_REQUIRE(next_line(is, &line), "unexpected end of input");
+  std::istringstream ss(line);
+  std::string word, version;
+  ss >> word >> version;
+  PPDC_REQUIRE(word == magic && version == "v1",
+               "expected header '" + magic + " v1', got '" + line + "'");
+}
+
+}  // namespace
+
+void save_topology(std::ostream& os, const Topology& topo) {
+  const Graph& g = topo.graph;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "ppdc-topology v1\n";
+  os << "name " << topo.name << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "node " << v << ' ' << (g.is_host(v) ? "host" : "switch") << ' '
+       << g.label(v) << "\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      if (u < a.to) {
+        os << "edge " << u << ' ' << a.to << ' ' << a.weight << "\n";
+      }
+    }
+  }
+  for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+    os << "rack " << topo.rack_switches[r];
+    for (const NodeId h : topo.racks[r]) os << ' ' << h;
+    os << "\n";
+  }
+}
+
+Topology load_topology(std::istream& is) {
+  expect_header(is, "ppdc-topology");
+  Topology topo;
+  std::string line;
+  while (next_line(is, &line)) {
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "name") {
+      ss >> topo.name;
+    } else if (kind == "node") {
+      NodeId id;
+      std::string role, label;
+      ss >> id >> role >> label;
+      PPDC_REQUIRE(!ss.fail(), "malformed node line: " + line);
+      PPDC_REQUIRE(role == "host" || role == "switch",
+                   "bad node role in: " + line);
+      const NodeId got = topo.graph.add_node(
+          role == "host" ? NodeKind::kHost : NodeKind::kSwitch, label);
+      PPDC_REQUIRE(got == id, "node ids must be dense and in order");
+    } else if (kind == "edge") {
+      NodeId u, v;
+      double w;
+      ss >> u >> v >> w;
+      PPDC_REQUIRE(!ss.fail(), "malformed edge line: " + line);
+      topo.graph.add_edge(u, v, w);
+    } else if (kind == "rack") {
+      NodeId sw;
+      ss >> sw;
+      PPDC_REQUIRE(!ss.fail(), "malformed rack line: " + line);
+      std::vector<NodeId> hosts;
+      NodeId h;
+      while (ss >> h) hosts.push_back(h);
+      PPDC_REQUIRE(!hosts.empty(), "rack without hosts: " + line);
+      topo.rack_switches.push_back(sw);
+      topo.racks.push_back(std::move(hosts));
+    } else {
+      throw PpdcError("unknown topology directive: " + line);
+    }
+  }
+  PPDC_REQUIRE(topo.graph.num_nodes() > 0, "topology has no nodes");
+  return topo;
+}
+
+void save_flows(std::ostream& os, const std::vector<VmFlow>& flows) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "ppdc-flows v1\n";
+  for (const auto& f : flows) {
+    os << "flow " << f.src_host << ' ' << f.dst_host << ' ' << f.rate << ' '
+       << f.group << "\n";
+  }
+}
+
+std::vector<VmFlow> load_flows(std::istream& is) {
+  expect_header(is, "ppdc-flows");
+  std::vector<VmFlow> flows;
+  std::string line;
+  while (next_line(is, &line)) {
+    std::istringstream ss(line);
+    std::string kind;
+    VmFlow f;
+    ss >> kind >> f.src_host >> f.dst_host >> f.rate >> f.group;
+    PPDC_REQUIRE(kind == "flow" && !ss.fail(),
+                 "malformed flow line: " + line);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+void save_placement(std::ostream& os, const Placement& p) {
+  os << "ppdc-placement v1\n";
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    os << "vnf " << j << ' ' << p[j] << "\n";
+  }
+}
+
+Placement load_placement(std::istream& is) {
+  expect_header(is, "ppdc-placement");
+  Placement p;
+  std::string line;
+  while (next_line(is, &line)) {
+    std::istringstream ss(line);
+    std::string kind;
+    std::size_t index;
+    NodeId sw;
+    ss >> kind >> index >> sw;
+    PPDC_REQUIRE(kind == "vnf" && !ss.fail(),
+                 "malformed placement line: " + line);
+    PPDC_REQUIRE(index == p.size(), "vnf indices must be dense, in order");
+    p.push_back(sw);
+  }
+  return p;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,37 @@
+// Plain-text serialization of topologies, workloads and placements, so
+// experiments can be scripted and exchanged (see the ppdc_cli example).
+//
+// Format (line-oriented, whitespace-separated, '#' comments):
+//
+//   ppdc-topology v1
+//   name <string>
+//   node <id> host|switch <label>      (ids must be dense, in order)
+//   edge <u> <v> <weight>
+//   rack <switch> <host> [<host> ...]
+//
+//   ppdc-flows v1
+//   flow <src-host> <dst-host> <rate> <group>
+//
+//   ppdc-placement v1
+//   vnf <index> <switch>
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "topology/topology.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+void save_topology(std::ostream& os, const Topology& topo);
+Topology load_topology(std::istream& is);
+
+void save_flows(std::ostream& os, const std::vector<VmFlow>& flows);
+std::vector<VmFlow> load_flows(std::istream& is);
+
+void save_placement(std::ostream& os, const Placement& p);
+Placement load_placement(std::istream& is);
+
+}  // namespace ppdc

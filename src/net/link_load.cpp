@@ -1,0 +1,144 @@
+#include "net/link_load.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+std::uint64_t key_of(const Graph& g, NodeId u, NodeId v) {
+  const auto a = static_cast<std::uint64_t>(std::min(u, v));
+  const auto b = static_cast<std::uint64_t>(std::max(u, v));
+  return a * static_cast<std::uint64_t>(g.num_nodes()) + b;
+}
+
+}  // namespace
+
+LinkLoadMap::LinkLoadMap(const Graph& g) : g_(&g) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      if (u < a.to) {
+        index_[key_of(g, u, a.to)] = links_.size();
+        links_.emplace_back(u, a.to);
+      }
+    }
+  }
+  loads_.assign(links_.size(), 0.0);
+}
+
+std::size_t LinkLoadMap::index_of(NodeId u, NodeId v) const {
+  const auto it = index_.find(key_of(*g_, u, v));
+  PPDC_REQUIRE(it != index_.end(), "no such link");
+  return it->second;
+}
+
+void LinkLoadMap::add(NodeId u, NodeId v, double amount) {
+  PPDC_REQUIRE(amount >= 0.0, "negative load");
+  loads_[index_of(u, v)] += amount;
+}
+
+double LinkLoadMap::load(NodeId u, NodeId v) const {
+  return loads_[index_of(u, v)];
+}
+
+double LinkLoadMap::max_load() const {
+  double m = 0.0;
+  for (const double x : loads_) m = std::max(m, x);
+  return m;
+}
+
+double LinkLoadMap::mean_load() const {
+  if (loads_.empty()) return 0.0;
+  return total_load() / static_cast<double>(loads_.size());
+}
+
+double LinkLoadMap::total_load() const {
+  double s = 0.0;
+  for (const double x : loads_) s += x;
+  return s;
+}
+
+std::vector<std::tuple<NodeId, NodeId, double>> LinkLoadMap::hottest(
+    int k) const {
+  std::vector<std::tuple<NodeId, NodeId, double>> all;
+  all.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    all.emplace_back(links_[i].first, links_[i].second, loads_[i]);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return std::get<2>(a) > std::get<2>(b);
+  });
+  if (k >= 0 && static_cast<std::size_t>(k) < all.size()) {
+    all.resize(static_cast<std::size_t>(k));
+  }
+  return all;
+}
+
+double LinkLoadMap::max_utilization(double capacity) const {
+  PPDC_REQUIRE(capacity > 0.0, "capacity must be positive");
+  return max_load() / capacity;
+}
+
+void route_ecmp(const AllPairs& apsp, NodeId src, NodeId dst, double amount,
+                LinkLoadMap& out) {
+  PPDC_REQUIRE(amount >= 0.0, "negative amount");
+  if (src == dst || amount == 0.0) return;
+  const Graph& g = apsp.graph();
+
+  // Process nodes in decreasing distance-to-dst order so that all mass
+  // arriving at a node is known before it is split (the shortest-path
+  // DAG is acyclic in this order).
+  constexpr double kTol = 1e-9;
+  std::unordered_map<NodeId, double> mass;
+  using Item = std::pair<double, NodeId>;  // (distance to dst, node)
+  std::priority_queue<Item> pq;
+  mass[src] = amount;
+  pq.emplace(apsp.cost(src, dst), src);
+  std::unordered_map<NodeId, bool> done;
+  while (!pq.empty()) {
+    const auto [dist, u] = pq.top();
+    pq.pop();
+    if (u == dst) continue;
+    if (done[u]) continue;
+    done[u] = true;
+    const double m = mass[u];
+    if (m <= 0.0) continue;
+    // ECMP next hops: neighbors on a shortest path to dst.
+    std::vector<NodeId> hops;
+    for (const auto& a : g.neighbors(u)) {
+      if (a.weight + apsp.cost(a.to, dst) <= apsp.cost(u, dst) + kTol) {
+        hops.push_back(a.to);
+      }
+    }
+    PPDC_REQUIRE(!hops.empty(), "shortest-path DAG has no next hop");
+    const double share = m / static_cast<double>(hops.size());
+    for (const NodeId v : hops) {
+      out.add(u, v, share);
+      if (v != dst) {
+        mass[v] += share;
+        if (!done[v]) pq.emplace(apsp.cost(v, dst), v);
+      }
+    }
+    mass[u] = 0.0;
+  }
+}
+
+LinkLoadMap policy_link_load(const AllPairs& apsp,
+                             const std::vector<VmFlow>& flows,
+                             const Placement& p) {
+  validate_placement(apsp.graph(), p);
+  LinkLoadMap out(apsp.graph());
+  for (const auto& f : flows) {
+    route_ecmp(apsp, f.src_host, p.front(), f.rate, out);
+    for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+      route_ecmp(apsp, p[j], p[j + 1], f.rate, out);
+    }
+    route_ecmp(apsp, p.back(), f.dst_host, f.rate, out);
+  }
+  return out;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,68 @@
+// Per-link bandwidth accounting under ECMP routing.
+//
+// The paper's motivation (§I) is that policy-preserving traffic "consumes
+// more network bandwidth"; its cost model (§III) abstracts bandwidth away
+// by assuming well-provisioned links ("generally provisioned around 40%
+// of utilization" [31]). This subsystem makes the bandwidth story
+// measurable: it routes every policy-preserving flow segment along the
+// shortest-path DAG with equal splitting at each hop (fractional ECMP —
+// the fluid limit of per-flow hashing) and reports per-link loads and
+// utilizations, so placements can be compared by the congestion they
+// actually cause (see bench_linkload).
+#pragma once
+
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "graph/apsp.hpp"
+
+namespace ppdc {
+
+/// Aggregated undirected per-link load.
+class LinkLoadMap {
+ public:
+  explicit LinkLoadMap(const Graph& g);
+
+  /// Adds `amount` to link u-v (must exist in the graph).
+  void add(NodeId u, NodeId v, double amount);
+
+  /// Current load on link u-v.
+  double load(NodeId u, NodeId v) const;
+
+  double max_load() const;
+  double mean_load() const;
+  /// Σ over links of load (== Σ over routed segments of amount x hops on
+  /// unit-weight graphs).
+  double total_load() const;
+  std::size_t num_links() const { return loads_.size(); }
+
+  /// Links sorted by load descending, top `k`.
+  std::vector<std::tuple<NodeId, NodeId, double>> hottest(int k) const;
+
+  /// max_load / capacity.
+  double max_utilization(double capacity) const;
+
+ private:
+  std::size_t index_of(NodeId u, NodeId v) const;
+
+  const Graph* g_;
+  std::vector<std::pair<NodeId, NodeId>> links_;  ///< canonical (min,max)
+  std::vector<double> loads_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/// Fractionally routes `amount` units from src to dst over the
+/// shortest-path DAG (equal ECMP split at every hop). No-op when
+/// src == dst or amount == 0.
+void route_ecmp(const AllPairs& apsp, NodeId src, NodeId dst, double amount,
+                LinkLoadMap& out);
+
+/// Routes every flow through its policy-preserving path
+/// src -> p_1 -> ... -> p_n -> dst, each segment ECMP-split.
+LinkLoadMap policy_link_load(const AllPairs& apsp,
+                             const std::vector<VmFlow>& flows,
+                             const Placement& p);
+
+}  // namespace ppdc

@@ -1,0 +1,68 @@
+#include "sim/engine.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+SimTrace run_simulation(const AllPairs& apsp,
+                        const std::vector<VmFlow>& base_flows, int n,
+                        const SimConfig& config, MigrationPolicy& policy) {
+  PPDC_REQUIRE(!base_flows.empty(), "simulation needs at least one flow");
+  PPDC_REQUIRE(config.hours >= 1, "simulation needs at least one hour");
+
+  std::vector<double> base_rates;
+  std::vector<int> groups;
+  base_rates.reserve(base_flows.size());
+  groups.reserve(base_flows.size());
+  for (const auto& f : base_flows) {
+    base_rates.push_back(f.rate);
+    groups.push_back(f.group);
+  }
+
+  auto rates_at = [&](int hour) {
+    if (config.rate_schedule) return config.rate_schedule(hour);
+    return diurnal_rates_grouped(config.diurnal, base_rates, groups, hour);
+  };
+
+  SimState state;
+  state.flows = base_flows;
+
+  // Hour 0: initial traffic-optimal placement (TOP, Algorithm 3).
+  set_rates(state.flows, rates_at(0));
+  CostModel model(apsp, state.flows);
+  const PlacementResult initial =
+      solve_top_dp(model, n, config.initial_placement);
+  state.placement = initial.placement;
+
+  SimTrace trace;
+  trace.initial_placement = initial.placement;
+
+  for (int hour = 0; hour < config.hours; ++hour) {
+    set_rates(state.flows, rates_at(hour));
+    model.refresh();
+    EpochDecision d;
+    if (hour == 0) {
+      // The initial placement is already optimal for hour 0; policies only
+      // react to *changes*, so hour 0 just charges the communication cost.
+      d.comm_cost = model.communication_cost(state.placement);
+    } else {
+      d = policy.on_epoch(model, state);
+      // PLAN/MCF may have moved endpoints: keep the model coherent for the
+      // next refresh (CostModel reads the flow vector it was bound to).
+      model.refresh();
+      if (config.downtime_factor > 0.0) {
+        d.migration_cost += config.downtime_factor * model.total_rate() *
+                            d.migration_distance;
+      }
+    }
+    trace.total_comm_cost += d.comm_cost;
+    trace.total_migration_cost += d.migration_cost;
+    trace.total_vnf_migrations += d.vnf_migrations;
+    trace.total_vm_migrations += d.vm_migrations;
+    trace.epochs.push_back(d);
+  }
+  trace.total_cost = trace.total_comm_cost + trace.total_migration_cost;
+  return trace;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,54 @@
+// Epoch-driven dynamic PPDC simulation (§VI "Effects of VNF Migrations on
+// Dynamic Traffic", Fig. 11).
+//
+// Lifecycle reproduced from the paper: TOP computes the initial optimal
+// placement under the hour-0 rates, then every subsequent hour the traffic
+// vector is re-scaled by the diurnal model (Eq. 9, east/west coast split)
+// and the migration policy reacts. Costs accounted per epoch: the
+// communication cost C_a of that hour plus whatever migration traffic the
+// policy generated.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/placement_dp.hpp"
+#include "sim/policy.hpp"
+#include "workload/diurnal.hpp"
+
+namespace ppdc {
+
+/// Per-run configuration.
+struct SimConfig {
+  int hours = 12;             ///< simulated horizon (one diurnal cycle)
+  DiurnalModel diurnal;       ///< rate schedule
+  TopDpOptions initial_placement;  ///< knobs for the hour-0 TOP solve
+  /// Optional custom rate schedule; when set it overrides the diurnal
+  /// model: schedule(hour) must return the per-flow rates of that hour.
+  std::function<std::vector<double>(int)> rate_schedule;
+  /// Optional service-downtime model (VNF migration literature [51], [20],
+  /// [32]): while instances are in flight, traffic through them is
+  /// disturbed. Each epoch is charged an extra
+  /// downtime_factor x Λ x (migration distance) on top of the migration
+  /// traffic itself. 0 (default) reproduces the paper's cost model.
+  double downtime_factor = 0.0;
+};
+
+/// Full record of one simulation run.
+struct SimTrace {
+  std::vector<EpochDecision> epochs;
+  Placement initial_placement;
+  double total_comm_cost = 0.0;
+  double total_migration_cost = 0.0;
+  double total_cost = 0.0;
+  int total_vnf_migrations = 0;
+  int total_vm_migrations = 0;
+};
+
+/// Runs one policy over the horizon. `base_flows` carry the base rates
+/// (the diurnal scale multiplies them); `n` is the SFC length.
+SimTrace run_simulation(const AllPairs& apsp,
+                        const std::vector<VmFlow>& base_flows, int n,
+                        const SimConfig& config, MigrationPolicy& policy);
+
+}  // namespace ppdc

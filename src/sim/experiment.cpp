@@ -1,0 +1,68 @@
+#include "sim/experiment.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+std::vector<PolicyStats> run_experiment(
+    const Topology& topo, const AllPairs& apsp, const ExperimentConfig& config,
+    const std::vector<MigrationPolicy*>& policies) {
+  PPDC_REQUIRE(config.trials >= 1, "need at least one trial");
+  PPDC_REQUIRE(!policies.empty(), "need at least one policy");
+
+  const std::size_t num_policies = policies.size();
+  const std::size_t hours = static_cast<std::size_t>(config.sim.hours);
+
+  std::vector<RunningStats> total(num_policies), comm(num_policies),
+      migration(num_policies), vnf_moves(num_policies),
+      vm_moves(num_policies);
+  std::vector<std::vector<RunningStats>> hourly_cost(
+      num_policies, std::vector<RunningStats>(hours));
+  std::vector<std::vector<RunningStats>> hourly_moves(
+      num_policies, std::vector<RunningStats>(hours));
+
+  Rng seeder(config.seed);
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Rng trial_rng = seeder.split();
+    const std::vector<VmFlow> flows =
+        generate_vm_flows(topo, config.workload, trial_rng);
+    for (std::size_t pi = 0; pi < num_policies; ++pi) {
+      const SimTrace trace = run_simulation(apsp, flows, config.sfc_length,
+                                            config.sim, *policies[pi]);
+      total[pi].add(trace.total_cost);
+      comm[pi].add(trace.total_comm_cost);
+      migration[pi].add(trace.total_migration_cost);
+      vnf_moves[pi].add(static_cast<double>(trace.total_vnf_migrations));
+      vm_moves[pi].add(static_cast<double>(trace.total_vm_migrations));
+      for (std::size_t h = 0; h < hours && h < trace.epochs.size(); ++h) {
+        const EpochDecision& d = trace.epochs[h];
+        hourly_cost[pi][h].add(d.comm_cost + d.migration_cost);
+        hourly_moves[pi][h].add(
+            static_cast<double>(d.vnf_migrations + d.vm_migrations));
+      }
+    }
+  }
+
+  std::vector<PolicyStats> stats;
+  stats.reserve(num_policies);
+  for (std::size_t pi = 0; pi < num_policies; ++pi) {
+    PolicyStats s;
+    s.name = policies[pi]->name();
+    s.total_cost = {total[pi].mean(), total[pi].ci95_halfwidth()};
+    s.comm_cost = {comm[pi].mean(), comm[pi].ci95_halfwidth()};
+    s.migration_cost = {migration[pi].mean(), migration[pi].ci95_halfwidth()};
+    s.vnf_migrations = {vnf_moves[pi].mean(), vnf_moves[pi].ci95_halfwidth()};
+    s.vm_migrations = {vm_moves[pi].mean(), vm_moves[pi].ci95_halfwidth()};
+    for (std::size_t h = 0; h < hours; ++h) {
+      s.hourly_cost.push_back(
+          {hourly_cost[pi][h].mean(), hourly_cost[pi][h].ci95_halfwidth()});
+      s.hourly_migrations.push_back(
+          {hourly_moves[pi][h].mean(), hourly_moves[pi][h].ci95_halfwidth()});
+    }
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace ppdc

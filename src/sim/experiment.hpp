@@ -1,0 +1,48 @@
+// Repeated-trial experiment runner.
+//
+// Every §VI data point is "an average of 20 runs with a 95% confidence
+// interval". This runner regenerates the workload per trial from a
+// deterministic seed stream, runs every policy on identical copies of the
+// state, and aggregates totals plus per-hour series (Fig. 11(a)/(b) plot
+// the per-hour breakdown, Fig. 11(c)/(d) the totals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "topology/topology.hpp"
+#include "util/stats.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+
+/// Experiment-level configuration.
+struct ExperimentConfig {
+  int trials = 20;
+  std::uint64_t seed = 42;
+  VmPlacementConfig workload;  ///< how flows are generated each trial
+  int sfc_length = 7;          ///< n
+  SimConfig sim;
+};
+
+/// Aggregated outcome of one policy across trials.
+struct PolicyStats {
+  std::string name;
+  MeanCi total_cost;
+  MeanCi comm_cost;
+  MeanCi migration_cost;
+  MeanCi vnf_migrations;
+  MeanCi vm_migrations;
+  /// Per-hour mean of comm + migration cost and of migration counts.
+  std::vector<MeanCi> hourly_cost;
+  std::vector<MeanCi> hourly_migrations;
+};
+
+/// Runs every policy over `config.trials` independently seeded workloads.
+/// All policies see the same workload in each trial (paired comparison).
+std::vector<PolicyStats> run_experiment(
+    const Topology& topo, const AllPairs& apsp, const ExperimentConfig& config,
+    const std::vector<MigrationPolicy*>& policies);
+
+}  // namespace ppdc

@@ -1,0 +1,87 @@
+#include "sim/policy.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+EpochDecision NoMigrationPolicy::on_epoch(const CostModel& model,
+                                          SimState& state) {
+  EpochDecision d;
+  d.comm_cost = model.communication_cost(state.placement);
+  return d;
+}
+
+ParetoMigrationPolicy::ParetoMigrationPolicy(double mu,
+                                             ParetoMigrationOptions options,
+                                             std::string display_name)
+    : mu_(mu), options_(std::move(options)), name_(std::move(display_name)) {
+  PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
+}
+
+EpochDecision ParetoMigrationPolicy::on_epoch(const CostModel& model,
+                                              SimState& state) {
+  const MigrationResult r =
+      solve_tom_pareto(model, state.placement, mu_, options_);
+  EpochDecision d;
+  d.comm_cost = r.comm_cost;
+  d.migration_cost = r.migration_cost;
+  d.migration_distance =
+      model.migration_cost(state.placement, r.migration, 1.0);
+  d.vnf_migrations = r.vnfs_moved;
+  state.placement = r.migration;
+  return d;
+}
+
+ExhaustiveMigrationPolicy::ExhaustiveMigrationPolicy(double mu,
+                                                     ChainSearchConfig config)
+    : mu_(mu), config_(std::move(config)) {
+  PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
+}
+
+EpochDecision ExhaustiveMigrationPolicy::on_epoch(const CostModel& model,
+                                                  SimState& state) {
+  ChainSearchConfig cfg = config_;
+  cfg.initial = state.placement;  // warm start: staying put is feasible
+  const ChainSearchResult r =
+      solve_tom_exhaustive(model, state.placement, mu_, cfg);
+  const MigrationResult eval =
+      evaluate_migration(model, state.placement, r.placement, mu_);
+  EpochDecision d;
+  d.comm_cost = eval.comm_cost;
+  d.migration_cost = eval.migration_cost;
+  d.migration_distance =
+      model.migration_cost(state.placement, r.placement, 1.0);
+  d.vnf_migrations = eval.vnfs_moved;
+  state.placement = r.placement;
+  return d;
+}
+
+PlanPolicy::PlanPolicy(VmMigrationConfig config) : config_(config) {}
+
+EpochDecision PlanPolicy::on_epoch(const CostModel& model, SimState& state) {
+  const VmMigrationResult r = solve_vm_migration_plan(
+      model.apsp(), state.flows, state.placement, config_);
+  state.flows = r.flows;
+  EpochDecision d;
+  d.comm_cost = r.comm_cost;
+  d.migration_cost = r.migration_cost;
+  d.migration_distance = r.migration_distance;
+  d.vm_migrations = r.vms_moved;
+  return d;
+}
+
+McfPolicy::McfPolicy(VmMigrationConfig config) : config_(config) {}
+
+EpochDecision McfPolicy::on_epoch(const CostModel& model, SimState& state) {
+  const VmMigrationResult r = solve_vm_migration_mcf(
+      model.apsp(), state.flows, state.placement, config_);
+  state.flows = r.flows;
+  EpochDecision d;
+  d.comm_cost = r.comm_cost;
+  d.migration_cost = r.migration_cost;
+  d.migration_distance = r.migration_distance;
+  d.vm_migrations = r.vms_moved;
+  return d;
+}
+
+}  // namespace ppdc

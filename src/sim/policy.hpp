@@ -1,0 +1,102 @@
+// Migration-policy interface for the dynamic PPDC simulation (§VI,
+// Fig. 11). Every hour, after traffic rates change, the engine hands the
+// policy the refreshed cost model and the mutable system state; the policy
+// may migrate VNFs (mPareto / frontier-exhaustive / exhaustive optimal) or
+// VMs (PLAN / MCF) or do nothing (NoMigration), and reports what it spent.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/vm_migration.hpp"
+#include "core/chain_search.hpp"
+#include "core/migration_pareto.hpp"
+
+namespace ppdc {
+
+/// Mutable world state owned by the simulation engine.
+struct SimState {
+  std::vector<VmFlow> flows;  ///< endpoints + current rates
+  Placement placement;        ///< current VNF placement
+};
+
+/// What one policy invocation did in one epoch.
+struct EpochDecision {
+  double comm_cost = 0.0;       ///< C_a charged for the epoch
+  double migration_cost = 0.0;  ///< migration traffic spent this epoch
+  /// Total topology distance covered by this epoch's migrations (the
+  /// Σ c(old, new) without the μ factor) — drives the optional downtime
+  /// model (SimConfig::downtime_factor).
+  double migration_distance = 0.0;
+  int vnf_migrations = 0;
+  int vm_migrations = 0;
+};
+
+/// Interface implemented by every migration strategy.
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  virtual std::string name() const = 0;
+  /// Reacts to the epoch's (already refreshed) cost model; may mutate
+  /// `state` (placement and/or flow endpoints).
+  virtual EpochDecision on_epoch(const CostModel& model, SimState& state) = 0;
+};
+
+/// Keeps the initial placement forever.
+class NoMigrationPolicy final : public MigrationPolicy {
+ public:
+  std::string name() const override { return "NoMigration"; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+};
+
+/// mPareto (Algorithm 5); optionally frontier-exhaustive ("Optimal" proxy
+/// at k = 16 scale when `options.exhaustive_frontiers` is set).
+class ParetoMigrationPolicy final : public MigrationPolicy {
+ public:
+  ParetoMigrationPolicy(double mu, ParetoMigrationOptions options = {},
+                        std::string display_name = "mPareto");
+  std::string name() const override { return name_; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+
+ private:
+  double mu_;
+  ParetoMigrationOptions options_;
+  std::string name_;
+};
+
+/// Exhaustive Algorithm 6 via branch and bound (tractable small PPDCs).
+class ExhaustiveMigrationPolicy final : public MigrationPolicy {
+ public:
+  ExhaustiveMigrationPolicy(double mu, ChainSearchConfig config = {});
+  std::string name() const override { return "Optimal"; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+
+ private:
+  double mu_;
+  ChainSearchConfig config_;
+};
+
+/// PLAN VM migration [17].
+class PlanPolicy final : public MigrationPolicy {
+ public:
+  explicit PlanPolicy(VmMigrationConfig config);
+  std::string name() const override { return "PLAN"; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+
+ private:
+  VmMigrationConfig config_;
+};
+
+/// MCF VM migration [24].
+class McfPolicy final : public MigrationPolicy {
+ public:
+  explicit McfPolicy(VmMigrationConfig config);
+  std::string name() const override { return "MCF"; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+
+ private:
+  VmMigrationConfig config_;
+};
+
+}  // namespace ppdc

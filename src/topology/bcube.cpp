@@ -1,0 +1,70 @@
+#include "topology/bcube.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_bcube(int n, int levels) {
+  PPDC_REQUIRE(n >= 2, "BCube needs n >= 2 servers per switch");
+  PPDC_REQUIRE(levels >= 0 && levels <= 3, "supported levels: 0..3");
+
+  int num_hosts = 1;
+  for (int i = 0; i <= levels; ++i) num_hosts *= n;
+  int switches_per_level = num_hosts / n;  // n^levels
+
+  Topology t;
+  t.name = "bcube-" + std::to_string(n) + "-" + std::to_string(levels);
+  Graph& g = t.graph;
+
+  // Hosts are addressed by digit vectors (a_levels .. a_0) base n.
+  std::vector<NodeId> hosts;
+  hosts.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    hosts.push_back(g.add_node(NodeKind::kHost, "srv" + std::to_string(h)));
+  }
+
+  // Level-j switches: one per combination of all digits except a_j.
+  for (int level = 0; level <= levels; ++level) {
+    std::vector<NodeId> level_switches;
+    level_switches.reserve(static_cast<std::size_t>(switches_per_level));
+    for (int s = 0; s < switches_per_level; ++s) {
+      level_switches.push_back(g.add_node(
+          NodeKind::kSwitch,
+          "sw" + std::to_string(level) + "_" + std::to_string(s)));
+    }
+    int stride = 1;
+    for (int i = 0; i < level; ++i) stride *= n;
+    for (int h = 0; h < num_hosts; ++h) {
+      // Switch index: host address with digit `level` removed.
+      const int low = h % stride;
+      const int high = h / (stride * n);
+      const int sw_index = high * stride + low;
+      g.add_edge(hosts[static_cast<std::size_t>(h)],
+                 level_switches[static_cast<std::size_t>(sw_index)]);
+    }
+    if (level == 0) {
+      // Level-0 switch groups are the racks.
+      std::vector<std::vector<NodeId>> racks(
+          static_cast<std::size_t>(switches_per_level));
+      for (int h = 0; h < num_hosts; ++h) {
+        racks[static_cast<std::size_t>(h / n)].push_back(
+            hosts[static_cast<std::size_t>(h)]);
+      }
+      for (int s = 0; s < switches_per_level; ++s) {
+        t.racks.push_back(racks[static_cast<std::size_t>(s)]);
+        t.rack_switches.push_back(
+            level_switches[static_cast<std::size_t>(s)]);
+      }
+    }
+  }
+
+  PPDC_REQUIRE(t.num_hosts() == num_hosts, "host count mismatch");
+  PPDC_REQUIRE(t.num_switches() == (levels + 1) * switches_per_level,
+               "switch count mismatch");
+  return t;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,19 @@
+// BCube topology (Guo et al., SIGCOMM 2009): a server-centric recursive
+// fabric. BCube(n, 0) is n servers on one switch; BCube(n, k) is n copies
+// of BCube(n, k-1) plus n^k level-k switches, with server
+// (a_k, ..., a_1, a_0) connected to level-j switch indexed by dropping
+// digit a_j. Hosts have degree k+1, so shortest switch-to-switch paths
+// run *through servers* — a structurally different stress for the
+// migration-frontier machinery (which must pause VNFs only on switches).
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds BCube(n, levels): n >= 2 servers per level-0 switch,
+/// levels >= 0. Total hosts n^(levels+1), switches (levels+1) * n^levels.
+/// Racks are the level-0 switch groups. Unit edge weights.
+Topology build_bcube(int n, int levels);
+
+}  // namespace ppdc

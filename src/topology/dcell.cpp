@@ -1,0 +1,49 @@
+#include "topology/dcell.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_dcell1(int n) {
+  PPDC_REQUIRE(n >= 2, "DCell needs n >= 2 servers per cell");
+
+  Topology t;
+  t.name = "dcell1-" + std::to_string(n);
+  Graph& g = t.graph;
+
+  const int cells = n + 1;
+  std::vector<std::vector<NodeId>> cell_hosts(
+      static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    const NodeId sw =
+        g.add_node(NodeKind::kSwitch, "mini" + std::to_string(c));
+    std::vector<NodeId> rack;
+    for (int s = 0; s < n; ++s) {
+      const NodeId host = g.add_node(
+          NodeKind::kHost, "srv" + std::to_string(c) + "_" + std::to_string(s));
+      g.add_edge(sw, host);
+      rack.push_back(host);
+    }
+    cell_hosts[static_cast<std::size_t>(c)] = rack;
+    t.racks.push_back(std::move(rack));
+    t.rack_switches.push_back(sw);
+  }
+
+  // Inter-cell server links: server j-1 of cell i <-> server i of cell j.
+  for (int i = 0; i < cells; ++i) {
+    for (int j = i + 1; j < cells; ++j) {
+      g.add_edge(cell_hosts[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j - 1)],
+                 cell_hosts[static_cast<std::size_t>(j)]
+                           [static_cast<std::size_t>(i)]);
+    }
+  }
+
+  PPDC_REQUIRE(t.num_hosts() == n * cells, "host count mismatch");
+  PPDC_REQUIRE(t.num_switches() == cells, "switch count mismatch");
+  return t;
+}
+
+}  // namespace ppdc

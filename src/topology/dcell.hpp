@@ -1,0 +1,17 @@
+// DCell_1 topology (Guo et al., SIGCOMM 2008): another server-centric
+// fabric. A DCell_0 is n servers on one mini-switch; DCell_1 wires n+1
+// DCell_0 cells by direct server-to-server links (server j-1 of cell i
+// connects to server i of cell j, for i < j). Servers have degree 2 and
+// relay traffic — the extreme opposite of the fat-tree's leaf hosts, and
+// a stress test for algorithms that assume switch-centric fabrics.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds DCell_1 with parameter n >= 2: (n+1) cells, n(n+1) servers,
+/// n+1 mini-switches. Unit edge weights.
+Topology build_dcell1(int n);
+
+}  // namespace ppdc

@@ -1,0 +1,77 @@
+#include "topology/fat_tree.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_fat_tree(int k) {
+  PPDC_REQUIRE(k >= 2 && k % 2 == 0, "fat-tree arity k must be even and >= 2");
+  const int half = k / 2;
+  Topology t;
+  t.name = "fat-tree-k" + std::to_string(k);
+  Graph& g = t.graph;
+
+  // Core layer: (k/2)^2 switches, indexed (i, j) with i, j in [0, k/2).
+  std::vector<std::vector<NodeId>> core(
+      static_cast<std::size_t>(half),
+      std::vector<NodeId>(static_cast<std::size_t>(half)));
+  for (int i = 0; i < half; ++i) {
+    for (int j = 0; j < half; ++j) {
+      core[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          g.add_node(NodeKind::kSwitch,
+                     "core" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> agg(static_cast<std::size_t>(half));
+    std::vector<NodeId> edge(static_cast<std::size_t>(half));
+    for (int a = 0; a < half; ++a) {
+      agg[static_cast<std::size_t>(a)] = g.add_node(
+          NodeKind::kSwitch,
+          "agg" + std::to_string(pod) + "_" + std::to_string(a));
+    }
+    for (int e = 0; e < half; ++e) {
+      edge[static_cast<std::size_t>(e)] = g.add_node(
+          NodeKind::kSwitch,
+          "edge" + std::to_string(pod) + "_" + std::to_string(e));
+    }
+    // Pod mesh: every edge switch connects to every aggregation switch.
+    for (int a = 0; a < half; ++a) {
+      for (int e = 0; e < half; ++e) {
+        g.add_edge(agg[static_cast<std::size_t>(a)],
+                   edge[static_cast<std::size_t>(e)]);
+      }
+    }
+    // Aggregation switch a of every pod connects to core row a.
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        g.add_edge(agg[static_cast<std::size_t>(a)],
+                   core[static_cast<std::size_t>(a)][static_cast<std::size_t>(j)]);
+      }
+    }
+    // Hosts: k/2 per edge switch; each edge switch is a rack.
+    for (int e = 0; e < half; ++e) {
+      std::vector<NodeId> rack;
+      rack.reserve(static_cast<std::size_t>(half));
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = g.add_node(
+            NodeKind::kHost, "h" + std::to_string(pod) + "_" +
+                                 std::to_string(e) + "_" + std::to_string(h));
+        g.add_edge(edge[static_cast<std::size_t>(e)], host);
+        rack.push_back(host);
+      }
+      t.racks.push_back(std::move(rack));
+      t.rack_switches.push_back(edge[static_cast<std::size_t>(e)]);
+    }
+  }
+
+  PPDC_REQUIRE(t.num_hosts() == fat_tree_num_hosts(k), "host count mismatch");
+  PPDC_REQUIRE(t.num_switches() == fat_tree_num_switches(k),
+               "switch count mismatch");
+  return t;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,28 @@
+// k-ary fat-tree builder (Al-Fares et al., SIGCOMM 2008).
+//
+// The paper evaluates on fat-tree PPDCs with k = 8 (128 hosts) and k = 16
+// (1024 hosts) (§VI). A k-ary fat-tree has k pods; each pod has k/2 edge
+// switches and k/2 aggregation switches; each edge switch connects k/2
+// hosts; (k/2)^2 core switches connect the pods. Total: (k/2)^2 + k^2
+// switches and k^3/4 hosts. All edges are built with weight 1 (hop metric);
+// apply a weight model afterwards for the weighted experiments (Fig. 10).
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds a k-ary fat-tree. `k` must be even and >= 2.
+///
+/// Node labels encode position, e.g. "core0_1", "agg2_0", "edge2_1",
+/// "h2_1_0" (pod 2, edge switch 1, host 0). Racks are the per-edge-switch
+/// host groups.
+Topology build_fat_tree(int k);
+
+/// Number of hosts in a k-ary fat-tree: k^3 / 4.
+constexpr int fat_tree_num_hosts(int k) { return k * k * k / 4; }
+
+/// Number of switches in a k-ary fat-tree: 5 k^2 / 4.
+constexpr int fat_tree_num_switches(int k) { return 5 * k * k / 4; }
+
+}  // namespace ppdc

@@ -1,0 +1,39 @@
+#include "topology/leaf_spine.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_leaf_spine(int num_leaves, int num_spines, int hosts_per_leaf) {
+  PPDC_REQUIRE(num_leaves >= 1, "need at least one leaf");
+  PPDC_REQUIRE(num_spines >= 1, "need at least one spine");
+  PPDC_REQUIRE(hosts_per_leaf >= 1, "need at least one host per leaf");
+  Topology t;
+  t.name = "leaf-spine-" + std::to_string(num_leaves) + "x" +
+           std::to_string(num_spines);
+  Graph& g = t.graph;
+
+  std::vector<NodeId> spines;
+  for (int s = 0; s < num_spines; ++s) {
+    spines.push_back(g.add_node(NodeKind::kSwitch, "spine" + std::to_string(s)));
+  }
+  for (int lf = 0; lf < num_leaves; ++lf) {
+    const NodeId leaf =
+        g.add_node(NodeKind::kSwitch, "leaf" + std::to_string(lf));
+    for (const NodeId spine : spines) g.add_edge(leaf, spine);
+    std::vector<NodeId> rack;
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = g.add_node(
+          NodeKind::kHost, "h" + std::to_string(lf) + "_" + std::to_string(h));
+      g.add_edge(leaf, host);
+      rack.push_back(host);
+    }
+    t.racks.push_back(std::move(rack));
+    t.rack_switches.push_back(leaf);
+  }
+  return t;
+}
+
+}  // namespace ppdc

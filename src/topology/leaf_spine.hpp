@@ -1,0 +1,15 @@
+// Two-tier leaf-spine topology. The paper's problems and algorithms apply
+// to any data center topology (§III footnote 2); leaf-spine is the common
+// alternative to fat-trees and exercises the algorithms on a different
+// distance structure in tests and examples.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds a leaf-spine fabric: every leaf connects to every spine;
+/// `hosts_per_leaf` hosts per leaf. Unit edge weights.
+Topology build_leaf_spine(int num_leaves, int num_spines, int hosts_per_leaf);
+
+}  // namespace ppdc

@@ -1,0 +1,34 @@
+#include "topology/linear.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_linear(int num_switches) {
+  PPDC_REQUIRE(num_switches >= 1, "linear PPDC needs at least one switch");
+  Topology t;
+  t.name = "linear-" + std::to_string(num_switches);
+  Graph& g = t.graph;
+
+  std::vector<NodeId> sw;
+  sw.reserve(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < num_switches; ++i) {
+    sw.push_back(g.add_node(NodeKind::kSwitch, "s" + std::to_string(i + 1)));
+  }
+  for (int i = 0; i + 1 < num_switches; ++i) {
+    g.add_edge(sw[static_cast<std::size_t>(i)],
+               sw[static_cast<std::size_t>(i + 1)]);
+  }
+  const NodeId h1 = g.add_node(NodeKind::kHost, "h1");
+  const NodeId h2 = g.add_node(NodeKind::kHost, "h2");
+  g.add_edge(h1, sw.front());
+  g.add_edge(h2, sw.back());
+
+  t.racks = {{h1}, {h2}};
+  t.rack_switches = {sw.front(), sw.back()};
+  return t;
+}
+
+}  // namespace ppdc

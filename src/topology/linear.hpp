@@ -1,0 +1,15 @@
+// Linear PPDC of the paper's Fig. 1: a chain of switches with one host at
+// each end. Useful for worked-example tests (the 58.6% cost-reduction
+// example of Fig. 1/Fig. 3 lives on this topology) and for intuition-sized
+// demos.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds h1 - s1 - s2 - ... - s_num_switches - h2 with unit edge weights.
+/// Each end host forms its own single-host "rack" on the adjacent switch.
+Topology build_linear(int num_switches);
+
+}  // namespace ppdc

@@ -1,0 +1,99 @@
+#include "topology/misc.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+Topology build_ring(int num_switches) {
+  PPDC_REQUIRE(num_switches >= 3, "ring needs at least 3 switches");
+  Topology t;
+  t.name = "ring-" + std::to_string(num_switches);
+  Graph& g = t.graph;
+  std::vector<NodeId> sw;
+  for (int i = 0; i < num_switches; ++i) {
+    sw.push_back(g.add_node(NodeKind::kSwitch));
+  }
+  for (int i = 0; i < num_switches; ++i) {
+    g.add_edge(sw[static_cast<std::size_t>(i)],
+               sw[static_cast<std::size_t>((i + 1) % num_switches)]);
+  }
+  for (int i = 0; i < num_switches; ++i) {
+    const NodeId h = g.add_node(NodeKind::kHost);
+    g.add_edge(sw[static_cast<std::size_t>(i)], h);
+    t.racks.push_back({h});
+    t.rack_switches.push_back(sw[static_cast<std::size_t>(i)]);
+  }
+  return t;
+}
+
+Topology build_star(int num_leaf_switches) {
+  PPDC_REQUIRE(num_leaf_switches >= 1, "star needs at least 1 leaf switch");
+  Topology t;
+  t.name = "star-" + std::to_string(num_leaf_switches);
+  Graph& g = t.graph;
+  const NodeId hub = g.add_node(NodeKind::kSwitch, "hub");
+  for (int i = 0; i < num_leaf_switches; ++i) {
+    const NodeId sw = g.add_node(NodeKind::kSwitch);
+    g.add_edge(hub, sw);
+    const NodeId h = g.add_node(NodeKind::kHost);
+    g.add_edge(sw, h);
+    t.racks.push_back({h});
+    t.rack_switches.push_back(sw);
+  }
+  return t;
+}
+
+Topology build_random_connected(int num_switches, int num_hosts,
+                                int extra_edges, double min_weight,
+                                double max_weight, std::uint64_t seed) {
+  PPDC_REQUIRE(num_switches >= 1, "need at least one switch");
+  PPDC_REQUIRE(num_hosts >= 0, "negative host count");
+  PPDC_REQUIRE(min_weight > 0.0 && min_weight <= max_weight,
+               "bad weight range");
+  Rng rng(seed);
+  Topology t;
+  t.name = "random-" + std::to_string(num_switches);
+  Graph& g = t.graph;
+
+  std::vector<NodeId> sw;
+  for (int i = 0; i < num_switches; ++i) {
+    sw.push_back(g.add_node(NodeKind::kSwitch));
+  }
+  // Random spanning tree: attach node i to a random earlier node.
+  for (int i = 1; i < num_switches; ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+    g.add_edge(sw[static_cast<std::size_t>(i)], sw[j],
+               rng.uniform_real(min_weight, max_weight));
+  }
+  // Random chords (skip duplicates).
+  for (int e = 0; e < extra_edges; ++e) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, num_switches - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, num_switches - 1));
+    if (a == b || g.has_edge(sw[a], sw[b])) continue;
+    g.add_edge(sw[a], sw[b], rng.uniform_real(min_weight, max_weight));
+  }
+  // Hosts on random switches; group them into racks by switch.
+  std::vector<std::vector<NodeId>> by_switch(
+      static_cast<std::size_t>(num_switches));
+  for (int h = 0; h < num_hosts; ++h) {
+    const auto s =
+        static_cast<std::size_t>(rng.uniform_int(0, num_switches - 1));
+    const NodeId host = g.add_node(NodeKind::kHost);
+    g.add_edge(sw[s], host, rng.uniform_real(min_weight, max_weight));
+    by_switch[s].push_back(host);
+  }
+  for (int s = 0; s < num_switches; ++s) {
+    if (!by_switch[static_cast<std::size_t>(s)].empty()) {
+      t.racks.push_back(by_switch[static_cast<std::size_t>(s)]);
+      t.rack_switches.push_back(sw[static_cast<std::size_t>(s)]);
+    }
+  }
+  return t;
+}
+
+}  // namespace ppdc

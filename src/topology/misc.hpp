@@ -1,0 +1,27 @@
+// Small synthetic topologies used by tests and property sweeps: rings,
+// stars, and random connected graphs. These stress the algorithms on
+// distance structures a fat-tree never produces.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Ring of `num_switches` switches with one host attached to each switch.
+Topology build_ring(int num_switches);
+
+/// Star: one hub switch connected to `num_leaf_switches` switches, each
+/// leaf switch carrying one host.
+Topology build_star(int num_leaf_switches);
+
+/// Random connected graph: `num_switches` switches wired first as a random
+/// spanning tree plus `extra_edges` random chords, and `num_hosts` hosts
+/// attached to random switches. Edge weights are uniform in
+/// [min_weight, max_weight].
+Topology build_random_connected(int num_switches, int num_hosts,
+                                int extra_edges, double min_weight,
+                                double max_weight, std::uint64_t seed);
+
+}  // namespace ppdc

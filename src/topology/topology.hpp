@@ -1,0 +1,33 @@
+// Common result type for data-center topology builders.
+//
+// A Topology owns the PPDC graph plus structural metadata the workload
+// generator needs: which hosts hang off which edge (top-of-rack) switch, so
+// that the paper's "80% of VM pairs stay within the rack" placement rule
+// (§VI, [8]) can be honoured on any topology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppdc {
+
+/// A built data-center network.
+struct Topology {
+  Graph graph;
+  std::string name;
+
+  /// racks[r] lists the hosts attached to top-of-rack switch rack_switch[r].
+  std::vector<std::vector<NodeId>> racks;
+  std::vector<NodeId> rack_switches;
+
+  NodeId num_hosts() const noexcept {
+    return static_cast<NodeId>(graph.hosts().size());
+  }
+  NodeId num_switches() const noexcept {
+    return static_cast<NodeId>(graph.switches().size());
+  }
+};
+
+}  // namespace ppdc

@@ -1,0 +1,51 @@
+#include "topology/vl2.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Topology build_vl2(int num_intermediate, int num_aggregation, int num_tors,
+                   int hosts_per_tor) {
+  PPDC_REQUIRE(num_intermediate >= 1, "need at least one intermediate");
+  PPDC_REQUIRE(num_aggregation >= 2, "VL2 needs at least two aggregations");
+  PPDC_REQUIRE(num_tors >= 1, "need at least one ToR");
+  PPDC_REQUIRE(hosts_per_tor >= 1, "need at least one host per ToR");
+
+  Topology t;
+  t.name = "vl2-" + std::to_string(num_intermediate) + "x" +
+           std::to_string(num_aggregation) + "x" + std::to_string(num_tors);
+  Graph& g = t.graph;
+
+  std::vector<NodeId> inter, agg;
+  for (int i = 0; i < num_intermediate; ++i) {
+    inter.push_back(g.add_node(NodeKind::kSwitch, "int" + std::to_string(i)));
+  }
+  for (int a = 0; a < num_aggregation; ++a) {
+    agg.push_back(g.add_node(NodeKind::kSwitch, "agg" + std::to_string(a)));
+    for (const NodeId i : inter) {
+      g.add_edge(agg.back(), i);
+    }
+  }
+  for (int r = 0; r < num_tors; ++r) {
+    const NodeId tor = g.add_node(NodeKind::kSwitch, "tor" + std::to_string(r));
+    const std::size_t a1 = static_cast<std::size_t>(r % num_aggregation);
+    const std::size_t a2 =
+        static_cast<std::size_t>((r + 1) % num_aggregation);
+    g.add_edge(tor, agg[a1]);
+    if (a2 != a1) g.add_edge(tor, agg[a2]);
+    std::vector<NodeId> rack;
+    for (int h = 0; h < hosts_per_tor; ++h) {
+      const NodeId host = g.add_node(
+          NodeKind::kHost, "h" + std::to_string(r) + "_" + std::to_string(h));
+      g.add_edge(tor, host);
+      rack.push_back(host);
+    }
+    t.racks.push_back(std::move(rack));
+    t.rack_switches.push_back(tor);
+  }
+  return t;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,20 @@
+// VL2 topology (Greenberg et al., SIGCOMM 2009): a Clos fabric with
+// top-of-rack, aggregation and intermediate layers. Each ToR connects to
+// two aggregation switches; every aggregation switch connects to every
+// intermediate switch. Exercises the algorithms on a fabric whose
+// "core" (the intermediate layer) is reached through exactly one
+// aggregation hop — a different distance profile from the fat-tree.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace ppdc {
+
+/// Builds a VL2 fabric: `num_intermediate` intermediates,
+/// `num_aggregation` aggregation switches (must be >= 2), `num_tors`
+/// ToR switches with `hosts_per_tor` hosts each. ToR r connects to
+/// aggregation switches r % A and (r + 1) % A. Unit edge weights.
+Topology build_vl2(int num_intermediate, int num_aggregation, int num_tors,
+                   int hosts_per_tor);
+
+}  // namespace ppdc

@@ -1,0 +1,50 @@
+#include "topology/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+namespace {
+
+/// Collects each undirected edge once as (min(u,v), max(u,v)).
+std::vector<std::pair<NodeId, NodeId>> collect_edges(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      if (u < a.to) edges.emplace_back(u, a.to);
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+void apply_unit_weights(Graph& g) {
+  for (const auto& [u, v] : collect_edges(g)) {
+    g.set_edge_weight(u, v, 1.0);
+  }
+}
+
+void apply_uniform_delay_weights(Graph& g, std::uint64_t seed, double mean,
+                                 double variance) {
+  PPDC_REQUIRE(mean > 0.0, "mean delay must be positive");
+  PPDC_REQUIRE(variance >= 0.0, "variance must be non-negative");
+  // Uniform on [a, b] has variance (b-a)^2 / 12; with center `mean`,
+  // half-width = sqrt(3 * variance).
+  const double half = std::sqrt(3.0 * variance);
+  Rng rng(seed);
+  constexpr double kFloor = 1e-3;
+  for (const auto& [u, v] : collect_edges(g)) {
+    const double w = rng.uniform_real(mean - half, mean + half);
+    g.set_edge_weight(u, v, std::max(kFloor, w));
+  }
+}
+
+}  // namespace ppdc

@@ -1,0 +1,24 @@
+// Edge-weight models for PPDC experiments.
+//
+// The paper evaluates both unweighted PPDCs (hop counts) and weighted
+// PPDCs where link delays are drawn uniformly with mean 1.5 ms and
+// variance 0.5 ms, following the setup of Greedy/Liu [34] (§VI, Fig. 10).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ppdc {
+
+/// Resets every edge weight to 1 (hop metric).
+void apply_unit_weights(Graph& g);
+
+/// Assigns every edge an independent uniform delay with the given mean and
+/// variance (uniform on [mean - half, mean + half] with half = sqrt(3*var)),
+/// clamped to a small positive floor. Defaults follow [34]: mean 1.5,
+/// variance 0.5.
+void apply_uniform_delay_weights(Graph& g, std::uint64_t seed,
+                                 double mean = 1.5, double variance = 0.5);
+
+}  // namespace ppdc

@@ -1,0 +1,80 @@
+#include "util/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    PPDC_REQUIRE(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.kv_[arg] = argv[++i];
+    } else {
+      opts.kv_[arg] = "true";  // bare flag
+    }
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  PPDC_REQUIRE(end != nullptr && *end == '\0',
+               "option --" + key + " expects an integer, got " + it->second);
+  return v;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PPDC_REQUIRE(end != nullptr && *end == '\0',
+               "option --" + key + " expects a number, got " + it->second);
+  return v;
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw PpdcError("option --" + key + " expects a boolean, got " + v);
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> ks;
+  ks.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) ks.push_back(k);
+  return ks;
+}
+
+void Options::restrict_to(const std::vector<std::string>& allowed) const {
+  for (const auto& [k, v] : kv_) {
+    PPDC_REQUIRE(std::find(allowed.begin(), allowed.end(), k) != allowed.end(),
+                 "unknown option --" + k);
+  }
+}
+
+}  // namespace ppdc

@@ -1,0 +1,37 @@
+// Minimal command-line option parsing for benches and examples.
+//
+// Supports `--key=value` and `--key value` pairs plus boolean `--flag`.
+// Unknown keys are rejected so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppdc {
+
+/// Parsed command-line options with typed accessors and defaults.
+class Options {
+ public:
+  /// Parses argv; throws PpdcError on malformed input.
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys observed on the command line (for --help style listings).
+  std::vector<std::string> keys() const;
+
+  /// Throws if any provided key is outside `allowed`.
+  void restrict_to(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace ppdc

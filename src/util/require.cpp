@@ -1,0 +1,17 @@
+#include "util/require.hpp"
+
+#include <sstream>
+
+namespace ppdc::detail {
+
+void throw_requirement_failed(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw PpdcError(os.str());
+}
+
+}  // namespace ppdc::detail

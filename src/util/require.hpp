@@ -1,0 +1,34 @@
+// Lightweight precondition / invariant checking for the ppdc library.
+//
+// The library throws `ppdc::PpdcError` (derived from std::runtime_error) on
+// contract violations instead of asserting, so misuse is testable and never
+// silently ignored in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppdc {
+
+/// Exception type thrown on any contract violation inside the library.
+class PpdcError : public std::runtime_error {
+ public:
+  explicit PpdcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace ppdc
+
+/// Checks `cond`; throws ppdc::PpdcError with context when it is false.
+/// Enabled in all build types (these guard API misuse, not hot loops).
+#define PPDC_REQUIRE(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ppdc::detail::throw_requirement_failed(#cond, __FILE__, __LINE__,  \
+                                               (msg));                     \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PPDC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  PPDC_REQUIRE(cells.size() == header_.size(),
+               "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::num_ci(double mean, double ci, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ± "
+     << std::setprecision(precision) << ci;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n'
+     << "==== " << title << " " << std::string(std::max<std::size_t>(
+                                     4, 74 - title.size()), '=')
+     << '\n';
+}
+
+}  // namespace ppdc

@@ -1,0 +1,44 @@
+// Aligned-plaintext table and CSV emission for benchmark harnesses.
+//
+// Every figure/table reproduction binary prints its series through
+// TablePrinter so the output looks like the paper's rows and can be
+// re-plotted. CSV export allows external plotting of the same data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppdc {
+
+/// Collects rows of stringified cells and prints an aligned table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats numeric cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Formats "mean ± ci" cells.
+  static std::string num_ci(double mean, double ci, int precision = 1);
+
+  /// Writes the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV (no alignment, comma-separated).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by the figure harnesses.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ppdc

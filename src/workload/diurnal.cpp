@@ -1,0 +1,60 @@
+#include "workload/diurnal.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+double DiurnalModel::tau(int hour) const {
+  PPDC_REQUIRE(hours_per_day >= 2 && hours_per_day % 2 == 0,
+               "N must be even and >= 2");
+  PPDC_REQUIRE(tau_min >= 0.0 && tau_min <= 1.0, "tau_min outside [0,1]");
+  const int n = hours_per_day;
+  int h = hour % n;
+  if (h < 0) h += n;
+  if (h == 0) return 0.0;
+  const double span = 1.0 - tau_min;
+  if (h <= n / 2) {
+    return 2.0 * static_cast<double>(h) / static_cast<double>(n) * span;
+  }
+  return 2.0 * static_cast<double>(n - h) / static_cast<double>(n) * span;
+}
+
+double DiurnalModel::scale(int hour) const { return tau_min + tau(hour); }
+
+double DiurnalModel::scale_for_flow(int hour, int flow_index) const {
+  PPDC_REQUIRE(flow_index >= 0, "negative flow index");
+  return scale_for_group(hour, flow_index % 2);
+}
+
+double DiurnalModel::scale_for_group(int hour, int group) const {
+  PPDC_REQUIRE(group >= 0, "negative group");
+  return scale(hour - group * coast_offset);
+}
+
+std::vector<double> diurnal_rates(const DiurnalModel& model,
+                                  const std::vector<double>& base_rates,
+                                  int hour) {
+  std::vector<double> rates;
+  rates.reserve(base_rates.size());
+  for (std::size_t i = 0; i < base_rates.size(); ++i) {
+    rates.push_back(base_rates[i] *
+                    model.scale_for_flow(hour, static_cast<int>(i)));
+  }
+  return rates;
+}
+
+std::vector<double> diurnal_rates_grouped(const DiurnalModel& model,
+                                          const std::vector<double>& base_rates,
+                                          const std::vector<int>& groups,
+                                          int hour) {
+  PPDC_REQUIRE(groups.size() == base_rates.size(),
+               "groups/rates size mismatch");
+  std::vector<double> rates;
+  rates.reserve(base_rates.size());
+  for (std::size_t i = 0; i < base_rates.size(); ++i) {
+    rates.push_back(base_rates[i] * model.scale_for_group(hour, groups[i]));
+  }
+  return rates;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,57 @@
+// Diurnal (cycle-stationary) traffic model, Eq. 9 of the paper.
+//
+// The paper models a 12-hour working day (N = 12): VM traffic rises
+// linearly from 6 AM to noon and falls back to 6 PM, with a floor
+// τ_min = 0.2 taken from Eramo et al. [20]:
+//
+//   τ_h = 0                         h = 0
+//   τ_h = 2 (h / N) (1 - τ_min)     h = 1 .. N/2
+//   τ_h = 2 ((N-h)/N) (1 - τ_min)   h = N/2 + 1 .. N
+//
+// The effective scale factor applied to a base rate is τ_min + τ_h, so the
+// scale runs from τ_min (early morning / evening) up to 1.0 at noon —
+// matching the daily pattern plotted in Fig. 8. To model the US east/west
+// time-zone split, half of the flows are shifted three hours later than
+// the other half (§VI); shifting wraps cyclically (cycle-stationarity).
+#pragma once
+
+#include <vector>
+
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+/// Diurnal model parameters (defaults = paper values).
+struct DiurnalModel {
+  int hours_per_day = 12;   ///< N
+  double tau_min = 0.2;     ///< floor scale factor
+  int coast_offset = 3;     ///< west-coast lag in hours
+
+  /// Raw τ_h of Eq. 9 for hour h (h taken modulo N).
+  double tau(int hour) const;
+
+  /// Effective multiplicative scale at hour h: τ_min + τ_h. In [τ_min, 1].
+  double scale(int hour) const;
+
+  /// Scale seen by flow `flow_index` at `hour`: even-indexed flows are
+  /// "east coast" (no lag), odd-indexed are "west coast" (lag
+  /// `coast_offset` hours).
+  double scale_for_flow(int hour, int flow_index) const;
+
+  /// Scale for an explicit time-zone group (0 = east, 1 = west, further
+  /// groups lag `coast_offset` hours each).
+  double scale_for_group(int hour, int group) const;
+};
+
+/// Applies the diurnal model: rate_i(h) = base_i * scale_for_flow(h, i).
+std::vector<double> diurnal_rates(const DiurnalModel& model,
+                                  const std::vector<double>& base_rates,
+                                  int hour);
+
+/// Group-aware variant: rate_i(h) = base_i * scale_for_group(h, groups[i]).
+std::vector<double> diurnal_rates_grouped(const DiurnalModel& model,
+                                          const std::vector<double>& base_rates,
+                                          const std::vector<int>& groups,
+                                          int hour);
+
+}  // namespace ppdc

@@ -1,0 +1,56 @@
+#include "workload/traffic.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+double RateDistribution::sample(Rng& rng) const {
+  PPDC_REQUIRE(light_fraction >= 0 && medium_fraction >= 0 &&
+                   heavy_fraction >= 0,
+               "negative bucket fraction");
+  const double total = light_fraction + medium_fraction + heavy_fraction;
+  PPDC_REQUIRE(total > 0, "bucket fractions sum to zero");
+  const double x = rng.uniform_real(0.0, total);
+  if (x < light_fraction) {
+    return rng.uniform_real(light_lo, light_hi);
+  }
+  if (x < light_fraction + medium_fraction) {
+    return rng.uniform_real(medium_lo, medium_hi);
+  }
+  return rng.uniform_real(heavy_lo, heavy_hi);
+}
+
+RateClass RateDistribution::classify(double rate) const {
+  if (rate < light_hi) return RateClass::kLight;
+  if (rate <= medium_hi) return RateClass::kMedium;
+  return RateClass::kHeavy;
+}
+
+std::vector<double> sample_rates(const RateDistribution& dist, int count,
+                                 Rng& rng) {
+  PPDC_REQUIRE(count >= 0, "negative count");
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) rates.push_back(dist.sample(rng));
+  return rates;
+}
+
+std::vector<double> rates_of(const std::vector<VmFlow>& flows) {
+  std::vector<double> r;
+  r.reserve(flows.size());
+  for (const auto& f : flows) r.push_back(f.rate);
+  return r;
+}
+
+void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates) {
+  PPDC_REQUIRE(flows.size() == rates.size(), "rate vector size mismatch");
+  for (std::size_t i = 0; i < flows.size(); ++i) flows[i].rate = rates[i];
+}
+
+double total_rate(const std::vector<VmFlow>& flows) {
+  double sum = 0.0;
+  for (const auto& f : flows) sum += f.rate;
+  return sum;
+}
+
+}  // namespace ppdc

@@ -1,0 +1,64 @@
+// VM flows and traffic-rate generation.
+//
+// §VI of the paper: traffic rates lie in [0, 10000] with 25% light flows
+// in [0, 3000), 70% medium in [3000, 7000], and 5% heavy in (7000, 10000],
+// matching the flow characteristics measured inside Facebook data centers
+// [43]. Those production traces are proprietary; this generator is the
+// substitution — it reproduces exactly the published distributional
+// characterization the paper consumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+/// A communicating VM pair (v_i, v'_i): endpoints live on hosts and
+/// exchange traffic at rate λ_i.
+struct VmFlow {
+  NodeId src_host = kInvalidNode;  ///< s(v_i)
+  NodeId dst_host = kInvalidNode;  ///< s(v'_i)
+  double rate = 0.0;               ///< λ_i
+  /// Time-zone group for the diurnal model (0 = east coast, 1 = west
+  /// coast; §VI). The generator assigns it spatially — tenants of one
+  /// coast are deployed together — so the daily cycle moves the traffic
+  /// center of mass across the fabric.
+  int group = 0;
+};
+
+/// Rate class of a flow under the Facebook characterization.
+enum class RateClass : std::uint8_t { kLight, kMedium, kHeavy };
+
+/// Parameters of the bucketed rate distribution (defaults = paper values).
+struct RateDistribution {
+  double light_fraction = 0.25;
+  double medium_fraction = 0.70;
+  double heavy_fraction = 0.05;
+  double light_lo = 0.0, light_hi = 3000.0;
+  double medium_lo = 3000.0, medium_hi = 7000.0;
+  double heavy_lo = 7000.0, heavy_hi = 10000.0;
+
+  /// Draws one rate.
+  double sample(Rng& rng) const;
+
+  /// Classifies a rate value into its bucket.
+  RateClass classify(double rate) const;
+};
+
+/// Draws `count` traffic rates from the distribution.
+std::vector<double> sample_rates(const RateDistribution& dist, int count,
+                                 Rng& rng);
+
+/// Extracts the rate vector λ from a flow list.
+std::vector<double> rates_of(const std::vector<VmFlow>& flows);
+
+/// Overwrites flow rates from a vector (sizes must match).
+void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates);
+
+/// Sum of all rates (the Λ that multiplies the chain cost in Eq. 1).
+double total_rate(const std::vector<VmFlow>& flows);
+
+}  // namespace ppdc

@@ -1,0 +1,116 @@
+#include "workload/vm_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+/// rack index of a host, or -1 if the host is in no rack.
+int rack_of(const Topology& topo, NodeId host) {
+  for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+    if (std::find(topo.racks[r].begin(), topo.racks[r].end(), host) !=
+        topo.racks[r].end()) {
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
+NodeId random_host(const std::vector<NodeId>& rack, Rng& rng) {
+  return rack[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(rack.size()) - 1))];
+}
+
+}  // namespace
+
+std::vector<VmFlow> generate_vm_flows(const Topology& topo,
+                                      const VmPlacementConfig& config,
+                                      Rng& rng) {
+  PPDC_REQUIRE(config.num_pairs >= 0, "negative pair count");
+  PPDC_REQUIRE(config.intra_rack_fraction >= 0.0 &&
+                   config.intra_rack_fraction <= 1.0,
+               "intra_rack_fraction outside [0,1]");
+  PPDC_REQUIRE(config.rack_zipf_s >= 0.0, "negative Zipf exponent");
+  PPDC_REQUIRE(!topo.racks.empty(), "topology exposes no racks");
+
+  const int num_racks = static_cast<int>(topo.racks.size());
+  const int east_racks = std::max(1, num_racks / 2);
+
+  // Per-coast rack index lists: east = first half, west = second half
+  // (degenerates to a single coast on tiny topologies).
+  std::vector<std::vector<int>> coast_racks(2);
+  for (int r = 0; r < num_racks; ++r) {
+    coast_racks[r < east_racks ? 0 : 1].push_back(r);
+  }
+  if (coast_racks[1].empty()) coast_racks[1] = coast_racks[0];
+
+  // Zipf popularity within each coast (uniform when s == 0).
+  std::vector<std::vector<double>> coast_weights(2);
+  for (int coast = 0; coast < 2; ++coast) {
+    const auto& racks = coast_racks[static_cast<std::size_t>(coast)];
+    auto& w = coast_weights[static_cast<std::size_t>(coast)];
+    w.reserve(racks.size());
+    for (std::size_t rank = 0; rank < racks.size(); ++rank) {
+      w.push_back(config.rack_zipf_s == 0.0
+                      ? 1.0
+                      : std::pow(static_cast<double>(rank + 1),
+                                 -config.rack_zipf_s));
+    }
+  }
+
+  auto pick_rack = [&](int coast) {
+    const auto& racks = coast_racks[static_cast<std::size_t>(coast)];
+    const auto& w = coast_weights[static_cast<std::size_t>(coast)];
+    return racks[rng.weighted_index(w)];
+  };
+
+  std::vector<VmFlow> flows;
+  flows.reserve(static_cast<std::size_t>(config.num_pairs));
+
+  for (int i = 0; i < config.num_pairs; ++i) {
+    VmFlow f;
+    const int coast = static_cast<int>(rng.bernoulli(0.5));
+    const int src_rack = pick_rack(coast);
+    const bool intra = rng.bernoulli(config.intra_rack_fraction);
+    if (intra || num_racks == 1) {
+      const auto& rack = topo.racks[static_cast<std::size_t>(src_rack)];
+      f.src_host = random_host(rack, rng);
+      f.dst_host = random_host(rack, rng);
+    } else {
+      // Cross-rack pair: the destination stays within the same coast
+      // (tenant locality) but in a different rack when possible.
+      int dst_rack = src_rack;
+      for (int attempt = 0; attempt < 64 && dst_rack == src_rack;
+           ++attempt) {
+        dst_rack = pick_rack(coast);
+      }
+      if (dst_rack == src_rack) {  // single-rack coast
+        dst_rack = (src_rack + 1) % num_racks;
+      }
+      f.src_host =
+          random_host(topo.racks[static_cast<std::size_t>(src_rack)], rng);
+      f.dst_host =
+          random_host(topo.racks[static_cast<std::size_t>(dst_rack)], rng);
+    }
+    f.rate = config.rates.sample(rng);
+    f.group = config.spatial_coasts ? coast : static_cast<int>(i % 2);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+double measured_intra_rack_fraction(const Topology& topo,
+                                    const std::vector<VmFlow>& flows) {
+  if (flows.empty()) return 0.0;
+  int intra = 0;
+  for (const auto& f : flows) {
+    if (rack_of(topo, f.src_host) == rack_of(topo, f.dst_host)) ++intra;
+  }
+  return static_cast<double>(intra) / static_cast<double>(flows.size());
+}
+
+}  // namespace ppdc

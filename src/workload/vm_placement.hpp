@@ -1,0 +1,52 @@
+// Placement of communicating VM pairs onto hosts.
+//
+// §VI: "As 80% of cloud data center traffic originated by servers stays
+// within the rack [8], we place 80% of the VM pairs into hosts under the
+// same edge switches." This generator honours that rule on any Topology
+// that exposes rack structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+/// Knobs for VM-pair generation.
+struct VmPlacementConfig {
+  int num_pairs = 100;              ///< l
+  double intra_rack_fraction = 0.8; ///< share of pairs inside one rack
+  RateDistribution rates;           ///< initial λ distribution
+  /// When true (default), flows whose source rack lies in the first half
+  /// of the rack list are "east coast" (group 0) and the rest "west coast"
+  /// (group 1) — tenants of one region are deployed together, so the
+  /// diurnal offset (§VI) physically moves the traffic center across the
+  /// fabric. When false, groups alternate by flow index (no spatial
+  /// correlation).
+  bool spatial_coasts = true;
+  /// Zipf skew of rack popularity within each coast (0 = uniform, the
+  /// paper's literal setup). Real tenants concentrate — the paper's own
+  /// Zoom example packs hundreds of meetings onto one Meeting Connector VM
+  /// — and on a fat-tree *some* concentration is necessary for dynamic
+  /// traffic to matter at all: core switches are equidistant from every
+  /// host, so under uniformly spread traffic the optimal SFC parks in the
+  /// core and never benefits from migration (see DESIGN.md §3 and the
+  /// bench_ablation_skew harness). The Fig. 6(b)/11 harnesses use ~2.2.
+  double rack_zipf_s = 0.0;
+};
+
+/// Generates `config.num_pairs` VM flows on the topology. Intra-rack pairs
+/// pick two hosts (possibly the same — co-located VMs are legal and match
+/// the paper's Fig. 1 examples) under one random rack switch; the rest pick
+/// hosts in two different racks.
+std::vector<VmFlow> generate_vm_flows(const Topology& topo,
+                                      const VmPlacementConfig& config,
+                                      Rng& rng);
+
+/// Fraction of flows whose endpoints share a rack (for tests/diagnostics).
+double measured_intra_rack_fraction(const Topology& topo,
+                                    const std::vector<VmFlow>& flows);
+
+}  // namespace ppdc

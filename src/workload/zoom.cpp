@@ -1,0 +1,70 @@
+#include "workload/zoom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+ZoomWorkload::ZoomWorkload(int num_flows, ZoomModel model, std::uint64_t seed)
+    : num_flows_(num_flows), model_(model), rng_(seed) {
+  PPDC_REQUIRE(num_flows >= 1, "need at least one flow");
+  PPDC_REQUIRE(model_.sessions_per_hour >= 0.0, "negative session rate");
+  PPDC_REQUIRE(model_.mean_duration_hours >= 1.0, "mean duration < 1 hour");
+  PPDC_REQUIRE(model_.max_participants >= 1, "max_participants < 1");
+  admit_sessions();  // start with an initial population
+}
+
+void ZoomWorkload::advance_hour() {
+  for (auto& s : sessions_) --s.remaining_hours;
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [](const Session& s) {
+                                   return s.remaining_hours <= 0;
+                                 }),
+                  sessions_.end());
+  admit_sessions();
+}
+
+void ZoomWorkload::admit_sessions() {
+  const double p_continue = 1.0 - 1.0 / model_.mean_duration_hours;
+  for (int flow = 0; flow < num_flows_; ++flow) {
+    // Poisson arrivals approximated by a binomial-style draw: floor plus a
+    // Bernoulli for the fractional part keeps the generator cheap and
+    // deterministic in its mean.
+    const double lam = model_.sessions_per_hour;
+    int arrivals = static_cast<int>(std::floor(lam));
+    if (rng_.bernoulli(lam - std::floor(lam))) ++arrivals;
+    for (int a = 0; a < arrivals; ++a) {
+      Session s;
+      s.flow = flow;
+      // Geometric duration with mean mean_duration_hours.
+      s.remaining_hours = 1;
+      while (rng_.bernoulli(p_continue) && s.remaining_hours < 24) {
+        ++s.remaining_hours;
+      }
+      // Heavy-tailed participant count: square a uniform to skew small.
+      const double u = rng_.uniform_real(0.0, 1.0);
+      const int participants = std::max(
+          2, static_cast<int>(u * u * model_.max_participants));
+      const bool video = rng_.bernoulli(model_.video_fraction);
+      s.rate = model_.rate_per_participant *
+               static_cast<double>(participants) * (video ? 4.0 : 1.0);
+      sessions_.push_back(s);
+    }
+  }
+}
+
+std::vector<double> ZoomWorkload::rates() const {
+  std::vector<double> r(static_cast<std::size_t>(num_flows_), 0.0);
+  for (const auto& s : sessions_) {
+    r[static_cast<std::size_t>(s.flow)] += s.rate;
+  }
+  return r;
+}
+
+int ZoomWorkload::live_sessions() const {
+  return static_cast<int>(sessions_.size());
+}
+
+}  // namespace ppdc

@@ -1,0 +1,57 @@
+// Zoom-style conferencing workload (paper §I motivation).
+//
+// A Zoom Meeting Connector VM supports up to 200 simultaneous meetings
+// with up to 1000 participants each; meetings differ wildly in size,
+// duration and media mix, producing highly diverse and bursty flow rates.
+// This generator models each VM flow as a conference bridge whose rate at
+// any hour is the sum of its live sessions' rates; sessions arrive at a
+// Poisson-ish rate, last a geometric number of hours, and draw a
+// participant count from a heavy-tailed distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+/// Parameters of the conferencing workload.
+struct ZoomModel {
+  double sessions_per_hour = 3.0;   ///< mean new sessions per flow per hour
+  double mean_duration_hours = 2.0; ///< geometric session length
+  int max_participants = 1000;
+  double rate_per_participant = 10.0;
+  double video_fraction = 0.6;      ///< video sessions weigh 4x text/voice
+};
+
+/// Evolves per-flow conference state hour by hour and reports rates.
+class ZoomWorkload {
+ public:
+  ZoomWorkload(int num_flows, ZoomModel model, std::uint64_t seed);
+
+  /// Advances one hour: ends expiring sessions, admits new ones.
+  void advance_hour();
+
+  /// Current per-flow traffic rates.
+  std::vector<double> rates() const;
+
+  /// Number of live sessions across all flows.
+  int live_sessions() const;
+
+ private:
+  struct Session {
+    int flow = 0;
+    int remaining_hours = 0;
+    double rate = 0.0;
+  };
+
+  void admit_sessions();
+
+  int num_flows_;
+  ZoomModel model_;
+  Rng rng_;
+  std::vector<Session> sessions_;
+};
+
+}  // namespace ppdc

@@ -1,0 +1,91 @@
+// Independent cross-check of AllPairs against a from-scratch
+// Floyd-Warshall implemented inside the test (different algorithm,
+// different code path — a real oracle, not a mirror).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/misc.hpp"
+
+namespace ppdc {
+namespace {
+
+std::vector<double> floyd_warshall(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> d(n * n, kInf);
+  for (std::size_t v = 0; v < n; ++v) d[v * n + v] = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& a : g.neighbors(u)) {
+      auto& cell = d[static_cast<std::size_t>(u) * n +
+                     static_cast<std::size_t>(a.to)];
+      cell = std::min(cell, a.weight);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = d[i * n + k];
+      if (dik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dik + d[k * n + j] < d[i * n + j]) {
+          d[i * n + j] = dik + d[k * n + j];
+        }
+      }
+    }
+  }
+  return d;
+}
+
+class ApspCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApspCrossCheck, MatchesFloydWarshallOnRandomGraphs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Topology t = build_random_connected(14, 6, 12, 0.25, 4.0, seed);
+  const AllPairs apsp(t.graph);
+  const auto ref = floyd_warshall(t.graph);
+  const auto n = static_cast<std::size_t>(t.graph.num_nodes());
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(apsp.cost(static_cast<NodeId>(u), static_cast<NodeId>(v)),
+                  ref[u * n + v], 1e-9)
+          << "u=" << u << " v=" << v << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ApspCrossCheck, MatchesFloydWarshallOnFatTree) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  const auto ref = floyd_warshall(t.graph);
+  const auto n = static_cast<std::size_t>(t.graph.num_nodes());
+  for (std::size_t u = 0; u < n; u += 3) {
+    for (std::size_t v = 0; v < n; v += 2) {
+      EXPECT_DOUBLE_EQ(
+          apsp.cost(static_cast<NodeId>(u), static_cast<NodeId>(v)),
+          ref[u * n + v]);
+    }
+  }
+}
+
+TEST(ApspCrossCheck, MatchesFloydWarshallOnLeafSpine) {
+  const Topology t = build_leaf_spine(4, 3, 2);
+  const AllPairs apsp(t.graph);
+  const auto ref = floyd_warshall(t.graph);
+  const auto n = static_cast<std::size_t>(t.graph.num_nodes());
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_DOUBLE_EQ(
+          apsp.cost(static_cast<NodeId>(u), static_cast<NodeId>(v)),
+          ref[u * n + v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppdc

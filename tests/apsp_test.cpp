@@ -1,0 +1,105 @@
+#include "graph/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+#include "topology/misc.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(AllPairs, SymmetricAndZeroDiagonal) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  for (NodeId u = 0; u < t.graph.num_nodes(); u += 3) {
+    EXPECT_DOUBLE_EQ(apsp.cost(u, u), 0.0);
+    for (NodeId v = 0; v < t.graph.num_nodes(); v += 5) {
+      EXPECT_DOUBLE_EQ(apsp.cost(u, v), apsp.cost(v, u));
+    }
+  }
+}
+
+TEST(AllPairs, FatTreeHostDistances) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  // Same rack: host - edge - host = 2 hops.
+  const NodeId h0 = t.racks[0][0];
+  const NodeId h1 = t.racks[0][1];
+  EXPECT_DOUBLE_EQ(apsp.cost(h0, h1), 2.0);
+  // Same pod, different rack: host-edge-agg-edge-host = 4 hops.
+  const NodeId h2 = t.racks[1][0];
+  EXPECT_DOUBLE_EQ(apsp.cost(h0, h2), 4.0);
+  // Different pods: host-edge-agg-core-agg-edge-host = 6 hops.
+  const NodeId h3 = t.racks[2][0];
+  EXPECT_DOUBLE_EQ(apsp.cost(h0, h3), 6.0);
+}
+
+TEST(AllPairs, DiameterOfFatTree) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  EXPECT_DOUBLE_EQ(apsp.diameter(), 6.0);
+}
+
+TEST(AllPairs, MinSwitchDistanceIsOneHop) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  EXPECT_DOUBLE_EQ(apsp.min_switch_distance(), 1.0);
+}
+
+TEST(AllPairs, PathEndpointsAndContinuity) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  const NodeId a = t.racks[0][0];
+  const NodeId b = t.racks[3][1];
+  const auto path = apsp.path(a, b);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+  double len = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    ASSERT_TRUE(t.graph.has_edge(path[i], path[i + 1]));
+    len += t.graph.edge_weight(path[i], path[i + 1]);
+  }
+  EXPECT_DOUBLE_EQ(len, apsp.cost(a, b));
+}
+
+TEST(AllPairs, PathLengthNodes) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  EXPECT_EQ(apsp.path_length_nodes(0, 0), 1);
+  const NodeId h0 = t.racks[0][0];
+  const NodeId h1 = t.racks[0][1];
+  EXPECT_EQ(apsp.path_length_nodes(h0, h1), 3);  // h - edge - h
+}
+
+TEST(AllPairs, WeightedGraphUsesDijkstra) {
+  const Topology t = build_random_connected(12, 4, 10, 0.5, 3.0, 99);
+  const AllPairs apsp(t.graph);
+  // Spot check against a direct Dijkstra run.
+  const auto ref = dijkstra(t.graph, 0);
+  for (NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    EXPECT_NEAR(apsp.cost(0, v), ref.dist[static_cast<std::size_t>(v)],
+                1e-12);
+  }
+}
+
+TEST(AllPairs, TriangleInequalityHolds) {
+  const Topology t = build_random_connected(20, 8, 18, 0.5, 4.0, 7);
+  const AllPairs apsp(t.graph);
+  EXPECT_TRUE(apsp.check_triangle_inequality(2000, 13));
+}
+
+TEST(AllPairs, RejectsDisconnectedGraph) {
+  Graph g;
+  g.add_node(NodeKind::kSwitch);
+  g.add_node(NodeKind::kSwitch);
+  EXPECT_THROW(AllPairs{g}, PpdcError);
+}
+
+TEST(AllPairs, RejectsEmptyGraph) {
+  Graph g;
+  EXPECT_THROW(AllPairs{g}, PpdcError);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,72 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/linear.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(Dot, EmitsEveryNodeAndEdge) {
+  const Topology topo = build_linear(3);
+  std::ostringstream os;
+  to_dot(os, topo);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph \"linear-3\""), std::string::npos);
+  for (NodeId v = 0; v < topo.graph.num_nodes(); ++v) {
+    EXPECT_NE(out.find("n" + std::to_string(v) + " ["), std::string::npos);
+    EXPECT_NE(out.find("\"" + topo.graph.label(v) + "\""),
+              std::string::npos);
+  }
+  // 2 switch-switch + 2 host links.
+  std::size_t edges = 0, pos = 0;
+  while ((pos = out.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, topo.graph.num_edges());
+}
+
+TEST(Dot, HighlightsPlacement) {
+  const Topology topo = build_linear(3);
+  DotOptions opts;
+  opts.placement = {topo.graph.switches()[1]};
+  std::ostringstream os;
+  to_dot(os, topo, opts);
+  EXPECT_NE(os.str().find("f1"), std::string::npos);
+  EXPECT_NE(os.str().find("#ffd27f"), std::string::npos);
+}
+
+TEST(Dot, DrawsFlowsDashed) {
+  const Topology topo = build_linear(3);
+  DotOptions opts;
+  opts.flows = {{topo.graph.hosts()[0], topo.graph.hosts()[1], 5.0, 0}};
+  std::ostringstream os;
+  to_dot(os, topo, opts);
+  EXPECT_NE(os.str().find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, EdgeWeightLabelsOptional) {
+  Topology topo = build_linear(3);
+  topo.graph.set_edge_weight(topo.graph.switches()[0],
+                             topo.graph.switches()[1], 2.5);
+  DotOptions opts;
+  opts.edge_weights = true;
+  std::ostringstream os;
+  to_dot(os, topo, opts);
+  EXPECT_NE(os.str().find("2.5"), std::string::npos);
+}
+
+TEST(Dot, OutputIsWellFormed) {
+  const Topology topo = build_linear(4);
+  std::ostringstream os;
+  to_dot(os, topo);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), 'g');
+  EXPECT_EQ(out.substr(out.size() - 2), "}\n");
+}
+
+}  // namespace
+}  // namespace ppdc

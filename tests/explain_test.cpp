@@ -1,0 +1,83 @@
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/linear.hpp"
+
+namespace ppdc {
+namespace {
+
+struct World {
+  Topology topo = build_linear(5);
+  AllPairs apsp{topo.graph};
+  NodeId h1 = topo.graph.hosts()[0];
+  NodeId h2 = topo.graph.hosts()[1];
+  std::vector<NodeId> s = topo.graph.switches();
+};
+
+TEST(Explain, BreakdownSumsToEq1) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h1, 100.0, 0},
+                                  {w.h2, w.h2, 1.0, 0}};
+  CostModel cm(w.apsp, flows);
+  const Placement p{w.s[0], w.s[1]};
+  const CostBreakdown b = explain_placement(cm, p);
+  EXPECT_NEAR(b.total, cm.communication_cost(p), 1e-9);
+  EXPECT_NEAR(b.ingress + b.chain + b.egress, b.total, 1e-9);
+  EXPECT_DOUBLE_EQ(b.total, 410.0);
+}
+
+TEST(Explain, FlowExtremesAreOrdered) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h1, 100.0, 0},
+                                  {w.h2, w.h2, 1.0, 0}};
+  CostModel cm(w.apsp, flows);
+  const CostBreakdown b = explain_placement(cm, {w.s[0], w.s[1]});
+  EXPECT_DOUBLE_EQ(b.heaviest_flow, 400.0);
+  EXPECT_DOUBLE_EQ(b.lightest_flow, 10.0);
+  EXPECT_GE(b.heaviest_flow, b.lightest_flow);
+}
+
+TEST(Explain, MeanPathLengthIsRateWeighted) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h1, 100.0, 0},
+                                  {w.h2, w.h2, 1.0, 0}};
+  CostModel cm(w.apsp, flows);
+  const CostBreakdown b = explain_placement(cm, {w.s[0], w.s[1]});
+  // (100*4 + 1*10) / 101.
+  EXPECT_NEAR(b.mean_flow_hops, 410.0 / 101.0, 1e-9);
+}
+
+TEST(Explain, PrintsPercentages) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h2, 10.0, 0}};
+  CostModel cm(w.apsp, flows);
+  std::ostringstream os;
+  print_breakdown(os, cm, {w.s[1], w.s[2]}, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("ingress"), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(Explain, RejectsInvalidPlacement) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h2, 1.0, 0}};
+  CostModel cm(w.apsp, flows);
+  EXPECT_THROW(explain_placement(cm, {}), PpdcError);
+  EXPECT_THROW(explain_placement(cm, {w.s[0], w.s[0]}), PpdcError);
+}
+
+TEST(Explain, ZeroRateWorkload) {
+  World w;
+  const std::vector<VmFlow> flows{{w.h1, w.h2, 0.0, 0}};
+  CostModel cm(w.apsp, flows);
+  const CostBreakdown b = explain_placement(cm, {w.s[0], w.s[1]});
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+  EXPECT_DOUBLE_EQ(b.mean_flow_hops, 0.0);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,121 @@
+#include "core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(Frontiers, Fig3MigrationPaths) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  // Fig. 3(c): f1 migrates s1 -> s5, f2 migrates s2 -> s4.
+  const MigrationFrontiers fr(apsp, {s[0], s[1]}, {s[4], s[3]});
+  EXPECT_EQ(fr.path_lengths(), (std::vector<int>{5, 3}));
+  EXPECT_EQ(fr.h_max(), 5);
+  EXPECT_EQ(fr.frontier_count(), 15);
+  EXPECT_EQ(fr.path(0), (std::vector<NodeId>{s[0], s[1], s[2], s[3], s[4]}));
+  EXPECT_EQ(fr.path(1), (std::vector<NodeId>{s[1], s[2], s[3]}));
+}
+
+TEST(Frontiers, ParallelRowsClampAtArrival) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const MigrationFrontiers fr(apsp, {s[0], s[1]}, {s[4], s[3]});
+  EXPECT_EQ(fr.parallel_frontier(1), (Placement{s[0], s[1]}));  // = p
+  EXPECT_EQ(fr.parallel_frontier(2), (Placement{s[1], s[2]}));
+  EXPECT_EQ(fr.parallel_frontier(3), (Placement{s[2], s[3]}));
+  EXPECT_EQ(fr.parallel_frontier(4), (Placement{s[3], s[3]}));  // f2 arrived
+  EXPECT_EQ(fr.parallel_frontier(5), (Placement{s[4], s[3]}));  // = p'
+}
+
+TEST(Frontiers, FirstRowIsFromLastRowIsTo) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const Placement from{s[0], s[5], s[11]};
+  const Placement to{s[17], s[5], s[2]};
+  const MigrationFrontiers fr(apsp, from, to);
+  EXPECT_EQ(fr.parallel_frontier(1), from);
+  EXPECT_EQ(fr.parallel_frontier(fr.h_max()), to);
+  EXPECT_EQ(fr.all_parallel_frontiers().size(),
+            static_cast<std::size_t>(fr.h_max()));
+}
+
+TEST(Frontiers, StationaryVnfHasUnitPath) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const MigrationFrontiers fr(apsp, {s[3], s[7]}, {s[3], s[7]});
+  EXPECT_EQ(fr.h_max(), 1);
+  EXPECT_EQ(fr.frontier_count(), 1);
+  EXPECT_EQ(fr.parallel_frontier(1), (Placement{s[3], s[7]}));
+}
+
+TEST(Frontiers, EnumerationVisitsExactlyTheProduct) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const MigrationFrontiers fr(apsp, {s[0], s[1]}, {s[4], s[3]});
+  std::set<Placement> seen;
+  fr.for_each_frontier(1000, [&](const Placement& p) {
+    EXPECT_EQ(p.size(), 2u);
+    seen.insert(p);
+  });
+  EXPECT_EQ(seen.size(), 15u);  // 5 * 3 distinct combinations
+}
+
+TEST(Frontiers, EnumerationRespectsBudget) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const MigrationFrontiers fr(apsp, {s[0], s[1]}, {s[4], s[3]});
+  EXPECT_THROW(fr.for_each_frontier(10, [](const Placement&) {}),
+               PpdcError);
+}
+
+TEST(Frontiers, EveryFrontierEntryLiesOnItsPath) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const Placement from{s[0], s[6]};
+  const Placement to{s[13], s[19]};
+  const MigrationFrontiers fr(apsp, from, to);
+  fr.for_each_frontier(100000, [&](const Placement& p) {
+    for (int j = 0; j < 2; ++j) {
+      const auto& path = fr.path(j);
+      EXPECT_NE(std::find(path.begin(), path.end(),
+                          p[static_cast<std::size_t>(j)]),
+                path.end());
+    }
+  });
+}
+
+TEST(Frontiers, RejectsBadInput) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const NodeId host = topo.graph.hosts()[0];
+  EXPECT_THROW(MigrationFrontiers(apsp, {}, {}), PpdcError);
+  EXPECT_THROW(MigrationFrontiers(apsp, {s[0]}, {s[0], s[1]}), PpdcError);
+  EXPECT_THROW(MigrationFrontiers(apsp, {host}, {s[0]}), PpdcError);
+  const MigrationFrontiers fr(apsp, {s[0]}, {s[1]});
+  EXPECT_THROW(fr.parallel_frontier(0), PpdcError);
+  EXPECT_THROW(fr.parallel_frontier(99), PpdcError);
+  EXPECT_THROW(fr.path(5), PpdcError);
+}
+
+TEST(CollisionFree, DetectsDuplicates) {
+  EXPECT_TRUE(is_collision_free({1, 2, 3}));
+  EXPECT_FALSE(is_collision_free({1, 2, 1}));
+  EXPECT_TRUE(is_collision_free({7}));
+}
+
+}  // namespace
+}  // namespace ppdc

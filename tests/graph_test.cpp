@@ -1,0 +1,128 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppdc {
+namespace {
+
+Graph two_switch_one_host() {
+  Graph g;
+  const NodeId s1 = g.add_node(NodeKind::kSwitch);
+  const NodeId s2 = g.add_node(NodeKind::kSwitch);
+  const NodeId h = g.add_node(NodeKind::kHost);
+  g.add_edge(s1, s2, 2.0);
+  g.add_edge(s2, h, 1.0);
+  return g;
+}
+
+TEST(Graph, NodeBookkeeping) {
+  Graph g;
+  const NodeId s = g.add_node(NodeKind::kSwitch, "sw");
+  const NodeId h = g.add_node(NodeKind::kHost, "host");
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_TRUE(g.is_switch(s));
+  EXPECT_TRUE(g.is_host(h));
+  EXPECT_FALSE(g.is_host(s));
+  EXPECT_EQ(g.label(s), "sw");
+  EXPECT_EQ(g.label(h), "host");
+  ASSERT_EQ(g.switches().size(), 1u);
+  ASSERT_EQ(g.hosts().size(), 1u);
+  EXPECT_EQ(g.switches()[0], s);
+  EXPECT_EQ(g.hosts()[0], h);
+}
+
+TEST(Graph, DefaultLabels) {
+  Graph g;
+  const NodeId s = g.add_node(NodeKind::kSwitch);
+  const NodeId h = g.add_node(NodeKind::kHost);
+  EXPECT_EQ(g.label(s), "s0");
+  EXPECT_EQ(g.label(h), "h1");
+}
+
+TEST(Graph, EdgeBookkeeping) {
+  const Graph g = two_switch_one_host();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 1.0);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+}
+
+TEST(Graph, NeighborsAreSymmetric) {
+  const Graph g = two_switch_one_host();
+  const auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  bool saw0 = false, saw2 = false;
+  for (const auto& a : n1) {
+    if (a.to == 0) saw0 = true;
+    if (a.to == 2) saw2 = true;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw2);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g;
+  const NodeId s = g.add_node(NodeKind::kSwitch);
+  EXPECT_THROW(g.add_edge(s, s), PpdcError);
+}
+
+TEST(Graph, RejectsParallelEdge) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kSwitch);
+  const NodeId b = g.add_node(NodeKind::kSwitch);
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), PpdcError);
+  EXPECT_THROW(g.add_edge(b, a), PpdcError);
+}
+
+TEST(Graph, RejectsNonPositiveWeight) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kSwitch);
+  const NodeId b = g.add_node(NodeKind::kSwitch);
+  EXPECT_THROW(g.add_edge(a, b, 0.0), PpdcError);
+  EXPECT_THROW(g.add_edge(a, b, -1.0), PpdcError);
+}
+
+TEST(Graph, RejectsOutOfRangeNodes) {
+  Graph g;
+  g.add_node(NodeKind::kSwitch);
+  EXPECT_THROW(g.add_edge(0, 5), PpdcError);
+  EXPECT_THROW(g.kind(7), PpdcError);
+  EXPECT_THROW((void)g.neighbors(-1), PpdcError);
+}
+
+TEST(Graph, SetEdgeWeightUpdatesBothDirections) {
+  Graph g = two_switch_one_host();
+  g.set_edge_weight(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 5.0);
+}
+
+TEST(Graph, SetEdgeWeightRejectsMissingEdge) {
+  Graph g = two_switch_one_host();
+  EXPECT_THROW(g.set_edge_weight(0, 2, 1.0), PpdcError);
+}
+
+TEST(Graph, EdgeWeightThrowsOnMissingEdge) {
+  const Graph g = two_switch_one_host();
+  EXPECT_THROW((void)g.edge_weight(0, 2), PpdcError);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g = two_switch_one_host();
+  EXPECT_TRUE(g.is_connected());
+  g.add_node(NodeKind::kHost);  // isolated
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,175 @@
+// Paper-scale regression tests of the headline experimental *shapes*
+// (§VI): who wins, by roughly what factor. These run on the k=8 fat-tree
+// the paper actually evaluates (one seed each to stay fast) and guard the
+// figures the bench harnesses print — if one of these fails, a figure's
+// story has silently changed.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_liu.hpp"
+#include "baselines/steering.hpp"
+#include "core/chain_search.hpp"
+#include "core/placement_dp.hpp"
+#include "core/stroll_dp.hpp"
+#include "core/stroll_primal_dual.hpp"
+#include "sim/experiment.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/weights.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+std::vector<VmFlow> workload(const Topology& topo, int l, std::uint64_t seed,
+                             double zipf = 0.0) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  cfg.rack_zipf_s = zipf;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+TEST(HeadlineShapes, Fig7DpStrollNearOptimalAndBelowGuarantee) {
+  // Fig. 7: DP-Stroll tracks Optimal closely *on average* (the paper
+  // reports ~8%; individual instances can run higher) and stays strictly
+  // below the 2x guarantee for every n.
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  double dp_sum = 0.0, opt_sum = 0.0;
+  for (std::uint64_t seed = 40; seed < 45; ++seed) {
+    const auto flows = workload(topo, 1, seed);
+    CostModel cm(apsp, flows);
+    for (int n = 2; n <= 10; n += 2) {
+      const StrollResult dp = solve_top1_dp(apsp, flows[0].src_host,
+                                            flows[0].dst_host, n,
+                                            flows[0].rate);
+      ChainSearchConfig cfg;
+      cfg.initial = dp.placement;
+      cfg.node_budget = 20'000'000;
+      const ChainSearchResult opt = solve_top_exhaustive(cm, n, cfg);
+      // Budget-truncated instances would make "Optimal" an upper bound
+      // only — skip those few rather than compare against a non-optimum.
+      if (!opt.proven_optimal) continue;
+      const double dp_cost = cm.communication_cost(dp.placement);
+      EXPECT_LT(dp_cost, 2.0 * opt.objective) << "n=" << n;
+      dp_sum += dp_cost;
+      opt_sum += opt.objective;
+    }
+  }
+  // Paper reports ~8% on its instances; we measure 10-17% on ours (see
+  // EXPERIMENTS.md) — belt at 20%.
+  EXPECT_LE(dp_sum, 1.20 * opt_sum);
+}
+
+TEST(HeadlineShapes, Fig7PrimalDualBetweenOptimalAndGuarantee) {
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  const auto flows = workload(topo, 1, 7);
+  CostModel cm(apsp, flows);
+  for (int n = 3; n <= 9; n += 3) {
+    const StrollResult pd = solve_top1_primal_dual(
+        apsp, flows[0].src_host, flows[0].dst_host, n, flows[0].rate,
+        PrimalDualOptions{12});
+    ChainSearchConfig cfg;
+    cfg.initial = pd.placement;
+    const ChainSearchResult opt = solve_top_exhaustive(cm, n, cfg);
+    ASSERT_TRUE(opt.proven_optimal);
+    const double pd_cost = cm.communication_cost(pd.placement);
+    EXPECT_GE(pd_cost + 1e-9, opt.objective) << "n=" << n;
+    EXPECT_LE(pd_cost, 2.5 * opt.objective + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(HeadlineShapes, Fig9DpFarBelowSteeringAndGreedy) {
+  // Fig. 9: DP placement dramatically cheaper than Steering/Greedy at
+  // paper scale (k=8, l=200, n=7). Require at least a 20% margin.
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  const auto flows = workload(topo, 200, 42);
+  CostModel cm(apsp, flows);
+  const double dp = solve_top_dp(cm, 7).comm_cost;
+  const double steering = solve_top_steering(cm, 7).comm_cost;
+  const double greedy = solve_top_greedy_liu(cm, 7).comm_cost;
+  EXPECT_LT(dp, 0.8 * steering);
+  EXPECT_LT(dp, 0.8 * greedy);
+}
+
+TEST(HeadlineShapes, Fig10WeightedDpNearOptimalFarBelowBaselines) {
+  // Aggregate over three delay draws (Fig. 10 averages 20).
+  double dp_sum = 0.0, opt_sum = 0.0, steering_sum = 0.0, greedy_sum = 0.0;
+  for (std::uint64_t seed = 42; seed < 45; ++seed) {
+    Topology topo = build_fat_tree(8);
+    apply_uniform_delay_weights(topo.graph, seed, 1.5, 0.5);
+    const AllPairs apsp(topo.graph);
+    const auto flows = workload(topo, 200, seed);
+    CostModel cm(apsp, flows);
+    const PlacementResult dp = solve_top_dp(cm, 7);
+    ChainSearchConfig cfg;
+    cfg.initial = dp.placement;
+    const ChainSearchResult opt = solve_top_exhaustive(cm, 7, cfg);
+    ASSERT_TRUE(opt.proven_optimal);
+    dp_sum += dp.comm_cost;
+    opt_sum += opt.objective;
+    steering_sum += solve_top_steering(cm, 7).comm_cost;
+    greedy_sum += solve_top_greedy_liu(cm, 7).comm_cost;
+  }
+  EXPECT_LE(dp_sum, 1.15 * opt_sum);
+  EXPECT_LT(dp_sum, 0.85 * steering_sum);
+  EXPECT_LT(dp_sum, 0.85 * greedy_sum);
+}
+
+TEST(HeadlineShapes, Fig11OrderingUnderDynamicTraffic) {
+  // Fig. 11(a): mPareto ~ frontier-Optimal <= PLAN/MCF and <= NoMigration
+  // over a diurnal day with skewed tenants.
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  ExperimentConfig cfg;
+  cfg.trials = 3;
+  cfg.workload.num_pairs = 200;
+  cfg.workload.rack_zipf_s = 2.2;
+  cfg.sfc_length = 5;
+  ParetoMigrationPolicy pareto(1e4);
+  ParetoMigrationOptions full_opts;
+  full_opts.exhaustive_frontiers = true;
+  ParetoMigrationPolicy frontier_opt(1e4, full_opts, "Optimal(frontier)");
+  VmMigrationConfig vm_cfg;
+  vm_cfg.mu = 1e4;
+  vm_cfg.horizon_hours = 4.0;
+  vm_cfg.host_capacity = 4;  // as in bench_fig11 (PLAN's "available resources")
+  PlanPolicy plan(vm_cfg);
+  McfPolicy mcf(vm_cfg);
+  NoMigrationPolicy none;
+  const auto stats = run_experiment(
+      topo, apsp, cfg, {&pareto, &frontier_opt, &plan, &mcf, &none});
+  const double m_pareto = stats[0].total_cost.mean;
+  const double optimal = stats[1].total_cost.mean;
+  const double plan_c = stats[2].total_cost.mean;
+  const double mcf_c = stats[3].total_cost.mean;
+  const double nomig = stats[4].total_cost.mean;
+  EXPECT_LE(optimal, m_pareto + 1e-6);       // wider search can only help
+  EXPECT_LE(m_pareto, nomig + 1e-6);         // row 1 is "stay put"
+  EXPECT_LE(m_pareto, plan_c * 1.001);       // VNF beats VM migration
+  EXPECT_LE(m_pareto, mcf_c * 1.001);
+  // VNF moves are far fewer than VM moves when VM policies engage, and
+  // mPareto actually migrates on this workload.
+  EXPECT_GT(stats[0].vnf_migrations.mean, 0.0);
+  EXPECT_EQ(stats[0].vm_migrations.mean, 0.0);
+}
+
+TEST(HeadlineShapes, Fig11MigrationSavesAgainstNoMigration) {
+  // Fig. 11(c)/(d): the reduction vs NoMigration is strictly positive on
+  // the skewed workload (magnitude discussed in EXPERIMENTS.md).
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  ExperimentConfig cfg;
+  cfg.trials = 3;
+  cfg.workload.num_pairs = 100;
+  cfg.workload.rack_zipf_s = 2.5;
+  cfg.sfc_length = 3;
+  ParetoMigrationPolicy pareto(1e4);
+  NoMigrationPolicy none;
+  const auto stats = run_experiment(topo, apsp, cfg, {&pareto, &none});
+  EXPECT_LT(stats[0].total_cost.mean, stats[1].total_cost.mean);
+}
+
+}  // namespace
+}  // namespace ppdc

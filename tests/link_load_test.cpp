@@ -1,0 +1,134 @@
+#include "net/link_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/placement_dp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(LinkLoad, SinglePathCarriesAllMass) {
+  const Topology t = build_linear(4);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  const NodeId h1 = t.graph.hosts()[0];
+  const NodeId h2 = t.graph.hosts()[1];
+  route_ecmp(apsp, h1, h2, 10.0, m);
+  // Linear topology: a unique path, every edge on it carries 10.
+  const auto& s = t.graph.switches();
+  EXPECT_DOUBLE_EQ(m.load(h1, s[0]), 10.0);
+  EXPECT_DOUBLE_EQ(m.load(s[0], s[1]), 10.0);
+  EXPECT_DOUBLE_EQ(m.load(s[2], s[3]), 10.0);
+  EXPECT_DOUBLE_EQ(m.load(s[3], h2), 10.0);
+  EXPECT_DOUBLE_EQ(m.max_load(), 10.0);
+}
+
+TEST(LinkLoad, TotalLoadEqualsAmountTimesHops) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  const NodeId a = t.racks[0][0];
+  const NodeId b = t.racks[5][1];  // cross-pod: 6 hops
+  route_ecmp(apsp, a, b, 7.0, m);
+  EXPECT_NEAR(m.total_load(), 7.0 * apsp.cost(a, b), 1e-9);
+}
+
+TEST(LinkLoad, EcmpSplitsEquallyAcrossFatTreeUplinks) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  const NodeId a = t.racks[0][0];   // pod 0
+  const NodeId b = t.racks[7][1];   // pod 3
+  route_ecmp(apsp, a, b, 8.0, m);
+  // The first hop (host -> edge) carries everything; the edge switch then
+  // splits across its two aggregation uplinks.
+  NodeId edge = kInvalidNode;
+  for (const auto& adj : t.graph.neighbors(a)) edge = adj.to;
+  double up = 0.0;
+  int uplinks = 0;
+  for (const auto& adj : t.graph.neighbors(edge)) {
+    if (t.graph.is_switch(adj.to)) {
+      up += m.load(edge, adj.to);
+      ++uplinks;
+      EXPECT_NEAR(m.load(edge, adj.to), 4.0, 1e-9);  // 8 split over 2
+    }
+  }
+  EXPECT_EQ(uplinks, 2);
+  EXPECT_NEAR(up, 8.0, 1e-9);
+}
+
+TEST(LinkLoad, SelfRouteAndZeroAmountAreNoOps) {
+  const Topology t = build_linear(3);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  route_ecmp(apsp, t.graph.hosts()[0], t.graph.hosts()[0], 5.0, m);
+  route_ecmp(apsp, t.graph.hosts()[0], t.graph.hosts()[1], 0.0, m);
+  EXPECT_DOUBLE_EQ(m.total_load(), 0.0);
+}
+
+TEST(LinkLoad, PolicyLoadEqualsEq1OnUnitGraphs) {
+  // On unit-weight fabrics, Σ_links load == Σ_i λ_i x (policy path
+  // length) == C_a — the bandwidth reading of Eq. 1.
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 10;
+  Rng rng(3);
+  const auto flows = generate_vm_flows(t, cfg, rng);
+  CostModel cm(apsp, flows);
+  const Placement p = solve_top_dp(cm, 3).placement;
+  const LinkLoadMap m = policy_link_load(apsp, flows, p);
+  EXPECT_NEAR(m.total_load(), cm.communication_cost(p), 1e-6);
+}
+
+TEST(LinkLoad, HottestIsSortedDescending) {
+  const Topology t = build_fat_tree(4);
+  const AllPairs apsp(t.graph);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 10;
+  Rng rng(5);
+  const auto flows = generate_vm_flows(t, cfg, rng);
+  CostModel cm(apsp, flows);
+  const LinkLoadMap m =
+      policy_link_load(apsp, flows, solve_top_dp(cm, 3).placement);
+  const auto top = m.hottest(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(std::get<2>(top[i]), std::get<2>(top[i + 1]));
+  }
+  EXPECT_DOUBLE_EQ(std::get<2>(top[0]), m.max_load());
+}
+
+TEST(LinkLoad, UtilizationScalesWithCapacity) {
+  const Topology t = build_linear(3);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  route_ecmp(apsp, t.graph.hosts()[0], t.graph.hosts()[1], 40.0, m);
+  EXPECT_DOUBLE_EQ(m.max_utilization(100.0), 0.4);
+  EXPECT_DOUBLE_EQ(m.max_utilization(40.0), 1.0);
+  EXPECT_THROW(m.max_utilization(0.0), PpdcError);
+}
+
+TEST(LinkLoad, RejectsUnknownLinksAndNegativeLoads) {
+  const Topology t = build_linear(3);
+  LinkLoadMap m(t.graph);
+  EXPECT_THROW(m.add(0, 2, 1.0), PpdcError);  // s1-s3 not adjacent
+  EXPECT_THROW(m.add(0, 1, -1.0), PpdcError);
+  EXPECT_THROW((void)m.load(0, 2), PpdcError);
+}
+
+TEST(LinkLoad, MeanAndCountConsistent) {
+  const Topology t = build_linear(4);
+  const AllPairs apsp(t.graph);
+  LinkLoadMap m(t.graph);
+  EXPECT_EQ(m.num_links(), t.graph.num_edges());
+  route_ecmp(apsp, t.graph.hosts()[0], t.graph.hosts()[1], 5.0, m);
+  EXPECT_NEAR(m.mean_load() * static_cast<double>(m.num_links()),
+              m.total_load(), 1e-12);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,126 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/steering.hpp"
+#include "core/chain_search.hpp"
+#include "core/placement_dp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "topology/misc.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+std::vector<VmFlow> random_flows(const Topology& topo, int l,
+                                 std::uint64_t seed) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+TEST(LocalSearch, NeverWorsensAndStaysValid) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto flows = random_flows(topo, 10, seed);
+    CostModel cm(apsp, flows);
+    const Placement start = solve_top_steering(cm, 4).placement;
+    const LocalSearchResult r = improve_placement(cm, start);
+    EXPECT_LE(r.comm_cost, cm.communication_cost(start) + 1e-9);
+    EXPECT_NO_THROW(validate_placement(topo.graph, r.placement));
+    EXPECT_NEAR(cm.communication_cost(r.placement), r.comm_cost, 1e-9);
+  }
+}
+
+TEST(LocalSearch, OptimalPlacementIsAFixedPoint) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 8, 3);
+  CostModel cm(apsp, flows);
+  const ChainSearchResult opt = solve_top_exhaustive(cm, 3);
+  ASSERT_TRUE(opt.proven_optimal);
+  const LocalSearchResult r = improve_placement(cm, opt.placement);
+  EXPECT_EQ(r.moves_applied, 0);
+  EXPECT_NEAR(r.comm_cost, opt.objective, 1e-9);
+}
+
+TEST(LocalSearch, ImprovesSteeringTowardOptimal) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  double steering_total = 0.0, polished_total = 0.0, opt_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto flows = random_flows(topo, 10, seed + 40);
+    CostModel cm(apsp, flows);
+    const Placement start = solve_top_steering(cm, 4).placement;
+    const LocalSearchResult r = improve_placement(cm, start);
+    steering_total += cm.communication_cost(start);
+    polished_total += r.comm_cost;
+    opt_total += solve_top_exhaustive(cm, 4).objective;
+  }
+  EXPECT_LT(polished_total, steering_total);           // strictly helps
+  EXPECT_LE(polished_total, 1.1 * opt_total + 1e-9);   // lands near optimal
+}
+
+TEST(LocalSearch, FindsOptimumOnTinyInstances) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Topology topo = build_random_connected(6, 4, 5, 0.5, 2.0, seed);
+    const AllPairs apsp(topo.graph);
+    const auto flows = random_flows(topo, 4, seed);
+    CostModel cm(apsp, flows);
+    // Start from the lexicographically first placement.
+    const auto& s = topo.graph.switches();
+    const Placement start{s[0], s[1]};
+    const LocalSearchResult r = improve_placement(cm, start);
+    const double opt = solve_top_exhaustive(cm, 2).objective;
+    // Replace+swap is a complete neighbourhood for n=2 on tiny graphs —
+    // the local optimum matches the global one here.
+    EXPECT_NEAR(r.comm_cost, opt, 1e-6) << "seed=" << seed;
+  }
+}
+
+TEST(LocalSearch, MoveCapIsRespected) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 10, 9);
+  CostModel cm(apsp, flows);
+  const Placement start = solve_top_steering(cm, 5).placement;
+  LocalSearchOptions opts;
+  opts.max_moves = 1;
+  const LocalSearchResult r = improve_placement(cm, start, opts);
+  EXPECT_LE(r.moves_applied, 1);
+}
+
+TEST(BreakEvenMu, Fig3Example) {
+  // Fig. 3: migrating (s1,s2) -> (s5,s4) saves 1004-410 = 594 over
+  // distance 6 => break-even mu = 99.
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const NodeId h2 = topo.graph.hosts()[1];
+  const std::vector<VmFlow> flows{{h1, h1, 1.0, 0}, {h2, h2, 100.0, 0}};
+  CostModel cm(apsp, flows);
+  const auto& s = topo.graph.switches();
+  const double mu_star = break_even_mu(cm, {s[0], s[1]}, {s[4], s[3]});
+  EXPECT_DOUBLE_EQ(mu_star, 594.0 / 6.0);
+}
+
+TEST(BreakEvenMu, EdgeCases) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const std::vector<VmFlow> flows{{h1, h1, 10.0, 0}};
+  CostModel cm(apsp, flows);
+  const auto& s = topo.graph.switches();
+  // Identity migration: infinite break-even.
+  EXPECT_TRUE(std::isinf(break_even_mu(cm, {s[0], s[1]}, {s[0], s[1]})));
+  // Worse target: zero.
+  EXPECT_DOUBLE_EQ(break_even_mu(cm, {s[0], s[1]}, {s[3], s[4]}), 0.0);
+}
+
+}  // namespace
+}  // namespace ppdc

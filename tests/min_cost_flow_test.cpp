@@ -1,0 +1,152 @@
+#include "flow/min_cost_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppdc {
+namespace {
+
+TEST(MinCostFlow, SingleArc) {
+  MinCostFlow f(2);
+  f.add_arc(0, 1, 5, 2.0);
+  const auto r = f.solve(0, 1);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  MinCostFlow f(4);
+  f.add_arc(0, 1, 1, 1.0);
+  f.add_arc(1, 3, 1, 1.0);
+  f.add_arc(0, 2, 1, 5.0);
+  f.add_arc(2, 3, 1, 5.0);
+  const auto r = f.solve(0, 3, 1);
+  EXPECT_EQ(r.flow, 1);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(MinCostFlow, SplitsWhenCheapPathSaturates) {
+  MinCostFlow f(4);
+  f.add_arc(0, 1, 1, 1.0);
+  f.add_arc(1, 3, 1, 1.0);
+  f.add_arc(0, 2, 1, 5.0);
+  f.add_arc(2, 3, 1, 5.0);
+  const auto r = f.solve(0, 3);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_DOUBLE_EQ(r.cost, 12.0);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowLimit) {
+  MinCostFlow f(2);
+  f.add_arc(0, 1, 10, 1.0);
+  const auto r = f.solve(0, 1, 3);
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+}
+
+TEST(MinCostFlow, FlowOnReportsPerArcFlow) {
+  MinCostFlow f(3);
+  const int a = f.add_arc(0, 1, 2, 1.0);
+  const int b = f.add_arc(1, 2, 1, 1.0);
+  const int c = f.add_arc(0, 2, 1, 10.0);
+  const auto r = f.solve(0, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_EQ(f.flow_on(a), 1);
+  EXPECT_EQ(f.flow_on(b), 1);
+  EXPECT_EQ(f.flow_on(c), 1);
+}
+
+TEST(MinCostFlow, ZeroWhenDisconnected) {
+  MinCostFlow f(3);
+  f.add_arc(0, 1, 1, 1.0);
+  const auto r = f.solve(0, 2);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(MinCostFlow, HandlesNegativeCosts) {
+  MinCostFlow f(3);
+  f.add_arc(0, 1, 1, -2.0);
+  f.add_arc(1, 2, 1, 1.0);
+  f.add_arc(0, 2, 1, 0.5);
+  const auto r = f.solve(0, 2);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_DOUBLE_EQ(r.cost, -0.5);
+}
+
+TEST(MinCostFlow, AssignmentProblem) {
+  // 2 workers x 2 jobs; optimal assignment cost 1 + 2 = 3.
+  // Node layout: 0 source, 1 sink, 2-3 workers, 4-5 jobs.
+  MinCostFlow f(6);
+  f.add_arc(0, 2, 1, 0.0);
+  f.add_arc(0, 3, 1, 0.0);
+  f.add_arc(2, 4, 1, 1.0);
+  f.add_arc(2, 5, 1, 4.0);
+  f.add_arc(3, 4, 1, 3.0);
+  f.add_arc(3, 5, 1, 2.0);
+  f.add_arc(4, 1, 1, 0.0);
+  f.add_arc(5, 1, 1, 0.0);
+  const auto r = f.solve(0, 1);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+}
+
+TEST(MinCostFlow, AssignmentNeedsSuboptimalLocalChoice) {
+  // Greedy per-worker assignment would pick (w0 -> j0) at cost 1 leaving
+  // (w1 -> j1) at cost 10; the optimum crosses: 2 + 2 = 4.
+  MinCostFlow f(6);
+  f.add_arc(0, 2, 1, 0.0);
+  f.add_arc(0, 3, 1, 0.0);
+  f.add_arc(2, 4, 1, 1.0);
+  f.add_arc(2, 5, 1, 2.0);
+  f.add_arc(3, 4, 1, 2.0);
+  f.add_arc(3, 5, 1, 10.0);
+  f.add_arc(4, 1, 1, 0.0);
+  f.add_arc(5, 1, 1, 0.0);
+  const auto r = f.solve(0, 1);
+  EXPECT_EQ(r.flow, 2);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(MinCostFlow, RejectsBadInputs) {
+  EXPECT_THROW(MinCostFlow{0}, PpdcError);
+  MinCostFlow f(2);
+  EXPECT_THROW(f.add_arc(0, 5, 1, 0.0), PpdcError);
+  EXPECT_THROW(f.add_arc(0, 1, -1, 0.0), PpdcError);
+  EXPECT_THROW(f.solve(0, 0), PpdcError);
+  EXPECT_THROW(f.solve(0, 9), PpdcError);
+  EXPECT_THROW(f.flow_on(3), PpdcError);
+}
+
+TEST(MinCostFlow, LargerRandomishInstanceConserved) {
+  // Layered network; verify flow conservation via arc flows.
+  MinCostFlow f(8);
+  std::vector<int> arcs;
+  for (int i = 1; i <= 3; ++i) {
+    arcs.push_back(f.add_arc(0, i, 2, static_cast<double>(i)));
+    for (int j = 4; j <= 6; ++j) {
+      arcs.push_back(f.add_arc(i, j, 1, static_cast<double>(i * j % 5)));
+    }
+  }
+  for (int j = 4; j <= 6; ++j) {
+    arcs.push_back(f.add_arc(j, 7, 2, 0.5));
+  }
+  const auto r = f.solve(0, 7);
+  EXPECT_GT(r.flow, 0);
+  // Conservation at middle nodes.
+  for (int i = 1; i <= 3; ++i) {
+    std::int64_t in = 0, out = 0;
+    int idx = 0;
+    for (int src = 1; src <= 3; ++src) {
+      in += (src == i) ? f.flow_on(idx) : 0;
+      ++idx;
+      for (int j = 4; j <= 6; ++j) {
+        out += (src == i) ? f.flow_on(idx) : 0;
+        ++idx;
+      }
+    }
+    EXPECT_EQ(in, out);
+  }
+}
+
+}  // namespace
+}  // namespace ppdc

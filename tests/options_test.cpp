@@ -1,0 +1,85 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsSyntax) {
+  const auto o = parse({"--k=8", "--name=test"});
+  EXPECT_EQ(o.get_int("k", 0), 8);
+  EXPECT_EQ(o.get_string("name", ""), "test");
+}
+
+TEST(Options, SpaceSyntax) {
+  const auto o = parse({"--trials", "20"});
+  EXPECT_EQ(o.get_int("trials", 0), 20);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(Options, Fallbacks) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+  EXPECT_EQ(o.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(o.get_string("missing", "x"), "x");
+  EXPECT_FALSE(o.get_bool("missing", false));
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, DoubleParsing) {
+  const auto o = parse({"--mu=1e4"});
+  EXPECT_DOUBLE_EQ(o.get_double("mu", 0.0), 1e4);
+}
+
+TEST(Options, RejectsNonInteger) {
+  const auto o = parse({"--k=abc"});
+  EXPECT_THROW(o.get_int("k", 0), PpdcError);
+}
+
+TEST(Options, RejectsNonBoolean) {
+  const auto o = parse({"--flag=maybe"});
+  EXPECT_THROW(o.get_bool("flag", false), PpdcError);
+}
+
+TEST(Options, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=off"}).get_bool("a", true));
+}
+
+TEST(Options, RejectsPositionalArgument) {
+  std::vector<const char*> argv{"prog", "positional"};
+  EXPECT_THROW(Options::parse(2, argv.data()), PpdcError);
+}
+
+TEST(Options, RestrictToCatchesTypos) {
+  const auto o = parse({"--trils=20"});
+  EXPECT_THROW(o.restrict_to({"trials"}), PpdcError);
+  EXPECT_NO_THROW(o.restrict_to({"trils"}));
+}
+
+TEST(Options, KeysLists) {
+  const auto o = parse({"--b=2", "--a=1"});
+  const auto ks = o.keys();
+  ASSERT_EQ(ks.size(), 2u);
+  EXPECT_EQ(ks[0], "a");
+  EXPECT_EQ(ks[1], "b");
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,118 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+std::vector<VmFlow> random_flows(const Topology& topo, int l,
+                                 std::uint64_t seed, double zipf = 0.0) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  cfg.rack_zipf_s = zipf;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+TEST(Replication, SingleReplicaMatchesPlainTop) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 10, 1);
+  CostModel cm(apsp, flows);
+  const ReplicatedPlacement rep = solve_replicated_top(cm, 3, 1);
+  ASSERT_EQ(rep.num_replicas(), 1);
+  const PlacementResult plain = solve_top_dp(cm, 3);
+  EXPECT_NEAR(replicated_communication_cost(apsp, flows, rep),
+              cm.communication_cost(rep.chains[0]), 1e-9);
+  // The clustered single replica is the plain DP run on all flows.
+  EXPECT_NEAR(cm.communication_cost(rep.chains[0]), plain.comm_cost, 1e-9);
+}
+
+TEST(Replication, FlowCostIsViterbiOptimum) {
+  // Hand-checkable instance on the linear PPDC: two chains at opposite
+  // ends; a flow at h2 must pick the near chain.
+  const Topology topo = build_linear(6);
+  const AllPairs apsp(topo.graph);
+  const auto& s = topo.graph.switches();
+  const NodeId h2 = topo.graph.hosts()[1];  // attached to s6
+  ReplicatedPlacement rep;
+  rep.chains = {{s[0], s[1]}, {s[5], s[4]}};
+  const VmFlow f{h2, h2, 2.0, 0};
+  // Near chain: h2 -> s6 (1) -> s5 (1) -> back to h2 (2) = 4 hops * rate 2.
+  EXPECT_DOUBLE_EQ(replicated_flow_cost(apsp, f, rep), 8.0);
+}
+
+TEST(Replication, MixedStageChoiceBeatsWholeChainChoice) {
+  // The Viterbi may hop between replica columns mid-chain; its cost can
+  // never exceed the best whole-chain cost.
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 12, 3, 2.0);
+  CostModel cm(apsp, flows);
+  const ReplicatedPlacement rep = solve_replicated_top(cm, 3, 2);
+  ASSERT_EQ(rep.num_replicas(), 2);
+  for (const auto& f : flows) {
+    const double viterbi = replicated_flow_cost(apsp, f, rep);
+    double whole = std::numeric_limits<double>::infinity();
+    for (const auto& chain : rep.chains) {
+      whole = std::min(whole, cm.flow_cost(f, chain));
+    }
+    EXPECT_LE(viterbi, whole + 1e-9);
+  }
+}
+
+TEST(Replication, MoreReplicasNeverHurt) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 16, 5, 2.0);
+  CostModel cm(apsp, flows);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int r = 1; r <= 4; ++r) {
+    const ReplicatedPlacement rep = solve_replicated_top(cm, 3, r);
+    const double cost = replicated_communication_cost(apsp, flows, rep);
+    // Clustered placement is heuristic, so enforce a soft monotonicity:
+    // within 5% of the best seen so far.
+    EXPECT_LE(cost, 1.05 * prev + 1e-9) << "r=" << r;
+    prev = std::min(prev, cost);
+  }
+}
+
+TEST(Replication, EveryChainIsAValidPlacement) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 10, 7, 1.5);
+  CostModel cm(apsp, flows);
+  const ReplicatedPlacement rep = solve_replicated_top(cm, 4, 3);
+  for (const auto& chain : rep.chains) {
+    EXPECT_NO_THROW(validate_placement(topo.graph, chain));
+    EXPECT_EQ(chain.size(), 4u);
+  }
+}
+
+TEST(Replication, ReplicaCountClampsToDistinctSourceRacks) {
+  const Topology topo = build_linear(5);  // 2 racks only
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const std::vector<VmFlow> flows{{h1, h1, 1.0, 0}};
+  CostModel cm(apsp, flows);
+  const ReplicatedPlacement rep = solve_replicated_top(cm, 2, 5);
+  EXPECT_EQ(rep.num_replicas(), 1);  // only one source rack carries mass
+}
+
+TEST(Replication, RejectsBadInput) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const std::vector<VmFlow> flows{{h1, h1, 1.0, 0}};
+  CostModel cm(apsp, flows);
+  EXPECT_THROW(solve_replicated_top(cm, 2, 0), PpdcError);
+  ReplicatedPlacement empty;
+  EXPECT_THROW(replicated_flow_cost(apsp, flows[0], empty), PpdcError);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,111 @@
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/apsp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/misc.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(Serialize, TopologyRoundTripPreservesEverything) {
+  const Topology original = build_fat_tree(4);
+  std::stringstream buf;
+  save_topology(buf, original);
+  const Topology loaded = load_topology(buf);
+
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.graph.num_nodes(), original.graph.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), original.graph.num_edges());
+  for (NodeId v = 0; v < original.graph.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.graph.kind(v), original.graph.kind(v));
+    EXPECT_EQ(loaded.graph.label(v), original.graph.label(v));
+  }
+  EXPECT_EQ(loaded.racks, original.racks);
+  EXPECT_EQ(loaded.rack_switches, original.rack_switches);
+  // Distances agree — the fabric is functionally identical.
+  const AllPairs a(original.graph), b(loaded.graph);
+  EXPECT_DOUBLE_EQ(a.diameter(), b.diameter());
+}
+
+TEST(Serialize, WeightedTopologyKeepsWeights) {
+  const Topology original = build_random_connected(8, 4, 5, 0.5, 3.0, 7);
+  std::stringstream buf;
+  save_topology(buf, original);
+  const Topology loaded = load_topology(buf);
+  for (NodeId u = 0; u < original.graph.num_nodes(); ++u) {
+    for (const auto& adj : original.graph.neighbors(u)) {
+      EXPECT_NEAR(loaded.graph.edge_weight(u, adj.to), adj.weight, 1e-9);
+    }
+  }
+}
+
+TEST(Serialize, FlowsRoundTrip) {
+  const Topology topo = build_fat_tree(4);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 20;
+  Rng rng(5);
+  const auto flows = generate_vm_flows(topo, cfg, rng);
+  std::stringstream buf;
+  save_flows(buf, flows);
+  const auto loaded = load_flows(buf);
+  ASSERT_EQ(loaded.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(loaded[i].src_host, flows[i].src_host);
+    EXPECT_EQ(loaded[i].dst_host, flows[i].dst_host);
+    EXPECT_NEAR(loaded[i].rate, flows[i].rate, 1e-6);
+    EXPECT_EQ(loaded[i].group, flows[i].group);
+  }
+}
+
+TEST(Serialize, PlacementRoundTrip) {
+  const Placement p{4, 17, 9};
+  std::stringstream buf;
+  save_placement(buf, p);
+  EXPECT_EQ(load_placement(buf), p);
+}
+
+TEST(Serialize, SkipsCommentsAndBlankLines) {
+  std::stringstream buf;
+  buf << "# a comment\n\nppdc-flows v1\n# another\nflow 1 2 3.5 0\n\n";
+  const auto flows = load_flows(buf);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].src_host, 1);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 3.5);
+}
+
+TEST(Serialize, RejectsWrongHeader) {
+  std::stringstream buf;
+  buf << "ppdc-flows v1\n";
+  EXPECT_THROW(load_topology(buf), PpdcError);
+  std::stringstream buf2;
+  buf2 << "ppdc-topology v2\n";
+  EXPECT_THROW(load_topology(buf2), PpdcError);
+  std::stringstream empty;
+  EXPECT_THROW(load_flows(empty), PpdcError);
+}
+
+TEST(Serialize, RejectsMalformedLines) {
+  std::stringstream bad_node;
+  bad_node << "ppdc-topology v1\nnode 0 gateway g0\n";
+  EXPECT_THROW(load_topology(bad_node), PpdcError);
+
+  std::stringstream sparse_ids;
+  sparse_ids << "ppdc-topology v1\nnode 5 host h\n";
+  EXPECT_THROW(load_topology(sparse_ids), PpdcError);
+
+  std::stringstream bad_flow;
+  bad_flow << "ppdc-flows v1\nflow 1 2\n";
+  EXPECT_THROW(load_flows(bad_flow), PpdcError);
+
+  std::stringstream bad_vnf;
+  bad_vnf << "ppdc-placement v1\nvnf 3 7\n";
+  EXPECT_THROW(load_placement(bad_vnf), PpdcError);
+}
+
+}  // namespace
+}  // namespace ppdc

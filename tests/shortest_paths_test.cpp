@@ -1,0 +1,111 @@
+#include "graph/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppdc {
+namespace {
+
+/// Square grid of switches for path sanity checks.
+Graph grid3x3() {
+  Graph g;
+  for (int i = 0; i < 9; ++i) g.add_node(NodeKind::kSwitch);
+  auto id = [](int r, int c) { return static_cast<NodeId>(r * 3 + c); };
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < 3) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+TEST(Bfs, DistancesOnGrid) {
+  const Graph g = grid3x3();
+  const auto r = bfs_shortest_paths(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[4], 2.0);
+  EXPECT_DOUBLE_EQ(r.dist[8], 4.0);
+}
+
+TEST(Bfs, CustomUnit) {
+  const Graph g = grid3x3();
+  const auto r = bfs_shortest_paths(g, 0, 2.5);
+  EXPECT_DOUBLE_EQ(r.dist[8], 10.0);
+}
+
+TEST(Bfs, RejectsNonPositiveUnit) {
+  const Graph g = grid3x3();
+  EXPECT_THROW(bfs_shortest_paths(g, 0, 0.0), PpdcError);
+}
+
+TEST(Bfs, UnreachableNode) {
+  Graph g;
+  g.add_node(NodeKind::kSwitch);
+  g.add_node(NodeKind::kSwitch);
+  const auto r = bfs_shortest_paths(g, 0);
+  EXPECT_EQ(r.dist[1], kUnreachable);
+  EXPECT_TRUE(reconstruct_path(r, 0, 1).empty());
+}
+
+TEST(Dijkstra, PrefersCheapDetour) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_node(NodeKind::kSwitch);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3.0);
+  const auto path = reconstruct_path(r, 0, 2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 2);
+}
+
+TEST(Dijkstra, MatchesBfsOnUnitWeights) {
+  const Graph g = grid3x3();
+  const auto d = dijkstra(g, 4);
+  const auto b = bfs_shortest_paths(g, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(d.dist[static_cast<std::size_t>(v)],
+                     b.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Dijkstra, SourceDistanceZero) {
+  const Graph g = grid3x3();
+  const auto r = dijkstra(g, 5);
+  EXPECT_DOUBLE_EQ(r.dist[5], 0.0);
+  EXPECT_EQ(r.parent[5], kInvalidNode);
+}
+
+TEST(Dijkstra, RejectsBadSource) {
+  const Graph g = grid3x3();
+  EXPECT_THROW(dijkstra(g, 99), PpdcError);
+  EXPECT_THROW(bfs_shortest_paths(g, -1), PpdcError);
+}
+
+TEST(ReconstructPath, TrivialSelfPath) {
+  const Graph g = grid3x3();
+  const auto r = bfs_shortest_paths(g, 3);
+  const auto path = reconstruct_path(r, 3, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3);
+}
+
+TEST(ReconstructPath, PathEdgesExistAndSumToDistance) {
+  const Graph g = grid3x3();
+  const auto r = bfs_shortest_paths(g, 0);
+  const auto path = reconstruct_path(r, 0, 8);
+  ASSERT_GE(path.size(), 2u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    ASSERT_TRUE(g.has_edge(path[i], path[i + 1]));
+    sum += g.edge_weight(path[i], path[i + 1]);
+  }
+  EXPECT_DOUBLE_EQ(sum, r.dist[8]);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppdc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: Σ(x-5)^2 = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SumMatchesMeanTimesCount) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.sum(), 5050.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(TQuantile, MatchesTableValues) {
+  EXPECT_DOUBLE_EQ(t_quantile_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_quantile_975(19), 2.093);  // df for 20 paper runs
+  EXPECT_DOUBLE_EQ(t_quantile_975(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_quantile_975(100), 1.960);
+  EXPECT_TRUE(std::isinf(t_quantile_975(0)));
+}
+
+TEST(MeanCiTest, TwentySampleCiUsesStudentT) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(static_cast<double>(i % 2));
+  const MeanCi mc = mean_ci(xs);
+  EXPECT_DOUBLE_EQ(mc.mean, 0.5);
+  // stddev of alternating 0/1 with n-1: sqrt(5/19) approx 0.51299.
+  const double se = std::sqrt(5.0 / 19.0) / std::sqrt(20.0);
+  EXPECT_NEAR(mc.ci95, 2.093 * se, 1e-9);
+}
+
+TEST(MeanCiTest, EmptyAndSingle) {
+  EXPECT_EQ(mean_ci({}).mean, 0.0);
+  EXPECT_EQ(mean_ci({}).ci95, 0.0);
+  EXPECT_EQ(mean_ci({7.0}).mean, 7.0);
+  EXPECT_EQ(mean_ci({7.0}).ci95, 0.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace ppdc

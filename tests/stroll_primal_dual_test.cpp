@@ -1,0 +1,120 @@
+#include "core/stroll_primal_dual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "topology/misc.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(PrimalDual, ZeroQuotaIsShortestPath) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId s = topo.racks[0][0];
+  const NodeId t = topo.racks[4][1];
+  const StrollResult r = solve_top1_primal_dual(apsp, s, t, 0);
+  EXPECT_DOUBLE_EQ(r.cost, apsp.cost(s, t));
+}
+
+TEST(PrimalDual, ProducesValidPlacements) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId s = topo.racks[0][0];
+  const NodeId t = topo.racks[5][0];
+  for (int n = 1; n <= 8; ++n) {
+    const StrollResult r = solve_top1_primal_dual(apsp, s, t, n);
+    ASSERT_EQ(r.placement.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    std::vector<NodeId> sorted = r.placement;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    for (const NodeId w : r.placement) {
+      EXPECT_TRUE(topo.graph.is_switch(w));
+      EXPECT_NE(w, s);
+      EXPECT_NE(w, t);
+    }
+    EXPECT_EQ(r.walk.front(), s);
+    EXPECT_EQ(r.walk.back(), t);
+  }
+}
+
+TEST(PrimalDual, CostIsWalkLength) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId s = topo.racks[1][0];
+  const NodeId t = topo.racks[6][1];
+  const StrollResult r = solve_top1_primal_dual(apsp, s, t, 5, 3.0);
+  double len = 0.0;
+  for (std::size_t i = 0; i + 1 < r.walk.size(); ++i) {
+    len += 3.0 * apsp.cost(r.walk[i], r.walk[i + 1]);
+  }
+  EXPECT_NEAR(r.cost, len, 1e-9);
+}
+
+TEST(PrimalDual, WithinGuaranteeOnSmallInstances) {
+  // Theorem 2: the stroll is within 2+ε of optimal. Our grow/prune variant
+  // is checked against brute force with the paper's factor plus ε slack.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Topology topo = build_random_connected(7, 2, 6, 0.5, 3.0, seed);
+    const AllPairs apsp(topo.graph);
+    const NodeId s = topo.graph.hosts()[0];
+    const NodeId t = topo.graph.hosts()[1];
+    for (int n = 1; n <= 4; ++n) {
+      const StrollResult r = solve_top1_primal_dual(apsp, s, t, n);
+      const double opt = testing::brute_force_stroll_cost(apsp, s, t, n);
+      EXPECT_GE(r.cost + 1e-9, opt) << "seed=" << seed << " n=" << n;
+      EXPECT_LE(r.cost, 2.5 * opt + 1e-9) << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(PrimalDual, HandlesNTour) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const StrollResult r = solve_top1_primal_dual(apsp, h1, h1, 2);
+  EXPECT_EQ(r.placement.size(), 2u);
+  // Optimal 2-tour costs 4 (via s1, s2); allow the 2x factor.
+  EXPECT_LE(r.cost, 8.0 + 1e-9);
+  EXPECT_GE(r.cost, 4.0 - 1e-9);
+}
+
+TEST(PrimalDual, RateScaling) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId s = topo.racks[0][0];
+  const NodeId t = topo.racks[3][0];
+  const StrollResult r1 = solve_top1_primal_dual(apsp, s, t, 4, 1.0);
+  const StrollResult r7 = solve_top1_primal_dual(apsp, s, t, 4, 7.0);
+  EXPECT_NEAR(r7.cost, 7.0 * r1.cost, 1e-6);
+}
+
+TEST(PrimalDual, RejectsBadInput) {
+  const Topology topo = build_linear(3);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const NodeId h2 = topo.graph.hosts()[1];
+  EXPECT_THROW(solve_top1_primal_dual(apsp, h1, h2, 9), PpdcError);
+  EXPECT_THROW(solve_top1_primal_dual(apsp, h1, h2, -1), PpdcError);
+  EXPECT_THROW(solve_top1_primal_dual(apsp, h1, h2, 1, 0.0), PpdcError);
+}
+
+TEST(PrimalDual, DpStrollTypicallyNoWorse) {
+  // §VI: DP-Stroll "solidly outperforms" the primal-dual guarantee; in
+  // practice the DP beats or ties the grow/prune result on fat-trees.
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId s = topo.racks[0][0];
+  const NodeId t = topo.racks[7][1];
+  double dp_total = 0.0, pd_total = 0.0;
+  for (int n = 2; n <= 8; ++n) {
+    dp_total += solve_top1_dp(apsp, s, t, n).cost;
+    pd_total += solve_top1_primal_dual(apsp, s, t, n).cost;
+  }
+  EXPECT_LE(dp_total, pd_total + 1e-9);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,130 @@
+// Tests for the VL2, BCube and DCell builders, plus end-to-end checks
+// that the placement/migration machinery works on server-centric fabrics
+// (hosts with degree > 1, switch-to-switch paths through servers).
+#include <gtest/gtest.h>
+
+#include "core/migration_pareto.hpp"
+#include "core/placement_dp.hpp"
+#include "graph/apsp.hpp"
+#include "topology/bcube.hpp"
+#include "topology/dcell.hpp"
+#include "topology/vl2.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(Vl2, StructureAndDistances) {
+  const Topology t = build_vl2(3, 4, 8, 2);
+  EXPECT_EQ(t.num_switches(), 3 + 4 + 8);
+  EXPECT_EQ(t.num_hosts(), 16);
+  EXPECT_TRUE(t.graph.is_connected());
+  const AllPairs apsp(t.graph);
+  // Same ToR: 2 hops; ToRs sharing an aggregation: 4 hops.
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[0][1]), 2.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[1][0]), 4.0);
+}
+
+TEST(Vl2, EveryTorReachesTwoAggregations) {
+  const Topology t = build_vl2(2, 4, 6, 1);
+  for (const NodeId tor : t.rack_switches) {
+    int aggs = 0;
+    for (const auto& a : t.graph.neighbors(tor)) {
+      if (t.graph.is_switch(a.to)) ++aggs;
+    }
+    EXPECT_EQ(aggs, 2);
+  }
+}
+
+TEST(Vl2, RejectsBadShape) {
+  EXPECT_THROW(build_vl2(0, 2, 1, 1), PpdcError);
+  EXPECT_THROW(build_vl2(1, 1, 1, 1), PpdcError);
+  EXPECT_THROW(build_vl2(1, 2, 0, 1), PpdcError);
+}
+
+TEST(BCube, CountsMatchFormulas) {
+  const Topology t = build_bcube(4, 1);
+  EXPECT_EQ(t.num_hosts(), 16);      // n^(k+1)
+  EXPECT_EQ(t.num_switches(), 8);    // (k+1) n^k
+  EXPECT_TRUE(t.graph.is_connected());
+  // Every server has degree k+1 = 2.
+  for (const NodeId h : t.graph.hosts()) {
+    EXPECT_EQ(t.graph.degree(h), 2u);
+  }
+  // Every switch has n = 4 ports.
+  for (const NodeId s : t.graph.switches()) {
+    EXPECT_EQ(t.graph.degree(s), 4u);
+  }
+}
+
+TEST(BCube, OneHopServerPairsShareASwitch) {
+  const Topology t = build_bcube(3, 1);
+  const AllPairs apsp(t.graph);
+  // Hosts 0 and 1 share the level-0 switch: distance 2.
+  EXPECT_DOUBLE_EQ(apsp.cost(t.graph.hosts()[0], t.graph.hosts()[1]), 2.0);
+  // Diameter of BCube(n,1) is 2 switch hops via two levels: <= 4.
+  EXPECT_LE(apsp.diameter(), 4.0);
+}
+
+TEST(BCube, PlacementAndMigrationWorkOnServerCentricFabric) {
+  const Topology t = build_bcube(4, 1);
+  const AllPairs apsp(t.graph);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 8;
+  Rng rng(3);
+  auto flows = generate_vm_flows(t, cfg, rng);
+  CostModel cm(apsp, flows);
+  const PlacementResult p = solve_top_dp(cm, 3);
+  EXPECT_NO_THROW(validate_placement(t.graph, p.placement));
+  // Force a change and migrate; frontiers must pause only on switches
+  // even though shortest paths run through servers.
+  std::reverse(flows.begin(), flows.end());
+  CostModel cm2(apsp, flows);
+  const MigrationResult m = solve_tom_pareto(cm2, p.placement, 1.0);
+  EXPECT_NO_THROW(validate_placement(t.graph, m.migration));
+}
+
+TEST(BCube, RejectsBadShape) {
+  EXPECT_THROW(build_bcube(1, 1), PpdcError);
+  EXPECT_THROW(build_bcube(4, -1), PpdcError);
+  EXPECT_THROW(build_bcube(4, 9), PpdcError);
+}
+
+TEST(DCell, CountsAndDegrees) {
+  const Topology t = build_dcell1(4);
+  EXPECT_EQ(t.num_hosts(), 20);    // n (n+1)
+  EXPECT_EQ(t.num_switches(), 5);  // n+1 mini switches
+  EXPECT_TRUE(t.graph.is_connected());
+  // Every server: 1 switch link + 1 inter-cell link.
+  for (const NodeId h : t.graph.hosts()) {
+    EXPECT_EQ(t.graph.degree(h), 2u);
+  }
+}
+
+TEST(DCell, InterCellDistanceUsesServerRelay) {
+  const Topology t = build_dcell1(3);
+  const AllPairs apsp(t.graph);
+  // Two servers wired directly across cells are 1 hop apart.
+  // srv0_? <-> srv1_0 for the (0,1) pair: cell 0 server 0 <-> cell 1 server 0.
+  const NodeId a = t.racks[0][0];
+  const NodeId b = t.racks[1][0];
+  EXPECT_DOUBLE_EQ(apsp.cost(a, b), 1.0);
+}
+
+TEST(DCell, PlacementWorksDespiteFewSwitches) {
+  const Topology t = build_dcell1(4);
+  const AllPairs apsp(t.graph);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 6;
+  Rng rng(5);
+  const auto flows = generate_vm_flows(t, cfg, rng);
+  CostModel cm(apsp, flows);
+  const PlacementResult p = solve_top_dp(cm, 3);
+  EXPECT_NO_THROW(validate_placement(t.graph, p.placement));
+  EXPECT_THROW(solve_top_dp(cm, 6), PpdcError);  // only 5 switches exist
+}
+
+TEST(DCell, RejectsBadShape) { EXPECT_THROW(build_dcell1(1), PpdcError); }
+
+}  // namespace
+}  // namespace ppdc

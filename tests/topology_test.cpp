@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "graph/apsp.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/leaf_spine.hpp"
+#include "topology/linear.hpp"
+#include "topology/misc.hpp"
+#include "topology/weights.hpp"
+
+namespace ppdc {
+namespace {
+
+class FatTreeArity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeArity, CountsMatchFormulas) {
+  const int k = GetParam();
+  const Topology t = build_fat_tree(k);
+  EXPECT_EQ(t.num_hosts(), fat_tree_num_hosts(k));
+  EXPECT_EQ(t.num_switches(), fat_tree_num_switches(k));
+  // Edges: core-agg k*(k/2)*(k/2)... = k^2/2 * k/2? Count directly instead:
+  // pod mesh k*(k/2)^2, agg-core k*(k/2)*(k/2), host links k^3/4.
+  const std::size_t expected_edges =
+      static_cast<std::size_t>(k * (k / 2) * (k / 2) * 2 + k * k * k / 4);
+  EXPECT_EQ(t.graph.num_edges(), expected_edges);
+}
+
+TEST_P(FatTreeArity, IsConnected) {
+  const Topology t = build_fat_tree(GetParam());
+  EXPECT_TRUE(t.graph.is_connected());
+}
+
+TEST_P(FatTreeArity, RackStructure) {
+  const int k = GetParam();
+  const Topology t = build_fat_tree(k);
+  EXPECT_EQ(t.racks.size(), static_cast<std::size_t>(k * k / 2));
+  for (std::size_t r = 0; r < t.racks.size(); ++r) {
+    EXPECT_EQ(t.racks[r].size(), static_cast<std::size_t>(k / 2));
+    for (const NodeId h : t.racks[r]) {
+      EXPECT_TRUE(t.graph.is_host(h));
+      EXPECT_TRUE(t.graph.has_edge(h, t.rack_switches[r]));
+    }
+  }
+}
+
+TEST_P(FatTreeArity, HostsHaveDegreeOne) {
+  const Topology t = build_fat_tree(GetParam());
+  for (const NodeId h : t.graph.hosts()) {
+    EXPECT_EQ(t.graph.degree(h), 1u);
+  }
+}
+
+TEST_P(FatTreeArity, SwitchDegrees) {
+  const int k = GetParam();
+  const Topology t = build_fat_tree(k);
+  // Every switch in a fat-tree has exactly k ports used.
+  for (const NodeId s : t.graph.switches()) {
+    EXPECT_EQ(t.graph.degree(s), static_cast<std::size_t>(k))
+        << t.graph.label(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeArity, ::testing::Values(2, 4, 6, 8));
+
+TEST(FatTree, RejectsOddArity) {
+  EXPECT_THROW(build_fat_tree(3), PpdcError);
+  EXPECT_THROW(build_fat_tree(0), PpdcError);
+}
+
+TEST(FatTree, K2IsTheLinearPpdcOfFig1) {
+  // §III Example 1: the k=2 fat tree is the 5-switch linear PPDC of Fig. 1.
+  const Topology ft = build_fat_tree(2);
+  EXPECT_EQ(ft.num_switches(), 5);
+  EXPECT_EQ(ft.num_hosts(), 2);
+  const AllPairs apsp(ft.graph);
+  const NodeId h1 = ft.graph.hosts()[0];
+  const NodeId h2 = ft.graph.hosts()[1];
+  EXPECT_DOUBLE_EQ(apsp.cost(h1, h2), 6.0);  // h-e-a-c-a-e-h
+  EXPECT_DOUBLE_EQ(apsp.diameter(), 6.0);
+}
+
+TEST(Linear, StructureAndDistances) {
+  const Topology t = build_linear(5);
+  EXPECT_EQ(t.num_switches(), 5);
+  EXPECT_EQ(t.num_hosts(), 2);
+  EXPECT_TRUE(t.graph.is_connected());
+  const AllPairs apsp(t.graph);
+  const NodeId h1 = t.graph.hosts()[0];
+  const NodeId h2 = t.graph.hosts()[1];
+  EXPECT_DOUBLE_EQ(apsp.cost(h1, h2), 6.0);
+}
+
+TEST(Linear, SingleSwitch) {
+  const Topology t = build_linear(1);
+  EXPECT_EQ(t.num_switches(), 1);
+  EXPECT_TRUE(t.graph.is_connected());
+}
+
+TEST(Linear, RejectsZeroSwitches) {
+  EXPECT_THROW(build_linear(0), PpdcError);
+}
+
+TEST(LeafSpine, StructureAndDistances) {
+  const Topology t = build_leaf_spine(4, 2, 3);
+  EXPECT_EQ(t.num_switches(), 6);
+  EXPECT_EQ(t.num_hosts(), 12);
+  EXPECT_TRUE(t.graph.is_connected());
+  const AllPairs apsp(t.graph);
+  // Hosts under the same leaf: 2 hops; different leaves: 4 hops.
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[0][1]), 2.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[1][0]), 4.0);
+}
+
+TEST(LeafSpine, RejectsBadShape) {
+  EXPECT_THROW(build_leaf_spine(0, 1, 1), PpdcError);
+  EXPECT_THROW(build_leaf_spine(1, 0, 1), PpdcError);
+  EXPECT_THROW(build_leaf_spine(1, 1, 0), PpdcError);
+}
+
+TEST(Ring, Distances) {
+  const Topology t = build_ring(6);
+  const AllPairs apsp(t.graph);
+  const auto& sw = t.graph.switches();
+  EXPECT_DOUBLE_EQ(apsp.cost(sw[0], sw[3]), 3.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(sw[0], sw[5]), 1.0);
+}
+
+TEST(Ring, RejectsTooSmall) { EXPECT_THROW(build_ring(2), PpdcError); }
+
+TEST(Star, HubIsCenter) {
+  const Topology t = build_star(5);
+  const AllPairs apsp(t.graph);
+  const auto& sw = t.graph.switches();
+  // sw[0] is the hub; leaves are 1 hop away, leaf-to-leaf 2 hops.
+  EXPECT_DOUBLE_EQ(apsp.cost(sw[0], sw[1]), 1.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(sw[1], sw[2]), 2.0);
+}
+
+TEST(RandomConnected, AlwaysConnectedAndSeedStable) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Topology t = build_random_connected(15, 6, 8, 1.0, 2.0, seed);
+    EXPECT_TRUE(t.graph.is_connected());
+  }
+  const Topology a = build_random_connected(15, 6, 8, 1.0, 2.0, 5);
+  const Topology b = build_random_connected(15, 6, 8, 1.0, 2.0, 5);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(RandomConnected, RacksCoverAllHosts) {
+  const Topology t = build_random_connected(10, 20, 5, 1.0, 2.0, 3);
+  std::size_t count = 0;
+  for (const auto& rack : t.racks) count += rack.size();
+  EXPECT_EQ(count, static_cast<std::size_t>(t.num_hosts()));
+}
+
+TEST(Weights, UnitResetsEverything) {
+  Topology t = build_random_connected(8, 3, 4, 2.0, 5.0, 1);
+  apply_unit_weights(t.graph);
+  for (NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& a : t.graph.neighbors(u)) {
+      EXPECT_DOUBLE_EQ(a.weight, 1.0);
+    }
+  }
+}
+
+TEST(Weights, UniformDelayMatchesMoments) {
+  Topology t = build_fat_tree(8);  // plenty of edges for tight stats
+  apply_uniform_delay_weights(t.graph, 42, 1.5, 0.5);
+  double sum = 0.0, sq = 0.0;
+  std::size_t count = 0;
+  for (NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& a : t.graph.neighbors(u)) {
+      if (u < a.to) {
+        sum += a.weight;
+        sq += a.weight * a.weight;
+        ++count;
+        EXPECT_GT(a.weight, 0.0);
+      }
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var = sq / static_cast<double>(count) - mean * mean;
+  EXPECT_NEAR(mean, 1.5, 0.05);
+  EXPECT_NEAR(var, 0.5, 0.06);
+}
+
+TEST(Weights, DelaysAreSymmetric) {
+  Topology t = build_fat_tree(4);
+  apply_uniform_delay_weights(t.graph, 7);
+  for (NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& a : t.graph.neighbors(u)) {
+      EXPECT_DOUBLE_EQ(a.weight, t.graph.edge_weight(a.to, u));
+    }
+  }
+}
+
+TEST(Weights, RejectsBadParameters) {
+  Topology t = build_fat_tree(2);
+  EXPECT_THROW(apply_uniform_delay_weights(t.graph, 1, -1.0, 0.5), PpdcError);
+  EXPECT_THROW(apply_uniform_delay_weights(t.graph, 1, 1.5, -0.5), PpdcError);
+}
+
+}  // namespace
+}  // namespace ppdc

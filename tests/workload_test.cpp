@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/traffic.hpp"
+#include "workload/vm_placement.hpp"
+#include "workload/zoom.hpp"
+
+namespace ppdc {
+namespace {
+
+TEST(RateDistributionTest, SamplesStayInRange) {
+  RateDistribution d;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = d.sample(rng);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 10000.0);
+  }
+}
+
+TEST(RateDistributionTest, BucketFrequenciesMatchPaper) {
+  // §VI: 25% light [0,3000), 70% medium [3000,7000], 5% heavy (7000,10000].
+  RateDistribution d;
+  Rng rng(2);
+  int light = 0, medium = 0, heavy = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    switch (d.classify(d.sample(rng))) {
+      case RateClass::kLight: ++light; break;
+      case RateClass::kMedium: ++medium; break;
+      case RateClass::kHeavy: ++heavy; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(light) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(medium) / n, 0.70, 0.01);
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.05, 0.01);
+}
+
+TEST(RateDistributionTest, ClassifyBoundaries) {
+  RateDistribution d;
+  EXPECT_EQ(d.classify(0.0), RateClass::kLight);
+  EXPECT_EQ(d.classify(2999.9), RateClass::kLight);
+  EXPECT_EQ(d.classify(3000.0), RateClass::kMedium);
+  EXPECT_EQ(d.classify(7000.0), RateClass::kMedium);
+  EXPECT_EQ(d.classify(7000.1), RateClass::kHeavy);
+}
+
+TEST(RateDistributionTest, RejectsDegenerateFractions) {
+  RateDistribution d;
+  d.light_fraction = d.medium_fraction = d.heavy_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(d.sample(rng), PpdcError);
+}
+
+TEST(Rates, HelpersRoundTrip) {
+  std::vector<VmFlow> flows(3);
+  set_rates(flows, {1.0, 2.0, 3.0});
+  EXPECT_EQ(rates_of(flows), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(total_rate(flows), 6.0);
+  EXPECT_THROW(set_rates(flows, {1.0}), PpdcError);
+}
+
+TEST(SampleRates, CountAndDeterminism) {
+  RateDistribution d;
+  Rng a(5), b(5);
+  const auto ra = sample_rates(d, 50, a);
+  const auto rb = sample_rates(d, 50, b);
+  EXPECT_EQ(ra.size(), 50u);
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(VmPlacement, RespectsIntraRackFraction) {
+  const Topology t = build_fat_tree(8);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 4000;
+  cfg.intra_rack_fraction = 0.8;
+  Rng rng(11);
+  const auto flows = generate_vm_flows(t, cfg, rng);
+  EXPECT_EQ(flows.size(), 4000u);
+  EXPECT_NEAR(measured_intra_rack_fraction(t, flows), 0.8, 0.03);
+}
+
+TEST(VmPlacement, AllEndpointsAreHosts) {
+  const Topology t = build_fat_tree(4);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 200;
+  Rng rng(3);
+  for (const auto& f : generate_vm_flows(t, cfg, rng)) {
+    EXPECT_TRUE(t.graph.is_host(f.src_host));
+    EXPECT_TRUE(t.graph.is_host(f.dst_host));
+    EXPECT_GE(f.rate, 0.0);
+    EXPECT_LE(f.rate, 10000.0);
+  }
+}
+
+TEST(VmPlacement, ExtremeFractions) {
+  const Topology t = build_fat_tree(4);
+  VmPlacementConfig cfg;
+  cfg.num_pairs = 300;
+  cfg.intra_rack_fraction = 1.0;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(
+      measured_intra_rack_fraction(t, generate_vm_flows(t, cfg, rng)), 1.0);
+  cfg.intra_rack_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(
+      measured_intra_rack_fraction(t, generate_vm_flows(t, cfg, rng)), 0.0);
+}
+
+TEST(VmPlacement, RejectsBadConfig) {
+  const Topology t = build_fat_tree(2);
+  VmPlacementConfig cfg;
+  cfg.intra_rack_fraction = 1.5;
+  Rng rng(1);
+  EXPECT_THROW(generate_vm_flows(t, cfg, rng), PpdcError);
+}
+
+TEST(Diurnal, Eq9Endpoints) {
+  DiurnalModel m;  // N = 12, tau_min = 0.2
+  EXPECT_DOUBLE_EQ(m.tau(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.tau(6), 0.8);       // peak at noon: 2*(6/12)*0.8
+  EXPECT_DOUBLE_EQ(m.tau(12), 0.0);      // wraps to h=0
+  EXPECT_DOUBLE_EQ(m.scale(0), 0.2);     // floor
+  EXPECT_DOUBLE_EQ(m.scale(6), 1.0);     // peak
+}
+
+TEST(Diurnal, SymmetricAroundNoon) {
+  DiurnalModel m;
+  for (int h = 1; h <= 5; ++h) {
+    EXPECT_DOUBLE_EQ(m.tau(h), m.tau(12 - h));
+  }
+}
+
+TEST(Diurnal, MonotoneRampUp) {
+  DiurnalModel m;
+  for (int h = 1; h < 6; ++h) {
+    EXPECT_LT(m.tau(h), m.tau(h + 1));
+  }
+}
+
+TEST(Diurnal, CoastOffsetShiftsWestFlows) {
+  DiurnalModel m;
+  // Flow 0 = east (no lag), flow 1 = west (3 h lag).
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(6, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(9, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(6, 1), m.scale(3));
+}
+
+TEST(Diurnal, RatesApplyPerFlow) {
+  DiurnalModel m;
+  const auto rates = diurnal_rates(m, {100.0, 100.0}, 6);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);              // east at peak
+  EXPECT_DOUBLE_EQ(rates[1], 100.0 * m.scale(3)); // west 3h behind
+}
+
+TEST(Diurnal, RejectsBadModel) {
+  DiurnalModel m;
+  m.hours_per_day = 7;  // odd
+  EXPECT_THROW(m.tau(1), PpdcError);
+  m.hours_per_day = 12;
+  m.tau_min = 1.5;
+  EXPECT_THROW(m.tau(1), PpdcError);
+}
+
+TEST(Zoom, RatesAreNonNegativeAndBursty) {
+  ZoomWorkload wl(20, ZoomModel{}, 77);
+  double min_total = 1e18, max_total = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto rates = wl.rates();
+    EXPECT_EQ(rates.size(), 20u);
+    double total = 0.0;
+    for (const double r : rates) {
+      EXPECT_GE(r, 0.0);
+      total += r;
+    }
+    min_total = std::min(min_total, total);
+    max_total = std::max(max_total, total);
+    wl.advance_hour();
+  }
+  EXPECT_GT(max_total, min_total);  // traffic actually varies
+}
+
+TEST(Zoom, SessionsChurn) {
+  ZoomWorkload wl(5, ZoomModel{}, 3);
+  const int before = wl.live_sessions();
+  EXPECT_GT(before, 0);
+  for (int i = 0; i < 48; ++i) wl.advance_hour();
+  EXPECT_GT(wl.live_sessions(), 0);
+}
+
+TEST(Zoom, Deterministic) {
+  ZoomWorkload a(10, ZoomModel{}, 5), b(10, ZoomModel{}, 5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.rates(), b.rates());
+    a.advance_hour();
+    b.advance_hour();
+  }
+}
+
+TEST(Zoom, RejectsBadModel) {
+  ZoomModel m;
+  m.mean_duration_hours = 0.5;
+  EXPECT_THROW(ZoomWorkload(1, m, 1), PpdcError);
+  EXPECT_THROW(ZoomWorkload(0, ZoomModel{}, 1), PpdcError);
+}
+
+}  // namespace
+}  // namespace ppdc
