@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_top_weighted.dir/bench_fig10_top_weighted.cpp.o"
+  "CMakeFiles/bench_fig10_top_weighted.dir/bench_fig10_top_weighted.cpp.o.d"
+  "bench_fig10_top_weighted"
+  "bench_fig10_top_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_top_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_top.dir/bench_fig9_top.cpp.o"
+  "CMakeFiles/bench_fig9_top.dir/bench_fig9_top.cpp.o.d"
+  "bench_fig9_top"
+  "bench_fig9_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkload.dir/bench_linkload.cpp.o"
+  "CMakeFiles/bench_linkload.dir/bench_linkload.cpp.o.d"
+  "bench_linkload"
+  "bench_linkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_datacenter.dir/dynamic_datacenter.cpp.o"
+  "CMakeFiles/example_dynamic_datacenter.dir/dynamic_datacenter.cpp.o.d"
+  "example_dynamic_datacenter"
+  "example_dynamic_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

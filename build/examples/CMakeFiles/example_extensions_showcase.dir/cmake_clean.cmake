@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_extensions_showcase.dir/extensions_showcase.cpp.o"
+  "CMakeFiles/example_extensions_showcase.dir/extensions_showcase.cpp.o.d"
+  "example_extensions_showcase"
+  "example_extensions_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_extensions_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

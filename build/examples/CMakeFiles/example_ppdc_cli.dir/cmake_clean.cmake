@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ppdc_cli.dir/ppdc_cli.cpp.o"
+  "CMakeFiles/example_ppdc_cli.dir/ppdc_cli.cpp.o.d"
+  "example_ppdc_cli"
+  "example_ppdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ppdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topology_tour.dir/topology_tour.cpp.o"
+  "CMakeFiles/example_topology_tour.dir/topology_tour.cpp.o.d"
+  "example_topology_tour"
+  "example_topology_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topology_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

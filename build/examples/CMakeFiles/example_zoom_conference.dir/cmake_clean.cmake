@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_zoom_conference.dir/zoom_conference.cpp.o"
+  "CMakeFiles/example_zoom_conference.dir/zoom_conference.cpp.o.d"
+  "example_zoom_conference"
+  "example_zoom_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_zoom_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[ppdc_cli_end_to_end]=] "bash" "-c" "set -e; cd /root/repo/build/examples;              ./example_ppdc_cli --cmd=generate --k=4 --l=10 --zipf=2;              ./example_ppdc_cli --cmd=place --n=3 --out=p.txt;              ./example_ppdc_cli --cmd=migrate --placement-in=p.txt --mu=10;              ./example_ppdc_cli --cmd=cost --placement-in=p.txt;              ./example_ppdc_cli --cmd=dot --placement-in=p.txt > /dev/null")
+set_tests_properties([=[ppdc_cli_end_to_end]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")

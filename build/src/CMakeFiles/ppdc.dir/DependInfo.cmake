@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/greedy_liu.cpp" "src/CMakeFiles/ppdc.dir/baselines/greedy_liu.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/baselines/greedy_liu.cpp.o.d"
+  "/root/repo/src/baselines/steering.cpp" "src/CMakeFiles/ppdc.dir/baselines/steering.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/baselines/steering.cpp.o.d"
+  "/root/repo/src/baselines/vm_migration.cpp" "src/CMakeFiles/ppdc.dir/baselines/vm_migration.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/baselines/vm_migration.cpp.o.d"
+  "/root/repo/src/core/chain_search.cpp" "src/CMakeFiles/ppdc.dir/core/chain_search.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/chain_search.cpp.o.d"
+  "/root/repo/src/core/colocation.cpp" "src/CMakeFiles/ppdc.dir/core/colocation.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/colocation.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/ppdc.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/CMakeFiles/ppdc.dir/core/explain.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/explain.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/CMakeFiles/ppdc.dir/core/frontier.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/frontier.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/CMakeFiles/ppdc.dir/core/local_search.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/local_search.cpp.o.d"
+  "/root/repo/src/core/migration_pareto.cpp" "src/CMakeFiles/ppdc.dir/core/migration_pareto.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/migration_pareto.cpp.o.d"
+  "/root/repo/src/core/multi_sfc.cpp" "src/CMakeFiles/ppdc.dir/core/multi_sfc.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/multi_sfc.cpp.o.d"
+  "/root/repo/src/core/pareto_front.cpp" "src/CMakeFiles/ppdc.dir/core/pareto_front.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/pareto_front.cpp.o.d"
+  "/root/repo/src/core/placement_dp.cpp" "src/CMakeFiles/ppdc.dir/core/placement_dp.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/placement_dp.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/CMakeFiles/ppdc.dir/core/replication.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/replication.cpp.o.d"
+  "/root/repo/src/core/stroll_dp.cpp" "src/CMakeFiles/ppdc.dir/core/stroll_dp.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/stroll_dp.cpp.o.d"
+  "/root/repo/src/core/stroll_primal_dual.cpp" "src/CMakeFiles/ppdc.dir/core/stroll_primal_dual.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/core/stroll_primal_dual.cpp.o.d"
+  "/root/repo/src/flow/min_cost_flow.cpp" "src/CMakeFiles/ppdc.dir/flow/min_cost_flow.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/flow/min_cost_flow.cpp.o.d"
+  "/root/repo/src/graph/apsp.cpp" "src/CMakeFiles/ppdc.dir/graph/apsp.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/graph/apsp.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/ppdc.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ppdc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/CMakeFiles/ppdc.dir/graph/shortest_paths.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/graph/shortest_paths.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/ppdc.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/net/link_load.cpp" "src/CMakeFiles/ppdc.dir/net/link_load.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/net/link_load.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/ppdc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/ppdc.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/CMakeFiles/ppdc.dir/sim/policy.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/sim/policy.cpp.o.d"
+  "/root/repo/src/topology/bcube.cpp" "src/CMakeFiles/ppdc.dir/topology/bcube.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/bcube.cpp.o.d"
+  "/root/repo/src/topology/dcell.cpp" "src/CMakeFiles/ppdc.dir/topology/dcell.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/dcell.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/CMakeFiles/ppdc.dir/topology/fat_tree.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/leaf_spine.cpp" "src/CMakeFiles/ppdc.dir/topology/leaf_spine.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/leaf_spine.cpp.o.d"
+  "/root/repo/src/topology/linear.cpp" "src/CMakeFiles/ppdc.dir/topology/linear.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/linear.cpp.o.d"
+  "/root/repo/src/topology/misc.cpp" "src/CMakeFiles/ppdc.dir/topology/misc.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/misc.cpp.o.d"
+  "/root/repo/src/topology/vl2.cpp" "src/CMakeFiles/ppdc.dir/topology/vl2.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/vl2.cpp.o.d"
+  "/root/repo/src/topology/weights.cpp" "src/CMakeFiles/ppdc.dir/topology/weights.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/topology/weights.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/ppdc.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/require.cpp" "src/CMakeFiles/ppdc.dir/util/require.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/util/require.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ppdc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ppdc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ppdc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/CMakeFiles/ppdc.dir/workload/diurnal.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/workload/diurnal.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/CMakeFiles/ppdc.dir/workload/traffic.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/workload/traffic.cpp.o.d"
+  "/root/repo/src/workload/vm_placement.cpp" "src/CMakeFiles/ppdc.dir/workload/vm_placement.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/workload/vm_placement.cpp.o.d"
+  "/root/repo/src/workload/zoom.cpp" "src/CMakeFiles/ppdc.dir/workload/zoom.cpp.o" "gcc" "src/CMakeFiles/ppdc.dir/workload/zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ppdc.
+# This may be replaced when dependencies are built.

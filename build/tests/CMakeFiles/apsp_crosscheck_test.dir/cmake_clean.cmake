@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_crosscheck_test.dir/apsp_crosscheck_test.cpp.o"
+  "CMakeFiles/apsp_crosscheck_test.dir/apsp_crosscheck_test.cpp.o.d"
+  "apsp_crosscheck_test"
+  "apsp_crosscheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

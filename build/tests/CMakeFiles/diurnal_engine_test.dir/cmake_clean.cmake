@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diurnal_engine_test.dir/diurnal_engine_test.cpp.o"
+  "CMakeFiles/diurnal_engine_test.dir/diurnal_engine_test.cpp.o.d"
+  "diurnal_engine_test"
+  "diurnal_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diurnal_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downtime_test.dir/downtime_test.cpp.o"
+  "CMakeFiles/downtime_test.dir/downtime_test.cpp.o.d"
+  "downtime_test"
+  "downtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_shapes_test.dir/headline_shapes_test.cpp.o"
+  "CMakeFiles/headline_shapes_test.dir/headline_shapes_test.cpp.o.d"
+  "headline_shapes_test"
+  "headline_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

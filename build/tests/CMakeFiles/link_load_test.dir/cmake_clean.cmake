@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_load_test.dir/link_load_test.cpp.o"
+  "CMakeFiles/link_load_test.dir/link_load_test.cpp.o.d"
+  "link_load_test"
+  "link_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_cost_flow_test.dir/min_cost_flow_test.cpp.o"
+  "CMakeFiles/min_cost_flow_test.dir/min_cost_flow_test.cpp.o.d"
+  "min_cost_flow_test"
+  "min_cost_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_cost_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sfc_test.dir/multi_sfc_test.cpp.o"
+  "CMakeFiles/multi_sfc_test.dir/multi_sfc_test.cpp.o.d"
+  "multi_sfc_test"
+  "multi_sfc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

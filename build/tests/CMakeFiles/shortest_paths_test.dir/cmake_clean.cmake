@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortest_paths_test.dir/shortest_paths_test.cpp.o"
+  "CMakeFiles/shortest_paths_test.dir/shortest_paths_test.cpp.o.d"
+  "shortest_paths_test"
+  "shortest_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortest_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

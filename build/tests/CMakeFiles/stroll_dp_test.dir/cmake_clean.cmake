@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stroll_dp_test.dir/stroll_dp_test.cpp.o"
+  "CMakeFiles/stroll_dp_test.dir/stroll_dp_test.cpp.o.d"
+  "stroll_dp_test"
+  "stroll_dp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stroll_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

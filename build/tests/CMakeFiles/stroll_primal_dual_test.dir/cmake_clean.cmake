@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stroll_primal_dual_test.dir/stroll_primal_dual_test.cpp.o"
+  "CMakeFiles/stroll_primal_dual_test.dir/stroll_primal_dual_test.cpp.o.d"
+  "stroll_primal_dual_test"
+  "stroll_primal_dual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stroll_primal_dual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
