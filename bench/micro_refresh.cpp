@@ -1,0 +1,181 @@
+// Micro-benchmark of the incremental group-scaled cost-model refresh
+// against the full O(|V_s| · l) rescan, on Fig. 11-scale dynamic
+// workloads. Two modes:
+//
+//   micro_refresh           table across fat-tree arity / flow count
+//   micro_refresh --smoke   CTest smoke gate: k = 16, l = 10000 — fails
+//                           (exit 1) unless the incremental path is >= 5x
+//                           faster per epoch AND matches the full rescan
+//                           to 1e-9 (relative) on every attraction, Λ, and
+//                           the epoch communication cost, including after
+//                           simulated PLAN/MCF-style endpoint moves.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/placement_dp.hpp"
+#include "workload/diurnal.hpp"
+
+namespace {
+
+using namespace ppdc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool matches(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+struct RunResult {
+  double full_epoch_s = 0.0;  ///< mean wall time of one full-rescan epoch
+  double inc_epoch_s = 0.0;   ///< mean wall time of one incremental epoch
+  double move_epoch_s = 0.0;  ///< mean wall time of one endpoint-move patch
+  bool equivalent = true;
+  double speedup() const { return full_epoch_s / inc_epoch_s; }
+};
+
+/// Times `hours * reps` epochs of the seed's full-rescan refresh against
+/// the incremental refresh_scaled path on the same flow vector, checking
+/// equivalence at every epoch, then exercises the endpoints_moved patch.
+RunResult run_case(int k, int l, int reps, bool verbose) {
+  const Topology topo = build_fat_tree(k);
+  const AllPairs apsp(topo.graph);
+  Rng rng(20260805);
+  std::vector<VmFlow> flows = bench::paper_workload(topo, l, rng, 2.2);
+  const std::vector<double> base = rates_of(flows);
+  const std::vector<int> groups = groups_of(flows);
+  const int n_groups = num_groups(groups);
+  const DiurnalModel diurnal;
+  const int hours = diurnal.hours_per_day;
+
+  CostModel full(apsp, flows);
+  CostModel inc(apsp, flows);
+  inc.enable_group_refresh(base, groups);
+  inc.refresh_scaled(diurnal.group_scales(0, n_groups));
+  const Placement probe = solve_top_dp(inc, 3).placement;
+
+  RunResult r;
+  // Warm-up + equivalence sweep (not timed).
+  for (int hour = 0; hour < hours; ++hour) {
+    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
+    full.refresh();
+    inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
+    bool ok = matches(full.total_rate(), inc.total_rate()) &&
+              matches(full.communication_cost(probe),
+                      inc.communication_cost(probe)) &&
+              matches(full.min_ingress_attraction(),
+                      inc.min_ingress_attraction()) &&
+              matches(full.min_egress_attraction(),
+                      inc.min_egress_attraction());
+    for (const NodeId sw : topo.graph.switches()) {
+      ok = ok && matches(full.ingress_attraction(sw),
+                         inc.ingress_attraction(sw)) &&
+           matches(full.egress_attraction(sw), inc.egress_attraction(sw));
+    }
+    if (!ok) {
+      std::cerr << "equivalence FAILED at hour " << hour << "\n";
+      r.equivalent = false;
+    }
+  }
+
+  // Timed: full rescan per epoch (the seed engine's behaviour).
+  auto t0 = Clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int hour = 0; hour < hours; ++hour) {
+      set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
+      full.refresh();
+    }
+  }
+  r.full_epoch_s = seconds_since(t0) / (reps * hours);
+
+  // Timed: incremental recombination per epoch (set_rates included — the
+  // engine pays it on both paths).
+  t0 = Clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int hour = 0; hour < hours; ++hour) {
+      set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
+      inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
+    }
+  }
+  r.inc_epoch_s = seconds_since(t0) / (reps * hours);
+
+  // Endpoint-move patching: relocate ~1% of the flows (a typical PLAN/MCF
+  // epoch) and verify + time the dirty path.
+  const auto& hosts = topo.graph.hosts();
+  std::vector<int> moved;
+  for (int i = 0; i < std::max(1, l / 100); ++i) {
+    const int idx = static_cast<int>(
+        rng.uniform_int(0, static_cast<int>(flows.size()) - 1));
+    auto& f = flows[static_cast<std::size_t>(idx)];
+    f.src_host = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+    f.dst_host = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+    moved.push_back(idx);
+  }
+  t0 = Clock::now();
+  inc.endpoints_moved(moved);
+  r.move_epoch_s = seconds_since(t0);
+  full.refresh();
+  if (!matches(full.communication_cost(probe),
+               inc.communication_cost(probe)) ||
+      !matches(full.min_ingress_attraction(),
+               inc.min_ingress_attraction())) {
+    std::cerr << "equivalence FAILED after endpoint moves\n";
+    r.equivalent = false;
+  }
+
+  if (verbose) {
+    std::cout << "k=" << k << "  l=" << l
+              << "  full=" << r.full_epoch_s * 1e3 << " ms/epoch"
+              << "  incremental=" << r.inc_epoch_s * 1e3 << " ms/epoch"
+              << "  move-patch=" << r.move_epoch_s * 1e3 << " ms"
+              << "  speedup=" << r.speedup() << "x"
+              << (r.equivalent ? "" : "  [MISMATCH]") << "\n";
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  if (smoke) {
+    // Fig. 11 scale: k = 16 fat-tree (1024 hosts, 320 switches), 10k flows.
+    const RunResult r = run_case(16, 10000, 2, true);
+    if (!r.equivalent) {
+      std::cerr << "FAIL: incremental refresh diverged from full rescan\n";
+      return 1;
+    }
+    if (r.speedup() < 5.0) {
+      std::cerr << "FAIL: incremental refresh only " << r.speedup()
+                << "x faster (need >= 5x)\n";
+      return 1;
+    }
+    std::cout << "OK: incremental refresh " << r.speedup()
+              << "x faster than full rescan, equivalent to 1e-9\n";
+    return 0;
+  }
+
+  bench::header("micro_refresh",
+                "per-epoch cost-model refresh: full rescan vs incremental "
+                "group recombination (12 diurnal hours per rep)");
+  for (const int k : {8, 16}) {
+    for (const int l : {2000, 10000}) {
+      run_case(k, l, 3, true);
+    }
+  }
+  return 0;
+}

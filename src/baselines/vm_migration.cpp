@@ -75,6 +75,13 @@ std::vector<int> occupancy(const AllPairs& apsp,
   return occ;
 }
 
+/// Sorts and deduplicates the moved-flow index list (src and dst moves of
+/// one flow collapse to a single entry).
+void finalize_moved_indices(std::vector<int>& moved) {
+  std::sort(moved.begin(), moved.end());
+  moved.erase(std::unique(moved.begin(), moved.end()), moved.end());
+}
+
 /// Candidate hosts for an endpoint: nearest `limit` hosts to its anchor
 /// switch plus its current host (limit 0 = all hosts).
 std::vector<NodeId> candidate_hosts(const AllPairs& apsp,
@@ -170,12 +177,14 @@ VmMigrationResult solve_vm_migration_plan(const AllPairs& apsp,
       --occ[static_cast<std::size_t>(cur)];
       ++occ[static_cast<std::size_t>(mv.target)];
       ep.set_host(result.flows, mv.target);
+      result.moved_flow_indices.push_back(ep.flow);
       ++result.vms_moved;
       ++applied;
     }
     if (applied == 0) break;
   }
 
+  finalize_moved_indices(result.moved_flow_indices);
   result.comm_cost = full_comm_cost(apsp, result.flows, vnf_placement);
   result.total_cost = result.comm_cost + result.migration_cost;
   return result;
@@ -219,8 +228,10 @@ VmMigrationResult solve_vm_migration_mcf(const AllPairs& apsp,
         result.migration_distance += apsp.cost(cur, best_h);
         ++result.vms_moved;
         ep.set_host(result.flows, best_h);
+        result.moved_flow_indices.push_back(ep.flow);
       }
     }
+    finalize_moved_indices(result.moved_flow_indices);
     result.comm_cost = full_comm_cost(apsp, result.flows, vnf_placement);
     result.total_cost = result.comm_cost + result.migration_cost;
     return result;
@@ -292,8 +303,10 @@ VmMigrationResult solve_vm_migration_mcf(const AllPairs& apsp,
       result.migration_distance += apsp.cost(cur, ref.host);
       ++result.vms_moved;
       ep.set_host(result.flows, ref.host);
+      result.moved_flow_indices.push_back(ep.flow);
     }
   }
+  finalize_moved_indices(result.moved_flow_indices);
   result.comm_cost = full_comm_cost(apsp, result.flows, vnf_placement);
   result.total_cost = result.comm_cost + result.migration_cost;
   return result;

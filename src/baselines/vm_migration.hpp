@@ -49,6 +49,10 @@ struct VmMigrationResult {
   double comm_cost = 0.0;       ///< total communication cost afterwards
   double total_cost = 0.0;      ///< sum of the two
   int vms_moved = 0;
+  /// Indices (into `flows`) of flows whose src and/or dst host changed —
+  /// sorted, deduplicated. Drives the cost model's incremental
+  /// endpoints_moved() maintenance.
+  std::vector<int> moved_flow_indices;
 };
 
 /// PLAN greedy VM migration.

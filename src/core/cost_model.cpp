@@ -1,11 +1,21 @@
 #include "core/cost_model.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_set>
 
 #include "util/require.hpp"
 
 namespace ppdc {
+
+namespace {
+
+/// Dirty sets covering at least 1/kDirtyRebuildDivisor of the flows are
+/// cheaper to serve with a full parallel rebuild than with per-flow
+/// subtract/add patches.
+constexpr std::size_t kDirtyRebuildDivisor = 4;
+
+}  // namespace
 
 void validate_placement(const Graph& g, const Placement& p) {
   PPDC_REQUIRE(!p.empty(), "placement is empty");
@@ -33,9 +43,13 @@ void CostModel::refresh() {
     lambda_sum_ += f.rate;
   }
   const Graph& g = apsp_->graph();
-  min_ingress_ = std::numeric_limits<double>::infinity();
-  min_egress_ = std::numeric_limits<double>::infinity();
-  for (const NodeId sw : g.switches()) {
+  const auto& switches = g.switches();
+  const auto num_switches = static_cast<std::ptrdiff_t>(switches.size());
+#if defined(PPDC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t si = 0; si < num_switches; ++si) {
+    const NodeId sw = switches[static_cast<std::size_t>(si)];
     double a = 0.0, b = 0.0;
     for (const auto& f : *flows_) {
       a += f.rate * apsp_->cost(f.src_host, sw);
@@ -43,6 +57,28 @@ void CostModel::refresh() {
     }
     ingress_[static_cast<std::size_t>(sw)] = a;
     egress_[static_cast<std::size_t>(sw)] = b;
+  }
+  rescan_minima();
+  if (group_refresh_enabled()) {
+    // Keep the base vectors coherent with any endpoint changes the caller
+    // applied without an endpoints_moved() signal. A full refresh may also
+    // carry rates that no longer decompose as base · scale, so the next
+    // endpoints_moved() must not recombine against stale scales.
+    PPDC_REQUIRE(flows_->size() == groups_.size(),
+                 "flow vector resized after enable_group_refresh");
+    for (std::size_t i = 0; i < flows_->size(); ++i) {
+      patch_moved_flow(i);
+    }
+    last_scales_.clear();
+  }
+}
+
+void CostModel::rescan_minima() {
+  min_ingress_ = std::numeric_limits<double>::infinity();
+  min_egress_ = std::numeric_limits<double>::infinity();
+  for (const NodeId sw : apsp_->graph().switches()) {
+    const double a = ingress_[static_cast<std::size_t>(sw)];
+    const double b = egress_[static_cast<std::size_t>(sw)];
     if (a < min_ingress_) {
       min_ingress_ = a;
       best_ingress_ = sw;
@@ -52,6 +88,133 @@ void CostModel::refresh() {
       best_egress_ = sw;
     }
   }
+}
+
+void CostModel::enable_group_refresh(const std::vector<double>& base_rates,
+                                     const std::vector<int>& groups) {
+  PPDC_REQUIRE(base_rates.size() == flows_->size(),
+               "base-rate vector size mismatch");
+  PPDC_REQUIRE(groups.size() == flows_->size(), "group vector size mismatch");
+  int max_group = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    PPDC_REQUIRE(groups[i] >= 0, "negative group id");
+    PPDC_REQUIRE(base_rates[i] >= 0.0, "negative base traffic rate");
+    max_group = std::max(max_group, groups[i]);
+  }
+  PPDC_REQUIRE(max_group < (1 << 20), "group ids must be small dense ints");
+  base_rates_ = base_rates;
+  groups_ = groups;
+  num_groups_ = max_group + 1;
+  last_scales_.clear();
+  rebuild_group_bases();
+}
+
+void CostModel::rebuild_group_bases() {
+  const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  const auto g_count = static_cast<std::size_t>(num_groups_);
+  snap_src_.resize(flows_->size());
+  snap_dst_.resize(flows_->size());
+  for (std::size_t i = 0; i < flows_->size(); ++i) {
+    snap_src_[i] = (*flows_)[i].src_host;
+    snap_dst_[i] = (*flows_)[i].dst_host;
+  }
+  group_ingress_.assign(g_count * n, 0.0);
+  group_egress_.assign(g_count * n, 0.0);
+  const auto& switches = apsp_->graph().switches();
+  const auto num_switches = static_cast<std::ptrdiff_t>(switches.size());
+#if defined(PPDC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::ptrdiff_t si = 0; si < num_switches; ++si) {
+    const NodeId sw = switches[static_cast<std::size_t>(si)];
+    const auto col = static_cast<std::size_t>(sw);
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+      const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+      group_ingress_[row + col] +=
+          base_rates_[i] * apsp_->cost(snap_src_[i], sw);
+      group_egress_[row + col] +=
+          base_rates_[i] * apsp_->cost(sw, snap_dst_[i]);
+    }
+  }
+}
+
+void CostModel::patch_moved_flow(std::size_t i) {
+  const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+  const double base = base_rates_[i];
+  const VmFlow& f = (*flows_)[i];
+  if (f.src_host != snap_src_[i]) {
+    for (const NodeId sw : apsp_->graph().switches()) {
+      group_ingress_[row + static_cast<std::size_t>(sw)] +=
+          base * (apsp_->cost(f.src_host, sw) - apsp_->cost(snap_src_[i], sw));
+    }
+    snap_src_[i] = f.src_host;
+  }
+  if (f.dst_host != snap_dst_[i]) {
+    for (const NodeId sw : apsp_->graph().switches()) {
+      group_egress_[row + static_cast<std::size_t>(sw)] +=
+          base * (apsp_->cost(sw, f.dst_host) - apsp_->cost(sw, snap_dst_[i]));
+    }
+    snap_dst_[i] = f.dst_host;
+  }
+}
+
+void CostModel::recombine(const std::vector<double>& scales) {
+  const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  // Λ is summed per flow in flow order — bit-identical to what refresh()
+  // computes from rates set via diurnal_rates_grouped. Λ seeds the stroll
+  // DP (solve_top_dp), where a last-ulp difference can flip tie-breaks
+  // between equal-hop interior paths and cascade into a different
+  // placement; the O(l) add pass is noise next to the O(l·|V_s|) rescan
+  // this path replaces.
+  lambda_sum_ = 0.0;
+  for (std::size_t i = 0; i < base_rates_.size(); ++i) {
+    lambda_sum_ += base_rates_[i] * scales[static_cast<std::size_t>(groups_[i])];
+  }
+  ingress_.assign(n, 0.0);
+  egress_.assign(n, 0.0);
+  for (const NodeId sw : apsp_->graph().switches()) {
+    const auto col = static_cast<std::size_t>(sw);
+    double a = 0.0, b = 0.0;
+    for (std::size_t g = 0; g < scales.size(); ++g) {
+      a += scales[g] * group_ingress_[g * n + col];
+      b += scales[g] * group_egress_[g * n + col];
+    }
+    ingress_[col] = a;
+    egress_[col] = b;
+  }
+  rescan_minima();
+}
+
+void CostModel::refresh_scaled(const std::vector<double>& scales) {
+  PPDC_REQUIRE(group_refresh_enabled(),
+               "refresh_scaled needs enable_group_refresh first");
+  PPDC_REQUIRE(scales.size() == static_cast<std::size_t>(num_groups_),
+               "scale vector size mismatch");
+  for (const double s : scales) {
+    PPDC_REQUIRE(s >= 0.0, "negative group scale");
+  }
+  recombine(scales);
+  last_scales_ = scales;
+}
+
+void CostModel::endpoints_moved(const std::vector<int>& flow_indices) {
+  if (!group_refresh_enabled() || last_scales_.empty()) {
+    refresh();
+    return;
+  }
+  for (const int i : flow_indices) {
+    PPDC_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < flows_->size(),
+                 "moved flow index out of range");
+  }
+  if (flow_indices.size() * kDirtyRebuildDivisor >= flows_->size()) {
+    rebuild_group_bases();
+  } else {
+    for (const int i : flow_indices) {
+      patch_moved_flow(static_cast<std::size_t>(i));
+    }
+  }
+  recombine(last_scales_);
 }
 
 double CostModel::ingress_attraction(NodeId a) const {
@@ -96,12 +259,8 @@ double CostModel::total_cost(const Placement& from, const Placement& to,
 }
 
 double CostModel::flow_cost(const VmFlow& flow, const Placement& p) const {
-  PPDC_REQUIRE(!p.empty(), "placement is empty");
-  double chain = 0.0;
-  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
-    chain += apsp_->cost(p[j], p[j + 1]);
-  }
-  return flow.rate * (apsp_->cost(flow.src_host, p.front()) + chain +
+  validate_placement(apsp_->graph(), p);
+  return flow.rate * (apsp_->cost(flow.src_host, p.front()) + chain_cost(p) +
                       apsp_->cost(p.back(), flow.dst_host));
 }
 

@@ -14,6 +14,17 @@
 // branch-and-bound, and frontier algorithms evaluate candidate placements
 // in O(n) instead of O(l·n). Migration adds C_b(p,m) = μ Σ_j c(p(j), m(j))
 // and the TOM objective is C_t(p,m) = C_b(p,m) + C_a(m)               (Eq. 8)
+//
+// Incremental maintenance: the diurnal model (Eq. 9) rescales all flows of
+// one time-zone group by a single factor, and A/B/Λ are linear in the
+// rates. enable_group_refresh() precomputes per-group *base* attraction
+// vectors A_g(a) = Σ_{i∈g} λ̄_i c(s(v_i), a) (and the egress analogue)
+// once per topology; refresh_scaled() then serves an epoch in
+// O(|groups| · |V_s|) instead of the O(l · |V_s|) rescan of refresh().
+// endpoints_moved() keeps the base vectors coherent when VM-migration
+// policies (PLAN/MCF) relocate flow endpoints: stale per-flow
+// contributions are subtracted and the moved ones added in
+// O(|dirty| · |V_s|), with a full rebuild fallback for large dirty sets.
 #pragma once
 
 #include <vector>
@@ -36,8 +47,36 @@ class CostModel {
   /// Builds the evaluator. `apsp` and `flows` must outlive the model.
   CostModel(const AllPairs& apsp, const std::vector<VmFlow>& flows);
 
-  /// Re-derives Λ, A, B after the traffic rate vector changed in `flows`.
+  /// Re-derives Λ, A, B after the traffic rate vector changed in `flows`
+  /// (full O(|V_s| · l) rescan, OpenMP-parallel over switches). With
+  /// group refresh enabled, also resyncs the per-group base vectors to the
+  /// flows' current endpoints.
   void refresh();
+
+  /// Precomputes per-group base attraction vectors from `base_rates`
+  /// (flow i belongs to `groups[i]`; ids must be dense non-negative ints).
+  /// Afterwards refresh_scaled() serves epochs in O(|groups| · |V_s|).
+  void enable_group_refresh(const std::vector<double>& base_rates,
+                            const std::vector<int>& groups);
+
+  /// True once enable_group_refresh() has been called.
+  bool group_refresh_enabled() const noexcept { return num_groups_ > 0; }
+
+  /// Number of diurnal groups (0 when group refresh is disabled).
+  int num_groups() const noexcept { return num_groups_; }
+
+  /// Re-derives Λ, A, B for an epoch whose rates are
+  /// rate_i = base_rates[i] · scales[groups[i]] by recombining the
+  /// per-group base vectors. The caller must apply the same rates to the
+  /// bound flow vector (set_rates) so per-flow queries stay coherent.
+  void refresh_scaled(const std::vector<double>& scales);
+
+  /// Signals that the flows at `flow_indices` changed endpoints (rates
+  /// unchanged): subtracts their stale base-vector contributions, adds the
+  /// moved ones, and recombines under the last scales. Falls back to a
+  /// full rebuild when the dirty set covers most of the flow population
+  /// (or when group refresh is disabled).
+  void endpoints_moved(const std::vector<int>& flow_indices);
 
   /// Σ_i λ_i.
   double total_rate() const noexcept { return lambda_sum_; }
@@ -79,6 +118,17 @@ class CostModel {
   double min_ingress_attraction() const noexcept { return min_ingress_; }
 
  private:
+  /// Rebuilds the per-group base vectors and endpoint snapshot from
+  /// scratch (OpenMP-parallel over switches).
+  void rebuild_group_bases();
+  /// Moves flow i's base-vector contributions from its snapshot endpoints
+  /// to its current ones.
+  void patch_moved_flow(std::size_t i);
+  /// Derives Λ, A, B (and the argmins) from the base vectors and `scales`.
+  void recombine(const std::vector<double>& scales);
+  /// Recomputes best/min ingress+egress from the attraction vectors.
+  void rescan_minima();
+
   const AllPairs* apsp_;
   const std::vector<VmFlow>* flows_;
   double lambda_sum_ = 0.0;
@@ -88,6 +138,16 @@ class CostModel {
   NodeId best_egress_ = kInvalidNode;
   double min_ingress_ = 0.0;
   double min_egress_ = 0.0;
+
+  // Incremental group-scaled state (empty until enable_group_refresh).
+  int num_groups_ = 0;
+  std::vector<double> base_rates_;     ///< λ̄_i, one per flow
+  std::vector<int> groups_;            ///< group id, one per flow
+  std::vector<double> group_ingress_;  ///< [g · |V| + a] = A_g(a)
+  std::vector<double> group_egress_;   ///< [g · |V| + b] = B_g(b)
+  std::vector<double> last_scales_;    ///< scales of the last recombine
+  std::vector<NodeId> snap_src_;       ///< endpoints the base vectors use
+  std::vector<NodeId> snap_dst_;
 };
 
 }  // namespace ppdc

@@ -52,8 +52,17 @@ PlacementResult solve_top_dp(const CostModel& model, int n,
   }
 
   if (n == 2) {
-    for (const NodeId a : switches) {
-      for (const NodeId b : switches) {
+    // Same ingress/egress candidate pruning as the n >= 3 DP: without it
+    // this branch scans all O(|V_s|²) ordered pairs even when the caller
+    // asked for a bounded sweep.
+    const std::vector<NodeId> ingress_candidates = top_candidates(
+        switches, options.candidate_limit,
+        [&](NodeId w) { return model.ingress_attraction(w); });
+    const std::vector<NodeId> egress_candidates = top_candidates(
+        switches, options.candidate_limit,
+        [&](NodeId w) { return model.egress_attraction(w); });
+    for (const NodeId a : ingress_candidates) {
+      for (const NodeId b : egress_candidates) {
         if (a == b) continue;
         const double c = model.ingress_attraction(a) +
                          model.total_rate() * apsp.cost(a, b) +
@@ -64,6 +73,12 @@ PlacementResult solve_top_dp(const CostModel& model, int n,
         }
       }
     }
+    if (best_cost == kInf && options.candidate_limit > 0) {
+      // Degenerate pruning (e.g. limit 1 selecting the same switch for
+      // both roles): redo without pruning.
+      return solve_top_dp(model, n, TopDpOptions{});
+    }
+    PPDC_REQUIRE(best_cost < kInf, "no feasible placement found");
     best.comm_cost = best_cost;
     return best;
   }

@@ -50,6 +50,13 @@ AllPairs::AllPairs(const Graph& g) : g_(&g), n_(g.num_nodes()) {
       if (a != b) min_switch_dist_ = std::min(min_switch_dist_, cost(a, b));
     }
   }
+  if (min_switch_dist_ == kUnreachable) {
+    // Fewer than two switches: no inter-switch hop exists, so the cheapest
+    // possible chain hop is 0. Leaving it +inf would blow up every
+    // branch-and-bound lower bound that multiplies by it and prune all
+    // feasible single-switch chains.
+    min_switch_dist_ = 0.0;
+  }
 }
 
 std::vector<NodeId> AllPairs::path(NodeId u, NodeId v) const {

@@ -37,7 +37,8 @@ class AllPairs {
   double diameter() const noexcept { return diameter_; }
 
   /// Smallest positive switch-to-switch distance (branch-and-bound lower
-  /// bounds use this as the cheapest possible chain hop).
+  /// bounds use this as the cheapest possible chain hop). 0 on topologies
+  /// with fewer than two switches, where no inter-switch hop exists.
   double min_switch_distance() const noexcept { return min_switch_dist_; }
 
   NodeId num_nodes() const noexcept { return n_; }

@@ -10,18 +10,22 @@ SimTrace run_simulation(const AllPairs& apsp,
   PPDC_REQUIRE(!base_flows.empty(), "simulation needs at least one flow");
   PPDC_REQUIRE(config.hours >= 1, "simulation needs at least one hour");
 
-  std::vector<double> base_rates;
-  std::vector<int> groups;
-  base_rates.reserve(base_flows.size());
-  groups.reserve(base_flows.size());
-  for (const auto& f : base_flows) {
-    base_rates.push_back(f.rate);
-    groups.push_back(f.group);
-  }
+  const std::vector<double> base_rates = rates_of(base_flows);
+  const std::vector<int> groups = groups_of(base_flows);
+  const int n_groups = num_groups(groups);
+
+  // The diurnal model rescales whole groups by one factor per hour
+  // (Eq. 9), so the cost model can serve each epoch by group
+  // recombination. A custom rate schedule may change rates arbitrarily per
+  // flow and keeps the full per-flow rescan.
+  const bool grouped = !config.rate_schedule;
 
   auto rates_at = [&](int hour) {
     if (config.rate_schedule) return config.rate_schedule(hour);
     return diurnal_rates_grouped(config.diurnal, base_rates, groups, hour);
+  };
+  auto scales_at = [&](int hour) {
+    return config.diurnal.group_scales(hour, n_groups);
   };
 
   SimState state;
@@ -30,6 +34,10 @@ SimTrace run_simulation(const AllPairs& apsp,
   // Hour 0: initial traffic-optimal placement (TOP, Algorithm 3).
   set_rates(state.flows, rates_at(0));
   CostModel model(apsp, state.flows);
+  if (grouped) {
+    model.enable_group_refresh(base_rates, groups);
+    model.refresh_scaled(scales_at(0));
+  }
   const PlacementResult initial =
       solve_top_dp(model, n, config.initial_placement);
   state.placement = initial.placement;
@@ -39,7 +47,11 @@ SimTrace run_simulation(const AllPairs& apsp,
 
   for (int hour = 0; hour < config.hours; ++hour) {
     set_rates(state.flows, rates_at(hour));
-    model.refresh();
+    if (grouped) {
+      model.refresh_scaled(scales_at(hour));
+    } else {
+      model.refresh();
+    }
     EpochDecision d;
     if (hour == 0) {
       // The initial placement is already optimal for hour 0; policies only
@@ -47,9 +59,13 @@ SimTrace run_simulation(const AllPairs& apsp,
       d.comm_cost = model.communication_cost(state.placement);
     } else {
       d = policy.on_epoch(model, state);
-      // PLAN/MCF may have moved endpoints: keep the model coherent for the
-      // next refresh (CostModel reads the flow vector it was bound to).
-      model.refresh();
+      // PLAN/MCF may have moved endpoints: patch only the touched flows
+      // (CostModel reads the flow vector it was bound to). Epochs without
+      // endpoint moves need no refresh at all — rates are untouched by
+      // policies.
+      if (!d.moved_flows.empty()) {
+        model.endpoints_moved(d.moved_flows);
+      }
       if (config.downtime_factor > 0.0) {
         d.migration_cost += config.downtime_factor * model.total_rate() *
                             d.migration_distance;

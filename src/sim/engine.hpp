@@ -7,6 +7,14 @@
 // and the migration policy reacts. Costs accounted per epoch: the
 // communication cost C_a of that hour plus whatever migration traffic the
 // policy generated.
+//
+// Cost-model maintenance is incremental on the diurnal path: the hourly
+// rescaling multiplies whole groups, so each epoch's attraction refresh is
+// an O(|groups| · |V_s|) recombination of precomputed per-group base
+// vectors instead of an O(l · |V_s|) rescan, and VM-migration policies
+// report their moved flows (EpochDecision::moved_flows) so only those are
+// patched. A custom rate_schedule disables the fast path (rates may change
+// arbitrarily per flow).
 #pragma once
 
 #include <functional>

@@ -4,7 +4,10 @@
 // interval". This runner regenerates the workload per trial from a
 // deterministic seed stream, runs every policy on identical copies of the
 // state, and aggregates totals plus per-hour series (Fig. 11(a)/(b) plot
-// the per-hour breakdown, Fig. 11(c)/(d) the totals).
+// the per-hour breakdown, Fig. 11(c)/(d) the totals). Each trial × policy
+// × hour rides the engine's incremental group-scaled cost-model refresh
+// (see sim/engine.hpp), which is what keeps Fig. 8/11-style sweeps with
+// tens of thousands of flows tractable.
 #pragma once
 
 #include <string>

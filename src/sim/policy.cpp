@@ -67,6 +67,7 @@ EpochDecision PlanPolicy::on_epoch(const CostModel& model, SimState& state) {
   d.migration_cost = r.migration_cost;
   d.migration_distance = r.migration_distance;
   d.vm_migrations = r.vms_moved;
+  d.moved_flows = r.moved_flow_indices;
   return d;
 }
 
@@ -81,6 +82,7 @@ EpochDecision McfPolicy::on_epoch(const CostModel& model, SimState& state) {
   d.migration_cost = r.migration_cost;
   d.migration_distance = r.migration_distance;
   d.vm_migrations = r.vms_moved;
+  d.moved_flows = r.moved_flow_indices;
   return d;
 }
 

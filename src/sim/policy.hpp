@@ -31,6 +31,11 @@ struct EpochDecision {
   double migration_distance = 0.0;
   int vnf_migrations = 0;
   int vm_migrations = 0;
+  /// Indices of flows whose endpoints the policy relocated this epoch.
+  /// Policies that mutate `SimState::flows` MUST report every touched flow
+  /// here — the engine uses it to patch the cost model incrementally
+  /// instead of re-scanning every flow (CostModel::endpoints_moved).
+  std::vector<int> moved_flows;
 };
 
 /// Interface implemented by every migration strategy.
@@ -39,7 +44,9 @@ class MigrationPolicy {
   virtual ~MigrationPolicy() = default;
   virtual std::string name() const = 0;
   /// Reacts to the epoch's (already refreshed) cost model; may mutate
-  /// `state` (placement and/or flow endpoints).
+  /// `state` (placement and/or flow endpoints). Endpoint mutations must be
+  /// reported via EpochDecision::moved_flows so the engine can patch the
+  /// cost model incrementally.
   virtual EpochDecision on_epoch(const CostModel& model, SimState& state) = 0;
 };
 

@@ -31,6 +31,17 @@ double DiurnalModel::scale_for_group(int hour, int group) const {
   return scale(hour - group * coast_offset);
 }
 
+std::vector<double> DiurnalModel::group_scales(int hour,
+                                               int num_groups) const {
+  PPDC_REQUIRE(num_groups >= 1, "need at least one group");
+  std::vector<double> scales;
+  scales.reserve(static_cast<std::size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    scales.push_back(scale_for_group(hour, g));
+  }
+  return scales;
+}
+
 std::vector<double> diurnal_rates(const DiurnalModel& model,
                                   const std::vector<double>& base_rates,
                                   int hour) {

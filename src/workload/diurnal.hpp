@@ -41,6 +41,11 @@ struct DiurnalModel {
   /// Scale for an explicit time-zone group (0 = east, 1 = west, further
   /// groups lag `coast_offset` hours each).
   double scale_for_group(int hour, int group) const;
+
+  /// Scales of groups 0 .. num_groups-1 at `hour` — the recombination
+  /// weights of the incremental cost-model refresh
+  /// (CostModel::refresh_scaled).
+  std::vector<double> group_scales(int hour, int num_groups) const;
 };
 
 /// Applies the diurnal model: rate_i(h) = base_i * scale_for_flow(h, i).

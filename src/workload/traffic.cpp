@@ -1,5 +1,7 @@
 #include "workload/traffic.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace ppdc {
@@ -40,6 +42,22 @@ std::vector<double> rates_of(const std::vector<VmFlow>& flows) {
   r.reserve(flows.size());
   for (const auto& f : flows) r.push_back(f.rate);
   return r;
+}
+
+std::vector<int> groups_of(const std::vector<VmFlow>& flows) {
+  std::vector<int> g;
+  g.reserve(flows.size());
+  for (const auto& f : flows) g.push_back(f.group);
+  return g;
+}
+
+int num_groups(const std::vector<int>& groups) {
+  int max_group = 0;
+  for (const int g : groups) {
+    PPDC_REQUIRE(g >= 0, "negative group id");
+    max_group = std::max(max_group, g);
+  }
+  return max_group + 1;
 }
 
 void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates) {

@@ -55,6 +55,12 @@ std::vector<double> sample_rates(const RateDistribution& dist, int count,
 /// Extracts the rate vector λ from a flow list.
 std::vector<double> rates_of(const std::vector<VmFlow>& flows);
 
+/// Extracts the time-zone group vector from a flow list.
+std::vector<int> groups_of(const std::vector<VmFlow>& flows);
+
+/// Number of distinct dense group ids (max + 1; 1 for an empty list).
+int num_groups(const std::vector<int>& groups);
+
 /// Overwrites flow rates from a vector (sizes must match).
 void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates);
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
 #include "topology/misc.hpp"
 
 namespace ppdc {
@@ -44,6 +47,20 @@ TEST(AllPairs, MinSwitchDistanceIsOneHop) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
   EXPECT_DOUBLE_EQ(apsp.min_switch_distance(), 1.0);
+}
+
+TEST(AllPairs, MinSwitchDistanceZeroOnSingleSwitchTopologies) {
+  // Regression: with a single switch there is no inter-switch pair, and
+  // the bound used to stay +inf — sending every B&B lower bound that
+  // multiplies by it to infinity and pruning all feasible chains.
+  const Topology linear = build_linear(1);  // h1 - s1 - h2
+  const AllPairs a1(linear.graph);
+  EXPECT_DOUBLE_EQ(a1.min_switch_distance(), 0.0);
+  EXPECT_TRUE(std::isfinite(100.0 * a1.min_switch_distance()));
+
+  const Topology star = build_star(1);  // hub + one leaf: two switches
+  const AllPairs a2(star.graph);
+  EXPECT_DOUBLE_EQ(a2.min_switch_distance(), 1.0);
 }
 
 TEST(AllPairs, PathEndpointsAndContinuity) {

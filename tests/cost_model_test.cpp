@@ -133,6 +133,19 @@ TEST(ValidatePlacement, RejectsBadPlacements) {
   EXPECT_NO_THROW(validate_placement(f.topo.graph, {f.s[0], f.s[1]}));
 }
 
+TEST(CostModel, FlowCostValidatesPlacementLikeCommunicationCost) {
+  // Regression: flow_cost used to skip placement validation entirely.
+  Fig3 f;
+  const auto flows = f.flows(2.0, 3.0);
+  CostModel cm(f.apsp, flows);
+  EXPECT_THROW(cm.flow_cost(flows[0], {}), PpdcError);
+  EXPECT_THROW(cm.flow_cost(flows[0], {f.s[0], f.s[0]}), PpdcError);
+  EXPECT_THROW(cm.flow_cost(flows[0], {f.h1}), PpdcError);
+  // Valid placement: rate * (ingress hop + chain + egress hop).
+  EXPECT_DOUBLE_EQ(cm.flow_cost(flows[0], {f.s[0], f.s[1]}),
+                   2.0 * (1.0 + 1.0 + 2.0));
+}
+
 TEST(CostModel, SingleVnfPlacement) {
   Fig3 f;
   const auto flows = f.flows(10.0, 1.0);

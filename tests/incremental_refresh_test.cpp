@@ -1,0 +1,313 @@
+// Equivalence suite for the incremental group-scaled cost-model refresh:
+// refresh_scaled()/endpoints_moved() must match a from-scratch rebuild to
+// 1e-9 (relative) across diurnal schedules, grouped offsets, degenerate
+// Λ = 0 rates, and after PLAN/MCF endpoint moves — plus a property test
+// over random topologies and seeds, and an engine-level check that the
+// grouped fast path reproduces the full-rescan trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/vm_migration.hpp"
+#include "core/placement_dp.hpp"
+#include "sim/engine.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "topology/misc.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+double rel_tol(double a, double b) {
+  return 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Asserts that `inc` (incrementally maintained) agrees with a cost model
+/// rebuilt from scratch over the same flow vector.
+void expect_matches_rebuild(const AllPairs& apsp,
+                            const std::vector<VmFlow>& flows,
+                            const CostModel& inc) {
+  const CostModel ref(apsp, flows);
+  ASSERT_NEAR(inc.total_rate(), ref.total_rate(),
+              rel_tol(inc.total_rate(), ref.total_rate()));
+  for (const NodeId sw : apsp.graph().switches()) {
+    const double ai = inc.ingress_attraction(sw);
+    const double ar = ref.ingress_attraction(sw);
+    ASSERT_NEAR(ai, ar, rel_tol(ai, ar)) << "ingress at switch " << sw;
+    const double bi = inc.egress_attraction(sw);
+    const double br = ref.egress_attraction(sw);
+    ASSERT_NEAR(bi, br, rel_tol(bi, br)) << "egress at switch " << sw;
+  }
+  ASSERT_NEAR(inc.min_ingress_attraction(), ref.min_ingress_attraction(),
+              rel_tol(inc.min_ingress_attraction(),
+                      ref.min_ingress_attraction()));
+  ASSERT_NEAR(inc.min_egress_attraction(), ref.min_egress_attraction(),
+              rel_tol(inc.min_egress_attraction(),
+                      ref.min_egress_attraction()));
+}
+
+std::vector<VmFlow> spatial_workload(const Topology& topo, int l,
+                                     std::uint64_t seed,
+                                     double zipf = 2.0) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  cfg.rack_zipf_s = zipf;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+TEST(IncrementalRefresh, MatchesFullRebuildAcrossDiurnalSchedule) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 40, 3);
+  const std::vector<double> base = rates_of(flows);
+  const std::vector<int> groups = groups_of(flows);
+  const int n_groups = num_groups(groups);
+
+  CostModel inc(apsp, flows);
+  inc.enable_group_refresh(base, groups);
+  const DiurnalModel diurnal;
+  for (int hour = 0; hour <= 24; ++hour) {
+    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
+    inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
+    expect_matches_rebuild(apsp, flows, inc);
+  }
+}
+
+TEST(IncrementalRefresh, GroupedOffsetsBeyondTwoCoasts) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 30, 5);
+  // Spread the flows over five lagged groups instead of two coasts.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].group = static_cast<int>(i % 5);
+  }
+  const std::vector<double> base = rates_of(flows);
+  const std::vector<int> groups = groups_of(flows);
+
+  CostModel inc(apsp, flows);
+  inc.enable_group_refresh(base, groups);
+  DiurnalModel diurnal;
+  diurnal.coast_offset = 2;
+  for (int hour = 0; hour < 12; ++hour) {
+    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
+    inc.refresh_scaled(diurnal.group_scales(hour, num_groups(groups)));
+    expect_matches_rebuild(apsp, flows, inc);
+  }
+}
+
+TEST(IncrementalRefresh, DegenerateZeroRates) {
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const NodeId h2 = topo.graph.hosts()[1];
+  std::vector<VmFlow> flows{{h1, h2, 0.0, 0}, {h2, h1, 0.0, 1}};
+  CostModel inc(apsp, flows);
+  inc.enable_group_refresh({0.0, 0.0}, {0, 1});
+  inc.refresh_scaled({1.0, 0.5});
+  expect_matches_rebuild(apsp, flows, inc);
+  EXPECT_DOUBLE_EQ(inc.total_rate(), 0.0);
+
+  // Non-zero base rates, all-zero scales: Λ must collapse to 0 too.
+  std::vector<VmFlow> live{{h1, h2, 7.0, 0}, {h2, h1, 3.0, 0}};
+  CostModel inc2(apsp, live);
+  inc2.enable_group_refresh({7.0, 3.0}, {0, 0});
+  inc2.refresh_scaled({0.0});
+  set_rates(live, {0.0, 0.0});
+  expect_matches_rebuild(apsp, live, inc2);
+  EXPECT_DOUBLE_EQ(inc2.total_rate(), 0.0);
+}
+
+TEST(IncrementalRefresh, EndpointMovesFromPlanAndMcf) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  for (const bool use_mcf : {false, true}) {
+    std::vector<VmFlow> flows = spatial_workload(topo, 25, 11, 2.5);
+    const std::vector<double> base = rates_of(flows);
+    const std::vector<int> groups = groups_of(flows);
+
+    CostModel inc(apsp, flows);
+    inc.enable_group_refresh(base, groups);
+    const DiurnalModel diurnal;
+    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 4));
+    inc.refresh_scaled(diurnal.group_scales(4, num_groups(groups)));
+    const Placement p = solve_top_dp(inc, 3).placement;
+
+    VmMigrationConfig cfg;
+    cfg.mu = 0.1;  // cheap moves so endpoints definitely change
+    const VmMigrationResult r =
+        use_mcf ? solve_vm_migration_mcf(apsp, flows, p, cfg)
+                : solve_vm_migration_plan(apsp, flows, p, cfg);
+    ASSERT_GT(r.vms_moved, 0) << (use_mcf ? "MCF" : "PLAN");
+    flows = r.flows;
+    inc.endpoints_moved(r.moved_flow_indices);
+    expect_matches_rebuild(apsp, flows, inc);
+  }
+}
+
+TEST(IncrementalRefresh, LargeDirtySetTriggersRebuildFallback) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 20, 13);
+  const std::vector<double> base = rates_of(flows);
+  const std::vector<int> groups = groups_of(flows);
+
+  CostModel inc(apsp, flows);
+  inc.enable_group_refresh(base, groups);
+  inc.refresh_scaled(DiurnalModel{}.group_scales(6, num_groups(groups)));
+  set_rates(flows,
+            diurnal_rates_grouped(DiurnalModel{}, base, groups, 6));
+
+  // Move every flow to a fresh host: the dirty set covers the whole
+  // population, exercising the full-rebuild fallback.
+  const auto& hosts = topo.graph.hosts();
+  std::vector<int> moved;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].src_host = hosts[(i * 3) % hosts.size()];
+    flows[i].dst_host = hosts[(i * 5 + 1) % hosts.size()];
+    moved.push_back(static_cast<int>(i));
+  }
+  inc.endpoints_moved(moved);
+  expect_matches_rebuild(apsp, flows, inc);
+}
+
+TEST(IncrementalRefresh, PropertyRandomTopologiesScalesAndMoves) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 977);
+    const int shape = static_cast<int>(rng.uniform_int(0, 2));
+    const Topology topo =
+        shape == 0   ? build_fat_tree(4)
+        : shape == 1 ? build_linear(6)
+                     : build_random_connected(10, 8, 14, 0.5, 3.0,
+                                              seed * 31 + 7);
+    const AllPairs apsp(topo.graph);
+    const auto& hosts = topo.graph.hosts();
+
+    const int l = static_cast<int>(rng.uniform_int(1, 30));
+    const int n_groups = static_cast<int>(rng.uniform_int(1, 4));
+    std::vector<VmFlow> flows;
+    for (int i = 0; i < l; ++i) {
+      VmFlow f;
+      f.src_host = hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+      f.dst_host = hosts[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+      f.rate = rng.uniform_real(0.0, 10000.0);
+      f.group = static_cast<int>(rng.uniform_int(0, n_groups - 1));
+      flows.push_back(f);
+    }
+    const std::vector<double> base = rates_of(flows);
+    const std::vector<int> groups = groups_of(flows);
+
+    CostModel inc(apsp, flows);
+    inc.enable_group_refresh(base, groups);
+    for (int step = 0; step < 10; ++step) {
+      std::vector<double> scales;
+      for (int g = 0; g < n_groups; ++g) {
+        scales.push_back(rng.uniform_real(0.0, 2.0));
+      }
+      for (int i = 0; i < l; ++i) {
+        flows[static_cast<std::size_t>(i)].rate =
+            base[static_cast<std::size_t>(i)] *
+            scales[static_cast<std::size_t>(
+                groups[static_cast<std::size_t>(i)])];
+      }
+      inc.refresh_scaled(scales);
+      expect_matches_rebuild(apsp, flows, inc);
+
+      // Occasionally relocate a random subset of endpoints.
+      if (rng.uniform_int(0, 1) == 0) {
+        std::vector<int> moved;
+        const int k = static_cast<int>(rng.uniform_int(1, l));
+        for (int j = 0; j < k; ++j) {
+          const int i = static_cast<int>(rng.uniform_int(0, l - 1));
+          auto& f = flows[static_cast<std::size_t>(i)];
+          f.src_host = hosts[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+          f.dst_host = hosts[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
+          moved.push_back(i);
+        }
+        inc.endpoints_moved(moved);
+        expect_matches_rebuild(apsp, flows, inc);
+      }
+    }
+  }
+}
+
+TEST(IncrementalRefresh, EngineGroupedPathMatchesFullRescanTrace) {
+  // The diurnal fast path must reproduce the trace of an engine run whose
+  // custom rate_schedule emits the *same* rates but forces the full
+  // per-flow rescan on every epoch.
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = spatial_workload(topo, 15, 9, 2.5);
+  const std::vector<double> base = rates_of(flows);
+  const std::vector<int> groups = groups_of(flows);
+
+  SimConfig grouped_cfg;
+  SimConfig rescan_cfg;
+  rescan_cfg.rate_schedule = [&](int hour) {
+    return diurnal_rates_grouped(grouped_cfg.diurnal, base, groups, hour);
+  };
+
+  struct Case {
+    const char* name;
+    std::unique_ptr<MigrationPolicy> a, b;
+  };
+  VmMigrationConfig vm_cfg;
+  vm_cfg.mu = 0.1;
+  Case cases[] = {
+      {"NoMigration", std::make_unique<NoMigrationPolicy>(),
+       std::make_unique<NoMigrationPolicy>()},
+      {"mPareto", std::make_unique<ParetoMigrationPolicy>(10.0),
+       std::make_unique<ParetoMigrationPolicy>(10.0)},
+      {"PLAN", std::make_unique<PlanPolicy>(vm_cfg),
+       std::make_unique<PlanPolicy>(vm_cfg)},
+      {"MCF", std::make_unique<McfPolicy>(vm_cfg),
+       std::make_unique<McfPolicy>(vm_cfg)},
+  };
+  for (auto& c : cases) {
+    const SimTrace fast = run_simulation(apsp, flows, 3, grouped_cfg, *c.a);
+    const SimTrace full = run_simulation(apsp, flows, 3, rescan_cfg, *c.b);
+    ASSERT_EQ(fast.epochs.size(), full.epochs.size()) << c.name;
+    for (std::size_t h = 0; h < fast.epochs.size(); ++h) {
+      EXPECT_NEAR(fast.epochs[h].comm_cost, full.epochs[h].comm_cost,
+                  rel_tol(fast.epochs[h].comm_cost, full.epochs[h].comm_cost))
+          << c.name << " hour " << h;
+      EXPECT_NEAR(fast.epochs[h].migration_cost, full.epochs[h].migration_cost,
+                  rel_tol(fast.epochs[h].migration_cost,
+                          full.epochs[h].migration_cost))
+          << c.name << " hour " << h;
+    }
+    EXPECT_NEAR(fast.total_cost, full.total_cost,
+                rel_tol(fast.total_cost, full.total_cost))
+        << c.name;
+    EXPECT_EQ(fast.total_vnf_migrations, full.total_vnf_migrations) << c.name;
+    EXPECT_EQ(fast.total_vm_migrations, full.total_vm_migrations) << c.name;
+  }
+}
+
+TEST(IncrementalRefresh, RejectsBadInput) {
+  const Topology topo = build_linear(3);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  std::vector<VmFlow> flows{{h1, h1, 1.0, 0}};
+  CostModel cm(apsp, flows);
+  EXPECT_THROW(cm.refresh_scaled({1.0}), PpdcError);  // not enabled
+  EXPECT_THROW(cm.enable_group_refresh({1.0, 2.0}, {0, 0}), PpdcError);
+  EXPECT_THROW(cm.enable_group_refresh({1.0}, {-1}), PpdcError);
+  EXPECT_THROW(cm.enable_group_refresh({-1.0}, {0}), PpdcError);
+  cm.enable_group_refresh({1.0}, {0});
+  EXPECT_THROW(cm.refresh_scaled({1.0, 2.0}), PpdcError);  // wrong arity
+  EXPECT_THROW(cm.refresh_scaled({-0.5}), PpdcError);
+  cm.refresh_scaled({0.5});
+  EXPECT_THROW(cm.endpoints_moved({7}), PpdcError);  // index out of range
+}
+
+}  // namespace
+}  // namespace ppdc

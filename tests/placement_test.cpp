@@ -103,6 +103,38 @@ TEST(PlacementDp, CandidateLimitKeepsQualityOnFatTree) {
   EXPECT_LE(pruned.comm_cost, 1.3 * full.comm_cost + 1e-9);
 }
 
+TEST(PlacementDp, CandidateLimitAppliesToLengthTwoChains) {
+  // Regression: the n == 2 branch used to ignore candidate_limit and scan
+  // all O(|V_s|²) ordered pairs.
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 10, 61);
+  CostModel cm(apsp, flows);
+  const PlacementResult full = solve_top_dp(cm, 2);
+  TopDpOptions limited;
+  limited.candidate_limit = 6;
+  const PlacementResult pruned = solve_top_dp(cm, 2, limited);
+  EXPECT_NO_THROW(validate_placement(topo.graph, pruned.placement));
+  EXPECT_EQ(pruned.placement.size(), 2u);
+  EXPECT_GE(pruned.comm_cost + 1e-9, full.comm_cost);
+  EXPECT_LE(pruned.comm_cost, 1.3 * full.comm_cost + 1e-9);
+}
+
+TEST(PlacementDp, DegenerateLengthTwoPruningFallsBackUnpruned) {
+  // All traffic under one rack switch: limit 1 selects that switch for
+  // both roles, so the pruned scan is infeasible and must fall back to the
+  // full scan (returning the true optimum).
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const std::vector<VmFlow> flows{{topo.racks[0][0], topo.racks[0][1], 9.0}};
+  CostModel cm(apsp, flows);
+  const PlacementResult full = solve_top_dp(cm, 2);
+  TopDpOptions limited;
+  limited.candidate_limit = 1;
+  const PlacementResult pruned = solve_top_dp(cm, 2, limited);
+  EXPECT_DOUBLE_EQ(pruned.comm_cost, full.comm_cost);
+}
+
 TEST(PlacementDp, RejectsBadInput) {
   const Topology topo = build_linear(3);
   const AllPairs apsp(topo.graph);
