@@ -104,7 +104,9 @@ int main(int argc, char** argv) {
   cfg.sim.initial_placement = dp_opts;
 
   NoMigrationPolicy none;
-  ParetoMigrationPolicy pareto(mu, ParetoMigrationOptions{dp_opts, false, 0});
+  ParetoMigrationOptions pareto_opts;
+  pareto_opts.placement = dp_opts;
+  ParetoMigrationPolicy pareto(mu, pareto_opts);
   std::vector<std::unique_ptr<ReplicationPolicy>> reps;
   std::vector<MigrationPolicy*> policies{&none, &pareto};
   for (const int r : replica_counts) {

@@ -1,6 +1,7 @@
 #include "baselines/vm_migration.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -42,10 +43,14 @@ std::vector<Endpoint> all_endpoints(const std::vector<VmFlow>& flows) {
   return eps;
 }
 
-/// Communication cost term owned by one endpoint at host h.
+/// Communication cost term owned by one endpoint at host h. Rate-zero
+/// flows (including fault-quarantined ones, whose endpoint distances may
+/// be +inf on a degraded fabric) cost nothing — the explicit guard keeps
+/// the arithmetic NaN-free (0 * inf = NaN).
 double endpoint_cost(const AllPairs& apsp, const std::vector<VmFlow>& flows,
                      const Endpoint& ep, const Placement& p, NodeId h) {
   const double rate = flows[static_cast<std::size_t>(ep.flow)].rate;
+  if (rate == 0.0) return 0.0;
   return rate * apsp.cost(h, ep.anchor(p));
 }
 
@@ -58,6 +63,7 @@ double full_comm_cost(const AllPairs& apsp, const std::vector<VmFlow>& flows,
   }
   double total = 0.0;
   for (const auto& f : flows) {
+    if (f.rate == 0.0) continue;  // NaN-safety, see endpoint_cost
     total += f.rate * (apsp.cost(f.src_host, p.front()) + chain +
                        apsp.cost(p.back(), f.dst_host));
   }
@@ -270,6 +276,11 @@ VmMigrationResult solve_vm_migration_mcf(const AllPairs& apsp,
           config.horizon_hours *
               endpoint_cost(apsp, flows, ep, vnf_placement, h) +
           config.mu * apsp.cost(cur, h);
+      // On a degraded fabric an unreachable candidate costs +inf; such
+      // arcs would poison the MCF potentials, so drop them. The
+      // current-host arc is always finite (zero migration distance and a
+      // guarded endpoint cost), keeping the status quo feasible.
+      if (!std::isfinite(cost)) continue;
       const int row = host_row[static_cast<std::size_t>(h)];
       PPDC_REQUIRE(row >= 0, "candidate host missing from host table");
       refs.push_back(

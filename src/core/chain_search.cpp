@@ -20,14 +20,15 @@ class Searcher {
            const ChainSearchConfig& config)
       : model_(model),
         apsp_(model.apsp()),
-        switches_(apsp_.graph().switches()),
+        switches_(model.placement_candidates()),
         n_(n),
         extra_(extra),
-        config_(config) {
+        config_(config),
+        deadline_(config.budget) {
     const std::size_t s = switches_.size();
     PPDC_REQUIRE(n_ >= 1, "need at least one VNF");
     PPDC_REQUIRE(static_cast<std::size_t>(n_) <= s,
-                 "more VNFs than switches");
+                 "more VNFs than eligible switches");
     PPDC_REQUIRE(extra_.empty() ||
                      (extra_.size() == static_cast<std::size_t>(n_) &&
                       extra_[0].size() == s),
@@ -142,6 +143,14 @@ class Searcher {
       exhausted_ = true;
       return;
     }
+    // Wall-clock deadline, polled cheaply every 1024 nodes. Gated on an
+    // incumbent existing: the search never aborts before a first complete
+    // placement has been recorded, so run() always returns a valid answer
+    // (graceful degradation instead of a throw under a ~0 budget).
+    if ((nodes_ & 1023u) == 0 && best_cost_ < kInf && deadline_.expired()) {
+      exhausted_ = true;
+      return;
+    }
     used_[prev_row] = 1;
     current_[static_cast<std::size_t>(depth - 1)] = switches_[prev_row];
 
@@ -195,6 +204,7 @@ class Searcher {
   double best_cost_ = kInf;
   std::uint64_t nodes_ = 0;
   bool exhausted_ = false;
+  Deadline deadline_;
 };
 
 }  // namespace
@@ -216,7 +226,7 @@ ChainSearchResult solve_tom_exhaustive(const CostModel& model,
                                        const Placement& from, double mu,
                                        const ChainSearchConfig& config) {
   PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
-  const auto& switches = model.apsp().graph().switches();
+  const auto& switches = model.placement_candidates();
   std::vector<std::vector<double>> extra(
       from.size(), std::vector<double>(switches.size(), 0.0));
   for (std::size_t j = 0; j < from.size(); ++j) {

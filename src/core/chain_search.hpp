@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/solve_budget.hpp"
 
 namespace ppdc {
 
@@ -40,14 +41,20 @@ struct ChainSearchConfig {
   /// Max partial assignments expanded before giving up on proof of
   /// optimality. 0 means unlimited.
   std::uint64_t node_budget = 200'000'000;
+  /// Wall-clock budget. When it expires the search stops at the incumbent
+  /// (proven_optimal = false) — but never before a first full placement
+  /// exists, so the result is always valid. Default: unlimited.
+  SolveBudget budget;
   /// Optional warm-start placement (e.g. the DP solution); its objective
   /// seeds the incumbent so pruning bites immediately.
   std::optional<Placement> initial;
 };
 
 /// Minimizes the chain objective. `extra` is either empty (TOP) or an
-/// n x |switches| row-major matrix indexed by [position][switch-row] in
-/// the order of graph().switches() (TOM).
+/// n x |candidates| row-major matrix indexed by [position][switch-row] in
+/// the order of model.placement_candidates() (TOM). The search universe is
+/// placement_candidates(): all switches normally, only the alive serving
+/// partition on a degraded fabric.
 ChainSearchResult chain_search(const CostModel& model, int n,
                                const std::vector<std::vector<double>>& extra,
                                const ChainSearchConfig& config = {});

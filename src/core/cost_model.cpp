@@ -52,6 +52,10 @@ void CostModel::refresh() {
     const NodeId sw = switches[static_cast<std::size_t>(si)];
     double a = 0.0, b = 0.0;
     for (const auto& f : *flows_) {
+      // Zero-rate flows contribute nothing; skipping them also keeps the
+      // sums NaN-free on degraded fabrics, where a quarantined flow's
+      // endpoint distance is +inf (0 * inf = NaN).
+      if (f.rate == 0.0) continue;
       a += f.rate * apsp_->cost(f.src_host, sw);
       b += f.rate * apsp_->cost(sw, f.dst_host);
     }
@@ -76,7 +80,7 @@ void CostModel::refresh() {
 void CostModel::rescan_minima() {
   min_ingress_ = std::numeric_limits<double>::infinity();
   min_egress_ = std::numeric_limits<double>::infinity();
-  for (const NodeId sw : apsp_->graph().switches()) {
+  for (const NodeId sw : placement_candidates()) {
     const double a = ingress_[static_cast<std::size_t>(sw)];
     const double b = egress_[static_cast<std::size_t>(sw)];
     if (a < min_ingress_) {
@@ -88,6 +92,21 @@ void CostModel::rescan_minima() {
       best_egress_ = sw;
     }
   }
+}
+
+void CostModel::restrict_candidates(std::vector<NodeId> candidates) {
+  PPDC_REQUIRE(!candidates.empty(),
+               "placement-candidate restriction must not be empty");
+  std::unordered_set<NodeId> seen;
+  for (const NodeId s : candidates) {
+    PPDC_REQUIRE(s >= 0 && s < apsp_->num_nodes(),
+                 "placement candidate out of range");
+    PPDC_REQUIRE(apsp_->graph().is_switch(s),
+                 "placement candidates must be switches");
+    PPDC_REQUIRE(seen.insert(s).second, "duplicate placement candidate");
+  }
+  candidates_ = std::move(candidates);
+  rescan_minima();
 }
 
 void CostModel::enable_group_refresh(const std::vector<double>& base_rates,
@@ -129,6 +148,9 @@ void CostModel::rebuild_group_bases() {
     const NodeId sw = switches[static_cast<std::size_t>(si)];
     const auto col = static_cast<std::size_t>(sw);
     for (std::size_t i = 0; i < groups_.size(); ++i) {
+      // Zero-base flows (including fault-quarantined ones, whose distances
+      // may be +inf) contribute nothing.
+      if (base_rates_[i] == 0.0) continue;
       const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
       group_ingress_[row + col] +=
           base_rates_[i] * apsp_->cost(snap_src_[i], sw);
@@ -143,6 +165,12 @@ void CostModel::patch_moved_flow(std::size_t i) {
   const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
   const double base = base_rates_[i];
   const VmFlow& f = (*flows_)[i];
+  if (base == 0.0) {
+    // No base-vector contribution to move; just track the endpoints.
+    snap_src_[i] = f.src_host;
+    snap_dst_[i] = f.dst_host;
+    return;
+  }
   if (f.src_host != snap_src_[i]) {
     for (const NodeId sw : apsp_->graph().switches()) {
       group_ingress_[row + static_cast<std::size_t>(sw)] +=

@@ -78,6 +78,20 @@ class CostModel {
   /// (or when group refresh is disabled).
   void endpoints_moved(const std::vector<int>& flow_indices);
 
+  /// Restricts the switches eligible to host VNFs (fault tolerance: only
+  /// alive switches of the serving partition may be placement targets).
+  /// Every solver routed through this model (DP, branch-and-bound,
+  /// mPareto) draws its candidate universe from placement_candidates().
+  /// The set must be non-empty and contain only switches; the argmin
+  /// caches (best/min ingress and egress) are rescanned over it.
+  void restrict_candidates(std::vector<NodeId> candidates);
+
+  /// Switches eligible for placement: the restricted set, or every switch
+  /// of the topology when no restriction is active.
+  const std::vector<NodeId>& placement_candidates() const noexcept {
+    return candidates_.empty() ? apsp_->graph().switches() : candidates_;
+  }
+
   /// Σ_i λ_i.
   double total_rate() const noexcept { return lambda_sum_; }
 
@@ -131,6 +145,7 @@ class CostModel {
 
   const AllPairs* apsp_;
   const std::vector<VmFlow>* flows_;
+  std::vector<NodeId> candidates_;  ///< empty = all switches eligible
   double lambda_sum_ = 0.0;
   std::vector<double> ingress_;  ///< indexed by NodeId
   std::vector<double> egress_;

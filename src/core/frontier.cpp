@@ -68,6 +68,15 @@ std::int64_t MigrationFrontiers::frontier_count() const noexcept {
 void MigrationFrontiers::for_each_frontier(
     std::int64_t max_enumerated,
     const std::function<void(const Placement&)>& visit) const {
+  for_each_frontier_until(max_enumerated, [&](const Placement& fr) {
+    visit(fr);
+    return true;
+  });
+}
+
+void MigrationFrontiers::for_each_frontier_until(
+    std::int64_t max_enumerated,
+    const std::function<bool(const Placement&)>& visit) const {
   PPDC_REQUIRE(frontier_count() <= max_enumerated,
                "frontier space too large to enumerate");
   const std::size_t n = paths_.size();
@@ -77,7 +86,7 @@ void MigrationFrontiers::for_each_frontier(
     for (std::size_t j = 0; j < n; ++j) {
       fr[j] = paths_[j][static_cast<std::size_t>(odometer[j])];
     }
-    visit(fr);
+    if (!visit(fr)) return;
     // Increment odometer.
     std::size_t j = 0;
     while (j < n) {

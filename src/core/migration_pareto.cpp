@@ -73,9 +73,16 @@ MigrationResult solve_tom_pareto(const CostModel& model,
   }
   if (options.exhaustive_frontiers &&
       frontiers.frontier_count() <= options.frontier_budget) {
-    frontiers.for_each_frontier(
-        options.frontier_budget,
-        [&](const Placement& fr) { consider(fr, /*record_point=*/false); });
+    // Deadline-bounded scan: polled every 256 rows; on expiry the best
+    // frontier seen so far stands (the parallel rows above guarantee a
+    // valid, never-worse-than-stay-put incumbent already exists).
+    const Deadline deadline(options.budget);
+    std::int64_t visited = 0;
+    frontiers.for_each_frontier_until(
+        options.frontier_budget, [&](const Placement& fr) {
+          consider(fr, /*record_point=*/false);
+          return (++visited & 255) != 0 || !deadline.expired();
+        });
   }
 
   PPDC_REQUIRE(best_total < kInf,

@@ -16,6 +16,7 @@
 
 #include "core/cost_model.hpp"
 #include "core/placement_dp.hpp"
+#include "core/solve_budget.hpp"
 
 namespace ppdc {
 
@@ -46,6 +47,11 @@ struct ParetoMigrationOptions {
   /// near-optimal reference used as the "Optimal" proxy at k = 16 scale.
   bool exhaustive_frontiers = false;
   std::int64_t frontier_budget = 2'000'000;
+  /// Wall-clock budget for the exhaustive general-frontier scan. On expiry
+  /// the scan stops and the best frontier seen so far wins. The parallel
+  /// rows are always evaluated in full (row 1 is "stay put", so the result
+  /// is never worse than not migrating). Default: unlimited.
+  SolveBudget budget;
 };
 
 /// Algorithm 5 (and its frontier-exhaustive extension). `model` must

@@ -30,10 +30,12 @@ std::vector<NodeId> top_candidates(const std::vector<NodeId>& switches,
 PlacementResult solve_top_dp(const CostModel& model, int n,
                              const TopDpOptions& options) {
   const AllPairs& apsp = model.apsp();
-  const auto& switches = apsp.graph().switches();
+  // The candidate universe: every switch normally, only the alive switches
+  // of the serving partition on a degraded fabric.
+  const auto& switches = model.placement_candidates();
   PPDC_REQUIRE(n >= 1, "need at least one VNF");
   PPDC_REQUIRE(static_cast<std::size_t>(n) <= switches.size(),
-               "more VNFs than switches");
+               "more VNFs than eligible switches");
 
   PlacementResult best;
   double best_cost = kInf;
@@ -95,7 +97,7 @@ PlacementResult solve_top_dp(const CostModel& model, int n,
       switches, options.candidate_limit,
       [&](NodeId w) { return model.ingress_attraction(w); });
   for (const NodeId egress : egress_candidates) {
-    StrollTable table(apsp, egress, rate);
+    StrollTable table(apsp, egress, rate, switches);
     for (const NodeId ingress : ingress_candidates) {
       if (ingress == egress) continue;
       StrollResult stroll = table.find(ingress, n - 2);

@@ -1,0 +1,46 @@
+// Wall-clock solve budgets for the exact/near-exact solvers.
+//
+// The exhaustive branch-and-bound (Algorithms 4/6) and the
+// frontier-exhaustive scan are worst-case exponential; in a live epoch loop
+// they must never hang past the epoch boundary. A SolveBudget carries a
+// wall-clock deadline that the solvers poll; on expiry they stop expanding
+// and return the best placement found so far (callers seed an incumbent —
+// the DP answer or the current placement — so "best so far" is always a
+// valid placement, never a throw). Default is unlimited, which keeps every
+// solver deterministic; deadlines trade reproducibility of the *search
+// effort* (not of feasibility) for bounded latency.
+#pragma once
+
+#include <chrono>
+
+namespace ppdc {
+
+/// Wall-clock budget for one solver invocation. wall_ms <= 0 = unlimited.
+struct SolveBudget {
+  double wall_ms = 0.0;
+
+  bool unlimited() const noexcept { return wall_ms <= 0.0; }
+};
+
+/// Deadline derived from a SolveBudget at solve start. Cheap to poll.
+class Deadline {
+ public:
+  explicit Deadline(const SolveBudget& budget) : limited_(!budget.unlimited()) {
+    if (limited_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(budget.wall_ms));
+    }
+  }
+
+  /// True once the budget is spent. Unlimited deadlines never expire.
+  bool expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace ppdc

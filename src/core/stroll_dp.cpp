@@ -12,13 +12,21 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
-                         double rate)
+                         double rate, std::vector<NodeId> universe)
     : apsp_(&apsp), t_(destination), rate_(rate) {
   PPDC_REQUIRE(rate > 0.0, "stroll rate must be positive");
   const Graph& g = apsp.graph();
   PPDC_REQUIRE(destination >= 0 && destination < g.num_nodes(),
                "destination out of range");
-  switches_ = g.switches();
+  if (universe.empty()) {
+    switches_ = g.switches();
+  } else {
+    for (const NodeId u : universe) {
+      PPDC_REQUIRE(u >= 0 && u < g.num_nodes() && g.is_switch(u),
+                   "stroll universe entries must be switches");
+    }
+    switches_ = std::move(universe);
+  }
   switch_index_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     switch_index_[static_cast<std::size_t>(switches_[i])] =

@@ -46,8 +46,13 @@ struct StrollResult {
 class StrollTable {
  public:
   /// `rate` scales every metric distance (the λ_1 of TOP-1, or Λ when the
-  /// table is used inside Algorithm 3's chain placement).
-  StrollTable(const AllPairs& apsp, NodeId destination, double rate = 1.0);
+  /// table is used inside Algorithm 3's chain placement). A non-empty
+  /// `universe` restricts the DP rows (and hence every intermediate and
+  /// fallback switch) to the given switches — the fault-tolerant solvers
+  /// pass CostModel::placement_candidates() so strolls never route through
+  /// failed switches; empty means every switch of the topology.
+  StrollTable(const AllPairs& apsp, NodeId destination, double rate = 1.0,
+              std::vector<NodeId> universe = {});
 
   /// Finds a min-cost stroll from `s` to the table's destination visiting
   /// at least `n_distinct` distinct switches (excluding s and the

@@ -1,0 +1,46 @@
+#include "fault/degraded.hpp"
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+DegradedNetwork::DegradedNetwork(const Graph& pristine,
+                                 const std::vector<char>& dead_node,
+                                 const std::vector<EdgeKey>& dead_edges)
+    : graph_(masked_copy(pristine, dead_node, dead_edges)),
+      apsp_(graph_, /*allow_disconnected=*/true),
+      dead_(dead_node),
+      comp_(connected_components(graph_)) {
+  // Alive-switch census per component. Dead switches are isolated in the
+  // masked copy (each sits in its own singleton component) and must not
+  // count toward any core.
+  std::vector<int> alive_switches;
+  for (const NodeId s : graph_.switches()) {
+    if (dead_[static_cast<std::size_t>(s)]) continue;
+    const int c = comp_[static_cast<std::size_t>(s)];
+    if (static_cast<std::size_t>(c) >= alive_switches.size()) {
+      alive_switches.resize(static_cast<std::size_t>(c) + 1, 0);
+    }
+    ++alive_switches[static_cast<std::size_t>(c)];
+  }
+  for (std::size_t c = 0; c < alive_switches.size(); ++c) {
+    if (core_comp_ < 0 ||
+        alive_switches[c] >
+            alive_switches[static_cast<std::size_t>(core_comp_)]) {
+      core_comp_ = static_cast<int>(c);
+    }
+  }
+  if (core_comp_ >= 0) {
+    for (const NodeId s : graph_.switches()) {
+      if (in_core(s)) core_switches_.push_back(s);
+    }
+  }
+}
+
+bool DegradedNetwork::in_core(NodeId v) const {
+  PPDC_REQUIRE(v >= 0 && v < graph_.num_nodes(), "node out of range");
+  return !dead_[static_cast<std::size_t>(v)] &&
+         comp_[static_cast<std::size_t>(v)] == core_comp_;
+}
+
+}  // namespace ppdc

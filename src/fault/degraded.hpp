@@ -1,0 +1,60 @@
+// Degraded view of a faulted fabric.
+//
+// Masking the dead switches and links out of the pristine topology can
+// split the graph into several components. DegradedNetwork owns:
+//
+//   * the masked Graph copy (same node ids/kinds/labels as the pristine
+//     graph, so placements and flow endpoints remain addressable),
+//   * an allow-disconnected AllPairs over it (cost +inf across cuts),
+//   * the *serving core*: the connected component holding the most alive
+//     switches (ties break toward the lowest component id). VNFs may only
+//     be placed inside the core; flows with an endpoint outside it are
+//     quarantined by the simulation until repairs reconnect them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+
+namespace ppdc {
+
+/// Masked topology + metric + serving-core bookkeeping. Non-copyable and
+/// non-movable (the APSP holds a pointer to the owned graph); hold it by
+/// unique_ptr and rebuild whenever the fault set changes.
+class DegradedNetwork {
+ public:
+  DegradedNetwork(const Graph& pristine, const std::vector<char>& dead_node,
+                  const std::vector<EdgeKey>& dead_edges);
+
+  DegradedNetwork(const DegradedNetwork&) = delete;
+  DegradedNetwork& operator=(const DegradedNetwork&) = delete;
+
+  const Graph& graph() const noexcept { return graph_; }
+  const AllPairs& apsp() const noexcept { return apsp_; }
+
+  /// True when `v` is alive and inside the serving core.
+  bool in_core(NodeId v) const;
+
+  /// Alive switches of the serving core, ascending by id. Empty only when
+  /// every switch is dead.
+  const std::vector<NodeId>& core_switches() const noexcept {
+    return core_switches_;
+  }
+
+  /// True when the core can host an n-VNF chain (n distinct switches).
+  bool core_can_host(int n) const noexcept {
+    return n >= 1 && static_cast<std::size_t>(n) <= core_switches_.size();
+  }
+
+ private:
+  Graph graph_;
+  AllPairs apsp_;
+  std::vector<char> dead_;
+  std::vector<int> comp_;
+  int core_comp_ = -1;  ///< -1 when no switch is alive
+  std::vector<NodeId> core_switches_;
+};
+
+}  // namespace ppdc

@@ -1,0 +1,170 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace ppdc {
+
+namespace {
+
+/// Per-epoch transition probability of a geometric sojourn with mean
+/// `mean_epochs`. A mean of 0 disables the transition; means below one
+/// epoch saturate at certainty.
+double per_epoch_prob(double mean_epochs) {
+  if (mean_epochs <= 0.0) return 0.0;
+  return std::min(1.0, 1.0 / mean_epochs);
+}
+
+}  // namespace
+
+FaultSchedule generate_fault_schedule(const Graph& g,
+                                      const FaultScheduleConfig& config) {
+  PPDC_REQUIRE(config.hours >= 1, "fault schedule needs at least one epoch");
+  PPDC_REQUIRE(config.switch_mtbf >= 0.0 && config.link_mtbf >= 0.0,
+               "negative MTBF");
+  PPDC_REQUIRE(config.switch_mttr >= 0.0 && config.link_mttr >= 0.0,
+               "negative MTTR");
+
+  const double p_switch_fail = per_epoch_prob(config.switch_mtbf);
+  const double p_link_fail = per_epoch_prob(config.link_mtbf);
+  // MTTR of 0 means repair at the next epoch boundary.
+  const double p_switch_repair =
+      config.switch_mttr > 0.0 ? per_epoch_prob(config.switch_mttr) : 1.0;
+  const double p_link_repair =
+      config.link_mttr > 0.0 ? per_epoch_prob(config.link_mttr) : 1.0;
+
+  // Fabric links (switch-switch, normalized, id-sorted for determinism).
+  std::vector<EdgeKey> links;
+  for (const NodeId u : g.switches()) {
+    for (const auto& a : g.neighbors(u)) {
+      if (u < a.to && g.is_switch(a.to)) links.emplace_back(u, a.to);
+    }
+  }
+  std::sort(links.begin(), links.end());
+
+  const auto& switches = g.switches();
+  std::vector<char> switch_down(switches.size(), 0);
+  std::vector<char> link_down(links.size(), 0);
+
+  Rng rng(config.seed);
+  FaultSchedule schedule;
+  for (int epoch = 1; epoch < config.hours; ++epoch) {
+    for (std::size_t i = 0; i < switches.size(); ++i) {
+      if (!switch_down[i] && rng.bernoulli(p_switch_fail)) {
+        switch_down[i] = 1;
+        schedule.push_back({epoch, FaultKind::kSwitchFail, switches[i],
+                            kInvalidNode, kInvalidNode});
+      } else if (switch_down[i] && rng.bernoulli(p_switch_repair)) {
+        switch_down[i] = 0;
+        schedule.push_back({epoch, FaultKind::kSwitchRepair, switches[i],
+                            kInvalidNode, kInvalidNode});
+      }
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const auto& [u, v] = links[i];
+      if (!link_down[i] && rng.bernoulli(p_link_fail)) {
+        link_down[i] = 1;
+        schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v});
+      } else if (link_down[i] && rng.bernoulli(p_link_repair)) {
+        link_down[i] = 0;
+        schedule.push_back({epoch, FaultKind::kLinkRepair, kInvalidNode, u, v});
+      }
+    }
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(const Graph& pristine, FaultSchedule schedule)
+    : pristine_(&pristine),
+      schedule_(std::move(schedule)),
+      dead_nodes_(static_cast<std::size_t>(pristine.num_nodes()), 0) {
+  int prev_epoch = 0;
+  for (const FaultEvent& e : schedule_) {
+    PPDC_REQUIRE(e.epoch >= prev_epoch,
+                 "fault schedule must be sorted by epoch");
+    prev_epoch = e.epoch;
+    switch (e.kind) {
+      case FaultKind::kSwitchFail:
+      case FaultKind::kSwitchRepair:
+        PPDC_REQUIRE(e.node >= 0 && e.node < pristine.num_nodes() &&
+                         pristine.is_switch(e.node),
+                     "switch fault events must name a switch");
+        break;
+      case FaultKind::kLinkFail:
+      case FaultKind::kLinkRepair:
+        PPDC_REQUIRE(e.u >= 0 && e.v >= 0 && e.u < e.v &&
+                         e.v < pristine.num_nodes() &&
+                         pristine.has_edge(e.u, e.v),
+                     "link fault events must name an existing edge (u < v)");
+        break;
+    }
+  }
+}
+
+EpochFaults FaultInjector::advance_to(int epoch) {
+  PPDC_REQUIRE(epoch > last_epoch_,
+               "fault injector epochs must strictly increase");
+  last_epoch_ = epoch;
+  EpochFaults out;
+  while (next_event_ < schedule_.size() &&
+         schedule_[next_event_].epoch <= epoch) {
+    // Events of epochs the caller skipped are applied too (and counted
+    // here): the dead set must always reflect every event up to `epoch`,
+    // or a later repair would target a component that never failed.
+    const FaultEvent& e = schedule_[next_event_++];
+    apply(e);
+    out.topology_changed = true;
+    switch (e.kind) {
+      case FaultKind::kSwitchFail:
+        ++out.switch_failures;
+        break;
+      case FaultKind::kLinkFail:
+        ++out.link_failures;
+        break;
+      case FaultKind::kSwitchRepair:
+      case FaultKind::kLinkRepair:
+        ++out.repairs;
+        break;
+    }
+  }
+  return out;
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kSwitchFail: {
+      auto& dead = dead_nodes_[static_cast<std::size_t>(e.node)];
+      PPDC_REQUIRE(!dead, "switch failed while already down");
+      dead = 1;
+      ++dead_switch_count_;
+      break;
+    }
+    case FaultKind::kSwitchRepair: {
+      auto& dead = dead_nodes_[static_cast<std::size_t>(e.node)];
+      PPDC_REQUIRE(dead, "switch repaired while not down");
+      dead = 0;
+      --dead_switch_count_;
+      break;
+    }
+    case FaultKind::kLinkFail: {
+      const EdgeKey key{e.u, e.v};
+      PPDC_REQUIRE(std::find(dead_edges_.begin(), dead_edges_.end(), key) ==
+                       dead_edges_.end(),
+                   "link failed while already down");
+      dead_edges_.push_back(key);
+      break;
+    }
+    case FaultKind::kLinkRepair: {
+      const EdgeKey key{e.u, e.v};
+      const auto it =
+          std::find(dead_edges_.begin(), dead_edges_.end(), key);
+      PPDC_REQUIRE(it != dead_edges_.end(), "link repaired while not down");
+      dead_edges_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace ppdc

@@ -1,0 +1,123 @@
+// Fail-stop fault injection for the dynamic PPDC simulation.
+//
+// The paper's model assumes a pristine fabric; real data centers lose
+// switches and links (and get them back) while the SFC is serving traffic.
+// This subsystem provides:
+//
+//   * FaultSchedule — a deterministic, seed-reproducible timeline of
+//     switch/link failure and repair events, one alternating-renewal
+//     process per component (geometric sojourns with means MTBF / MTTR,
+//     the discrete-epoch analogue of the usual exponential model).
+//   * FaultInjector — replays a schedule epoch by epoch, maintaining the
+//     set of currently dead switches and fabric links and validating that
+//     the event stream is consistent (no double failures, no repairing
+//     what is not broken).
+//
+// The injector never touches the pristine Graph: consumers build a
+// DegradedNetwork (masked copy + allow-disconnected APSP) whenever
+// advance_to() reports a topology change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppdc {
+
+/// What happened to which component.
+enum class FaultKind : std::uint8_t {
+  kSwitchFail,
+  kSwitchRepair,
+  kLinkFail,
+  kLinkRepair,
+};
+
+/// One timeline entry. Switch events use `node`; link events use `u`/`v`
+/// (normalized u < v, see make_edge_key).
+struct FaultEvent {
+  int epoch = 0;
+  FaultKind kind = FaultKind::kSwitchFail;
+  NodeId node = kInvalidNode;  ///< switch events
+  NodeId u = kInvalidNode;     ///< link events, u < v
+  NodeId v = kInvalidNode;
+};
+
+/// A timeline of fault events, non-decreasing in epoch.
+using FaultSchedule = std::vector<FaultEvent>;
+
+/// Parameters of the renewal fault process. All times are in epochs
+/// (simulation hours); a mean of 0 disables that event class.
+struct FaultScheduleConfig {
+  int hours = 24;              ///< epochs [0, hours); epoch 0 is fault-free
+  double switch_mtbf = 0.0;    ///< mean epochs between switch failures
+  double switch_mttr = 2.0;    ///< mean epochs until a dead switch returns
+  double link_mtbf = 0.0;      ///< mean epochs between fabric-link failures
+  double link_mttr = 2.0;      ///< mean epochs until a dead link returns
+  std::uint64_t seed = 0;
+};
+
+/// Draws a deterministic schedule for `g`: every switch and every
+/// switch-switch fabric link runs an independent alternating up/down
+/// process (per-epoch failure probability 1/MTBF while up, repair
+/// probability 1/MTTR while down). Host uplinks never fail on their own —
+/// losing a ToR switch already models rack disconnection. Events start at
+/// epoch 1 so the initial placement always happens on the pristine fabric.
+FaultSchedule generate_fault_schedule(const Graph& g,
+                                      const FaultScheduleConfig& config);
+
+/// What advance_to() applied for one epoch.
+struct EpochFaults {
+  int switch_failures = 0;
+  int link_failures = 0;
+  int repairs = 0;  ///< switch + link repairs
+  /// True when any event fired this epoch (the degraded view of the
+  /// topology must be rebuilt).
+  bool topology_changed = false;
+};
+
+/// Replays a FaultSchedule against a pristine graph, tracking which
+/// switches and fabric links are currently dead.
+class FaultInjector {
+ public:
+  /// Validates the schedule shape (epoch-sorted, switch events name
+  /// switches, link events name existing normalized edges). Consistency of
+  /// the fail/repair alternation is checked as events are applied.
+  FaultInjector(const Graph& pristine, FaultSchedule schedule);
+
+  /// Applies every not-yet-applied event up to and including `epoch`.
+  /// Epochs must be visited in strictly increasing order (the simulation
+  /// loop calls this once per hour and never skips, so normally this is
+  /// exactly the events of `epoch`).
+  EpochFaults advance_to(int epoch);
+
+  const Graph& pristine() const noexcept { return *pristine_; }
+
+  /// One entry per node; 1 = currently failed (only switches ever fail).
+  const std::vector<char>& dead_nodes() const noexcept { return dead_nodes_; }
+
+  /// Currently failed fabric links, normalized u < v.
+  const std::vector<EdgeKey>& dead_edges() const noexcept {
+    return dead_edges_;
+  }
+
+  /// True while at least one switch or link is down.
+  bool any_faults_active() const noexcept {
+    return dead_switch_count_ > 0 || !dead_edges_.empty();
+  }
+
+  int dead_switch_count() const noexcept { return dead_switch_count_; }
+
+ private:
+  void apply(const FaultEvent& e);
+
+  const Graph* pristine_;
+  FaultSchedule schedule_;
+  std::size_t next_event_ = 0;
+  int last_epoch_ = -1;
+  std::vector<char> dead_nodes_;
+  std::vector<EdgeKey> dead_edges_;
+  int dead_switch_count_ = 0;
+};
+
+}  // namespace ppdc

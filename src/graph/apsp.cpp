@@ -20,9 +20,13 @@ bool all_unit_weights(const Graph& g) {
 
 }  // namespace
 
-AllPairs::AllPairs(const Graph& g) : g_(&g), n_(g.num_nodes()) {
+AllPairs::AllPairs(const Graph& g) : AllPairs(g, /*allow_disconnected=*/false) {}
+
+AllPairs::AllPairs(const Graph& g, bool allow_disconnected)
+    : g_(&g), n_(g.num_nodes()) {
   PPDC_REQUIRE(n_ > 0, "empty graph");
-  PPDC_REQUIRE(g.is_connected(), "PPDC graph must be connected");
+  PPDC_REQUIRE(allow_disconnected || g.is_connected(),
+               "PPDC graph must be connected");
   const auto n = static_cast<std::size_t>(n_);
   dist_.assign(n * n, kUnreachable);
   parent_.assign(n * n, kInvalidNode);
@@ -42,7 +46,11 @@ AllPairs::AllPairs(const Graph& g) : g_(&g), n_(g.num_nodes()) {
   }
 
   for (const double d : dist_) {
-    PPDC_REQUIRE(d != kUnreachable, "graph must be connected");
+    if (d == kUnreachable) {
+      PPDC_REQUIRE(allow_disconnected, "graph must be connected");
+      fully_connected_ = false;
+      continue;
+    }
     diameter_ = std::max(diameter_, d);
   }
   for (const NodeId a : g.switches()) {

@@ -21,10 +21,25 @@ class AllPairs {
   /// (hop metric) and Dijkstra otherwise. Requires a connected graph.
   explicit AllPairs(const Graph& g);
 
+  /// As above, but `allow_disconnected = true` accepts graphs with
+  /// unreachable pairs (a fabric degraded by switch/link failures):
+  /// cost(u,v) is kUnreachable (+inf) for such pairs, reachable() reports
+  /// them, and diameter()/min_switch_distance() range over reachable pairs
+  /// only. path() still throws on unreachable pairs.
+  AllPairs(const Graph& g, bool allow_disconnected);
+
   /// Shortest-path cost c(u,v). O(1).
   double cost(NodeId u, NodeId v) const {
     return dist_[index(u, v)];
   }
+
+  /// True when a path u -> v exists (always true in connected mode).
+  bool reachable(NodeId u, NodeId v) const {
+    return dist_[index(u, v)] != kUnreachable;
+  }
+
+  /// True when every pair is reachable.
+  bool fully_connected() const noexcept { return fully_connected_; }
 
   /// Shortest-path vertex sequence u -> v (inclusive of both endpoints).
   std::vector<NodeId> path(NodeId u, NodeId v) const;
@@ -63,6 +78,7 @@ class AllPairs {
   std::vector<NodeId> parent_;  ///< parent_[u*n+v]: predecessor of v on u->v
   double diameter_ = 0.0;
   double min_switch_dist_ = kUnreachable;
+  bool fully_connected_ = true;
 };
 
 }  // namespace ppdc

@@ -90,4 +90,56 @@ double Graph::total_edge_weight() const noexcept {
   return sum / 2.0;
 }
 
+Graph masked_copy(const Graph& g, const std::vector<char>& dead_node,
+                  const std::vector<EdgeKey>& dead_edges) {
+  PPDC_REQUIRE(dead_node.size() == static_cast<std::size_t>(g.num_nodes()),
+               "dead-node mask must have one entry per node");
+  for (const auto& [u, v] : dead_edges) {
+    PPDC_REQUIRE(u < v, "dead edges must be normalized (u < v)");
+    PPDC_REQUIRE(g.has_edge(u, v), "dead edge does not exist in the graph");
+  }
+  Graph out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.add_node(g.kind(v), g.label(v));
+  }
+  const auto edge_dead = [&](NodeId u, NodeId v) {
+    const EdgeKey key = make_edge_key(u, v);
+    return std::find(dead_edges.begin(), dead_edges.end(), key) !=
+           dead_edges.end();
+  };
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dead_node[static_cast<std::size_t>(u)]) continue;
+    for (const auto& a : g.neighbors(u)) {
+      if (u >= a.to) continue;  // each undirected edge once
+      if (dead_node[static_cast<std::size_t>(a.to)]) continue;
+      if (edge_dead(u, a.to)) continue;
+      out.add_edge(u, a.to, a.weight);
+    }
+  }
+  return out;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = next++;
+    comp[static_cast<std::size_t>(start)] = id;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      const NodeId u = queue.back();
+      queue.pop_back();
+      for (const auto& a : g.neighbors(u)) {
+        if (comp[static_cast<std::size_t>(a.to)] == -1) {
+          comp[static_cast<std::size_t>(a.to)] = id;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
 }  // namespace ppdc

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/require.hpp"
@@ -103,5 +104,26 @@ class Graph {
   std::vector<NodeId> switches_;
   std::size_t edge_count_ = 0;
 };
+
+/// An undirected link identified by its endpoints (normalized u < v).
+using EdgeKey = std::pair<NodeId, NodeId>;
+
+/// Normalizes an edge to (min, max) endpoint order.
+inline EdgeKey make_edge_key(NodeId u, NodeId v) {
+  return u < v ? EdgeKey{u, v} : EdgeKey{v, u};
+}
+
+/// Copy of `g` with the flagged nodes isolated (every incident link
+/// dropped) and the listed links removed. Node ids, kinds and labels are
+/// preserved, so flow endpoints and placements remain addressable; the
+/// result may be disconnected (pair it with the allow-disconnected
+/// AllPairs mode). `dead_node` must have one entry per node; `dead_edges`
+/// entries must be normalized (u < v) and name existing links of `g`.
+Graph masked_copy(const Graph& g, const std::vector<char>& dead_node,
+                  const std::vector<EdgeKey>& dead_edges);
+
+/// Connected-component id per node (dense, 0-based, assigned in BFS order
+/// from the lowest-id unvisited node — deterministic).
+std::vector<int> connected_components(const Graph& g);
 
 }  // namespace ppdc

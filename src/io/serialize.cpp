@@ -13,25 +13,50 @@ namespace ppdc {
 
 namespace {
 
-/// Reads the next meaningful line (skips blanks and '#' comments).
-bool next_line(std::istream& is, std::string* line) {
-  while (std::getline(is, *line)) {
-    const auto first = line->find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if ((*line)[first] == '#') continue;
-    return true;
-  }
-  return false;
-}
+/// Pulls meaningful lines (skipping blanks and '#' comments) while
+/// counting every physical line, so every parse error can report the
+/// 1-based line number and the offending text.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(&is) {}
 
-void expect_header(std::istream& is, const std::string& magic) {
+  /// Reads the next meaningful line.
+  bool next(std::string* line) {
+    while (std::getline(*is_, *line)) {
+      ++line_;
+      const auto first = line->find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if ((*line)[first] == '#') continue;
+      return true;
+    }
+    ++line_;  // the position just past the last physical line
+    return false;
+  }
+
+  /// 1-based number of the line last returned by next().
+  int line_number() const noexcept { return line_; }
+
+  /// Error-message prefix locating the current line: "line N: msg: 'text'".
+  std::string where(const std::string& msg, const std::string& text) const {
+    return "line " + std::to_string(line_) + ": " + msg + ": '" + text + "'";
+  }
+
+ private:
+  std::istream* is_;
+  int line_ = 0;
+};
+
+void expect_header(LineReader& in, const std::string& magic) {
   std::string line;
-  PPDC_REQUIRE(next_line(is, &line), "unexpected end of input");
+  PPDC_REQUIRE(in.next(&line),
+               "line " + std::to_string(in.line_number()) +
+                   ": unexpected end of input, expected header '" + magic +
+                   " v1'");
   std::istringstream ss(line);
   std::string word, version;
   ss >> word >> version;
   PPDC_REQUIRE(word == magic && version == "v1",
-               "expected header '" + magic + " v1', got '" + line + "'");
+               in.where("expected header '" + magic + " v1'", line));
 }
 
 }  // namespace
@@ -60,10 +85,11 @@ void save_topology(std::ostream& os, const Topology& topo) {
 }
 
 Topology load_topology(std::istream& is) {
-  expect_header(is, "ppdc-topology");
+  LineReader in(is);
+  expect_header(in, "ppdc-topology");
   Topology topo;
   std::string line;
-  while (next_line(is, &line)) {
+  while (in.next(&line)) {
     std::istringstream ss(line);
     std::string kind;
     ss >> kind;
@@ -73,30 +99,31 @@ Topology load_topology(std::istream& is) {
       NodeId id;
       std::string role, label;
       ss >> id >> role >> label;
-      PPDC_REQUIRE(!ss.fail(), "malformed node line: " + line);
+      PPDC_REQUIRE(!ss.fail(), in.where("malformed node line", line));
       PPDC_REQUIRE(role == "host" || role == "switch",
-                   "bad node role in: " + line);
+                   in.where("bad node role", line));
       const NodeId got = topo.graph.add_node(
           role == "host" ? NodeKind::kHost : NodeKind::kSwitch, label);
-      PPDC_REQUIRE(got == id, "node ids must be dense and in order");
+      PPDC_REQUIRE(got == id,
+                   in.where("node ids must be dense and in order", line));
     } else if (kind == "edge") {
       NodeId u, v;
       double w;
       ss >> u >> v >> w;
-      PPDC_REQUIRE(!ss.fail(), "malformed edge line: " + line);
+      PPDC_REQUIRE(!ss.fail(), in.where("malformed edge line", line));
       topo.graph.add_edge(u, v, w);
     } else if (kind == "rack") {
       NodeId sw;
       ss >> sw;
-      PPDC_REQUIRE(!ss.fail(), "malformed rack line: " + line);
+      PPDC_REQUIRE(!ss.fail(), in.where("malformed rack line", line));
       std::vector<NodeId> hosts;
       NodeId h;
       while (ss >> h) hosts.push_back(h);
-      PPDC_REQUIRE(!hosts.empty(), "rack without hosts: " + line);
+      PPDC_REQUIRE(!hosts.empty(), in.where("rack without hosts", line));
       topo.rack_switches.push_back(sw);
       topo.racks.push_back(std::move(hosts));
     } else {
-      throw PpdcError("unknown topology directive: " + line);
+      throw PpdcError(in.where("unknown topology directive", line));
     }
   }
   PPDC_REQUIRE(topo.graph.num_nodes() > 0, "topology has no nodes");
@@ -113,16 +140,17 @@ void save_flows(std::ostream& os, const std::vector<VmFlow>& flows) {
 }
 
 std::vector<VmFlow> load_flows(std::istream& is) {
-  expect_header(is, "ppdc-flows");
+  LineReader in(is);
+  expect_header(in, "ppdc-flows");
   std::vector<VmFlow> flows;
   std::string line;
-  while (next_line(is, &line)) {
+  while (in.next(&line)) {
     std::istringstream ss(line);
     std::string kind;
     VmFlow f;
     ss >> kind >> f.src_host >> f.dst_host >> f.rate >> f.group;
     PPDC_REQUIRE(kind == "flow" && !ss.fail(),
-                 "malformed flow line: " + line);
+                 in.where("malformed flow line", line));
     flows.push_back(f);
   }
   return flows;
@@ -136,18 +164,20 @@ void save_placement(std::ostream& os, const Placement& p) {
 }
 
 Placement load_placement(std::istream& is) {
-  expect_header(is, "ppdc-placement");
+  LineReader in(is);
+  expect_header(in, "ppdc-placement");
   Placement p;
   std::string line;
-  while (next_line(is, &line)) {
+  while (in.next(&line)) {
     std::istringstream ss(line);
     std::string kind;
     std::size_t index;
     NodeId sw;
     ss >> kind >> index >> sw;
     PPDC_REQUIRE(kind == "vnf" && !ss.fail(),
-                 "malformed placement line: " + line);
-    PPDC_REQUIRE(index == p.size(), "vnf indices must be dense, in order");
+                 in.where("malformed placement line", line));
+    PPDC_REQUIRE(index == p.size(),
+                 in.where("vnf indices must be dense, in order", line));
     p.push_back(sw);
   }
   return p;

@@ -1,5 +1,12 @@
 #include "sim/engine.hpp"
 
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/chain_search.hpp"
+#include "fault/degraded.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {
@@ -9,6 +16,19 @@ SimTrace run_simulation(const AllPairs& apsp,
                         const SimConfig& config, MigrationPolicy& policy) {
   PPDC_REQUIRE(!base_flows.empty(), "simulation needs at least one flow");
   PPDC_REQUIRE(config.hours >= 1, "simulation needs at least one hour");
+  PPDC_REQUIRE(config.fault.mu >= 0.0,
+               "negative recovery migration coefficient");
+  PPDC_REQUIRE(config.fault.quarantine_penalty >= 0.0,
+               "negative quarantine penalty");
+
+  const Graph& graph = apsp.graph();
+  std::optional<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(graph, config.faults);  // validates shape + ordering
+    PPDC_REQUIRE(config.faults.front().epoch >= 1,
+                 "fault events must start at epoch 1 (the initial placement "
+                 "sees the pristine fabric)");
+  }
 
   const std::vector<double> base_rates = rates_of(base_flows);
   const std::vector<int> groups = groups_of(base_flows);
@@ -21,8 +41,21 @@ SimTrace run_simulation(const AllPairs& apsp,
   const bool grouped = !config.rate_schedule;
 
   auto rates_at = [&](int hour) {
-    if (config.rate_schedule) return config.rate_schedule(hour);
-    return diurnal_rates_grouped(config.diurnal, base_rates, groups, hour);
+    if (!config.rate_schedule) {
+      return diurnal_rates_grouped(config.diurnal, base_rates, groups, hour);
+    }
+    std::vector<double> r = config.rate_schedule(hour);
+    PPDC_REQUIRE(r.size() == base_flows.size(),
+                 "rate_schedule(hour " + std::to_string(hour) +
+                     ") returned " + std::to_string(r.size()) +
+                     " rates for " + std::to_string(base_flows.size()) +
+                     " flows");
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      PPDC_REQUIRE(r[i] >= 0.0, "rate_schedule(hour " + std::to_string(hour) +
+                                    ") returned a negative rate for flow " +
+                                    std::to_string(i));
+    }
+    return r;
   };
   auto scales_at = [&](int hour) {
     return config.diurnal.group_scales(hour, n_groups);
@@ -31,7 +64,8 @@ SimTrace run_simulation(const AllPairs& apsp,
   SimState state;
   state.flows = base_flows;
 
-  // Hour 0: initial traffic-optimal placement (TOP, Algorithm 3).
+  // Hour 0: initial traffic-optimal placement (TOP, Algorithm 3) on the
+  // pristine fabric.
   set_rates(state.flows, rates_at(0));
   CostModel model(apsp, state.flows);
   if (grouped) {
@@ -45,39 +79,188 @@ SimTrace run_simulation(const AllPairs& apsp,
   SimTrace trace;
   trace.initial_placement = initial.placement;
 
+  // Fault-epoch machinery; both stay null while the fabric is pristine, so
+  // a fault-free run never deviates from the incremental fast path.
+  std::unique_ptr<DegradedNetwork> degraded;
+  std::unique_ptr<CostModel> degraded_model;
+  bool base_resync_pending = false;  ///< primary bases stale after faults
+
   for (int hour = 0; hour < config.hours; ++hour) {
-    set_rates(state.flows, rates_at(hour));
-    if (grouped) {
-      model.refresh_scaled(scales_at(hour));
-    } else {
-      model.refresh();
+    // 1. Apply this epoch's fault events and refresh the degraded view.
+    EpochFaults events;
+    if (injector && hour >= 1) events = injector->advance_to(hour);
+    const bool faults_active = injector && injector->any_faults_active();
+    if (events.topology_changed) {
+      degraded_model.reset();
+      degraded.reset();
+      if (faults_active) {
+        degraded = std::make_unique<DegradedNetwork>(
+            graph, injector->dead_nodes(), injector->dead_edges());
+      }
     }
+    const bool blackout = faults_active && !degraded->core_can_host(n);
+
+    // 2. This epoch's traffic. Flows cut off from the serving core are
+    // quarantined: their rate is zeroed for the epoch (they cannot be
+    // served) and an SLA penalty is charged for the unserved demand.
+    std::vector<double> rates = rates_at(hour);
+    int quarantined = 0;
+    double unserved = 0.0;
+    if (faults_active) {
+      for (std::size_t i = 0; i < state.flows.size(); ++i) {
+        const VmFlow& f = state.flows[i];
+        const bool served = !blackout && degraded->in_core(f.src_host) &&
+                            degraded->in_core(f.dst_host);
+        if (!served) {
+          ++quarantined;
+          unserved += rates[i];
+          rates[i] = 0.0;
+        }
+      }
+    }
+    set_rates(state.flows, rates);
+
+    int recovery_migrations = 0;
+    double recovery_cost = 0.0;
     EpochDecision d;
-    if (hour == 0) {
-      // The initial placement is already optimal for hour 0; policies only
-      // react to *changes*, so hour 0 just charges the communication cost.
-      d.comm_cost = model.communication_cost(state.placement);
+
+    if (blackout) {
+      // The surviving core cannot host an n-VNF chain: nothing is served.
+      // The stranded placement stays where it is and is emergency-migrated
+      // once enough switches return.
+      d.service_down = true;
     } else {
-      d = policy.on_epoch(model, state);
-      // PLAN/MCF may have moved endpoints: patch only the touched flows
-      // (CostModel reads the flow vector it was bound to). Epochs without
-      // endpoint moves need no refresh at all — rates are untouched by
-      // policies.
-      if (!d.moved_flows.empty()) {
-        model.endpoints_moved(d.moved_flows);
+      // 3. Cost-model maintenance. Degraded epochs use a dedicated model
+      // over the masked metric, restricted to the core's alive switches;
+      // it is rebuilt on topology changes and fully re-scanned otherwise
+      // (quarantine breaks the base-rate x scale decomposition, so the
+      // group fast path does not apply). The primary model is resynced
+      // lazily when the fabric heals.
+      CostModel* m = &model;
+      if (faults_active) {
+        if (!degraded_model) {
+          degraded_model =
+              std::make_unique<CostModel>(degraded->apsp(), state.flows);
+          degraded_model->restrict_candidates(degraded->core_switches());
+        } else {
+          degraded_model->refresh();
+        }
+        m = degraded_model.get();
+        base_resync_pending = true;
+      } else {
+        if (base_resync_pending) {
+          // Heal: endpoints may have moved while the degraded model was
+          // authoritative; resync the per-group base vectors before
+          // recombining.
+          if (grouped) model.refresh();
+          base_resync_pending = false;
+        }
+        if (grouped) {
+          model.refresh_scaled(scales_at(hour));
+        } else {
+          model.refresh();
+        }
       }
-      if (config.downtime_factor > 0.0) {
-        d.migration_cost += config.downtime_factor * model.total_rate() *
-                            d.migration_distance;
+
+      // 4. Emergency re-placement: every VNF must sit on an alive switch
+      // of the serving core before the policy reasons about the epoch.
+      // Recovery distance is measured on the pristine metric — the bits of
+      // a VNF stranded on a dead switch still travel that far — so the
+      // cost is finite even when the old host is down or unreachable.
+      bool stranded = false;
+      if (faults_active) {
+        for (const NodeId s : state.placement) {
+          if (!degraded->in_core(s)) {
+            stranded = true;
+            break;
+          }
+        }
+      }
+      if (stranded) {
+        const PlacementResult rec = solve_top_dp(*m, n, config.fault.placement);
+        Placement target = rec.placement;
+        if (config.fault.exhaustive_recovery) {
+          ChainSearchConfig cc;
+          cc.budget = config.fault.budget;
+          cc.initial = target;  // degradation floor: the DP answer
+          target = solve_top_exhaustive(*m, n, cc).placement;
+        }
+        double distance = 0.0;
+        for (std::size_t j = 0; j < state.placement.size(); ++j) {
+          if (state.placement[j] == target[j]) continue;
+          ++recovery_migrations;
+          distance += apsp.cost(state.placement[j], target[j]);
+        }
+        recovery_cost = config.fault.mu * distance;
+        state.placement = std::move(target);
+      }
+
+      // 5. The policy reacts to the epoch.
+      if (hour == 0) {
+        // The initial placement is already optimal for hour 0; policies
+        // only react to *changes*, so hour 0 just charges the
+        // communication cost.
+        d.comm_cost = model.communication_cost(state.placement);
+      } else {
+        d = policy.on_epoch(*m, state);
+        // Contract check before the decision is costed into the trace:
+        // the placement must be n distinct in-range switches, all alive
+        // and inside the serving core.
+        try {
+          PPDC_REQUIRE(state.placement.size() == static_cast<std::size_t>(n),
+                       "placement length changed");
+          validate_placement(m->apsp().graph(), state.placement);
+          if (faults_active) {
+            for (const NodeId s : state.placement) {
+              PPDC_REQUIRE(degraded->in_core(s),
+                           "VNF placed on a dead or unreachable switch");
+            }
+          }
+        } catch (const PpdcError& e) {
+          throw PpdcError("policy '" + policy.name() +
+                          "' produced an invalid placement at epoch " +
+                          std::to_string(hour) + ": " + e.what());
+        }
+        // PLAN/MCF may have moved endpoints: patch only the touched flows
+        // (CostModel reads the flow vector it was bound to). Epochs
+        // without endpoint moves need no refresh at all — rates are
+        // untouched by policies.
+        if (!d.moved_flows.empty()) {
+          m->endpoints_moved(d.moved_flows);
+        }
+        if (config.downtime_factor > 0.0) {
+          d.migration_cost += config.downtime_factor * m->total_rate() *
+                              d.migration_distance;
+        }
       }
     }
+
+    // 6. Stamp the epoch's fault bookkeeping and accumulate.
+    d.switch_failures = events.switch_failures;
+    d.link_failures = events.link_failures;
+    d.repairs = events.repairs;
+    d.recovery_migrations = recovery_migrations;
+    d.recovery_cost = recovery_cost;
+    d.quarantined_flows = quarantined;
+    d.quarantine_penalty = config.fault.quarantine_penalty * unserved;
+
     trace.total_comm_cost += d.comm_cost;
     trace.total_migration_cost += d.migration_cost;
     trace.total_vnf_migrations += d.vnf_migrations;
     trace.total_vm_migrations += d.vm_migrations;
-    trace.epochs.push_back(d);
+    trace.total_switch_failures += d.switch_failures;
+    trace.total_link_failures += d.link_failures;
+    trace.total_repairs += d.repairs;
+    trace.total_recovery_migrations += d.recovery_migrations;
+    trace.total_recovery_cost += d.recovery_cost;
+    trace.quarantined_flow_epochs += d.quarantined_flows;
+    trace.total_quarantine_penalty += d.quarantine_penalty;
+    if (d.service_down) ++trace.downtime_epochs;
+    trace.epochs.push_back(std::move(d));
   }
-  trace.total_cost = trace.total_comm_cost + trace.total_migration_cost;
+  trace.total_cost = trace.total_comm_cost + trace.total_migration_cost +
+                     trace.total_recovery_cost +
+                     trace.total_quarantine_penalty;
   return trace;
 }
 

@@ -15,16 +15,52 @@
 // report their moved flows (EpochDecision::moved_flows) so only those are
 // patched. A custom rate_schedule disables the fast path (rates may change
 // arbitrarily per flow).
+//
+// Fault tolerance: an optional FaultSchedule fails and repairs switches
+// and fabric links while the simulation runs. On every topology change the
+// engine rebuilds a DegradedNetwork (masked graph + allow-disconnected
+// APSP + serving core) and a fault-epoch CostModel restricted to the
+// core's alive switches. Flows cut off from the core are quarantined for
+// the epoch (rate zeroed, SLA penalty charged); VNFs stranded on dead or
+// unreachable switches are emergency-migrated to the restricted fresh
+// optimum before the policy runs; epochs whose core cannot host the chain
+// at all are counted as downtime. A run with an empty (or never-firing)
+// schedule takes exactly the pristine code path, including the incremental
+// group-refresh fast path, and reproduces the fault-free trace bit for
+// bit.
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "core/placement_dp.hpp"
+#include "core/solve_budget.hpp"
+#include "fault/fault.hpp"
 #include "sim/policy.hpp"
 #include "workload/diurnal.hpp"
 
 namespace ppdc {
+
+/// Knobs of the fault-handling machinery (only consulted when the
+/// schedule actually degrades the fabric).
+struct FaultOptions {
+  /// μ of emergency recovery migrations. Their distance is measured on the
+  /// *pristine* metric — the bits of a VNF stranded on a dead switch still
+  /// have to travel that far — so the cost is finite even when the source
+  /// switch is down.
+  double mu = 1.0;
+  /// SLA penalty per unit of quarantined (unserved) traffic rate per
+  /// epoch. 0 only counts quarantined flows without charging them.
+  double quarantine_penalty = 0.0;
+  /// Knobs for the emergency re-placement DP on the degraded fabric.
+  TopDpOptions placement;
+  /// When true, the DP recovery answer is refined by branch-and-bound
+  /// (warm-started at the DP placement) under `budget`.
+  bool exhaustive_recovery = false;
+  /// Wall-clock budget of the exhaustive refinement; expiry falls back to
+  /// the best placement found so far (never worse than the DP answer).
+  SolveBudget budget;
+};
 
 /// Per-run configuration.
 struct SimConfig {
@@ -32,7 +68,8 @@ struct SimConfig {
   DiurnalModel diurnal;       ///< rate schedule
   TopDpOptions initial_placement;  ///< knobs for the hour-0 TOP solve
   /// Optional custom rate schedule; when set it overrides the diurnal
-  /// model: schedule(hour) must return the per-flow rates of that hour.
+  /// model: schedule(hour) must return the per-flow rates of that hour
+  /// (validated: one non-negative rate per flow).
   std::function<std::vector<double>(int)> rate_schedule;
   /// Optional service-downtime model (VNF migration literature [51], [20],
   /// [32]): while instances are in flight, traffic through them is
@@ -40,6 +77,10 @@ struct SimConfig {
   /// downtime_factor x Λ x (migration distance) on top of the migration
   /// traffic itself. 0 (default) reproduces the paper's cost model.
   double downtime_factor = 0.0;
+  /// Switch/link failure timeline (empty = pristine run). Events must
+  /// start at epoch 1: the initial placement always sees the full fabric.
+  FaultSchedule faults;
+  FaultOptions fault;  ///< recovery / quarantine knobs
 };
 
 /// Full record of one simulation run.
@@ -48,9 +89,21 @@ struct SimTrace {
   Placement initial_placement;
   double total_comm_cost = 0.0;
   double total_migration_cost = 0.0;
+  /// Grand total: communication + policy migration + emergency recovery
+  /// migration + quarantine penalties.
   double total_cost = 0.0;
   int total_vnf_migrations = 0;
   int total_vm_migrations = 0;
+
+  // Fault accounting (all zero for a pristine run).
+  int total_switch_failures = 0;
+  int total_link_failures = 0;
+  int total_repairs = 0;
+  int total_recovery_migrations = 0;  ///< VNFs force-moved off failures
+  double total_recovery_cost = 0.0;
+  int quarantined_flow_epochs = 0;  ///< Σ per-epoch quarantined flow count
+  double total_quarantine_penalty = 0.0;
+  int downtime_epochs = 0;  ///< epochs the core could not host the chain
 };
 
 /// Runs one policy over the horizon. `base_flows` carry the base rates

@@ -16,7 +16,9 @@ std::vector<PolicyStats> run_experiment(
 
   std::vector<RunningStats> total(num_policies), comm(num_policies),
       migration(num_policies), vnf_moves(num_policies),
-      vm_moves(num_policies);
+      vm_moves(num_policies), recovery_moves(num_policies),
+      recovery(num_policies), quarantined(num_policies),
+      penalty(num_policies), downtime(num_policies);
   std::vector<std::vector<RunningStats>> hourly_cost(
       num_policies, std::vector<RunningStats>(hours));
   std::vector<std::vector<RunningStats>> hourly_moves(
@@ -35,6 +37,12 @@ std::vector<PolicyStats> run_experiment(
       migration[pi].add(trace.total_migration_cost);
       vnf_moves[pi].add(static_cast<double>(trace.total_vnf_migrations));
       vm_moves[pi].add(static_cast<double>(trace.total_vm_migrations));
+      recovery_moves[pi].add(
+          static_cast<double>(trace.total_recovery_migrations));
+      recovery[pi].add(trace.total_recovery_cost);
+      quarantined[pi].add(static_cast<double>(trace.quarantined_flow_epochs));
+      penalty[pi].add(trace.total_quarantine_penalty);
+      downtime[pi].add(static_cast<double>(trace.downtime_epochs));
       for (std::size_t h = 0; h < hours && h < trace.epochs.size(); ++h) {
         const EpochDecision& d = trace.epochs[h];
         hourly_cost[pi][h].add(d.comm_cost + d.migration_cost);
@@ -54,6 +62,13 @@ std::vector<PolicyStats> run_experiment(
     s.migration_cost = {migration[pi].mean(), migration[pi].ci95_halfwidth()};
     s.vnf_migrations = {vnf_moves[pi].mean(), vnf_moves[pi].ci95_halfwidth()};
     s.vm_migrations = {vm_moves[pi].mean(), vm_moves[pi].ci95_halfwidth()};
+    s.recovery_migrations = {recovery_moves[pi].mean(),
+                             recovery_moves[pi].ci95_halfwidth()};
+    s.recovery_cost = {recovery[pi].mean(), recovery[pi].ci95_halfwidth()};
+    s.quarantined_flow_epochs = {quarantined[pi].mean(),
+                                 quarantined[pi].ci95_halfwidth()};
+    s.quarantine_penalty = {penalty[pi].mean(), penalty[pi].ci95_halfwidth()};
+    s.downtime_epochs = {downtime[pi].mean(), downtime[pi].ci95_halfwidth()};
     for (std::size_t h = 0; h < hours; ++h) {
       s.hourly_cost.push_back(
           {hourly_cost[pi][h].mean(), hourly_cost[pi][h].ci95_halfwidth()});

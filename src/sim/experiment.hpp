@@ -37,6 +37,12 @@ struct PolicyStats {
   MeanCi migration_cost;
   MeanCi vnf_migrations;
   MeanCi vm_migrations;
+  // Fault accounting (all zero when the simulation runs fault-free).
+  MeanCi recovery_migrations;       ///< VNFs force-moved off failures
+  MeanCi recovery_cost;             ///< emergency migration traffic
+  MeanCi quarantined_flow_epochs;   ///< Σ per-epoch quarantined flows
+  MeanCi quarantine_penalty;        ///< SLA penalty for unserved demand
+  MeanCi downtime_epochs;           ///< epochs with no feasible placement
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;

@@ -1,5 +1,7 @@
 #include "sim/policy.hpp"
 
+#include <utility>
+
 #include "util/require.hpp"
 
 namespace ppdc {
@@ -44,15 +46,43 @@ EpochDecision ExhaustiveMigrationPolicy::on_epoch(const CostModel& model,
   cfg.initial = state.placement;  // warm start: staying put is feasible
   const ChainSearchResult r =
       solve_tom_exhaustive(model, state.placement, mu_, cfg);
-  const MigrationResult eval =
+  MigrationResult eval =
       evaluate_migration(model, state.placement, r.placement, mu_);
+  if (!r.proven_optimal) {
+    // Budget-truncated search: the incumbent may barely improve on staying
+    // put. mPareto is cheap and never worse than NoMigration — degrade to
+    // it and keep the cheaper of the two answers.
+    MigrationResult pareto = solve_tom_pareto(model, state.placement, mu_);
+    if (pareto.total_cost < eval.total_cost) eval = std::move(pareto);
+  }
   EpochDecision d;
   d.comm_cost = eval.comm_cost;
   d.migration_cost = eval.migration_cost;
   d.migration_distance =
-      model.migration_cost(state.placement, r.placement, 1.0);
+      model.migration_cost(state.placement, eval.migration, 1.0);
   d.vnf_migrations = eval.vnfs_moved;
-  state.placement = r.placement;
+  state.placement = eval.migration;
+  return d;
+}
+
+ResolvePlacementPolicy::ResolvePlacementPolicy(double mu, TopDpOptions options)
+    : mu_(mu), options_(options) {
+  PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
+}
+
+EpochDecision ResolvePlacementPolicy::on_epoch(const CostModel& model,
+                                               SimState& state) {
+  const PlacementResult fresh = solve_top_dp(
+      model, static_cast<int>(state.placement.size()), options_);
+  const MigrationResult eval =
+      evaluate_migration(model, state.placement, fresh.placement, mu_);
+  EpochDecision d;
+  d.comm_cost = eval.comm_cost;
+  d.migration_cost = eval.migration_cost;
+  d.migration_distance =
+      model.migration_cost(state.placement, fresh.placement, 1.0);
+  d.vnf_migrations = eval.vnfs_moved;
+  state.placement = fresh.placement;
   return d;
 }
 

@@ -36,6 +36,19 @@ struct EpochDecision {
   /// here — the engine uses it to patch the cost model incrementally
   /// instead of re-scanning every flow (CostModel::endpoints_moved).
   std::vector<int> moved_flows;
+
+  // Fault bookkeeping, filled in by the engine (all zero on a pristine
+  // fabric; policies never touch these).
+  int switch_failures = 0;     ///< switch failures applied this epoch
+  int link_failures = 0;       ///< link failures applied this epoch
+  int repairs = 0;             ///< switch + link repairs this epoch
+  int recovery_migrations = 0; ///< VNFs force-moved off failed switches
+  double recovery_cost = 0.0;  ///< μ-weighted emergency migration traffic
+  int quarantined_flows = 0;   ///< flows cut off from the serving core
+  double quarantine_penalty = 0.0;  ///< SLA penalty charged for them
+  /// True when the serving core could not host the chain this epoch
+  /// (blackout: no placement, every flow quarantined).
+  bool service_down = false;
 };
 
 /// Interface implemented by every migration strategy.
@@ -73,6 +86,10 @@ class ParetoMigrationPolicy final : public MigrationPolicy {
 };
 
 /// Exhaustive Algorithm 6 via branch and bound (tractable small PPDCs).
+/// When the search is truncated (node or wall-clock budget exhausted,
+/// proven_optimal = false) the policy degrades gracefully to mPareto and
+/// keeps whichever answer is cheaper — both are warm-started at "stay
+/// put", so the result is never worse than NoMigration.
 class ExhaustiveMigrationPolicy final : public MigrationPolicy {
  public:
   ExhaustiveMigrationPolicy(double mu, ChainSearchConfig config = {});
@@ -82,6 +99,20 @@ class ExhaustiveMigrationPolicy final : public MigrationPolicy {
  private:
   double mu_;
   ChainSearchConfig config_;
+};
+
+/// Re-solves TOP from scratch every epoch and jumps straight to the fresh
+/// optimum, paying the full migration bill (ablation reference: what
+/// mPareto's frontier scan saves against always re-placing).
+class ResolvePlacementPolicy final : public MigrationPolicy {
+ public:
+  explicit ResolvePlacementPolicy(double mu, TopDpOptions options = {});
+  std::string name() const override { return "Resolve"; }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override;
+
+ private:
+  double mu_;
+  TopDpOptions options_;
 };
 
 /// PLAN VM migration [17].

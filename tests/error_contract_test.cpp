@@ -1,0 +1,195 @@
+// Every documented PpdcError path of the public API, asserted with its
+// message content where the message is part of the contract (line numbers
+// in the loaders, policy/epoch attribution in the engine, hour/flow
+// attribution in the rate-schedule validation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "fault/fault.hpp"
+#include "io/serialize.hpp"
+#include "sim/engine.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/linear.hpp"
+#include "util/require.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+/// Runs `fn`, expecting a PpdcError; returns its message.
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const PpdcError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a PpdcError";
+  return {};
+}
+
+bool mentions(const std::string& message, const std::string& needle) {
+  return message.find(needle) != std::string::npos;
+}
+
+std::vector<VmFlow> random_flows(const Topology& topo, int l,
+                                 std::uint64_t seed) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+TEST(ErrorContract, RateScheduleWrongSizeNamesHourAndCounts) {
+  const Topology topo = build_linear(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 3, 1);
+  NoMigrationPolicy policy;
+  SimConfig cfg;
+  cfg.hours = 2;
+  cfg.rate_schedule = [](int) { return std::vector<double>{1.0}; };
+  const std::string msg = error_of(
+      [&] { run_simulation(apsp, flows, 2, cfg, policy); });
+  EXPECT_TRUE(mentions(msg, "rate_schedule(hour 0)")) << msg;
+  EXPECT_TRUE(mentions(msg, "returned 1 rates for 3 flows")) << msg;
+}
+
+TEST(ErrorContract, RateScheduleNegativeRateNamesFlow) {
+  const Topology topo = build_linear(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 3, 1);
+  NoMigrationPolicy policy;
+  SimConfig cfg;
+  cfg.hours = 2;
+  cfg.rate_schedule = [](int hour) {
+    std::vector<double> r{1.0, 1.0, 1.0};
+    if (hour == 1) r[2] = -0.5;
+    return r;
+  };
+  const std::string msg = error_of(
+      [&] { run_simulation(apsp, flows, 2, cfg, policy); });
+  EXPECT_TRUE(mentions(msg, "rate_schedule(hour 1)")) << msg;
+  EXPECT_TRUE(mentions(msg, "negative rate for flow 2")) << msg;
+}
+
+/// A policy that hands back a corrupt placement (duplicate switch).
+class VandalPolicy final : public MigrationPolicy {
+ public:
+  std::string name() const override { return "Vandal"; }
+  EpochDecision on_epoch(const CostModel&, SimState& state) override {
+    state.placement.back() = state.placement.front();
+    return {};
+  }
+};
+
+TEST(ErrorContract, EngineNamesPolicyAndEpochOnInvalidPlacement) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 5, 2);
+  VandalPolicy vandal;
+  SimConfig cfg;
+  cfg.hours = 3;
+  const std::string msg = error_of(
+      [&] { run_simulation(apsp, flows, 3, cfg, vandal); });
+  EXPECT_TRUE(mentions(msg, "policy 'Vandal'")) << msg;
+  EXPECT_TRUE(mentions(msg, "invalid placement at epoch 1")) << msg;
+}
+
+TEST(ErrorContract, LoadersReportLineNumberAndOffendingText) {
+  // Physical line 3 (header on 1, comment on 2) carries the bad flow.
+  std::stringstream bad_flow;
+  bad_flow << "ppdc-flows v1\n# ok\nflow 1 2\n";
+  std::string msg = error_of([&] { load_flows(bad_flow); });
+  EXPECT_TRUE(mentions(msg, "line 3")) << msg;
+  EXPECT_TRUE(mentions(msg, "malformed flow line")) << msg;
+  EXPECT_TRUE(mentions(msg, "'flow 1 2'")) << msg;
+
+  std::stringstream bad_directive;
+  bad_directive << "ppdc-topology v1\nnode 0 host h0\nfrobnicate 1 2\n";
+  msg = error_of([&] { load_topology(bad_directive); });
+  EXPECT_TRUE(mentions(msg, "line 3")) << msg;
+  EXPECT_TRUE(mentions(msg, "unknown topology directive")) << msg;
+
+  std::stringstream sparse;
+  sparse << "ppdc-placement v1\nvnf 0 4\nvnf 2 5\n";
+  msg = error_of([&] { load_placement(sparse); });
+  EXPECT_TRUE(mentions(msg, "line 3")) << msg;
+  EXPECT_TRUE(mentions(msg, "dense")) << msg;
+
+  std::stringstream wrong_header;
+  wrong_header << "# preamble\nppdc-flows v2\n";
+  msg = error_of([&] { load_flows(wrong_header); });
+  EXPECT_TRUE(mentions(msg, "line 2")) << msg;
+  EXPECT_TRUE(mentions(msg, "expected header 'ppdc-flows v1'")) << msg;
+}
+
+TEST(ErrorContract, FaultInjectorRejectsInconsistentSchedules) {
+  const Topology topo = build_fat_tree(4);
+  const Graph& g = topo.graph;
+  const NodeId sw = topo.rack_switches[0];
+  const NodeId host = topo.racks[0][0];
+  const FaultEvent fail{1, FaultKind::kSwitchFail, sw, kInvalidNode,
+                        kInvalidNode};
+
+  // Unsorted epochs are rejected at construction.
+  EXPECT_THROW(FaultInjector(g, {{2, FaultKind::kSwitchFail, sw,
+                                  kInvalidNode, kInvalidNode},
+                                 fail}),
+               PpdcError);
+  // Switch events must name a switch.
+  EXPECT_THROW(FaultInjector(g, {{1, FaultKind::kSwitchFail, host,
+                                  kInvalidNode, kInvalidNode}}),
+               PpdcError);
+  // Link events must name an existing normalized edge.
+  EXPECT_THROW(FaultInjector(g, {{1, FaultKind::kLinkFail, kInvalidNode,
+                                  g.num_nodes() - 1, g.num_nodes() - 2}}),
+               PpdcError);
+
+  // Double failure / repair-of-healthy surface as the events are applied.
+  FaultInjector double_fail(g, {fail, {2, FaultKind::kSwitchFail, sw,
+                                       kInvalidNode, kInvalidNode}});
+  double_fail.advance_to(1);
+  EXPECT_THROW(double_fail.advance_to(2), PpdcError);
+  FaultInjector repair_healthy(
+      g, {{1, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode}});
+  EXPECT_THROW(repair_healthy.advance_to(1), PpdcError);
+}
+
+TEST(ErrorContract, EngineRejectsBadFaultConfig) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 4, 3);
+  NoMigrationPolicy policy;
+  SimConfig cfg;
+  cfg.hours = 4;
+  // Events at epoch 0 would fault the initial placement's fabric.
+  cfg.faults = {{0, FaultKind::kSwitchFail, topo.rack_switches[0],
+                 kInvalidNode, kInvalidNode}};
+  EXPECT_THROW(run_simulation(apsp, flows, 3, cfg, policy), PpdcError);
+  cfg.faults.clear();
+  cfg.fault.mu = -1.0;
+  EXPECT_THROW(run_simulation(apsp, flows, 3, cfg, policy), PpdcError);
+  cfg.fault.mu = 1.0;
+  cfg.fault.quarantine_penalty = -0.1;
+  EXPECT_THROW(run_simulation(apsp, flows, 3, cfg, policy), PpdcError);
+}
+
+TEST(ErrorContract, RestrictCandidatesValidatesItsUniverse) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  auto flows = random_flows(topo, 4, 4);
+  CostModel model(apsp, flows);
+  const NodeId sw = topo.rack_switches[0];
+  EXPECT_THROW(model.restrict_candidates({}), PpdcError);
+  EXPECT_THROW(model.restrict_candidates({topo.racks[0][0]}), PpdcError);
+  EXPECT_THROW(model.restrict_candidates({sw, sw}), PpdcError);
+  // A valid restriction narrows the solver universe.
+  model.restrict_candidates({sw, topo.rack_switches[1]});
+  EXPECT_EQ(model.placement_candidates().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -1,0 +1,401 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/chain_search.hpp"
+#include "core/cost_model.hpp"
+#include "core/placement_dp.hpp"
+#include "fault/degraded.hpp"
+#include "sim/engine.hpp"
+#include "topology/fat_tree.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+std::vector<VmFlow> random_flows(const Topology& topo, int l,
+                                 std::uint64_t seed) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+bool contains(const Placement& p, NodeId v) {
+  return std::find(p.begin(), p.end(), v) != p.end();
+}
+
+TEST(FaultSchedule, DeterministicAndWellFormed) {
+  const Topology topo = build_fat_tree(4);
+  FaultScheduleConfig cfg;
+  cfg.hours = 48;
+  cfg.switch_mtbf = 12.0;
+  cfg.link_mtbf = 24.0;
+  cfg.seed = 7;
+  const FaultSchedule a = generate_fault_schedule(topo.graph, cfg);
+  const FaultSchedule b = generate_fault_schedule(topo.graph, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty());  // MTBF 12 over 48h on 20 switches: events fire
+  int prev_epoch = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_GE(a[i].epoch, 1);  // epoch 0 is always fault-free
+    EXPECT_GE(a[i].epoch, prev_epoch);
+    prev_epoch = a[i].epoch;
+  }
+  // The injector accepts its own generator's output (alternation is
+  // consistent by construction).
+  FaultInjector injector(topo.graph, a);
+  for (int epoch = 1; epoch < cfg.hours; ++epoch) injector.advance_to(epoch);
+}
+
+TEST(FaultSchedule, ZeroMtbfDisablesFaults) {
+  const Topology topo = build_fat_tree(4);
+  FaultScheduleConfig cfg;
+  cfg.hours = 48;  // both MTBFs default to 0
+  EXPECT_TRUE(generate_fault_schedule(topo.graph, cfg).empty());
+}
+
+TEST(FaultInjector, TracksDeadSetAcrossEpochs) {
+  const Topology topo = build_fat_tree(4);
+  const NodeId sw = topo.rack_switches[0];
+  // A switch-switch fabric link not touching `sw`.
+  const NodeId sw2 = topo.rack_switches[1];
+  NodeId lu = kInvalidNode, lv = kInvalidNode;
+  for (const auto& adj : topo.graph.neighbors(sw2)) {
+    if (topo.graph.is_switch(adj.to)) {
+      const EdgeKey key = make_edge_key(sw2, adj.to);
+      lu = key.first;
+      lv = key.second;
+      break;
+    }
+  }
+  ASSERT_NE(lu, kInvalidNode);
+
+  FaultSchedule schedule{
+      {1, FaultKind::kSwitchFail, sw, kInvalidNode, kInvalidNode},
+      {2, FaultKind::kLinkFail, kInvalidNode, lu, lv},
+      {3, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode},
+      {4, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
+  };
+  FaultInjector injector(topo.graph, schedule);
+  EXPECT_FALSE(injector.any_faults_active());
+
+  EpochFaults e1 = injector.advance_to(1);
+  EXPECT_EQ(e1.switch_failures, 1);
+  EXPECT_TRUE(e1.topology_changed);
+  EXPECT_TRUE(injector.any_faults_active());
+  EXPECT_EQ(injector.dead_switch_count(), 1);
+  EXPECT_EQ(injector.dead_nodes()[static_cast<std::size_t>(sw)], 1);
+
+  EpochFaults e2 = injector.advance_to(2);
+  EXPECT_EQ(e2.link_failures, 1);
+  ASSERT_EQ(injector.dead_edges().size(), 1u);
+  EXPECT_EQ(injector.dead_edges()[0], (EdgeKey{lu, lv}));
+
+  // Skipping an epoch still applies its events (the repair of `sw`).
+  EpochFaults e4 = injector.advance_to(4);
+  EXPECT_EQ(e4.repairs, 2);
+  EXPECT_TRUE(e4.topology_changed);
+  EXPECT_FALSE(injector.any_faults_active());
+  EXPECT_EQ(injector.dead_switch_count(), 0);
+  EXPECT_TRUE(injector.dead_edges().empty());
+
+  // Epochs must strictly increase.
+  EXPECT_THROW(injector.advance_to(4), PpdcError);
+}
+
+TEST(DegradedNetwork, MasksAndPicksLargestCore) {
+  const Topology topo = build_fat_tree(4);
+  const Graph& g = topo.graph;
+  // Kill rack 0's ToR: its hosts become an isolated island each, and the
+  // big component keeps every other switch.
+  std::vector<char> dead(static_cast<std::size_t>(g.num_nodes()), 0);
+  const NodeId tor = topo.rack_switches[0];
+  dead[static_cast<std::size_t>(tor)] = 1;
+  DegradedNetwork net(g, dead, {});
+
+  EXPECT_EQ(net.graph().num_nodes(), g.num_nodes());  // ids preserved
+  EXPECT_EQ(net.graph().degree(tor), 0u);             // fully isolated
+  EXPECT_FALSE(net.apsp().fully_connected());
+  EXPECT_FALSE(net.in_core(tor));
+  for (const NodeId h : topo.racks[0]) {
+    EXPECT_FALSE(net.in_core(h));
+    EXPECT_FALSE(net.apsp().reachable(h, topo.racks[1][0]));
+    EXPECT_TRUE(std::isinf(net.apsp().cost(h, topo.racks[1][0])));
+  }
+  // Every other switch survives in the serving core, sorted ascending.
+  const auto& core = net.core_switches();
+  EXPECT_EQ(core.size(), g.switches().size() - 1);
+  EXPECT_TRUE(std::is_sorted(core.begin(), core.end()));
+  EXPECT_FALSE(contains(core, tor));
+  EXPECT_TRUE(net.in_core(topo.racks[1][0]));
+  EXPECT_TRUE(net.core_can_host(3));
+  EXPECT_FALSE(net.core_can_host(static_cast<int>(core.size()) + 1));
+}
+
+TEST(DegradedNetwork, LinkMaskOnly) {
+  const Topology topo = build_fat_tree(4);
+  const Graph& g = topo.graph;
+  const NodeId sw = topo.rack_switches[0];
+  std::vector<EdgeKey> dead_links;
+  for (const auto& adj : g.neighbors(sw)) {
+    if (g.is_switch(adj.to)) dead_links.push_back(make_edge_key(sw, adj.to));
+  }
+  ASSERT_FALSE(dead_links.empty());
+  // All uplinks of rack 0's ToR die: the rack hangs off an island with its
+  // alive ToR, but the core component holds more switches.
+  std::vector<char> dead(static_cast<std::size_t>(g.num_nodes()), 0);
+  DegradedNetwork net(g, dead, dead_links);
+  EXPECT_FALSE(net.in_core(sw));  // alive but outside the serving core
+  EXPECT_TRUE(net.in_core(topo.rack_switches[1]));
+  EXPECT_EQ(net.core_switches().size(), g.switches().size() - 1);
+}
+
+// Acceptance scenario of the issue: a switch failure that hits a placed
+// VNF, a ToR failure that quarantines flows, a link failure, and repairs —
+// the run completes and every fault counter is populated.
+TEST(FaultSimulation, SurvivesFailuresOfPlacedSwitchAndRack) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  // Deliberate traffic in racks 0 and 1 so a ToR kill quarantines flows.
+  std::vector<VmFlow> flows{
+      {topo.racks[0][0], topo.racks[0][1], 10.0},
+      {topo.racks[1][0], topo.racks[1][1], 50.0},
+      {topo.racks[2][0], topo.racks[3][0], 20.0},
+      {topo.racks[1][1], topo.racks[2][1], 5.0},
+  };
+
+  // Learn where the initial chain sits, then craft the schedule around it.
+  Placement initial;
+  {
+    NoMigrationPolicy probe;
+    SimConfig cfg;
+    cfg.hours = 1;
+    initial = run_simulation(apsp, flows, 3, cfg, probe).initial_placement;
+  }
+  ASSERT_EQ(initial.size(), 3u);
+
+  // A ToR (every rack above carries traffic) not used by the chain.
+  NodeId tor = kInvalidNode;
+  for (const NodeId candidate : topo.rack_switches) {
+    if (!contains(initial, candidate)) {
+      tor = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(tor, kInvalidNode);
+  // A fabric link avoiding both planned switch victims.
+  NodeId lu = kInvalidNode, lv = kInvalidNode;
+  for (const NodeId u : topo.graph.switches()) {
+    if (u == initial[0] || u == tor) continue;
+    for (const auto& adj : topo.graph.neighbors(u)) {
+      if (!topo.graph.is_switch(adj.to)) continue;
+      if (adj.to == initial[0] || adj.to == tor) continue;
+      const EdgeKey key = make_edge_key(u, adj.to);
+      lu = key.first;
+      lv = key.second;
+      break;
+    }
+    if (lu != kInvalidNode) break;
+  }
+  ASSERT_NE(lu, kInvalidNode);
+
+  SimConfig cfg;
+  cfg.hours = 8;
+  cfg.fault.mu = 2.0;
+  cfg.fault.quarantine_penalty = 3.0;
+  cfg.faults = {
+      {2, FaultKind::kSwitchFail, initial[0], kInvalidNode, kInvalidNode},
+      {3, FaultKind::kSwitchFail, tor, kInvalidNode, kInvalidNode},
+      {3, FaultKind::kLinkFail, kInvalidNode, lu, lv},
+      {4, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
+      {5, FaultKind::kSwitchRepair, initial[0], kInvalidNode, kInvalidNode},
+      {6, FaultKind::kSwitchRepair, tor, kInvalidNode, kInvalidNode},
+  };
+  // NoMigration keeps the chain parked on initial[0] until the failure
+  // hits it, so the emergency-recovery path is guaranteed to fire.
+  NoMigrationPolicy policy;
+  const SimTrace t = run_simulation(apsp, flows, 3, cfg, policy);
+
+  ASSERT_EQ(t.epochs.size(), 8u);
+  EXPECT_EQ(t.total_switch_failures, 2);
+  EXPECT_EQ(t.total_link_failures, 1);
+  EXPECT_EQ(t.total_repairs, 3);
+  EXPECT_EQ(t.epochs[2].switch_failures, 1);
+  EXPECT_EQ(t.epochs[3].link_failures, 1);
+  EXPECT_EQ(t.epochs[4].repairs, 1);
+  // The chain lost a switch at epoch 2: at least one emergency move.
+  EXPECT_GE(t.epochs[2].recovery_migrations, 1);
+  EXPECT_GE(t.total_recovery_migrations, 1);
+  EXPECT_GT(t.total_recovery_cost, 0.0);
+  // Rack `tor` is cut off for epochs 3..5: its flow is quarantined.
+  EXPECT_GE(t.quarantined_flow_epochs, 3);
+  EXPECT_GT(t.total_quarantine_penalty, 0.0);
+  EXPECT_EQ(t.downtime_epochs, 0);
+  EXPECT_NEAR(t.total_cost,
+              t.total_comm_cost + t.total_migration_cost +
+                  t.total_recovery_cost + t.total_quarantine_penalty,
+              1e-9);
+  // Post-repair epochs serve everything again.
+  EXPECT_EQ(t.epochs[7].quarantined_flows, 0);
+  EXPECT_FALSE(t.epochs[7].service_down);
+}
+
+// Migration policies keep working on a fabric degraded by a generated
+// (renewal-process) schedule: the run completes and the ledger adds up.
+TEST(FaultSimulation, ParetoPolicySurvivesGeneratedSchedule) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 10, 17);
+  FaultScheduleConfig fcfg;
+  fcfg.hours = 24;
+  fcfg.switch_mtbf = 20.0;
+  fcfg.switch_mttr = 2.0;
+  fcfg.link_mtbf = 30.0;
+  fcfg.seed = 4;
+  SimConfig cfg;
+  cfg.hours = 24;
+  cfg.faults = generate_fault_schedule(topo.graph, fcfg);
+  ASSERT_FALSE(cfg.faults.empty());
+  cfg.fault.mu = 5.0;
+  cfg.fault.quarantine_penalty = 1.0;
+  ParetoMigrationPolicy policy(10.0);
+  const SimTrace t = run_simulation(apsp, flows, 3, cfg, policy);
+  ASSERT_EQ(t.epochs.size(), 24u);
+  EXPECT_GT(t.total_switch_failures + t.total_link_failures, 0);
+  EXPECT_NEAR(t.total_cost,
+              t.total_comm_cost + t.total_migration_cost +
+                  t.total_recovery_cost + t.total_quarantine_penalty,
+              1e-9);
+}
+
+TEST(FaultSimulation, EmptyScheduleIsBitIdenticalToPristineRun) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 8, 11);
+  NoMigrationPolicy a, b;
+  SimConfig plain;
+  plain.hours = 10;
+  SimConfig faulty = plain;  // empty schedule; knobs set but never consulted
+  faulty.fault.mu = 123.0;
+  faulty.fault.quarantine_penalty = 9.0;
+  faulty.fault.exhaustive_recovery = true;
+  const SimTrace ta = run_simulation(apsp, flows, 3, plain, a);
+  const SimTrace tb = run_simulation(apsp, flows, 3, faulty, b);
+  ASSERT_EQ(ta.epochs.size(), tb.epochs.size());
+  for (std::size_t h = 0; h < ta.epochs.size(); ++h) {
+    EXPECT_EQ(ta.epochs[h].comm_cost, tb.epochs[h].comm_cost) << "h=" << h;
+    EXPECT_EQ(ta.epochs[h].quarantined_flows, 0);
+  }
+  EXPECT_EQ(ta.total_cost, tb.total_cost);
+  EXPECT_EQ(tb.total_switch_failures, 0);
+  EXPECT_EQ(tb.total_recovery_migrations, 0);
+  EXPECT_EQ(tb.downtime_epochs, 0);
+}
+
+// After every fault is repaired the engine resyncs the incremental
+// group-refresh bases: epochs past the heal must match the fault-free run
+// exactly (same placement under NoMigration, same diurnal rates).
+TEST(FaultSimulation, HealedFabricMatchesPristineEpochsExactly) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 8, 3);
+  Placement initial;
+  {
+    NoMigrationPolicy probe;
+    SimConfig cfg;
+    cfg.hours = 1;
+    initial = run_simulation(apsp, flows, 3, cfg, probe).initial_placement;
+  }
+  // A non-ToR fabric switch the chain does not use: killing it disconnects
+  // nothing (fat-tree path redundancy), so no flow is quarantined and no
+  // recovery fires — only the metric degrades for two epochs.
+  NodeId victim = kInvalidNode;
+  for (const NodeId s : topo.graph.switches()) {
+    const bool is_tor = std::find(topo.rack_switches.begin(),
+                                  topo.rack_switches.end(),
+                                  s) != topo.rack_switches.end();
+    if (!is_tor && !contains(initial, s)) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  NoMigrationPolicy a, b;
+  SimConfig plain;
+  plain.hours = 8;
+  SimConfig faulty = plain;
+  faulty.faults = {
+      {2, FaultKind::kSwitchFail, victim, kInvalidNode, kInvalidNode},
+      {4, FaultKind::kSwitchRepair, victim, kInvalidNode, kInvalidNode},
+  };
+  const SimTrace ta = run_simulation(apsp, flows, 3, plain, a);
+  const SimTrace tb = run_simulation(apsp, flows, 3, faulty, b);
+  ASSERT_EQ(tb.epochs.size(), 8u);
+  EXPECT_EQ(tb.total_recovery_migrations, 0);
+  EXPECT_EQ(tb.quarantined_flow_epochs, 0);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_EQ(ta.epochs[h].comm_cost, tb.epochs[h].comm_cost) << "h=" << h;
+  }
+  for (std::size_t h = 4; h < 8; ++h) {
+    // Bit-identical: the healed path recombines the same base vectors.
+    EXPECT_EQ(ta.epochs[h].comm_cost, tb.epochs[h].comm_cost) << "h=" << h;
+  }
+}
+
+TEST(SolveBudget, UnlimitedByDefault) {
+  const SolveBudget unlimited;
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_FALSE(Deadline(unlimited).expired());
+  SolveBudget tight;
+  tight.wall_ms = 1e-9;
+  EXPECT_FALSE(tight.unlimited());
+}
+
+TEST(SolveBudget, ExpiredDeadlineStillReturnsValidPlacement) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  auto flows = random_flows(topo, 10, 5);
+  const CostModel model(apsp, flows);
+  const PlacementResult dp = solve_top_dp(model, 3);
+
+  ChainSearchConfig cc;
+  cc.budget.wall_ms = 1e-9;  // expires essentially immediately
+  cc.initial = dp.placement;
+  const ChainSearchResult res = solve_top_exhaustive(model, 3, cc);
+  ASSERT_EQ(res.placement.size(), 3u);
+  for (const NodeId s : res.placement) {
+    EXPECT_TRUE(topo.graph.is_switch(s));
+  }
+  // Warm-started at the DP answer, truncation can never do worse than it.
+  EXPECT_LE(res.objective, dp.comm_cost + 1e-9);
+}
+
+TEST(SolveBudget, ExhaustivePolicyDegradesGracefullyUnderTinyBudget) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = random_flows(topo, 8, 6);
+  SimConfig cfg;
+  cfg.hours = 6;
+  NoMigrationPolicy none;
+  ChainSearchConfig tiny;
+  tiny.budget.wall_ms = 1e-9;
+  ExhaustiveMigrationPolicy truncated(10.0, tiny);
+  const SimTrace t_none = run_simulation(apsp, flows, 3, cfg, none);
+  const SimTrace t_trunc = run_simulation(apsp, flows, 3, cfg, truncated);
+  // Fallback keeps the cheaper of the truncated search and mPareto, both
+  // warm-started at "stay put" — never worse than doing nothing.
+  EXPECT_LE(t_trunc.total_cost, t_none.total_cost + 1e-6);
+}
+
+}  // namespace
+}  // namespace ppdc
