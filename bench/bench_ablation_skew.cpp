@@ -14,6 +14,7 @@
 // visible.
 //
 // Options: --k --trials --l --n --mu --svalues --seed --csv
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 
@@ -63,10 +64,10 @@ int main(int argc, char** argv) {
     wcfg.num_pairs = l;
     wcfg.rack_zipf_s = s;
     const auto sample = generate_vm_flows(topo, wcfg, rng);
-    std::vector<double> rack_mass(topo.racks.size(), 0.0);
+    IndexedVector<RackIdx, double> rack_mass(topo.racks.size(), 0.0);
     double total_mass = 0.0;
     for (const auto& f : sample) {
-      for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+      for (const RackIdx r : topo.racks.ids()) {
         if (std::find(topo.racks[r].begin(), topo.racks[r].end(),
                       f.src_host) != topo.racks[r].end()) {
           rack_mass[r] += f.rate;

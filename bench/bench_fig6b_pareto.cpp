@@ -47,10 +47,10 @@ int main(int argc, char** argv) {
   const std::vector<double> base = rates_of(flows);
   std::vector<int> groups;
   for (const auto& f : flows) groups.push_back(f.group);
-  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 5));
+  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, Hour{5}));
   cm.refresh();
   const PlacementResult initial = solve_top_dp(cm, n, dp_opts);
-  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 10));
+  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, Hour{10}));
   cm.refresh();
 
   ParetoMigrationOptions mig_opts;

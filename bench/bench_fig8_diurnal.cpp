@@ -25,9 +25,10 @@ int main(int argc, char** argv) {
   TablePrinter table({"hour", "tau_h (Eq.9)", "east-coast scale",
                       "west-coast scale", "fleet average"});
   for (int h = 0; h <= model.hours_per_day; ++h) {
-    const double east = model.scale_for_flow(h, 0);
-    const double west = model.scale_for_flow(h, 1);
-    table.add_row({std::to_string(h), TablePrinter::num(model.tau(h), 3),
+    const Hour hour{h};
+    const double east = model.scale_for_flow(hour, FlowId{0});
+    const double west = model.scale_for_flow(hour, FlowId{1});
+    table.add_row({std::to_string(h), TablePrinter::num(model.tau(hour), 3),
                    TablePrinter::num(east, 3), TablePrinter::num(west, 3),
                    TablePrinter::num(0.5 * (east + west), 3)});
   }

@@ -59,12 +59,12 @@ RunResult run_case(int k, int l, int reps, bool verbose) {
   CostModel full(apsp, flows);
   CostModel inc(apsp, flows);
   inc.enable_group_refresh(base, groups);
-  inc.refresh_scaled(diurnal.group_scales(0, n_groups));
+  inc.refresh_scaled(diurnal.group_scales(Hour{0}, n_groups));
   const Placement probe = solve_top_dp(inc, 3).placement;
 
   RunResult r;
   // Warm-up + equivalence sweep (not timed).
-  for (int hour = 0; hour < hours; ++hour) {
+  for (const Hour hour : id_range<Hour>(hours)) {
     set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
     full.refresh();
     inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
@@ -89,7 +89,7 @@ RunResult run_case(int k, int l, int reps, bool verbose) {
   // Timed: full rescan per epoch (the seed engine's behaviour).
   auto t0 = Clock::now();
   for (int rep = 0; rep < reps; ++rep) {
-    for (int hour = 0; hour < hours; ++hour) {
+    for (const Hour hour : id_range<Hour>(hours)) {
       set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
       full.refresh();
     }
@@ -100,7 +100,7 @@ RunResult run_case(int k, int l, int reps, bool verbose) {
   // engine pays it on both paths).
   t0 = Clock::now();
   for (int rep = 0; rep < reps; ++rep) {
-    for (int hour = 0; hour < hours; ++hour) {
+    for (const Hour hour : id_range<Hour>(hours)) {
       set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
       inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
     }
@@ -110,7 +110,7 @@ RunResult run_case(int k, int l, int reps, bool verbose) {
   // Endpoint-move patching: relocate ~1% of the flows (a typical PLAN/MCF
   // epoch) and verify + time the dirty path.
   const auto& hosts = topo.graph.hosts();
-  std::vector<int> moved;
+  std::vector<FlowId> moved;
   for (int i = 0; i < std::max(1, l / 100); ++i) {
     const int idx = static_cast<int>(
         rng.uniform_int(0, static_cast<int>(flows.size()) - 1));
@@ -119,7 +119,7 @@ RunResult run_case(int k, int l, int reps, bool verbose) {
         rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
     f.dst_host = hosts[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
-    moved.push_back(idx);
+    moved.push_back(FlowId{idx});
   }
   t0 = Clock::now();
   inc.endpoints_moved(moved);

@@ -41,10 +41,10 @@ int main(int argc, char** argv) {
   const std::vector<double> base = rates_of(flows);
   std::vector<int> groups;
   for (const auto& f : flows) groups.push_back(f.group);
-  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 5));
+  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, Hour{5}));
   model.refresh();
   const Placement morning = solve_top_dp(model, n).placement;
-  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 10));
+  set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, Hour{10}));
   model.refresh();
 
   std::cout << "Migration trade-off after the afternoon traffic flip "

@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
 
   SimConfig cfg;
   cfg.hours = 24;
-  cfg.rate_schedule = [&](int hour) {
-    return schedule[static_cast<std::size_t>(hour)];
+  cfg.rate_schedule = [&](Hour hour) {
+    return schedule[static_cast<std::size_t>(hour.value())];
   };
 
   NoMigrationPolicy none;

@@ -14,17 +14,17 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// One movable VM endpoint: flow index + whether it is the source side.
+/// One movable VM endpoint: flow id + whether it is the source side.
 struct Endpoint {
-  int flow = 0;
+  FlowId flow{0};
   bool is_source = true;
 
   NodeId host(const std::vector<VmFlow>& flows) const {
-    const auto& f = flows[static_cast<std::size_t>(flow)];
+    const auto& f = flows[static_cast<std::size_t>(flow.value())];
     return is_source ? f.src_host : f.dst_host;
   }
   void set_host(std::vector<VmFlow>& flows, NodeId h) const {
-    auto& f = flows[static_cast<std::size_t>(flow)];
+    auto& f = flows[static_cast<std::size_t>(flow.value())];
     (is_source ? f.src_host : f.dst_host) = h;
   }
   /// The VNF-chain endpoint this VM talks to.
@@ -36,7 +36,7 @@ struct Endpoint {
 std::vector<Endpoint> all_endpoints(const std::vector<VmFlow>& flows) {
   std::vector<Endpoint> eps;
   eps.reserve(flows.size() * 2);
-  for (int i = 0; i < static_cast<int>(flows.size()); ++i) {
+  for (const FlowId i : id_range<FlowId>(flows.size())) {
     eps.push_back({i, true});
     eps.push_back({i, false});
   }
@@ -49,7 +49,7 @@ std::vector<Endpoint> all_endpoints(const std::vector<VmFlow>& flows) {
 /// the arithmetic NaN-free (0 * inf = NaN).
 double endpoint_cost(const AllPairs& apsp, const std::vector<VmFlow>& flows,
                      const Endpoint& ep, const Placement& p, NodeId h) {
-  const double rate = flows[static_cast<std::size_t>(ep.flow)].rate;
+  const double rate = flows[static_cast<std::size_t>(ep.flow.value())].rate;
   if (rate == 0.0) return 0.0;
   return rate * apsp.cost(h, ep.anchor(p));
 }
@@ -81,9 +81,9 @@ std::vector<int> occupancy(const AllPairs& apsp,
   return occ;
 }
 
-/// Sorts and deduplicates the moved-flow index list (src and dst moves of
+/// Sorts and deduplicates the moved-flow id list (src and dst moves of
 /// one flow collapse to a single entry).
-void finalize_moved_indices(std::vector<int>& moved) {
+void finalize_moved_indices(std::vector<FlowId>& moved) {
   std::sort(moved.begin(), moved.end());
   moved.erase(std::unique(moved.begin(), moved.end()), moved.end());
 }

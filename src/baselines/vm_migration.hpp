@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "util/ids.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {
@@ -49,10 +50,10 @@ struct VmMigrationResult {
   double comm_cost = 0.0;       ///< total communication cost afterwards
   double total_cost = 0.0;      ///< sum of the two
   int vms_moved = 0;
-  /// Indices (into `flows`) of flows whose src and/or dst host changed —
+  /// Ids (into `flows`) of flows whose src and/or dst host changed —
   /// sorted, deduplicated. Drives the cost model's incremental
   /// endpoints_moved() maintenance.
-  std::vector<int> moved_flow_indices;
+  std::vector<FlowId> moved_flow_indices;
 };
 
 /// PLAN greedy VM migration.

@@ -12,11 +12,12 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Depth-first branch-and-bound state.
+/// Depth-first branch-and-bound state. Candidate-universe rows are the
+/// CandidateIdx domain throughout; NodeIds appear only at the cost-model
+/// boundary (attractions, distances).
 class Searcher {
  public:
-  Searcher(const CostModel& model, int n,
-           const std::vector<std::vector<double>>& extra,
+  Searcher(const CostModel& model, int n, const ExtraMatrix& extra,
            const ChainSearchConfig& config)
       : model_(model),
         apsp_(model.apsp()),
@@ -48,12 +49,13 @@ class Searcher {
     // Candidate orderings: per switch, all switches by increasing distance
     // (drives the DFS toward cheap completions first).
     by_distance_.resize(s);
-    for (std::size_t i = 0; i < s; ++i) {
-      by_distance_[i].resize(s);
-      std::iota(by_distance_[i].begin(), by_distance_[i].end(), 0);
+    for (const CandidateIdx i : switches_.ids()) {
+      auto& order = by_distance_[i];
+      order.reserve(s);
+      for (const CandidateIdx k : switches_.ids()) order.push_back(k);
       const NodeId u = switches_[i];
-      std::sort(by_distance_[i].begin(), by_distance_[i].end(),
-                [&](std::size_t a, std::size_t b) {
+      std::sort(order.begin(), order.end(),
+                [&](CandidateIdx a, CandidateIdx b) {
                   return apsp_.cost(u, switches_[a]) <
                          apsp_.cost(u, switches_[b]);
                 });
@@ -71,14 +73,15 @@ class Searcher {
 
   ChainSearchResult run() {
     // First position ordered by ingress attraction + its extra term.
-    std::vector<std::size_t> first_order(switches_.size());
-    std::iota(first_order.begin(), first_order.end(), 0);
+    std::vector<CandidateIdx> first_order;
+    first_order.reserve(switches_.size());
+    for (const CandidateIdx i : switches_.ids()) first_order.push_back(i);
     std::sort(first_order.begin(), first_order.end(),
-              [&](std::size_t a, std::size_t b) {
+              [&](CandidateIdx a, CandidateIdx b) {
                 return first_key(a) < first_key(b);
               });
     exhausted_ = false;
-    for (const std::size_t row : first_order) {
+    for (const CandidateIdx row : first_order) {
       const NodeId w = switches_[row];
       const double cost = model_.ingress_attraction(w) + extra_at(0, row);
       descend(1, row, cost);
@@ -94,12 +97,12 @@ class Searcher {
   }
 
  private:
-  double extra_at(int j, std::size_t row) const {
+  double extra_at(int j, CandidateIdx row) const {
     return extra_.empty() ? 0.0
                           : extra_[static_cast<std::size_t>(j)][row];
   }
 
-  double first_key(std::size_t row) const {
+  double first_key(CandidateIdx row) const {
     return model_.ingress_attraction(switches_[row]) + extra_at(0, row);
   }
 
@@ -108,17 +111,18 @@ class Searcher {
     double c = model_.communication_cost(p);
     if (!extra_.empty()) {
       for (int j = 0; j < n_; ++j) {
-        const int row = row_of(p[static_cast<std::size_t>(j)]);
-        c += extra_[static_cast<std::size_t>(j)][static_cast<std::size_t>(row)];
+        const CandidateIdx row = row_of(p[static_cast<std::size_t>(j)]);
+        c += extra_[static_cast<std::size_t>(j)][row];
       }
     }
     return c;
   }
 
-  int row_of(NodeId w) const {
+  CandidateIdx row_of(NodeId w) const {
     const auto it = std::find(switches_.begin(), switches_.end(), w);
     PPDC_REQUIRE(it != switches_.end(), "placement node is not a switch");
-    return static_cast<int>(it - switches_.begin());
+    return CandidateIdx{
+        static_cast<CandidateIdx::rep_type>(it - switches_.begin())};
   }
 
   /// Lower bound on any completion after `depth` positions are fixed with
@@ -136,7 +140,7 @@ class Searcher {
 
   /// Expands position `depth` given the previous pick at `prev_row`.
   /// `partial` excludes the final egress term.
-  void descend(int depth, std::size_t prev_row, double partial) {
+  void descend(int depth, CandidateIdx prev_row, double partial) {
     if (exhausted_) return;
     ++nodes_;
     if (config_.node_budget != 0 && nodes_ > config_.node_budget) {
@@ -171,7 +175,7 @@ class Searcher {
     }
 
     const NodeId prev = switches_[prev_row];
-    for (const std::size_t row : by_distance_[prev_row]) {
+    for (const CandidateIdx row : by_distance_[prev_row]) {
       if (used_[row]) continue;
       const double step = model_.total_rate() * apsp_.cost(prev, switches_[row]) +
                           extra_at(depth, row);
@@ -191,14 +195,15 @@ class Searcher {
 
   const CostModel& model_;
   const AllPairs& apsp_;
-  const std::vector<NodeId>& switches_;
+  /// Candidate universe, copied once so rows are typed CandidateIdx.
+  IndexedVector<CandidateIdx, NodeId> switches_;
   int n_;
-  const std::vector<std::vector<double>>& extra_;
+  const ExtraMatrix& extra_;
   ChainSearchConfig config_;
 
-  std::vector<std::vector<std::size_t>> by_distance_;
+  IndexedVector<CandidateIdx, std::vector<CandidateIdx>> by_distance_;
   std::vector<double> extra_suffix_min_;
-  std::vector<char> used_;
+  IndexedVector<CandidateIdx, char> used_;
   Placement current_;
   Placement best_;
   double best_cost_ = kInf;
@@ -210,7 +215,7 @@ class Searcher {
 }  // namespace
 
 ChainSearchResult chain_search(const CostModel& model, int n,
-                               const std::vector<std::vector<double>>& extra,
+                               const ExtraMatrix& extra,
                                const ChainSearchConfig& config) {
   Searcher s(model, n, extra, config);
   return s.run();
@@ -218,7 +223,7 @@ ChainSearchResult chain_search(const CostModel& model, int n,
 
 ChainSearchResult solve_top_exhaustive(const CostModel& model, int n,
                                        const ChainSearchConfig& config) {
-  static const std::vector<std::vector<double>> kNoExtra;
+  static const ExtraMatrix kNoExtra;
   return chain_search(model, n, kNoExtra, config);
 }
 
@@ -227,11 +232,13 @@ ChainSearchResult solve_tom_exhaustive(const CostModel& model,
                                        const ChainSearchConfig& config) {
   PPDC_REQUIRE(mu >= 0.0, "negative migration coefficient");
   const auto& switches = model.placement_candidates();
-  std::vector<std::vector<double>> extra(
-      from.size(), std::vector<double>(switches.size(), 0.0));
+  ExtraMatrix extra(
+      from.size(), IndexedVector<CandidateIdx, double>(switches.size(), 0.0));
   for (std::size_t j = 0; j < from.size(); ++j) {
-    for (std::size_t k = 0; k < switches.size(); ++k) {
-      extra[j][k] = mu * model.apsp().cost(from[j], switches[k]);
+    for (const CandidateIdx k : id_range<CandidateIdx>(switches.size())) {
+      extra[j][k] =
+          mu * model.apsp().cost(from[j],
+                                 switches[static_cast<std::size_t>(k.value())]);
     }
   }
   return chain_search(model, static_cast<int>(from.size()), extra, config);

@@ -25,8 +25,16 @@
 
 #include "core/cost_model.hpp"
 #include "core/solve_budget.hpp"
+#include "util/ids.hpp"
+#include "util/indexed_vector.hpp"
 
 namespace ppdc {
+
+/// Per-position additive cost term of the chain objective: extra[j] is a
+/// row over the candidate universe, subscripted by the CandidateIdx of a
+/// switch in model.placement_candidates() order. The typed subscript keeps
+/// raw NodeIds (a different domain) out of the matrix.
+using ExtraMatrix = std::vector<IndexedVector<CandidateIdx, double>>;
 
 /// Result of an exact (or budget-truncated) chain search.
 struct ChainSearchResult {
@@ -51,12 +59,12 @@ struct ChainSearchConfig {
 };
 
 /// Minimizes the chain objective. `extra` is either empty (TOP) or an
-/// n x |candidates| row-major matrix indexed by [position][switch-row] in
-/// the order of model.placement_candidates() (TOM). The search universe is
+/// n x |candidates| matrix indexed by [position][CandidateIdx] in the
+/// order of model.placement_candidates() (TOM). The search universe is
 /// placement_candidates(): all switches normally, only the alive serving
 /// partition on a degraded fabric.
 ChainSearchResult chain_search(const CostModel& model, int n,
-                               const std::vector<std::vector<double>>& extra,
+                               const ExtraMatrix& extra,
                                const ChainSearchConfig& config = {});
 
 /// Algorithm 4: exhaustive traffic-optimal VNF placement.

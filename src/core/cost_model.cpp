@@ -70,7 +70,7 @@ void CostModel::refresh() {
     // endpoints_moved() must not recombine against stale scales.
     PPDC_REQUIRE(flows_->size() == groups_.size(),
                  "flow vector resized after enable_group_refresh");
-    for (std::size_t i = 0; i < flows_->size(); ++i) {
+    for (const FlowId i : id_range<FlowId>(flows_->size())) {
       patch_moved_flow(i);
     }
     last_scales_.clear();
@@ -160,8 +160,9 @@ void CostModel::rebuild_group_bases() {
   }
 }
 
-void CostModel::patch_moved_flow(std::size_t i) {
+void CostModel::patch_moved_flow(FlowId flow) {
   const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  const auto i = static_cast<std::size_t>(flow.value());
   const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
   const double base = base_rates_[i];
   const VmFlow& f = (*flows_)[i];
@@ -226,20 +227,22 @@ void CostModel::refresh_scaled(const std::vector<double>& scales) {
   last_scales_ = scales;
 }
 
-void CostModel::endpoints_moved(const std::vector<int>& flow_indices) {
+void CostModel::endpoints_moved(const std::vector<FlowId>& flow_ids) {
   if (!group_refresh_enabled() || last_scales_.empty()) {
     refresh();
     return;
   }
-  for (const int i : flow_indices) {
-    PPDC_REQUIRE(i >= 0 && static_cast<std::size_t>(i) < flows_->size(),
-                 "moved flow index out of range");
+  const FlowId end = flow_count(*flows_);
+  for (const FlowId i : flow_ids) {
+    PPDC_REQUIRE(i.valid() && i < end,
+                 "moved flow " + std::to_string(i.value()) +
+                     " out of range [0, " + std::to_string(end.value()) + ")");
   }
-  if (flow_indices.size() * kDirtyRebuildDivisor >= flows_->size()) {
+  if (flow_ids.size() * kDirtyRebuildDivisor >= flows_->size()) {
     rebuild_group_bases();
   } else {
-    for (const int i : flow_indices) {
-      patch_moved_flow(static_cast<std::size_t>(i));
+    for (const FlowId i : flow_ids) {
+      patch_moved_flow(i);
     }
   }
   recombine(last_scales_);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/apsp.hpp"
+#include "util/ids.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {
@@ -71,12 +72,13 @@ class CostModel {
   /// bound flow vector (set_rates) so per-flow queries stay coherent.
   void refresh_scaled(const std::vector<double>& scales);
 
-  /// Signals that the flows at `flow_indices` changed endpoints (rates
+  /// Signals that the flows at `flow_ids` changed endpoints (rates
   /// unchanged): subtracts their stale base-vector contributions, adds the
   /// moved ones, and recombines under the last scales. Falls back to a
   /// full rebuild when the dirty set covers most of the flow population
-  /// (or when group refresh is disabled).
-  void endpoints_moved(const std::vector<int>& flow_indices);
+  /// (or when group refresh is disabled). Ids are validated against the
+  /// bound flow vector; the error names the offending flow.
+  void endpoints_moved(const std::vector<FlowId>& flow_ids);
 
   /// Restricts the switches eligible to host VNFs (fault tolerance: only
   /// alive switches of the serving partition may be placement targets).
@@ -135,9 +137,9 @@ class CostModel {
   /// Rebuilds the per-group base vectors and endpoint snapshot from
   /// scratch (OpenMP-parallel over switches).
   void rebuild_group_bases();
-  /// Moves flow i's base-vector contributions from its snapshot endpoints
-  /// to its current ones.
-  void patch_moved_flow(std::size_t i);
+  /// Moves one flow's base-vector contributions from its snapshot
+  /// endpoints to its current ones.
+  void patch_moved_flow(FlowId flow);
   /// Derives Λ, A, B (and the argmins) from the base vectors and `scales`.
   void recombine(const std::vector<double>& scales);
   /// Recomputes best/min ingress+egress from the attraction vectors.

@@ -40,7 +40,7 @@ Placement MigrationFrontiers::parallel_frontier(int i) const {
   PPDC_REQUIRE(i >= 1 && i <= h_max_, "frontier index out of range");
   Placement fr;
   fr.reserve(paths_.size());
-  for (std::size_t j = 0; j < paths_.size(); ++j) {
+  for (const ChainPos j : paths_.ids()) {
     const int k = std::min(i, h_[j]);
     fr.push_back(paths_[j][static_cast<std::size_t>(k - 1)]);
   }
@@ -80,28 +80,29 @@ void MigrationFrontiers::for_each_frontier_until(
   PPDC_REQUIRE(frontier_count() <= max_enumerated,
                "frontier space too large to enumerate");
   const std::size_t n = paths_.size();
-  std::vector<int> odometer(n, 0);
+  IndexedVector<ChainPos, int> odometer(n, 0);
   Placement fr(n);
   for (;;) {
-    for (std::size_t j = 0; j < n; ++j) {
-      fr[j] = paths_[j][static_cast<std::size_t>(odometer[j])];
+    for (const ChainPos j : paths_.ids()) {
+      fr[static_cast<std::size_t>(j.value())] =
+          paths_[j][static_cast<std::size_t>(odometer[j])];
     }
     if (!visit(fr)) return;
     // Increment odometer.
-    std::size_t j = 0;
-    while (j < n) {
+    ChainPos j{0};
+    const ChainPos end = paths_.end_id();
+    while (j < end) {
       if (++odometer[j] < h_[j]) break;
       odometer[j] = 0;
       ++j;
     }
-    if (j == n) break;
+    if (j == end) break;
   }
 }
 
-const std::vector<NodeId>& MigrationFrontiers::path(int j) const {
-  PPDC_REQUIRE(j >= 0 && static_cast<std::size_t>(j) < paths_.size(),
-               "path index out of range");
-  return paths_[static_cast<std::size_t>(j)];
+const std::vector<NodeId>& MigrationFrontiers::path(ChainPos j) const {
+  PPDC_REQUIRE(paths_.contains(j), "path index out of range");
+  return paths_[j];
 }
 
 bool is_collision_free(const Placement& p) {

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "util/ids.hpp"
+#include "util/indexed_vector.hpp"
 
 namespace ppdc {
 
@@ -30,8 +32,11 @@ class MigrationFrontiers {
   MigrationFrontiers(const AllPairs& apsp, const Placement& from,
                      const Placement& to);
 
-  /// h_j: number of switches on S_j (1 when the VNF does not move).
-  const std::vector<int>& path_lengths() const noexcept { return h_; }
+  /// h_j: number of switches on S_j (1 when the VNF does not move),
+  /// subscripted by chain position.
+  const IndexedVector<ChainPos, int>& path_lengths() const noexcept {
+    return h_;
+  }
   int h_max() const noexcept { return h_max_; }
 
   /// The i-th parallel frontier, i in [1, h_max] (Def. 2).
@@ -55,12 +60,12 @@ class MigrationFrontiers {
       std::int64_t max_enumerated,
       const std::function<bool(const Placement&)>& visit) const;
 
-  /// The j-th migration path.
-  const std::vector<NodeId>& path(int j) const;
+  /// The migration path of the VNF at chain position `j`.
+  const std::vector<NodeId>& path(ChainPos j) const;
 
  private:
-  std::vector<std::vector<NodeId>> paths_;
-  std::vector<int> h_;
+  IndexedVector<ChainPos, std::vector<NodeId>> paths_;
+  IndexedVector<ChainPos, int> h_;
   int h_max_ = 1;
 };
 

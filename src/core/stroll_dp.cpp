@@ -19,18 +19,18 @@ StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
   PPDC_REQUIRE(destination >= 0 && destination < g.num_nodes(),
                "destination out of range");
   if (universe.empty()) {
-    switches_ = g.switches();
+    switches_ = IndexedVector<CandidateIdx, NodeId>(g.switches());
   } else {
     for (const NodeId u : universe) {
       PPDC_REQUIRE(u >= 0 && u < g.num_nodes() && g.is_switch(u),
                    "stroll universe entries must be switches");
     }
-    switches_ = std::move(universe);
+    switches_ = IndexedVector<CandidateIdx, NodeId>(std::move(universe));
   }
-  switch_index_.assign(static_cast<std::size_t>(g.num_nodes()), -1);
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
-    switch_index_[static_cast<std::size_t>(switches_[i])] =
-        static_cast<int>(i);
+  switch_index_.assign(static_cast<std::size_t>(g.num_nodes()),
+                       CandidateIdx::invalid());
+  for (const CandidateIdx i : switches_.ids()) {
+    switch_index_[static_cast<std::size_t>(switches_[i])] = i;
   }
 }
 
@@ -38,11 +38,11 @@ void StrollTable::extend(int e_max) {
   const std::size_t rows = switches_.size();
   while (static_cast<int>(cost_.size()) < e_max) {
     const int e = static_cast<int>(cost_.size()) + 1;
-    std::vector<double> ce(rows, kInf);
-    std::vector<NodeId> se(rows, kInvalidNode);
+    IndexedVector<CandidateIdx, double> ce(rows, kInf);
+    IndexedVector<CandidateIdx, NodeId> se(rows, kInvalidNode);
     if (e == 1) {
       // Base case (pseudocode line 2): one metric edge straight to t.
-      for (std::size_t i = 0; i < rows; ++i) {
+      for (const CandidateIdx i : switches_.ids()) {
         const NodeId u = switches_[i];
         if (u == t_) continue;  // c(t,t,1) stays +inf
         ce[i] = metric(u, t_);
@@ -51,11 +51,11 @@ void StrollTable::extend(int e_max) {
     } else {
       const auto& prev_cost = cost_.back();
       const auto& prev_succ = succ_.back();
-      for (std::size_t i = 0; i < rows; ++i) {
+      for (const CandidateIdx i : switches_.ids()) {
         const NodeId u = switches_[i];
         double best = kInf;
         NodeId best_w = kInvalidNode;
-        for (std::size_t k = 0; k < rows; ++k) {
+        for (const CandidateIdx k : switches_.ids()) {
           const NodeId w = switches_[k];
           // Line 6: intermediate w may be neither u itself nor t, and the
           // stored continuation from w must not immediately return to u.
@@ -88,7 +88,7 @@ std::pair<double, NodeId> StrollTable::source_row(NodeId s, int e) const {
   const auto& prev_succ = succ_[static_cast<std::size_t>(e - 2)];
   double best = kInf;
   NodeId best_w = kInvalidNode;
-  for (std::size_t k = 0; k < switches_.size(); ++k) {
+  for (const CandidateIdx k : switches_.ids()) {
     const NodeId w = switches_[k];
     if (w == s || w == t_) continue;
     if (prev_succ[k] == s) continue;
@@ -142,10 +142,9 @@ StrollResult StrollTable::find(NodeId s, int n_distinct) {
         distinct.push_back(cur);
       }
       if (budget == 0) break;
-      const int row = switch_index_[static_cast<std::size_t>(cur)];
-      PPDC_REQUIRE(row >= 0, "walk stepped outside the switch universe");
-      cur = succ_[static_cast<std::size_t>(budget - 1)]
-                 [static_cast<std::size_t>(row)];
+      const CandidateIdx row = switch_index_[static_cast<std::size_t>(cur)];
+      PPDC_REQUIRE(row.valid(), "walk stepped outside the switch universe");
+      cur = succ_[static_cast<std::size_t>(budget - 1)][row];
       PPDC_REQUIRE(cur != kInvalidNode, "broken successor chain");
       --budget;
     }
@@ -205,10 +204,10 @@ bool StrollTable::satisfies_theorem3(const StrollResult& result) const {
   // stroll into t over every possible start row.
   for (int i = 1; i < r; ++i) {
     const NodeId u = result.walk[static_cast<std::size_t>(i)];
-    const int row = switch_index_[static_cast<std::size_t>(u)];
-    if (row < 0) return false;
+    const CandidateIdx row = switch_index_[static_cast<std::size_t>(u)];
+    if (!row.valid()) return false;
     const auto& level = cost_[static_cast<std::size_t>(r - i - 1)];
-    const double suffix = level[static_cast<std::size_t>(row)];
+    const double suffix = level[row];
     const double global_min = *std::min_element(level.begin(), level.end());
     if (suffix > global_min + 1e-9) return false;
   }

@@ -30,6 +30,8 @@
 
 #include "core/cost_model.hpp"
 #include "graph/apsp.hpp"
+#include "util/ids.hpp"
+#include "util/indexed_vector.hpp"
 
 namespace ppdc {
 
@@ -82,11 +84,13 @@ class StrollTable {
   const AllPairs* apsp_;
   NodeId t_;
   double rate_;
-  std::vector<NodeId> switches_;       ///< DP row universe
-  std::vector<int> switch_index_;      ///< NodeId -> row, -1 for non-rows
+  /// DP row universe: CandidateIdx is the row id, the value the switch.
+  IndexedVector<CandidateIdx, NodeId> switches_;
+  /// NodeId -> row; CandidateIdx::invalid() for nodes outside the universe.
+  std::vector<CandidateIdx> switch_index_;
   /// cost_[e-1][row], succ_[e-1][row]: best e-edge stroll row -> t.
-  std::vector<std::vector<double>> cost_;
-  std::vector<std::vector<NodeId>> succ_;
+  std::vector<IndexedVector<CandidateIdx, double>> cost_;
+  std::vector<IndexedVector<CandidateIdx, NodeId>> succ_;
 };
 
 /// Convenience wrapper for one-shot TOP-1 queries: builds the table for

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 
+#include "util/indexed_vector.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace ppdc {
 
 namespace {
+
+/// File-local index domain: rows of the sorted fabric-link universe built
+/// by generate_fault_schedule.
+struct LinkIdxTag {};
+using LinkIdx = StrongId<LinkIdxTag>;
 
 /// Per-epoch transition probability of a geometric sojourn with mean
 /// `mean_epochs`. A mean of 0 disables the transition; means below one
@@ -45,25 +51,27 @@ FaultSchedule generate_fault_schedule(const Graph& g,
   std::sort(links.begin(), links.end());
 
   const auto& switches = g.switches();
-  std::vector<char> switch_down(switches.size(), 0);
-  std::vector<char> link_down(links.size(), 0);
+  IndexedVector<SwitchIdx, char> switch_down(switches.size(), 0);
+  IndexedVector<LinkIdx, EdgeKey> link_universe(std::move(links));
+  IndexedVector<LinkIdx, char> link_down(link_universe.size(), 0);
 
   Rng rng(config.seed);
   FaultSchedule schedule;
-  for (int epoch = 1; epoch < config.hours; ++epoch) {
-    for (std::size_t i = 0; i < switches.size(); ++i) {
+  for (const Hour epoch : id_range(Hour{1}, Hour{config.hours})) {
+    for (const SwitchIdx i : switch_down.ids()) {
+      const NodeId sw = switches[static_cast<std::size_t>(i.value())];
       if (!switch_down[i] && rng.bernoulli(p_switch_fail)) {
         switch_down[i] = 1;
-        schedule.push_back({epoch, FaultKind::kSwitchFail, switches[i],
+        schedule.push_back({epoch, FaultKind::kSwitchFail, sw,
                             kInvalidNode, kInvalidNode});
       } else if (switch_down[i] && rng.bernoulli(p_switch_repair)) {
         switch_down[i] = 0;
-        schedule.push_back({epoch, FaultKind::kSwitchRepair, switches[i],
+        schedule.push_back({epoch, FaultKind::kSwitchRepair, sw,
                             kInvalidNode, kInvalidNode});
       }
     }
-    for (std::size_t i = 0; i < links.size(); ++i) {
-      const auto& [u, v] = links[i];
+    for (const LinkIdx i : link_universe.ids()) {
+      const auto& [u, v] = link_universe[i];
       if (!link_down[i] && rng.bernoulli(p_link_fail)) {
         link_down[i] = 1;
         schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v});
@@ -80,7 +88,7 @@ FaultInjector::FaultInjector(const Graph& pristine, FaultSchedule schedule)
     : pristine_(&pristine),
       schedule_(std::move(schedule)),
       dead_nodes_(static_cast<std::size_t>(pristine.num_nodes()), 0) {
-  int prev_epoch = 0;
+  Hour prev_epoch{0};
   for (const FaultEvent& e : schedule_) {
     PPDC_REQUIRE(e.epoch >= prev_epoch,
                  "fault schedule must be sorted by epoch");
@@ -103,8 +111,8 @@ FaultInjector::FaultInjector(const Graph& pristine, FaultSchedule schedule)
   }
 }
 
-EpochFaults FaultInjector::advance_to(int epoch) {
-  PPDC_REQUIRE(epoch > last_epoch_,
+EpochFaults FaultInjector::advance_to(Hour epoch) {
+  PPDC_REQUIRE(epoch.valid() && (!last_epoch_.valid() || epoch > last_epoch_),
                "fault injector epochs must strictly increase");
   last_epoch_ = epoch;
   EpochFaults out;

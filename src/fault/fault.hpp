@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/ids.hpp"
 
 namespace ppdc {
 
@@ -34,9 +35,10 @@ enum class FaultKind : std::uint8_t {
 };
 
 /// One timeline entry. Switch events use `node`; link events use `u`/`v`
-/// (normalized u < v, see make_edge_key).
+/// (normalized u < v, see make_edge_key). Epochs share the simulation's
+/// Hour domain, so a flow or switch index can never masquerade as a time.
 struct FaultEvent {
-  int epoch = 0;
+  Hour epoch{0};
   FaultKind kind = FaultKind::kSwitchFail;
   NodeId node = kInvalidNode;  ///< switch events
   NodeId u = kInvalidNode;     ///< link events, u < v
@@ -89,7 +91,7 @@ class FaultInjector {
   /// Epochs must be visited in strictly increasing order (the simulation
   /// loop calls this once per hour and never skips, so normally this is
   /// exactly the events of `epoch`).
-  EpochFaults advance_to(int epoch);
+  EpochFaults advance_to(Hour epoch);
 
   const Graph& pristine() const noexcept { return *pristine_; }
 
@@ -114,7 +116,7 @@ class FaultInjector {
   const Graph* pristine_;
   FaultSchedule schedule_;
   std::size_t next_event_ = 0;
-  int last_epoch_ = -1;
+  Hour last_epoch_ = Hour::invalid();  ///< sentinel: epoch 0 still pending
   std::vector<char> dead_nodes_;
   std::vector<EdgeKey> dead_edges_;
   int dead_switch_count_ = 0;

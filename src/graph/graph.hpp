@@ -50,8 +50,8 @@ class Graph {
   /// Updates the weight of an existing edge (both directions).
   void set_edge_weight(NodeId u, NodeId v, double w);
 
-  NodeId num_nodes() const noexcept {
-    return static_cast<NodeId>(kind_.size());
+  NodeId num_nodes() const {
+    return checked_cast<NodeId>(kind_.size(), "node count");
   }
   std::size_t num_edges() const noexcept { return edge_count_; }
 

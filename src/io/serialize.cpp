@@ -77,7 +77,7 @@ void save_topology(std::ostream& os, const Topology& topo) {
       }
     }
   }
-  for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+  for (const RackIdx r : topo.racks.ids()) {
     os << "rack " << topo.rack_switches[r];
     for (const NodeId h : topo.racks[r]) os << ' ' << h;
     os << "\n";

@@ -25,7 +25,7 @@ SimTrace run_simulation(const AllPairs& apsp,
   std::optional<FaultInjector> injector;
   if (!config.faults.empty()) {
     injector.emplace(graph, config.faults);  // validates shape + ordering
-    PPDC_REQUIRE(config.faults.front().epoch >= 1,
+    PPDC_REQUIRE(config.faults.front().epoch >= Hour{1},
                  "fault events must start at epoch 1 (the initial placement "
                  "sees the pristine fabric)");
   }
@@ -40,24 +40,25 @@ SimTrace run_simulation(const AllPairs& apsp,
   // flow and keeps the full per-flow rescan.
   const bool grouped = !config.rate_schedule;
 
-  auto rates_at = [&](int hour) {
+  auto rates_at = [&](Hour hour) {
     if (!config.rate_schedule) {
       return diurnal_rates_grouped(config.diurnal, base_rates, groups, hour);
     }
     std::vector<double> r = config.rate_schedule(hour);
     PPDC_REQUIRE(r.size() == base_flows.size(),
-                 "rate_schedule(hour " + std::to_string(hour) +
+                 "rate_schedule(hour " + std::to_string(hour.value()) +
                      ") returned " + std::to_string(r.size()) +
                      " rates for " + std::to_string(base_flows.size()) +
                      " flows");
     for (std::size_t i = 0; i < r.size(); ++i) {
-      PPDC_REQUIRE(r[i] >= 0.0, "rate_schedule(hour " + std::to_string(hour) +
-                                    ") returned a negative rate for flow " +
-                                    std::to_string(i));
+      PPDC_REQUIRE(r[i] >= 0.0,
+                   "rate_schedule(hour " + std::to_string(hour.value()) +
+                       ") returned a negative rate for flow " +
+                       std::to_string(i));
     }
     return r;
   };
-  auto scales_at = [&](int hour) {
+  auto scales_at = [&](Hour hour) {
     return config.diurnal.group_scales(hour, n_groups);
   };
 
@@ -66,11 +67,11 @@ SimTrace run_simulation(const AllPairs& apsp,
 
   // Hour 0: initial traffic-optimal placement (TOP, Algorithm 3) on the
   // pristine fabric.
-  set_rates(state.flows, rates_at(0));
+  set_rates(state.flows, rates_at(Hour{0}));
   CostModel model(apsp, state.flows);
   if (grouped) {
     model.enable_group_refresh(base_rates, groups);
-    model.refresh_scaled(scales_at(0));
+    model.refresh_scaled(scales_at(Hour{0}));
   }
   const PlacementResult initial =
       solve_top_dp(model, n, config.initial_placement);
@@ -85,10 +86,10 @@ SimTrace run_simulation(const AllPairs& apsp,
   std::unique_ptr<CostModel> degraded_model;
   bool base_resync_pending = false;  ///< primary bases stale after faults
 
-  for (int hour = 0; hour < config.hours; ++hour) {
+  for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
     // 1. Apply this epoch's fault events and refresh the degraded view.
     EpochFaults events;
-    if (injector && hour >= 1) events = injector->advance_to(hour);
+    if (injector && hour >= Hour{1}) events = injector->advance_to(hour);
     const bool faults_active = injector && injector->any_faults_active();
     if (events.topology_changed) {
       degraded_model.reset();
@@ -196,7 +197,7 @@ SimTrace run_simulation(const AllPairs& apsp,
       }
 
       // 5. The policy reacts to the epoch.
-      if (hour == 0) {
+      if (hour == Hour{0}) {
         // The initial placement is already optimal for hour 0; policies
         // only react to *changes*, so hour 0 just charges the
         // communication cost.
@@ -219,7 +220,7 @@ SimTrace run_simulation(const AllPairs& apsp,
         } catch (const PpdcError& e) {
           throw PpdcError("policy '" + policy.name() +
                           "' produced an invalid placement at epoch " +
-                          std::to_string(hour) + ": " + e.what());
+                          std::to_string(hour.value()) + ": " + e.what());
         }
         // PLAN/MCF may have moved endpoints: patch only the touched flows
         // (CostModel reads the flow vector it was bound to). Epochs

@@ -70,7 +70,7 @@ struct SimConfig {
   /// Optional custom rate schedule; when set it overrides the diurnal
   /// model: schedule(hour) must return the per-flow rates of that hour
   /// (validated: one non-negative rate per flow).
-  std::function<std::vector<double>(int)> rate_schedule;
+  std::function<std::vector<double>(Hour)> rate_schedule;
   /// Optional service-downtime model (VNF migration literature [51], [20],
   /// [32]): while instances are in flight, traffic through them is
   /// disturbed. Each epoch is charged an extra

@@ -31,11 +31,11 @@ struct EpochDecision {
   double migration_distance = 0.0;
   int vnf_migrations = 0;
   int vm_migrations = 0;
-  /// Indices of flows whose endpoints the policy relocated this epoch.
+  /// Ids of flows whose endpoints the policy relocated this epoch.
   /// Policies that mutate `SimState::flows` MUST report every touched flow
   /// here — the engine uses it to patch the cost model incrementally
   /// instead of re-scanning every flow (CostModel::endpoints_moved).
-  std::vector<int> moved_flows;
+  std::vector<FlowId> moved_flows;
 
   // Fault bookkeeping, filled in by the engine (all zero on a pristine
   // fabric; policies never touch these).

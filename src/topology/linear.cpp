@@ -26,8 +26,10 @@ Topology build_linear(int num_switches) {
   g.add_edge(h1, sw.front());
   g.add_edge(h2, sw.back());
 
-  t.racks = {{h1}, {h2}};
-  t.rack_switches = {sw.front(), sw.back()};
+  t.racks.push_back({h1});
+  t.racks.push_back({h2});
+  t.rack_switches.push_back(sw.front());
+  t.rack_switches.push_back(sw.back());
   return t;
 }
 

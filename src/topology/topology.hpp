@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/ids.hpp"
+#include "util/indexed_vector.hpp"
 
 namespace ppdc {
 
@@ -18,15 +20,19 @@ struct Topology {
   Graph graph;
   std::string name;
 
-  /// racks[r] lists the hosts attached to top-of-rack switch rack_switch[r].
-  std::vector<std::vector<NodeId>> racks;
-  std::vector<NodeId> rack_switches;
+  /// racks[r] lists the hosts attached to top-of-rack switch
+  /// rack_switches[r]; both sides are subscripted by the same RackIdx.
+  IndexedVector<RackIdx, std::vector<NodeId>> racks;
+  IndexedVector<RackIdx, NodeId> rack_switches;
 
-  NodeId num_hosts() const noexcept {
-    return static_cast<NodeId>(graph.hosts().size());
+  NodeId num_hosts() const {
+    return checked_cast<NodeId>(graph.hosts().size(), "host count");
   }
-  NodeId num_switches() const noexcept {
-    return static_cast<NodeId>(graph.switches().size());
+  NodeId num_switches() const {
+    return checked_cast<NodeId>(graph.switches().size(), "switch count");
+  }
+  RackIdx num_racks() const {
+    return checked_cast_id<RackIdx>(racks.size(), "rack count");
   }
 };
 

@@ -1,0 +1,131 @@
+// A std::vector whose operator[] only accepts one StrongId domain.
+//
+// IndexedVector<Id, T> is the container side of the index-safety layer
+// (util/strong_id.hpp): a dense array whose subscript *type* encodes which
+// index domain is allowed in, so handing it a row from the wrong universe
+// is a compile error instead of silent garbage. Release builds compile to
+// exactly a std::vector subscript; debug / sanitizer builds (or any TU
+// defining PPDC_CHECK_IDS) bounds-check every access through the library's
+// usual PpdcError contract.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/strong_id.hpp"
+
+// Bounds-check policy: on whenever assertions are (debug builds), or when
+// a TU opts in explicitly before including this header.
+#if !defined(PPDC_CHECK_IDS) && !defined(NDEBUG)
+#define PPDC_CHECK_IDS 1
+#endif
+
+namespace ppdc {
+
+template <class Id, class T>
+class IndexedVector {
+  static_assert(is_strong_id_v<Id>,
+                "IndexedVector must be indexed by a StrongId domain type");
+
+ public:
+  using id_type = Id;
+  using value_type = T;
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  IndexedVector() = default;
+  explicit IndexedVector(std::size_t count) : data_(count) {}
+  IndexedVector(std::size_t count, const T& value) : data_(count, value) {}
+  /// Adopts an existing vector whose positions are already in `Id` order.
+  explicit IndexedVector(std::vector<T> data) : data_(std::move(data)) {}
+
+  /// Typed subscript; bounds-checked in debug builds.
+  T& operator[](Id id) {
+#if PPDC_CHECK_IDS
+    check(id);
+#endif
+    return data_[raw_index(id)];
+  }
+  const T& operator[](Id id) const {
+#if PPDC_CHECK_IDS
+    check(id);
+#endif
+    return data_[raw_index(id)];
+  }
+
+  /// Always-checked subscript (API-misuse guard on release hot paths too).
+  T& at(Id id) {
+    check(id);
+    return data_[raw_index(id)];
+  }
+  const T& at(Id id) const {
+    check(id);
+    return data_[raw_index(id)];
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// One-past-the-last valid id (the typed size).
+  Id end_id() const noexcept {
+    return Id{static_cast<typename Id::rep_type>(data_.size())};
+  }
+  /// True when `id` subscripts this container.
+  bool contains(Id id) const noexcept {
+    return id.valid() && raw_index(id) < data_.size();
+  }
+  /// Iterable range of every valid id, in order.
+  IdRange<Id> ids() const noexcept { return id_range<Id>(data_.size()); }
+
+  /// Appends a value and returns the id it received.
+  Id push_back(T value) {
+    data_.push_back(std::move(value));
+    return Id{static_cast<typename Id::rep_type>(data_.size() - 1)};
+  }
+  template <class... Args>
+  Id emplace_back(Args&&... args) {
+    data_.emplace_back(std::forward<Args>(args)...);
+    return Id{static_cast<typename Id::rep_type>(data_.size() - 1)};
+  }
+
+  void assign(std::size_t count, const T& value) { data_.assign(count, value); }
+  void resize(std::size_t count) { data_.resize(count); }
+  void resize(std::size_t count, const T& value) { data_.resize(count, value); }
+  void reserve(std::size_t count) { data_.reserve(count); }
+  void clear() noexcept { data_.clear(); }
+
+  // Element iteration (ids() iterates the index domain instead).
+  iterator begin() noexcept { return data_.begin(); }
+  iterator end() noexcept { return data_.end(); }
+  const_iterator begin() const noexcept { return data_.begin(); }
+  const_iterator end() const noexcept { return data_.end(); }
+
+  T& front() { return data_.front(); }
+  const T& front() const { return data_.front(); }
+  T& back() { return data_.back(); }
+  const T& back() const { return data_.back(); }
+
+  /// The underlying untyped storage (interop with raw-vector APIs).
+  const std::vector<T>& raw() const noexcept { return data_; }
+  std::vector<T>&& take() noexcept { return std::move(data_); }
+
+  friend bool operator==(const IndexedVector&, const IndexedVector&) = default;
+
+ private:
+  static std::size_t raw_index(Id id) noexcept {
+    using Unsigned = std::make_unsigned_t<typename Id::rep_type>;
+    return static_cast<std::size_t>(static_cast<Unsigned>(id.value()));
+  }
+
+  void check(Id id) const {
+    PPDC_REQUIRE(id.valid() && raw_index(id) < data_.size(),
+                 "index " + std::to_string(+id.value()) +
+                     " outside [0, " + std::to_string(data_.size()) + ")");
+  }
+
+  std::vector<T> data_;
+};
+
+}  // namespace ppdc

@@ -14,4 +14,24 @@ void throw_requirement_failed(const char* expr, const char* file, int line,
   throw PpdcError(os.str());
 }
 
+namespace {
+
+template <class V>
+[[noreturn]] void throw_narrowing(V value, const char* context) {
+  std::ostringstream os;
+  os << "narrowing overflow: " << context << " " << value
+     << " is not representable in the target integer type";
+  throw PpdcError(os.str());
+}
+
+}  // namespace
+
+void throw_narrowing_failed(long long value, const char* context) {
+  throw_narrowing(value, context);
+}
+
+void throw_narrowing_failed(unsigned long long value, const char* context) {
+  throw_narrowing(value, context);
+}
+
 }  // namespace ppdc::detail

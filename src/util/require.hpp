@@ -7,6 +7,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace ppdc {
 
@@ -19,7 +21,28 @@ class PpdcError : public std::runtime_error {
 namespace detail {
 [[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
                                            int line, const std::string& msg);
+[[noreturn]] void throw_narrowing_failed(long long value, const char* context);
+[[noreturn]] void throw_narrowing_failed(unsigned long long value,
+                                         const char* context);
 }  // namespace detail
+
+/// Overflow-checked integer narrowing: static_cast that throws PpdcError
+/// when `value` is not representable in `To` (e.g. a container size
+/// narrowed to a NodeId). `context` names the quantity in the error.
+template <class To, class From>
+constexpr To checked_cast(From value, const char* context = "integer value") {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_cast converts between integer types only");
+  if (!std::in_range<To>(value)) {
+    if constexpr (std::is_signed_v<From>) {
+      detail::throw_narrowing_failed(static_cast<long long>(value), context);
+    } else {
+      detail::throw_narrowing_failed(static_cast<unsigned long long>(value),
+                                     context);
+    }
+  }
+  return static_cast<To>(value);
+}
 
 }  // namespace ppdc
 

@@ -1,0 +1,170 @@
+// Zero-overhead strongly-typed index wrappers.
+//
+// The solver stack juggles several distinct integer domains — graph node
+// ids, switch-universe rows, flow indices, VNF chain positions, simulation
+// hours — and spelling them all as bare ints lets one domain silently leak
+// into another (exactly the class of bug the PR 2 sanitizer run caught:
+// an out-of-bounds rack index used as a graph id). StrongId<Tag, Rep>
+// wraps one integral representation per domain:
+//
+//   * construction from the raw representation is explicit,
+//   * there is no conversion (implicit or explicit) between different
+//     tags — cross-domain assignment is a compile error,
+//   * comparison, hashing, streaming and ++/-- iteration are provided, so
+//     typed ids stay as ergonomic as the raw ints they replace,
+//   * sizeof(StrongId<Tag, Rep>) == sizeof(Rep) and every operation is a
+//     single underlying integer op — zero runtime overhead.
+//
+// The concrete domain tags used across the library live in util/ids.hpp;
+// DESIGN.md ("Index-domain map") documents which tag owns which subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+#include "util/require.hpp"
+
+namespace ppdc {
+
+/// A typed index. `Tag` is any (possibly incomplete) type naming the
+/// domain; `Rep` is the underlying integral representation. The
+/// default-constructed id is invalid() — the domain's sentinel, analogous
+/// to kInvalidNode.
+template <class Tag, class Rep = std::int32_t>
+class StrongId {
+  static_assert(std::is_integral_v<Rep> && !std::is_same_v<Rep, bool>,
+                "StrongId representation must be a non-bool integer");
+
+ public:
+  using tag_type = Tag;
+  using rep_type = Rep;
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(Rep value) noexcept : value_(value) {}
+
+  /// The domain sentinel: -1 for signed reps (max for unsigned ones).
+  static constexpr StrongId invalid() noexcept { return StrongId{}; }
+  constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  /// The raw representation. The only way out of the type system — keep
+  /// call sites rare and obviously correct.
+  constexpr Rep value() const noexcept { return value_; }
+
+  /// Iteration support: typed ids advance like the raw ints they wrap.
+  constexpr StrongId& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) noexcept {
+    StrongId old = *this;
+    ++value_;
+    return old;
+  }
+  constexpr StrongId& operator--() noexcept {
+    --value_;
+    return *this;
+  }
+  constexpr StrongId operator--(int) noexcept {
+    StrongId old = *this;
+    --value_;
+    return old;
+  }
+  /// The successor id (handy where a mutating ++ would be awkward).
+  constexpr StrongId next() const noexcept {
+    return StrongId{static_cast<Rep>(value_ + 1)};
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) noexcept = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+  Rep value_ = kInvalid;
+};
+
+/// True for any StrongId instantiation (constrains IndexedVector et al.).
+template <class T>
+inline constexpr bool is_strong_id_v = false;
+template <class Tag, class Rep>
+inline constexpr bool is_strong_id_v<StrongId<Tag, Rep>> = true;
+
+/// Ids format as their raw value (diagnostics, error messages, tables).
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
+  return os << +id.value();  // promote char-sized reps to ints
+}
+
+/// Half-open range [first, last) of typed ids, iterable by value:
+///
+///   for (const FlowId i : id_range(FlowId{0}, flow_count)) ...
+template <class Id>
+class IdRange {
+  static_assert(is_strong_id_v<Id>, "IdRange requires a StrongId");
+
+ public:
+  class iterator {
+   public:
+    using value_type = Id;
+    using difference_type = std::ptrdiff_t;
+
+    constexpr iterator() noexcept = default;
+    constexpr explicit iterator(Id at) noexcept : at_(at) {}
+    constexpr Id operator*() const noexcept { return at_; }
+    constexpr iterator& operator++() noexcept {
+      ++at_;
+      return *this;
+    }
+    constexpr iterator operator++(int) noexcept {
+      iterator old = *this;
+      ++at_;
+      return old;
+    }
+    friend constexpr bool operator==(iterator, iterator) noexcept = default;
+
+   private:
+    Id at_{};
+  };
+
+  constexpr IdRange(Id first, Id last) noexcept : first_(first), last_(last) {}
+  constexpr iterator begin() const noexcept { return iterator{first_}; }
+  constexpr iterator end() const noexcept { return iterator{last_}; }
+  constexpr bool empty() const noexcept { return !(first_ < last_); }
+
+ private:
+  Id first_;
+  Id last_;
+};
+
+/// Range [first, last).
+template <class Id>
+constexpr IdRange<Id> id_range(Id first, Id last) noexcept {
+  return IdRange<Id>(first, last);
+}
+
+/// Range [0, count) for a raw element count.
+template <class Id>
+constexpr IdRange<Id> id_range(std::size_t count) noexcept {
+  return IdRange<Id>(Id{0},
+                     Id{static_cast<typename Id::rep_type>(count)});
+}
+
+/// Overflow-checked construction of a typed id from an untyped quantity
+/// (usually a container size); the id-domain analogue of checked_cast.
+template <class Id, class From>
+constexpr Id checked_cast_id(From value, const char* context = "id value") {
+  static_assert(is_strong_id_v<Id>, "checked_cast_id targets a StrongId");
+  return Id{checked_cast<typename Id::rep_type>(value, context)};
+}
+
+}  // namespace ppdc
+
+/// StrongIds hash as their raw value (unordered containers of ids).
+template <class Tag, class Rep>
+struct std::hash<ppdc::StrongId<Tag, Rep>> {
+  std::size_t operator()(ppdc::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

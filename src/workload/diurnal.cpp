@@ -4,12 +4,12 @@
 
 namespace ppdc {
 
-double DiurnalModel::tau(int hour) const {
+double DiurnalModel::tau(Hour hour) const {
   PPDC_REQUIRE(hours_per_day >= 2 && hours_per_day % 2 == 0,
                "N must be even and >= 2");
   PPDC_REQUIRE(tau_min >= 0.0 && tau_min <= 1.0, "tau_min outside [0,1]");
   const int n = hours_per_day;
-  int h = hour % n;
+  int h = hour.value() % n;
   if (h < 0) h += n;
   if (h == 0) return 0.0;
   const double span = 1.0 - tau_min;
@@ -19,19 +19,19 @@ double DiurnalModel::tau(int hour) const {
   return 2.0 * static_cast<double>(n - h) / static_cast<double>(n) * span;
 }
 
-double DiurnalModel::scale(int hour) const { return tau_min + tau(hour); }
+double DiurnalModel::scale(Hour hour) const { return tau_min + tau(hour); }
 
-double DiurnalModel::scale_for_flow(int hour, int flow_index) const {
-  PPDC_REQUIRE(flow_index >= 0, "negative flow index");
-  return scale_for_group(hour, flow_index % 2);
+double DiurnalModel::scale_for_flow(Hour hour, FlowId flow) const {
+  PPDC_REQUIRE(flow.valid(), "invalid flow id");
+  return scale_for_group(hour, flow.value() % 2);
 }
 
-double DiurnalModel::scale_for_group(int hour, int group) const {
+double DiurnalModel::scale_for_group(Hour hour, int group) const {
   PPDC_REQUIRE(group >= 0, "negative group");
-  return scale(hour - group * coast_offset);
+  return scale(Hour{hour.value() - group * coast_offset});
 }
 
-std::vector<double> DiurnalModel::group_scales(int hour,
+std::vector<double> DiurnalModel::group_scales(Hour hour,
                                                int num_groups) const {
   PPDC_REQUIRE(num_groups >= 1, "need at least one group");
   std::vector<double> scales;
@@ -44,12 +44,12 @@ std::vector<double> DiurnalModel::group_scales(int hour,
 
 std::vector<double> diurnal_rates(const DiurnalModel& model,
                                   const std::vector<double>& base_rates,
-                                  int hour) {
+                                  Hour hour) {
   std::vector<double> rates;
   rates.reserve(base_rates.size());
-  for (std::size_t i = 0; i < base_rates.size(); ++i) {
-    rates.push_back(base_rates[i] *
-                    model.scale_for_flow(hour, static_cast<int>(i)));
+  for (const FlowId i : id_range<FlowId>(base_rates.size())) {
+    rates.push_back(base_rates[static_cast<std::size_t>(i.value())] *
+                    model.scale_for_flow(hour, i));
   }
   return rates;
 }
@@ -57,7 +57,7 @@ std::vector<double> diurnal_rates(const DiurnalModel& model,
 std::vector<double> diurnal_rates_grouped(const DiurnalModel& model,
                                           const std::vector<double>& base_rates,
                                           const std::vector<int>& groups,
-                                          int hour) {
+                                          Hour hour) {
   PPDC_REQUIRE(groups.size() == base_rates.size(),
                "groups/rates size mismatch");
   std::vector<double> rates;

@@ -13,10 +13,15 @@
 // matching the daily pattern plotted in Fig. 8. To model the US east/west
 // time-zone split, half of the flows are shifted three hours later than
 // the other half (§VI); shifting wraps cyclically (cycle-stationarity).
+//
+// Hours are the strongly-typed `Hour` domain (util/ids.hpp): the same id
+// a simulation epoch carries, so a flow index or switch row can never be
+// passed where an hour is expected.
 #pragma once
 
 #include <vector>
 
+#include "util/ids.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {
@@ -28,35 +33,35 @@ struct DiurnalModel {
   int coast_offset = 3;     ///< west-coast lag in hours
 
   /// Raw τ_h of Eq. 9 for hour h (h taken modulo N).
-  double tau(int hour) const;
+  double tau(Hour hour) const;
 
   /// Effective multiplicative scale at hour h: τ_min + τ_h. In [τ_min, 1].
-  double scale(int hour) const;
+  double scale(Hour hour) const;
 
-  /// Scale seen by flow `flow_index` at `hour`: even-indexed flows are
-  /// "east coast" (no lag), odd-indexed are "west coast" (lag
-  /// `coast_offset` hours).
-  double scale_for_flow(int hour, int flow_index) const;
+  /// Scale seen by flow `flow` at `hour`: even-indexed flows are "east
+  /// coast" (no lag), odd-indexed are "west coast" (lag `coast_offset`
+  /// hours).
+  double scale_for_flow(Hour hour, FlowId flow) const;
 
   /// Scale for an explicit time-zone group (0 = east, 1 = west, further
   /// groups lag `coast_offset` hours each).
-  double scale_for_group(int hour, int group) const;
+  double scale_for_group(Hour hour, int group) const;
 
   /// Scales of groups 0 .. num_groups-1 at `hour` — the recombination
   /// weights of the incremental cost-model refresh
   /// (CostModel::refresh_scaled).
-  std::vector<double> group_scales(int hour, int num_groups) const;
+  std::vector<double> group_scales(Hour hour, int num_groups) const;
 };
 
 /// Applies the diurnal model: rate_i(h) = base_i * scale_for_flow(h, i).
 std::vector<double> diurnal_rates(const DiurnalModel& model,
                                   const std::vector<double>& base_rates,
-                                  int hour);
+                                  Hour hour);
 
 /// Group-aware variant: rate_i(h) = base_i * scale_for_group(h, groups[i]).
 std::vector<double> diurnal_rates_grouped(const DiurnalModel& model,
                                           const std::vector<double>& base_rates,
                                           const std::vector<int>& groups,
-                                          int hour);
+                                          Hour hour);
 
 }  // namespace ppdc

@@ -65,6 +65,10 @@ void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates) {
   for (std::size_t i = 0; i < flows.size(); ++i) flows[i].rate = rates[i];
 }
 
+FlowId flow_count(const std::vector<VmFlow>& flows) {
+  return checked_cast_id<FlowId>(flows.size(), "flow count");
+}
+
 double total_rate(const std::vector<VmFlow>& flows) {
   double sum = 0.0;
   for (const auto& f : flows) sum += f.rate;

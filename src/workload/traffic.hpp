@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/ids.hpp"
 #include "util/rng.hpp"
 
 namespace ppdc {
@@ -63,6 +64,9 @@ int num_groups(const std::vector<int>& groups);
 
 /// Overwrites flow rates from a vector (sizes must match).
 void set_rates(std::vector<VmFlow>& flows, const std::vector<double>& rates);
+
+/// Typed flow count: one past the largest valid FlowId of `flows`.
+FlowId flow_count(const std::vector<VmFlow>& flows);
 
 /// Sum of all rates (the Λ that multiplies the chain cost in Eq. 1).
 double total_rate(const std::vector<VmFlow>& flows);

@@ -9,15 +9,15 @@ namespace ppdc {
 
 namespace {
 
-/// rack index of a host, or -1 if the host is in no rack.
-int rack_of(const Topology& topo, NodeId host) {
-  for (std::size_t r = 0; r < topo.racks.size(); ++r) {
+/// Rack of a host, or RackIdx::invalid() if the host is in no rack.
+RackIdx rack_of(const Topology& topo, NodeId host) {
+  for (const RackIdx r : topo.racks.ids()) {
     if (std::find(topo.racks[r].begin(), topo.racks[r].end(), host) !=
         topo.racks[r].end()) {
-      return static_cast<int>(r);
+      return r;
     }
   }
-  return -1;
+  return RackIdx::invalid();
 }
 
 NodeId random_host(const std::vector<NodeId>& rack, Rng& rng) {
@@ -37,14 +37,14 @@ std::vector<VmFlow> generate_vm_flows(const Topology& topo,
   PPDC_REQUIRE(config.rack_zipf_s >= 0.0, "negative Zipf exponent");
   PPDC_REQUIRE(!topo.racks.empty(), "topology exposes no racks");
 
-  const int num_racks = static_cast<int>(topo.racks.size());
-  const int east_racks = std::max(1, num_racks / 2);
+  const RackIdx num_racks = topo.num_racks();
+  const int east_racks = std::max(1, num_racks.value() / 2);
 
-  // Per-coast rack index lists: east = first half, west = second half
+  // Per-coast rack lists: east = first half, west = second half
   // (degenerates to a single coast on tiny topologies).
-  std::vector<std::vector<int>> coast_racks(2);
-  for (int r = 0; r < num_racks; ++r) {
-    coast_racks[r < east_racks ? 0 : 1].push_back(r);
+  std::vector<std::vector<RackIdx>> coast_racks(2);
+  for (const RackIdx r : topo.racks.ids()) {
+    coast_racks[r.value() < east_racks ? 0 : 1].push_back(r);
   }
   if (coast_racks[1].empty()) coast_racks[1] = coast_racks[0];
 
@@ -74,27 +74,25 @@ std::vector<VmFlow> generate_vm_flows(const Topology& topo,
   for (int i = 0; i < config.num_pairs; ++i) {
     VmFlow f;
     const int coast = static_cast<int>(rng.bernoulli(0.5));
-    const int src_rack = pick_rack(coast);
+    const RackIdx src_rack = pick_rack(coast);
     const bool intra = rng.bernoulli(config.intra_rack_fraction);
-    if (intra || num_racks == 1) {
-      const auto& rack = topo.racks[static_cast<std::size_t>(src_rack)];
+    if (intra || num_racks == RackIdx{1}) {
+      const auto& rack = topo.racks[src_rack];
       f.src_host = random_host(rack, rng);
       f.dst_host = random_host(rack, rng);
     } else {
       // Cross-rack pair: the destination stays within the same coast
       // (tenant locality) but in a different rack when possible.
-      int dst_rack = src_rack;
+      RackIdx dst_rack = src_rack;
       for (int attempt = 0; attempt < 64 && dst_rack == src_rack;
            ++attempt) {
         dst_rack = pick_rack(coast);
       }
       if (dst_rack == src_rack) {  // single-rack coast
-        dst_rack = (src_rack + 1) % num_racks;
+        dst_rack = RackIdx{(src_rack.value() + 1) % num_racks.value()};
       }
-      f.src_host =
-          random_host(topo.racks[static_cast<std::size_t>(src_rack)], rng);
-      f.dst_host =
-          random_host(topo.racks[static_cast<std::size_t>(dst_rack)], rng);
+      f.src_host = random_host(topo.racks[src_rack], rng);
+      f.dst_host = random_host(topo.racks[dst_rack], rng);
     }
     f.rate = config.rates.sample(rng);
     f.group = config.spatial_coasts ? coast : static_cast<int>(i % 2);

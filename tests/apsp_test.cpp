@@ -26,14 +26,14 @@ TEST(AllPairs, FatTreeHostDistances) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
   // Same rack: host - edge - host = 2 hops.
-  const NodeId h0 = t.racks[0][0];
-  const NodeId h1 = t.racks[0][1];
+  const NodeId h0 = t.racks[RackIdx{0}][0];
+  const NodeId h1 = t.racks[RackIdx{0}][1];
   EXPECT_DOUBLE_EQ(apsp.cost(h0, h1), 2.0);
   // Same pod, different rack: host-edge-agg-edge-host = 4 hops.
-  const NodeId h2 = t.racks[1][0];
+  const NodeId h2 = t.racks[RackIdx{1}][0];
   EXPECT_DOUBLE_EQ(apsp.cost(h0, h2), 4.0);
   // Different pods: host-edge-agg-core-agg-edge-host = 6 hops.
-  const NodeId h3 = t.racks[2][0];
+  const NodeId h3 = t.racks[RackIdx{2}][0];
   EXPECT_DOUBLE_EQ(apsp.cost(h0, h3), 6.0);
 }
 
@@ -66,8 +66,8 @@ TEST(AllPairs, MinSwitchDistanceZeroOnSingleSwitchTopologies) {
 TEST(AllPairs, PathEndpointsAndContinuity) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
-  const NodeId a = t.racks[0][0];
-  const NodeId b = t.racks[3][1];
+  const NodeId a = t.racks[RackIdx{0}][0];
+  const NodeId b = t.racks[RackIdx{3}][1];
   const auto path = apsp.path(a, b);
   ASSERT_GE(path.size(), 2u);
   EXPECT_EQ(path.front(), a);
@@ -84,8 +84,8 @@ TEST(AllPairs, PathLengthNodes) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
   EXPECT_EQ(apsp.path_length_nodes(0, 0), 1);
-  const NodeId h0 = t.racks[0][0];
-  const NodeId h1 = t.racks[0][1];
+  const NodeId h0 = t.racks[RackIdx{0}][0];
+  const NodeId h1 = t.racks[RackIdx{0}][1];
   EXPECT_EQ(apsp.path_length_nodes(h0, h1), 3);  // h - edge - h
 }
 

@@ -95,7 +95,7 @@ TEST(ChainSearch, SingleFlowAllUnitHopsAchievesLowerBound) {
   // fat-tree costs exactly 8 (every leg one hop).
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const std::vector<VmFlow> flows{{topo.racks[1][1], topo.racks[2][0], 1.0}};
+  const std::vector<VmFlow> flows{{topo.racks[RackIdx{1}][1], topo.racks[RackIdx{2}][0], 1.0}};
   CostModel cm(apsp, flows);
   const ChainSearchResult r = solve_top_exhaustive(cm, 7);
   EXPECT_TRUE(r.proven_optimal);

@@ -51,9 +51,9 @@ TEST(CostModel, Fig3MigratedPlacementCosts410Plus6) {
 TEST(CostModel, Eq1MatchesPerFlowSum) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
-  const std::vector<VmFlow> flows{{t.racks[0][0], t.racks[2][1], 7.0},
-                                  {t.racks[1][0], t.racks[1][1], 3.0},
-                                  {t.racks[3][0], t.racks[0][0], 11.0}};
+  const std::vector<VmFlow> flows{{t.racks[RackIdx{0}][0], t.racks[RackIdx{2}][1], 7.0},
+                                  {t.racks[RackIdx{1}][0], t.racks[RackIdx{1}][1], 3.0},
+                                  {t.racks[RackIdx{3}][0], t.racks[RackIdx{0}][0], 11.0}};
   CostModel cm(apsp, flows);
   const auto& sw = t.graph.switches();
   const Placement p{sw[0], sw[5], sw[9]};
@@ -65,8 +65,8 @@ TEST(CostModel, Eq1MatchesPerFlowSum) {
 TEST(CostModel, AttractionsMatchDefinition) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
-  const std::vector<VmFlow> flows{{t.racks[0][0], t.racks[2][1], 5.0},
-                                  {t.racks[1][0], t.racks[3][1], 2.0}};
+  const std::vector<VmFlow> flows{{t.racks[RackIdx{0}][0], t.racks[RackIdx{2}][1], 5.0},
+                                  {t.racks[RackIdx{1}][0], t.racks[RackIdx{3}][1], 2.0}};
   CostModel cm(apsp, flows);
   for (const NodeId w : t.graph.switches()) {
     double a = 0.0, b = 0.0;
@@ -83,15 +83,15 @@ TEST(CostModel, AttractionsMatchDefinition) {
 TEST(CostModel, BestEndpointsMinimizeAttractions) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
-  const std::vector<VmFlow> flows{{t.racks[0][0], t.racks[0][1], 10.0}};
+  const std::vector<VmFlow> flows{{t.racks[RackIdx{0}][0], t.racks[RackIdx{0}][1], 10.0}};
   CostModel cm(apsp, flows);
   for (const NodeId w : t.graph.switches()) {
     EXPECT_LE(cm.min_ingress_attraction(), cm.ingress_attraction(w));
     EXPECT_LE(cm.min_egress_attraction(), cm.egress_attraction(w));
   }
   // Both VMs are under rack switch 0, so it attracts both roles.
-  EXPECT_EQ(cm.best_ingress(), t.rack_switches[0]);
-  EXPECT_EQ(cm.best_egress(), t.rack_switches[0]);
+  EXPECT_EQ(cm.best_ingress(), t.rack_switches[RackIdx{0}]);
+  EXPECT_EQ(cm.best_egress(), t.rack_switches[RackIdx{0}]);
 }
 
 TEST(CostModel, RefreshTracksRateChanges) {

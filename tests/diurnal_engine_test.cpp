@@ -26,8 +26,8 @@ TEST(DiurnalEngine, EastFlowPeaksAtNoonWestThreeHoursLater) {
   const AllPairs apsp(topo.graph);
   // One pure east flow (group 0) and one pure west flow (group 1) with
   // equal base rates.
-  std::vector<VmFlow> flows{{topo.racks[0][0], topo.racks[0][1], 100.0, 0},
-                            {topo.racks[7][0], topo.racks[7][1], 100.0, 1}};
+  std::vector<VmFlow> flows{{topo.racks[RackIdx{0}][0], topo.racks[RackIdx{0}][1], 100.0, 0},
+                            {topo.racks[RackIdx{7}][0], topo.racks[RackIdx{7}][1], 100.0, 1}};
   RateProbe probe;
   SimConfig cfg;
   const SimTrace t = run_simulation(apsp, flows, 2, cfg, probe);
@@ -37,7 +37,7 @@ TEST(DiurnalEngine, EastFlowPeaksAtNoonWestThreeHoursLater) {
   // scales overlap at their maximum sum.
   const DiurnalModel model;
   for (std::size_t i = 0; i < probe.rates.size(); ++i) {
-    const int hour = static_cast<int>(i) + 1;
+    const Hour hour{static_cast<int>(i) + 1};
     const double expected = 100.0 * model.scale_for_group(hour, 0) +
                             100.0 * model.scale_for_group(hour, 1);
     EXPECT_NEAR(probe.rates[i], expected, 1e-9) << "hour " << hour;
@@ -48,14 +48,14 @@ TEST(DiurnalEngine, GroupsComeFromFlowsNotFromIndexParity) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
   // Both flows in group 1: identical scaling regardless of index.
-  std::vector<VmFlow> flows{{topo.racks[0][0], topo.racks[0][1], 50.0, 1},
-                            {topo.racks[1][0], topo.racks[1][1], 50.0, 1}};
+  std::vector<VmFlow> flows{{topo.racks[RackIdx{0}][0], topo.racks[RackIdx{0}][1], 50.0, 1},
+                            {topo.racks[RackIdx{1}][0], topo.racks[RackIdx{1}][1], 50.0, 1}};
   RateProbe probe;
   SimConfig cfg;
   run_simulation(apsp, flows, 2, cfg, probe);
   const DiurnalModel model;
   for (std::size_t i = 0; i < probe.rates.size(); ++i) {
-    const int hour = static_cast<int>(i) + 1;
+    const Hour hour{static_cast<int>(i) + 1};
     EXPECT_NEAR(probe.rates[i], 100.0 * model.scale_for_group(hour, 1),
                 1e-9);
   }

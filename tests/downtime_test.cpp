@@ -16,9 +16,9 @@ TEST(Downtime, ZeroFactorReproducesPaperModel) {
   const NodeId h1 = topo.graph.hosts()[0];
   const NodeId h2 = topo.graph.hosts()[1];
   const std::vector<VmFlow> flows{{h1, h1, 100.0, 0}, {h2, h2, 1.0, 0}};
-  auto schedule = [&](int hour) {
-    return hour == 0 ? std::vector<double>{100.0, 1.0}
-                     : std::vector<double>{1.0, 100.0};
+  auto schedule = [&](Hour hour) {
+    return hour == Hour{0} ? std::vector<double>{100.0, 1.0}
+                           : std::vector<double>{1.0, 100.0};
   };
   SimConfig cfg;
   cfg.hours = 2;
@@ -39,9 +39,9 @@ TEST(Downtime, ChargesFactorTimesRateTimesDistance) {
   const std::vector<VmFlow> flows{{h1, h1, 100.0, 0}, {h2, h2, 1.0, 0}};
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [&](int hour) {
-    return hour == 0 ? std::vector<double>{100.0, 1.0}
-                     : std::vector<double>{1.0, 100.0};
+  cfg.rate_schedule = [&](Hour hour) {
+    return hour == Hour{0} ? std::vector<double>{100.0, 1.0}
+                           : std::vector<double>{1.0, 100.0};
   };
   ParetoMigrationPolicy plain(1.0), charged(1.0);
   const SimTrace base = run_simulation(apsp, flows, 2, cfg, plain);
@@ -61,9 +61,9 @@ TEST(Downtime, MigrationDistanceTracksVnfMoves) {
   const std::vector<VmFlow> flows{{h1, h1, 100.0, 0}, {h2, h2, 1.0, 0}};
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [&](int hour) {
-    return hour == 0 ? std::vector<double>{100.0, 1.0}
-                     : std::vector<double>{1.0, 100.0};
+  cfg.rate_schedule = [&](Hour hour) {
+    return hour == Hour{0} ? std::vector<double>{100.0, 1.0}
+                           : std::vector<double>{1.0, 100.0};
   };
   ParetoMigrationPolicy policy(1.0);
   const SimTrace t = run_simulation(apsp, flows, 2, cfg, policy);

@@ -50,7 +50,7 @@ TEST(ErrorContract, RateScheduleWrongSizeNamesHourAndCounts) {
   NoMigrationPolicy policy;
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [](int) { return std::vector<double>{1.0}; };
+  cfg.rate_schedule = [](Hour) { return std::vector<double>{1.0}; };
   const std::string msg = error_of(
       [&] { run_simulation(apsp, flows, 2, cfg, policy); });
   EXPECT_TRUE(mentions(msg, "rate_schedule(hour 0)")) << msg;
@@ -64,9 +64,9 @@ TEST(ErrorContract, RateScheduleNegativeRateNamesFlow) {
   NoMigrationPolicy policy;
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [](int hour) {
+  cfg.rate_schedule = [](Hour hour) {
     std::vector<double> r{1.0, 1.0, 1.0};
-    if (hour == 1) r[2] = -0.5;
+    if (hour == Hour{1}) r[2] = -0.5;
     return r;
   };
   const std::string msg = error_of(
@@ -129,33 +129,33 @@ TEST(ErrorContract, LoadersReportLineNumberAndOffendingText) {
 TEST(ErrorContract, FaultInjectorRejectsInconsistentSchedules) {
   const Topology topo = build_fat_tree(4);
   const Graph& g = topo.graph;
-  const NodeId sw = topo.rack_switches[0];
-  const NodeId host = topo.racks[0][0];
-  const FaultEvent fail{1, FaultKind::kSwitchFail, sw, kInvalidNode,
+  const NodeId sw = topo.rack_switches[RackIdx{0}];
+  const NodeId host = topo.racks[RackIdx{0}][0];
+  const FaultEvent fail{Hour{1}, FaultKind::kSwitchFail, sw, kInvalidNode,
                         kInvalidNode};
 
   // Unsorted epochs are rejected at construction.
-  EXPECT_THROW(FaultInjector(g, {{2, FaultKind::kSwitchFail, sw,
+  EXPECT_THROW(FaultInjector(g, {{Hour{2}, FaultKind::kSwitchFail, sw,
                                   kInvalidNode, kInvalidNode},
                                  fail}),
                PpdcError);
   // Switch events must name a switch.
-  EXPECT_THROW(FaultInjector(g, {{1, FaultKind::kSwitchFail, host,
+  EXPECT_THROW(FaultInjector(g, {{Hour{1}, FaultKind::kSwitchFail, host,
                                   kInvalidNode, kInvalidNode}}),
                PpdcError);
   // Link events must name an existing normalized edge.
-  EXPECT_THROW(FaultInjector(g, {{1, FaultKind::kLinkFail, kInvalidNode,
+  EXPECT_THROW(FaultInjector(g, {{Hour{1}, FaultKind::kLinkFail, kInvalidNode,
                                   g.num_nodes() - 1, g.num_nodes() - 2}}),
                PpdcError);
 
   // Double failure / repair-of-healthy surface as the events are applied.
-  FaultInjector double_fail(g, {fail, {2, FaultKind::kSwitchFail, sw,
+  FaultInjector double_fail(g, {fail, {Hour{2}, FaultKind::kSwitchFail, sw,
                                        kInvalidNode, kInvalidNode}});
-  double_fail.advance_to(1);
-  EXPECT_THROW(double_fail.advance_to(2), PpdcError);
+  double_fail.advance_to(Hour{1});
+  EXPECT_THROW(double_fail.advance_to(Hour{2}), PpdcError);
   FaultInjector repair_healthy(
-      g, {{1, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode}});
-  EXPECT_THROW(repair_healthy.advance_to(1), PpdcError);
+      g, {{Hour{1}, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode}});
+  EXPECT_THROW(repair_healthy.advance_to(Hour{1}), PpdcError);
 }
 
 TEST(ErrorContract, EngineRejectsBadFaultConfig) {
@@ -166,7 +166,7 @@ TEST(ErrorContract, EngineRejectsBadFaultConfig) {
   SimConfig cfg;
   cfg.hours = 4;
   // Events at epoch 0 would fault the initial placement's fabric.
-  cfg.faults = {{0, FaultKind::kSwitchFail, topo.rack_switches[0],
+  cfg.faults = {{Hour{0}, FaultKind::kSwitchFail, topo.rack_switches[RackIdx{0}],
                  kInvalidNode, kInvalidNode}};
   EXPECT_THROW(run_simulation(apsp, flows, 3, cfg, policy), PpdcError);
   cfg.faults.clear();
@@ -182,12 +182,12 @@ TEST(ErrorContract, RestrictCandidatesValidatesItsUniverse) {
   const AllPairs apsp(topo.graph);
   auto flows = random_flows(topo, 4, 4);
   CostModel model(apsp, flows);
-  const NodeId sw = topo.rack_switches[0];
+  const NodeId sw = topo.rack_switches[RackIdx{0}];
   EXPECT_THROW(model.restrict_candidates({}), PpdcError);
-  EXPECT_THROW(model.restrict_candidates({topo.racks[0][0]}), PpdcError);
+  EXPECT_THROW(model.restrict_candidates({topo.racks[RackIdx{0}][0]}), PpdcError);
   EXPECT_THROW(model.restrict_candidates({sw, sw}), PpdcError);
   // A valid restriction narrows the solver universe.
-  model.restrict_candidates({sw, topo.rack_switches[1]});
+  model.restrict_candidates({sw, topo.rack_switches[RackIdx{1}]});
   EXPECT_EQ(model.placement_candidates().size(), 2u);
 }
 

@@ -39,21 +39,23 @@ TEST(FaultSchedule, DeterministicAndWellFormed) {
   const FaultSchedule b = generate_fault_schedule(topo.graph, cfg);
   ASSERT_EQ(a.size(), b.size());
   EXPECT_FALSE(a.empty());  // MTBF 12 over 48h on 20 switches: events fire
-  int prev_epoch = 0;
+  Hour prev_epoch{0};
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].epoch, b[i].epoch);
     EXPECT_EQ(a[i].kind, b[i].kind);
     EXPECT_EQ(a[i].node, b[i].node);
     EXPECT_EQ(a[i].u, b[i].u);
     EXPECT_EQ(a[i].v, b[i].v);
-    EXPECT_GE(a[i].epoch, 1);  // epoch 0 is always fault-free
+    EXPECT_GE(a[i].epoch, Hour{1});  // epoch 0 is always fault-free
     EXPECT_GE(a[i].epoch, prev_epoch);
     prev_epoch = a[i].epoch;
   }
   // The injector accepts its own generator's output (alternation is
   // consistent by construction).
   FaultInjector injector(topo.graph, a);
-  for (int epoch = 1; epoch < cfg.hours; ++epoch) injector.advance_to(epoch);
+  for (const Hour epoch : id_range(Hour{1}, Hour{cfg.hours})) {
+    injector.advance_to(epoch);
+  }
 }
 
 TEST(FaultSchedule, ZeroMtbfDisablesFaults) {
@@ -65,9 +67,9 @@ TEST(FaultSchedule, ZeroMtbfDisablesFaults) {
 
 TEST(FaultInjector, TracksDeadSetAcrossEpochs) {
   const Topology topo = build_fat_tree(4);
-  const NodeId sw = topo.rack_switches[0];
+  const NodeId sw = topo.rack_switches[RackIdx{0}];
   // A switch-switch fabric link not touching `sw`.
-  const NodeId sw2 = topo.rack_switches[1];
+  const NodeId sw2 = topo.rack_switches[RackIdx{1}];
   NodeId lu = kInvalidNode, lv = kInvalidNode;
   for (const auto& adj : topo.graph.neighbors(sw2)) {
     if (topo.graph.is_switch(adj.to)) {
@@ -80,28 +82,28 @@ TEST(FaultInjector, TracksDeadSetAcrossEpochs) {
   ASSERT_NE(lu, kInvalidNode);
 
   FaultSchedule schedule{
-      {1, FaultKind::kSwitchFail, sw, kInvalidNode, kInvalidNode},
-      {2, FaultKind::kLinkFail, kInvalidNode, lu, lv},
-      {3, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode},
-      {4, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
+      {Hour{1}, FaultKind::kSwitchFail, sw, kInvalidNode, kInvalidNode},
+      {Hour{2}, FaultKind::kLinkFail, kInvalidNode, lu, lv},
+      {Hour{3}, FaultKind::kSwitchRepair, sw, kInvalidNode, kInvalidNode},
+      {Hour{4}, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
   };
   FaultInjector injector(topo.graph, schedule);
   EXPECT_FALSE(injector.any_faults_active());
 
-  EpochFaults e1 = injector.advance_to(1);
+  EpochFaults e1 = injector.advance_to(Hour{1});
   EXPECT_EQ(e1.switch_failures, 1);
   EXPECT_TRUE(e1.topology_changed);
   EXPECT_TRUE(injector.any_faults_active());
   EXPECT_EQ(injector.dead_switch_count(), 1);
   EXPECT_EQ(injector.dead_nodes()[static_cast<std::size_t>(sw)], 1);
 
-  EpochFaults e2 = injector.advance_to(2);
+  EpochFaults e2 = injector.advance_to(Hour{2});
   EXPECT_EQ(e2.link_failures, 1);
   ASSERT_EQ(injector.dead_edges().size(), 1u);
   EXPECT_EQ(injector.dead_edges()[0], (EdgeKey{lu, lv}));
 
   // Skipping an epoch still applies its events (the repair of `sw`).
-  EpochFaults e4 = injector.advance_to(4);
+  EpochFaults e4 = injector.advance_to(Hour{4});
   EXPECT_EQ(e4.repairs, 2);
   EXPECT_TRUE(e4.topology_changed);
   EXPECT_FALSE(injector.any_faults_active());
@@ -109,7 +111,7 @@ TEST(FaultInjector, TracksDeadSetAcrossEpochs) {
   EXPECT_TRUE(injector.dead_edges().empty());
 
   // Epochs must strictly increase.
-  EXPECT_THROW(injector.advance_to(4), PpdcError);
+  EXPECT_THROW(injector.advance_to(Hour{4}), PpdcError);
 }
 
 TEST(DegradedNetwork, MasksAndPicksLargestCore) {
@@ -118,7 +120,7 @@ TEST(DegradedNetwork, MasksAndPicksLargestCore) {
   // Kill rack 0's ToR: its hosts become an isolated island each, and the
   // big component keeps every other switch.
   std::vector<char> dead(static_cast<std::size_t>(g.num_nodes()), 0);
-  const NodeId tor = topo.rack_switches[0];
+  const NodeId tor = topo.rack_switches[RackIdx{0}];
   dead[static_cast<std::size_t>(tor)] = 1;
   DegradedNetwork net(g, dead, {});
 
@@ -126,17 +128,17 @@ TEST(DegradedNetwork, MasksAndPicksLargestCore) {
   EXPECT_EQ(net.graph().degree(tor), 0u);             // fully isolated
   EXPECT_FALSE(net.apsp().fully_connected());
   EXPECT_FALSE(net.in_core(tor));
-  for (const NodeId h : topo.racks[0]) {
+  for (const NodeId h : topo.racks[RackIdx{0}]) {
     EXPECT_FALSE(net.in_core(h));
-    EXPECT_FALSE(net.apsp().reachable(h, topo.racks[1][0]));
-    EXPECT_TRUE(std::isinf(net.apsp().cost(h, topo.racks[1][0])));
+    EXPECT_FALSE(net.apsp().reachable(h, topo.racks[RackIdx{1}][0]));
+    EXPECT_TRUE(std::isinf(net.apsp().cost(h, topo.racks[RackIdx{1}][0])));
   }
   // Every other switch survives in the serving core, sorted ascending.
   const auto& core = net.core_switches();
   EXPECT_EQ(core.size(), g.switches().size() - 1);
   EXPECT_TRUE(std::is_sorted(core.begin(), core.end()));
   EXPECT_FALSE(contains(core, tor));
-  EXPECT_TRUE(net.in_core(topo.racks[1][0]));
+  EXPECT_TRUE(net.in_core(topo.racks[RackIdx{1}][0]));
   EXPECT_TRUE(net.core_can_host(3));
   EXPECT_FALSE(net.core_can_host(static_cast<int>(core.size()) + 1));
 }
@@ -144,7 +146,7 @@ TEST(DegradedNetwork, MasksAndPicksLargestCore) {
 TEST(DegradedNetwork, LinkMaskOnly) {
   const Topology topo = build_fat_tree(4);
   const Graph& g = topo.graph;
-  const NodeId sw = topo.rack_switches[0];
+  const NodeId sw = topo.rack_switches[RackIdx{0}];
   std::vector<EdgeKey> dead_links;
   for (const auto& adj : g.neighbors(sw)) {
     if (g.is_switch(adj.to)) dead_links.push_back(make_edge_key(sw, adj.to));
@@ -155,7 +157,7 @@ TEST(DegradedNetwork, LinkMaskOnly) {
   std::vector<char> dead(static_cast<std::size_t>(g.num_nodes()), 0);
   DegradedNetwork net(g, dead, dead_links);
   EXPECT_FALSE(net.in_core(sw));  // alive but outside the serving core
-  EXPECT_TRUE(net.in_core(topo.rack_switches[1]));
+  EXPECT_TRUE(net.in_core(topo.rack_switches[RackIdx{1}]));
   EXPECT_EQ(net.core_switches().size(), g.switches().size() - 1);
 }
 
@@ -167,10 +169,10 @@ TEST(FaultSimulation, SurvivesFailuresOfPlacedSwitchAndRack) {
   const AllPairs apsp(topo.graph);
   // Deliberate traffic in racks 0 and 1 so a ToR kill quarantines flows.
   std::vector<VmFlow> flows{
-      {topo.racks[0][0], topo.racks[0][1], 10.0},
-      {topo.racks[1][0], topo.racks[1][1], 50.0},
-      {topo.racks[2][0], topo.racks[3][0], 20.0},
-      {topo.racks[1][1], topo.racks[2][1], 5.0},
+      {topo.racks[RackIdx{0}][0], topo.racks[RackIdx{0}][1], 10.0},
+      {topo.racks[RackIdx{1}][0], topo.racks[RackIdx{1}][1], 50.0},
+      {topo.racks[RackIdx{2}][0], topo.racks[RackIdx{3}][0], 20.0},
+      {topo.racks[RackIdx{1}][1], topo.racks[RackIdx{2}][1], 5.0},
   };
 
   // Learn where the initial chain sits, then craft the schedule around it.
@@ -213,12 +215,12 @@ TEST(FaultSimulation, SurvivesFailuresOfPlacedSwitchAndRack) {
   cfg.fault.mu = 2.0;
   cfg.fault.quarantine_penalty = 3.0;
   cfg.faults = {
-      {2, FaultKind::kSwitchFail, initial[0], kInvalidNode, kInvalidNode},
-      {3, FaultKind::kSwitchFail, tor, kInvalidNode, kInvalidNode},
-      {3, FaultKind::kLinkFail, kInvalidNode, lu, lv},
-      {4, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
-      {5, FaultKind::kSwitchRepair, initial[0], kInvalidNode, kInvalidNode},
-      {6, FaultKind::kSwitchRepair, tor, kInvalidNode, kInvalidNode},
+      {Hour{2}, FaultKind::kSwitchFail, initial[0], kInvalidNode, kInvalidNode},
+      {Hour{3}, FaultKind::kSwitchFail, tor, kInvalidNode, kInvalidNode},
+      {Hour{3}, FaultKind::kLinkFail, kInvalidNode, lu, lv},
+      {Hour{4}, FaultKind::kLinkRepair, kInvalidNode, lu, lv},
+      {Hour{5}, FaultKind::kSwitchRepair, initial[0], kInvalidNode, kInvalidNode},
+      {Hour{6}, FaultKind::kSwitchRepair, tor, kInvalidNode, kInvalidNode},
   };
   // NoMigration keeps the chain parked on initial[0] until the failure
   // hits it, so the emergency-recovery path is guaranteed to fire.
@@ -335,8 +337,8 @@ TEST(FaultSimulation, HealedFabricMatchesPristineEpochsExactly) {
   plain.hours = 8;
   SimConfig faulty = plain;
   faulty.faults = {
-      {2, FaultKind::kSwitchFail, victim, kInvalidNode, kInvalidNode},
-      {4, FaultKind::kSwitchRepair, victim, kInvalidNode, kInvalidNode},
+      {Hour{2}, FaultKind::kSwitchFail, victim, kInvalidNode, kInvalidNode},
+      {Hour{4}, FaultKind::kSwitchRepair, victim, kInvalidNode, kInvalidNode},
   };
   const SimTrace ta = run_simulation(apsp, flows, 3, plain, a);
   const SimTrace tb = run_simulation(apsp, flows, 3, faulty, b);

@@ -16,11 +16,12 @@ TEST(Frontiers, Fig3MigrationPaths) {
   const auto& s = topo.graph.switches();
   // Fig. 3(c): f1 migrates s1 -> s5, f2 migrates s2 -> s4.
   const MigrationFrontiers fr(apsp, {s[0], s[1]}, {s[4], s[3]});
-  EXPECT_EQ(fr.path_lengths(), (std::vector<int>{5, 3}));
+  EXPECT_EQ(fr.path_lengths().raw(), (std::vector<int>{5, 3}));
   EXPECT_EQ(fr.h_max(), 5);
   EXPECT_EQ(fr.frontier_count(), 15);
-  EXPECT_EQ(fr.path(0), (std::vector<NodeId>{s[0], s[1], s[2], s[3], s[4]}));
-  EXPECT_EQ(fr.path(1), (std::vector<NodeId>{s[1], s[2], s[3]}));
+  EXPECT_EQ(fr.path(ChainPos{0}),
+            (std::vector<NodeId>{s[0], s[1], s[2], s[3], s[4]}));
+  EXPECT_EQ(fr.path(ChainPos{1}), (std::vector<NodeId>{s[1], s[2], s[3]}));
 }
 
 TEST(Frontiers, ParallelRowsClampAtArrival) {
@@ -88,10 +89,10 @@ TEST(Frontiers, EveryFrontierEntryLiesOnItsPath) {
   const Placement to{s[13], s[19]};
   const MigrationFrontiers fr(apsp, from, to);
   fr.for_each_frontier(100000, [&](const Placement& p) {
-    for (int j = 0; j < 2; ++j) {
+    for (const ChainPos j : id_range<ChainPos>(2)) {
       const auto& path = fr.path(j);
       EXPECT_NE(std::find(path.begin(), path.end(),
-                          p[static_cast<std::size_t>(j)]),
+                          p[static_cast<std::size_t>(j.value())]),
                 path.end());
     }
   });
@@ -108,7 +109,7 @@ TEST(Frontiers, RejectsBadInput) {
   const MigrationFrontiers fr(apsp, {s[0]}, {s[1]});
   EXPECT_THROW(fr.parallel_frontier(0), PpdcError);
   EXPECT_THROW(fr.parallel_frontier(99), PpdcError);
-  EXPECT_THROW(fr.path(5), PpdcError);
+  EXPECT_THROW(fr.path(ChainPos{5}), PpdcError);
 }
 
 TEST(CollisionFree, DetectsDuplicates) {

@@ -71,7 +71,7 @@ TEST(IncrementalRefresh, MatchesFullRebuildAcrossDiurnalSchedule) {
   CostModel inc(apsp, flows);
   inc.enable_group_refresh(base, groups);
   const DiurnalModel diurnal;
-  for (int hour = 0; hour <= 24; ++hour) {
+  for (const Hour hour : id_range(Hour{0}, Hour{25})) {
     set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
     inc.refresh_scaled(diurnal.group_scales(hour, n_groups));
     expect_matches_rebuild(apsp, flows, inc);
@@ -93,7 +93,7 @@ TEST(IncrementalRefresh, GroupedOffsetsBeyondTwoCoasts) {
   inc.enable_group_refresh(base, groups);
   DiurnalModel diurnal;
   diurnal.coast_offset = 2;
-  for (int hour = 0; hour < 12; ++hour) {
+  for (const Hour hour : id_range(Hour{0}, Hour{12})) {
     set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, hour));
     inc.refresh_scaled(diurnal.group_scales(hour, num_groups(groups)));
     expect_matches_rebuild(apsp, flows, inc);
@@ -133,8 +133,8 @@ TEST(IncrementalRefresh, EndpointMovesFromPlanAndMcf) {
     CostModel inc(apsp, flows);
     inc.enable_group_refresh(base, groups);
     const DiurnalModel diurnal;
-    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, 4));
-    inc.refresh_scaled(diurnal.group_scales(4, num_groups(groups)));
+    set_rates(flows, diurnal_rates_grouped(diurnal, base, groups, Hour{4}));
+    inc.refresh_scaled(diurnal.group_scales(Hour{4}, num_groups(groups)));
     const Placement p = solve_top_dp(inc, 3).placement;
 
     VmMigrationConfig cfg;
@@ -158,18 +158,18 @@ TEST(IncrementalRefresh, LargeDirtySetTriggersRebuildFallback) {
 
   CostModel inc(apsp, flows);
   inc.enable_group_refresh(base, groups);
-  inc.refresh_scaled(DiurnalModel{}.group_scales(6, num_groups(groups)));
+  inc.refresh_scaled(DiurnalModel{}.group_scales(Hour{6}, num_groups(groups)));
   set_rates(flows,
-            diurnal_rates_grouped(DiurnalModel{}, base, groups, 6));
+            diurnal_rates_grouped(DiurnalModel{}, base, groups, Hour{6}));
 
   // Move every flow to a fresh host: the dirty set covers the whole
   // population, exercising the full-rebuild fallback.
   const auto& hosts = topo.graph.hosts();
-  std::vector<int> moved;
+  std::vector<FlowId> moved;
   for (std::size_t i = 0; i < flows.size(); ++i) {
     flows[i].src_host = hosts[(i * 3) % hosts.size()];
     flows[i].dst_host = hosts[(i * 5 + 1) % hosts.size()];
-    moved.push_back(static_cast<int>(i));
+    moved.push_back(FlowId{static_cast<int>(i)});
   }
   inc.endpoints_moved(moved);
   expect_matches_rebuild(apsp, flows, inc);
@@ -221,7 +221,7 @@ TEST(IncrementalRefresh, PropertyRandomTopologiesScalesAndMoves) {
 
       // Occasionally relocate a random subset of endpoints.
       if (rng.uniform_int(0, 1) == 0) {
-        std::vector<int> moved;
+        std::vector<FlowId> moved;
         const int k = static_cast<int>(rng.uniform_int(1, l));
         for (int j = 0; j < k; ++j) {
           const int i = static_cast<int>(rng.uniform_int(0, l - 1));
@@ -230,7 +230,7 @@ TEST(IncrementalRefresh, PropertyRandomTopologiesScalesAndMoves) {
               rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
           f.dst_host = hosts[static_cast<std::size_t>(
               rng.uniform_int(0, static_cast<int>(hosts.size()) - 1))];
-          moved.push_back(i);
+          moved.push_back(FlowId{i});
         }
         inc.endpoints_moved(moved);
         expect_matches_rebuild(apsp, flows, inc);
@@ -251,7 +251,7 @@ TEST(IncrementalRefresh, EngineGroupedPathMatchesFullRescanTrace) {
 
   SimConfig grouped_cfg;
   SimConfig rescan_cfg;
-  rescan_cfg.rate_schedule = [&](int hour) {
+  rescan_cfg.rate_schedule = [&](Hour hour) {
     return diurnal_rates_grouped(grouped_cfg.diurnal, base, groups, hour);
   };
 
@@ -306,7 +306,7 @@ TEST(IncrementalRefresh, RejectsBadInput) {
   EXPECT_THROW(cm.refresh_scaled({1.0, 2.0}), PpdcError);  // wrong arity
   EXPECT_THROW(cm.refresh_scaled({-0.5}), PpdcError);
   cm.refresh_scaled({0.5});
-  EXPECT_THROW(cm.endpoints_moved({7}), PpdcError);  // index out of range
+  EXPECT_THROW(cm.endpoints_moved({FlowId{7}}), PpdcError);  // index out of range
 }
 
 }  // namespace

@@ -30,8 +30,8 @@ TEST(LinkLoad, TotalLoadEqualsAmountTimesHops) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
   LinkLoadMap m(t.graph);
-  const NodeId a = t.racks[0][0];
-  const NodeId b = t.racks[5][1];  // cross-pod: 6 hops
+  const NodeId a = t.racks[RackIdx{0}][0];
+  const NodeId b = t.racks[RackIdx{5}][1];  // cross-pod: 6 hops
   route_ecmp(apsp, a, b, 7.0, m);
   EXPECT_NEAR(m.total_load(), 7.0 * apsp.cost(a, b), 1e-9);
 }
@@ -40,8 +40,8 @@ TEST(LinkLoad, EcmpSplitsEquallyAcrossFatTreeUplinks) {
   const Topology t = build_fat_tree(4);
   const AllPairs apsp(t.graph);
   LinkLoadMap m(t.graph);
-  const NodeId a = t.racks[0][0];   // pod 0
-  const NodeId b = t.racks[7][1];   // pod 3
+  const NodeId a = t.racks[RackIdx{0}][0];   // pod 0
+  const NodeId b = t.racks[RackIdx{7}][1];   // pod 3
   route_ecmp(apsp, a, b, 8.0, m);
   // The first hop (host -> edge) carries everything; the edge switch then
   // splits across its two aggregation uplinks.

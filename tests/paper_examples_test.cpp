@@ -83,8 +83,8 @@ TEST(PaperExamples, Fig2PolicyPreservingRouteCost10) {
   // c(h, f1) + chain + c(f3, h') on the k=4 fat-tree.
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId src = topo.racks[0][0];
-  const NodeId dst = topo.racks[0][1];
+  const NodeId src = topo.racks[RackIdx{0}][0];
+  const NodeId dst = topo.racks[RackIdx{0}][1];
   const std::vector<VmFlow> flows{{src, dst, 1.0}};
   CostModel cm(apsp, flows);
   // Place the SFC across pods like Fig. 2 (edge pod0, agg pod1, core):
@@ -109,8 +109,8 @@ TEST(PaperExamples, Example3SevenStrollOnK4FatTree) {
   // s1-s2-s1-s2 style loops thanks to the anti-backtrack rule.
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId h4 = topo.racks[1][1];  // pod 0
-  const NodeId h5 = topo.racks[2][0];  // pod 1
+  const NodeId h4 = topo.racks[RackIdx{1}][1];  // pod 0
+  const NodeId h5 = topo.racks[RackIdx{2}][0];  // pod 1
   const std::vector<VmFlow> flows{{h4, h5, 1.0}};
   CostModel cm(apsp, flows);
   const ChainSearchResult opt = solve_top_exhaustive(cm, 7);

@@ -126,7 +126,7 @@ TEST(PlacementDp, DegenerateLengthTwoPruningFallsBackUnpruned) {
   // full scan (returning the true optimum).
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const std::vector<VmFlow> flows{{topo.racks[0][0], topo.racks[0][1], 9.0}};
+  const std::vector<VmFlow> flows{{topo.racks[RackIdx{0}][0], topo.racks[RackIdx{0}][1], 9.0}};
   CostModel cm(apsp, flows);
   const PlacementResult full = solve_top_dp(cm, 2);
   TopDpOptions limited;

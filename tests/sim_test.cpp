@@ -88,9 +88,9 @@ TEST(SimEngine, CustomRateSchedule) {
   NoMigrationPolicy policy;
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [&](int hour) {
-    return hour == 0 ? std::vector<double>{100.0, 1.0}
-                     : std::vector<double>{1.0, 100.0};
+  cfg.rate_schedule = [&](Hour hour) {
+    return hour == Hour{0} ? std::vector<double>{100.0, 1.0}
+                           : std::vector<double>{1.0, 100.0};
   };
   const SimTrace t = run_simulation(apsp, flows, 2, cfg, policy);
   // Fig. 3: hour 0 optimal is 410; after the flip the fixed placement
@@ -108,9 +108,9 @@ TEST(SimEngine, ParetoRecoversFig3Migration) {
   ParetoMigrationPolicy policy(1.0);
   SimConfig cfg;
   cfg.hours = 2;
-  cfg.rate_schedule = [&](int hour) {
-    return hour == 0 ? std::vector<double>{100.0, 1.0}
-                     : std::vector<double>{1.0, 100.0};
+  cfg.rate_schedule = [&](Hour hour) {
+    return hour == Hour{0} ? std::vector<double>{100.0, 1.0}
+                           : std::vector<double>{1.0, 100.0};
   };
   const SimTrace t = run_simulation(apsp, flows, 2, cfg, policy);
   EXPECT_DOUBLE_EQ(t.epochs[1].comm_cost + t.epochs[1].migration_cost,

@@ -75,8 +75,8 @@ TEST(StrollDp, RateScalesCostLinearly) {
 TEST(StrollDp, PlacementIsDistinctSwitchesExcludingEndpoints) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[5][1];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{5}][1];
   for (int n = 1; n <= 10; ++n) {
     const StrollResult r = solve_top1_dp(apsp, s, t, n);
     ASSERT_EQ(r.placement.size(), static_cast<std::size_t>(n));
@@ -94,8 +94,8 @@ TEST(StrollDp, PlacementIsDistinctSwitchesExcludingEndpoints) {
 TEST(StrollDp, WalkConnectsSourceToDestination) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[7][0];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{7}][0];
   const StrollResult r = solve_top1_dp(apsp, s, t, 5);
   ASSERT_GE(r.walk.size(), 2u);
   EXPECT_EQ(r.walk.front(), s);
@@ -113,8 +113,8 @@ TEST(StrollDp, Example3SevenStrollAcrossPods) {
   // k=4 fat-tree admits an 8-edge all-unit-hop path, so the optimum is 8.
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId h4 = topo.racks[1][1];  // pod 0
-  const NodeId h5 = topo.racks[2][0];  // pod 1
+  const NodeId h4 = topo.racks[RackIdx{1}][1];  // pod 0
+  const NodeId h5 = topo.racks[RackIdx{2}][0];  // pod 1
   const StrollResult r = solve_top1_dp(apsp, h4, h5, 7);
   EXPECT_GE(r.cost, 8.0);   // 8 legs, each at least one hop
   EXPECT_LE(r.cost, 12.0);  // DP stays near the optimum
@@ -191,8 +191,8 @@ TEST(StrollDp, RejectsImpossibleQuota) {
 TEST(StrollDp, CostNondecreasingInQuota) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[6][1];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{6}][1];
   double prev = 0.0;
   for (int n = 1; n <= 12; ++n) {
     const StrollResult r = solve_top1_dp(apsp, s, t, n);

@@ -13,8 +13,8 @@ namespace {
 TEST(PrimalDual, ZeroQuotaIsShortestPath) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[4][1];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{4}][1];
   const StrollResult r = solve_top1_primal_dual(apsp, s, t, 0);
   EXPECT_DOUBLE_EQ(r.cost, apsp.cost(s, t));
 }
@@ -22,8 +22,8 @@ TEST(PrimalDual, ZeroQuotaIsShortestPath) {
 TEST(PrimalDual, ProducesValidPlacements) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[5][0];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{5}][0];
   for (int n = 1; n <= 8; ++n) {
     const StrollResult r = solve_top1_primal_dual(apsp, s, t, n);
     ASSERT_EQ(r.placement.size(), static_cast<std::size_t>(n)) << "n=" << n;
@@ -43,8 +43,8 @@ TEST(PrimalDual, ProducesValidPlacements) {
 TEST(PrimalDual, CostIsWalkLength) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[1][0];
-  const NodeId t = topo.racks[6][1];
+  const NodeId s = topo.racks[RackIdx{1}][0];
+  const NodeId t = topo.racks[RackIdx{6}][1];
   const StrollResult r = solve_top1_primal_dual(apsp, s, t, 5, 3.0);
   double len = 0.0;
   for (std::size_t i = 0; i + 1 < r.walk.size(); ++i) {
@@ -84,8 +84,8 @@ TEST(PrimalDual, HandlesNTour) {
 TEST(PrimalDual, RateScaling) {
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[3][0];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{3}][0];
   const StrollResult r1 = solve_top1_primal_dual(apsp, s, t, 4, 1.0);
   const StrollResult r7 = solve_top1_primal_dual(apsp, s, t, 4, 7.0);
   EXPECT_NEAR(r7.cost, 7.0 * r1.cost, 1e-6);
@@ -106,8 +106,8 @@ TEST(PrimalDual, DpStrollTypicallyNoWorse) {
   // practice the DP beats or ties the grow/prune result on fat-trees.
   const Topology topo = build_fat_tree(4);
   const AllPairs apsp(topo.graph);
-  const NodeId s = topo.racks[0][0];
-  const NodeId t = topo.racks[7][1];
+  const NodeId s = topo.racks[RackIdx{0}][0];
+  const NodeId t = topo.racks[RackIdx{7}][1];
   double dp_total = 0.0, pd_total = 0.0;
   for (int n = 2; n <= 8; ++n) {
     dp_total += solve_top1_dp(apsp, s, t, n).cost;

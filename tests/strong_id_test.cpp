@@ -1,0 +1,189 @@
+// The compile-time index-safety layer: StrongId domain separation,
+// IndexedVector typed subscripts with bounds checking, id ranges,
+// hashing, and the FlowId-indexed serialization round trip.
+//
+// PPDC_CHECK_IDS is forced on before any include so operator[] is
+// bounds-checked here even in release (NDEBUG) builds.
+#define PPDC_CHECK_IDS 1
+
+#include "util/strong_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "io/serialize.hpp"
+#include "topology/linear.hpp"
+#include "util/ids.hpp"
+#include "util/indexed_vector.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+namespace {
+
+// --- Compile-time contract: domains do not mix. ---------------------------
+// No conversion (implicit or explicit) between different tags, and no
+// implicit conversion from / to the raw representation.
+static_assert(!std::is_convertible_v<FlowId, Hour>);
+static_assert(!std::is_constructible_v<FlowId, Hour>);
+static_assert(!std::is_constructible_v<Hour, FlowId>);
+static_assert(!std::is_constructible_v<CandidateIdx, SwitchIdx>);
+static_assert(!std::is_constructible_v<RackIdx, ChainPos>);
+static_assert(!std::is_assignable_v<FlowId&, Hour>);
+static_assert(!std::is_convertible_v<int, FlowId>);  // explicit ctor only
+static_assert(!std::is_convertible_v<FlowId, int>);  // value() is the exit
+static_assert(std::is_constructible_v<FlowId, int>);
+// Zero overhead: a typed id is layout-identical to its representation.
+static_assert(sizeof(FlowId) == sizeof(std::int32_t));
+static_assert(std::is_trivially_copyable_v<FlowId>);
+// The trait constrains IndexedVector instantiation.
+static_assert(is_strong_id_v<FlowId>);
+static_assert(!is_strong_id_v<int>);
+
+TEST(StrongId, DefaultIsInvalidSentinel) {
+  const FlowId none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none, FlowId::invalid());
+  EXPECT_EQ(none.value(), -1);
+  EXPECT_TRUE(FlowId{0}.valid());
+}
+
+TEST(StrongId, ComparesAndIterates) {
+  FlowId i{3};
+  EXPECT_LT(FlowId{2}, i);
+  EXPECT_EQ(i.next(), FlowId{4});
+  EXPECT_EQ(++i, FlowId{4});
+  EXPECT_EQ(i++, FlowId{4});
+  EXPECT_EQ(i, FlowId{5});
+  EXPECT_EQ(--i, FlowId{4});
+}
+
+TEST(StrongId, StreamsAsRawValue) {
+  std::ostringstream os;
+  os << FlowId{42};
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(StrongId, HashesIntoUnorderedContainers) {
+  std::unordered_set<FlowId> seen;
+  for (const FlowId i : id_range<FlowId>(100)) seen.insert(i);
+  seen.insert(FlowId{7});  // duplicate
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(seen.contains(FlowId{99}));
+  EXPECT_FALSE(seen.contains(FlowId{100}));
+
+  std::unordered_map<Hour, double> scale;
+  scale[Hour{6}] = 1.0;
+  scale[Hour{0}] = 0.2;
+  EXPECT_DOUBLE_EQ(scale.at(Hour{6}), 1.0);
+}
+
+TEST(StrongId, IdRangeCoversHalfOpenInterval) {
+  std::vector<int> values;
+  for (const Hour h : id_range(Hour{2}, Hour{5})) values.push_back(h.value());
+  EXPECT_EQ(values, (std::vector<int>{2, 3, 4}));
+  EXPECT_TRUE(id_range(Hour{3}, Hour{3}).empty());
+  EXPECT_TRUE(id_range(Hour{4}, Hour{3}).empty());
+  std::size_t count = 0;
+  for ([[maybe_unused]] const FlowId i : id_range<FlowId>(std::size_t{4})) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(StrongId, CheckedCastIdGuardsOverflow) {
+  EXPECT_EQ(checked_cast_id<FlowId>(std::size_t{12}), FlowId{12});
+  EXPECT_THROW(checked_cast_id<FlowId>(std::size_t{1} << 40, "flow count"),
+               PpdcError);
+}
+
+TEST(IndexedVector, TypedSubscriptAndGrowth) {
+  IndexedVector<FlowId, double> rates;
+  EXPECT_TRUE(rates.empty());
+  EXPECT_EQ(rates.push_back(10.0), FlowId{0});
+  EXPECT_EQ(rates.emplace_back(20.0), FlowId{1});
+  EXPECT_EQ(rates.size(), 2u);
+  EXPECT_EQ(rates.end_id(), FlowId{2});
+  rates[FlowId{0}] = 15.0;
+  EXPECT_DOUBLE_EQ(rates[FlowId{0}], 15.0);
+  EXPECT_DOUBLE_EQ(rates.at(FlowId{1}), 20.0);
+  EXPECT_DOUBLE_EQ(rates.front(), 15.0);
+  EXPECT_DOUBLE_EQ(rates.back(), 20.0);
+}
+
+TEST(IndexedVector, BoundsCheckedWhenEnabled) {
+  // PPDC_CHECK_IDS is defined 1 above: operator[] and at() both throw the
+  // library's PpdcError on any out-of-domain id, including the sentinel.
+  IndexedVector<FlowId, int> v(3, 0);
+  EXPECT_THROW(v[FlowId{3}], PpdcError);
+  EXPECT_THROW(v[FlowId{-2}], PpdcError);
+  EXPECT_THROW(v[FlowId::invalid()], PpdcError);
+  EXPECT_THROW(v.at(FlowId{99}), PpdcError);
+  EXPECT_NO_THROW(v.at(FlowId{2}));
+  // The error names the offending index and the valid domain.
+  try {
+    v.at(FlowId{5});
+    FAIL() << "expected a PpdcError";
+  } catch (const PpdcError& e) {
+    EXPECT_NE(std::string(e.what()).find("index 5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[0, 3)"), std::string::npos);
+  }
+}
+
+TEST(IndexedVector, ContainsAndIds) {
+  IndexedVector<ChainPos, int> v(4, 7);
+  EXPECT_TRUE(v.contains(ChainPos{0}));
+  EXPECT_TRUE(v.contains(ChainPos{3}));
+  EXPECT_FALSE(v.contains(ChainPos{4}));
+  EXPECT_FALSE(v.contains(ChainPos::invalid()));
+  int sum = 0;
+  for (const ChainPos j : v.ids()) sum += v[j];
+  EXPECT_EQ(sum, 28);
+}
+
+TEST(IndexedVector, AdoptsAndReleasesRawStorage) {
+  IndexedVector<CandidateIdx, int> v(std::vector<int>{5, 6, 7});
+  EXPECT_EQ(v[CandidateIdx{1}], 6);
+  EXPECT_EQ(v.raw(), (std::vector<int>{5, 6, 7}));
+  const std::vector<int> out = std::move(v).take();
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(IndexedVector, EqualityIsElementwise) {
+  IndexedVector<FlowId, int> a(2, 1);
+  IndexedVector<FlowId, int> b(2, 1);
+  EXPECT_EQ(a, b);
+  b[FlowId{1}] = 2;
+  EXPECT_NE(a, b);
+}
+
+// --- Serialization round trip in the FlowId domain. -----------------------
+// flow_count() is the typed size of the flow table; saving and loading
+// must preserve every field at every FlowId.
+TEST(StrongId, FlowSerializationRoundTripPreservesFlowIdIndexing) {
+  const Topology topo = build_linear(5);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const NodeId h2 = topo.graph.hosts()[1];
+  const std::vector<VmFlow> flows{{h1, h2, 100.5, 0},
+                                  {h2, h1, 1.25, 1},
+                                  {h1, h1, 0.0, 2}};
+  ASSERT_EQ(flow_count(flows), FlowId{3});
+
+  std::stringstream ss;
+  save_flows(ss, flows);
+  const std::vector<VmFlow> loaded = load_flows(ss);
+  ASSERT_EQ(flow_count(loaded), flow_count(flows));
+  for (const FlowId i : id_range<FlowId>(flows.size())) {
+    const auto k = static_cast<std::size_t>(i.value());
+    EXPECT_EQ(loaded[k].src_host, flows[k].src_host) << i;
+    EXPECT_EQ(loaded[k].dst_host, flows[k].dst_host) << i;
+    EXPECT_DOUBLE_EQ(loaded[k].rate, flows[k].rate) << i;
+    EXPECT_EQ(loaded[k].group, flows[k].group) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppdc

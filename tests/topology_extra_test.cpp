@@ -21,8 +21,8 @@ TEST(Vl2, StructureAndDistances) {
   EXPECT_TRUE(t.graph.is_connected());
   const AllPairs apsp(t.graph);
   // Same ToR: 2 hops; ToRs sharing an aggregation: 4 hops.
-  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[0][1]), 2.0);
-  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[1][0]), 4.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[RackIdx{0}][0], t.racks[RackIdx{0}][1]), 2.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[RackIdx{0}][0], t.racks[RackIdx{1}][0]), 4.0);
 }
 
 TEST(Vl2, EveryTorReachesTwoAggregations) {
@@ -106,8 +106,8 @@ TEST(DCell, InterCellDistanceUsesServerRelay) {
   const AllPairs apsp(t.graph);
   // Two servers wired directly across cells are 1 hop apart.
   // srv0_? <-> srv1_0 for the (0,1) pair: cell 0 server 0 <-> cell 1 server 0.
-  const NodeId a = t.racks[0][0];
-  const NodeId b = t.racks[1][0];
+  const NodeId a = t.racks[RackIdx{0}][0];
+  const NodeId b = t.racks[RackIdx{1}][0];
   EXPECT_DOUBLE_EQ(apsp.cost(a, b), 1.0);
 }
 

@@ -33,7 +33,7 @@ TEST_P(FatTreeArity, RackStructure) {
   const int k = GetParam();
   const Topology t = build_fat_tree(k);
   EXPECT_EQ(t.racks.size(), static_cast<std::size_t>(k * k / 2));
-  for (std::size_t r = 0; r < t.racks.size(); ++r) {
+  for (const RackIdx r : t.racks.ids()) {
     EXPECT_EQ(t.racks[r].size(), static_cast<std::size_t>(k / 2));
     for (const NodeId h : t.racks[r]) {
       EXPECT_TRUE(t.graph.is_host(h));
@@ -106,8 +106,8 @@ TEST(LeafSpine, StructureAndDistances) {
   EXPECT_TRUE(t.graph.is_connected());
   const AllPairs apsp(t.graph);
   // Hosts under the same leaf: 2 hops; different leaves: 4 hops.
-  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[0][1]), 2.0);
-  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[0][0], t.racks[1][0]), 4.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[RackIdx{0}][0], t.racks[RackIdx{0}][1]), 2.0);
+  EXPECT_DOUBLE_EQ(apsp.cost(t.racks[RackIdx{0}][0], t.racks[RackIdx{1}][0]), 4.0);
 }
 
 TEST(LeafSpine, RejectsBadShape) {

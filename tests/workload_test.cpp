@@ -117,49 +117,49 @@ TEST(VmPlacement, RejectsBadConfig) {
 
 TEST(Diurnal, Eq9Endpoints) {
   DiurnalModel m;  // N = 12, tau_min = 0.2
-  EXPECT_DOUBLE_EQ(m.tau(0), 0.0);
-  EXPECT_DOUBLE_EQ(m.tau(6), 0.8);       // peak at noon: 2*(6/12)*0.8
-  EXPECT_DOUBLE_EQ(m.tau(12), 0.0);      // wraps to h=0
-  EXPECT_DOUBLE_EQ(m.scale(0), 0.2);     // floor
-  EXPECT_DOUBLE_EQ(m.scale(6), 1.0);     // peak
+  EXPECT_DOUBLE_EQ(m.tau(Hour{0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.tau(Hour{6}), 0.8);       // peak at noon: 2*(6/12)*0.8
+  EXPECT_DOUBLE_EQ(m.tau(Hour{12}), 0.0);      // wraps to h=0
+  EXPECT_DOUBLE_EQ(m.scale(Hour{0}), 0.2);     // floor
+  EXPECT_DOUBLE_EQ(m.scale(Hour{6}), 1.0);     // peak
 }
 
 TEST(Diurnal, SymmetricAroundNoon) {
   DiurnalModel m;
   for (int h = 1; h <= 5; ++h) {
-    EXPECT_DOUBLE_EQ(m.tau(h), m.tau(12 - h));
+    EXPECT_DOUBLE_EQ(m.tau(Hour{h}), m.tau(Hour{12 - h}));
   }
 }
 
 TEST(Diurnal, MonotoneRampUp) {
   DiurnalModel m;
   for (int h = 1; h < 6; ++h) {
-    EXPECT_LT(m.tau(h), m.tau(h + 1));
+    EXPECT_LT(m.tau(Hour{h}), m.tau(Hour{h + 1}));
   }
 }
 
 TEST(Diurnal, CoastOffsetShiftsWestFlows) {
   DiurnalModel m;
   // Flow 0 = east (no lag), flow 1 = west (3 h lag).
-  EXPECT_DOUBLE_EQ(m.scale_for_flow(6, 0), 1.0);
-  EXPECT_DOUBLE_EQ(m.scale_for_flow(9, 1), 1.0);
-  EXPECT_DOUBLE_EQ(m.scale_for_flow(6, 1), m.scale(3));
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(Hour{6}, FlowId{0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(Hour{9}, FlowId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(m.scale_for_flow(Hour{6}, FlowId{1}), m.scale(Hour{3}));
 }
 
 TEST(Diurnal, RatesApplyPerFlow) {
   DiurnalModel m;
-  const auto rates = diurnal_rates(m, {100.0, 100.0}, 6);
+  const auto rates = diurnal_rates(m, {100.0, 100.0}, Hour{6});
   EXPECT_DOUBLE_EQ(rates[0], 100.0);              // east at peak
-  EXPECT_DOUBLE_EQ(rates[1], 100.0 * m.scale(3)); // west 3h behind
+  EXPECT_DOUBLE_EQ(rates[1], 100.0 * m.scale(Hour{3})); // west 3h behind
 }
 
 TEST(Diurnal, RejectsBadModel) {
   DiurnalModel m;
   m.hours_per_day = 7;  // odd
-  EXPECT_THROW(m.tau(1), PpdcError);
+  EXPECT_THROW(m.tau(Hour{1}), PpdcError);
   m.hours_per_day = 12;
   m.tau_min = 1.5;
-  EXPECT_THROW(m.tau(1), PpdcError);
+  EXPECT_THROW(m.tau(Hour{1}), PpdcError);
 }
 
 TEST(Zoom, RatesAreNonNegativeAndBursty) {
