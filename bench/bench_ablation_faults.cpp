@@ -13,7 +13,7 @@
 // the *policy* buys once the fabric starts failing.
 //
 // Options: --k --trials --l --n --mu --hours --mtbf --mttr --penalty
-//          --seed --csv
+//          --seed --threads --csv
 #include <iostream>
 #include <sstream>
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "mtbf", "mttr",
-                    "penalty", "seed", "csv"});
+                    "penalty", "seed", "threads", "csv"});
   const int k = static_cast<int>(opts.get_int("k", 4));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 100));
@@ -49,13 +49,15 @@ int main(int argc, char** argv) {
   const double penalty = opts.get_double("penalty", 50.0);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int threads = bench::threads_option(opts);
 
   bench::header(
       "Ablation — migration policies under switch/link failures",
       "fat-tree k=" + std::to_string(k) + ", l=" + std::to_string(l) +
           ", n=" + std::to_string(n) + ", mu=" + TablePrinter::num(mu, 0) +
           ", " + std::to_string(hours) + "h, " + std::to_string(trials) +
-          " trials; MTTR=" + TablePrinter::num(mttr, 0) +
+          " trials, threads=" + bench::threads_label(threads) +
+          "; MTTR=" + TablePrinter::num(mttr, 0) +
           " epochs, links at 2x switch MTBF; MTBF=0 disables faults");
 
   const Topology topo = build_fat_tree(k);
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
     cfg.sim.faults = schedule;
     cfg.sim.fault.mu = mu;
     cfg.sim.fault.quarantine_penalty = penalty;
+    cfg.threads = threads;
     ParetoMigrationPolicy pareto(mu);
     NoMigrationPolicy none;
     ResolvePlacementPolicy resolve(mu);

@@ -8,7 +8,8 @@
 // static single chain (NoMigration), answering "to which extent VNF
 // replication could be beneficial ... when compared to VNF migration".
 //
-// Options: --k --trials --l --n --mu --replicas --zipf --seed --csv
+// Options: --k --trials --l --n --mu --replicas --zipf --seed --threads
+//          --csv
 #include <iostream>
 #include <sstream>
 
@@ -38,9 +39,14 @@ class ReplicationPolicy final : public MigrationPolicy {
   std::string name() const override {
     return "Replication-x" + std::to_string(replicas_);
   }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    // Fresh clone per (trial, policy) job: only the configuration travels,
+    // the cached clustering restarts per trial.
+    return std::make_unique<ReplicationPolicy>(replicas_, options_);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override {
-    // Re-cluster once per workload: the policy object is reused across
-    // trials, so detect a new flow set by its endpoint fingerprint.
+    // Re-cluster once per run; the fingerprint also catches a flow set
+    // swapped mid-run (e.g. when driven manually through run_simulation).
     std::vector<NodeId> fingerprint;
     fingerprint.reserve(state.flows.size() * 2);
     for (const auto& f : state.flows) {
@@ -71,8 +77,8 @@ class ReplicationPolicy final : public MigrationPolicy {
 int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
-  opts.restrict_to(
-      {"k", "trials", "l", "n", "mu", "replicas", "zipf", "seed", "csv"});
+  opts.restrict_to({"k", "trials", "l", "n", "mu", "replicas", "zipf", "seed",
+                    "threads", "csv"});
   const int k = static_cast<int>(opts.get_int("k", 8));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 200));
@@ -82,13 +88,15 @@ int main(int argc, char** argv) {
   const auto replica_counts = parse_list(opts.get_string("replicas", "2,3,4"));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int threads = bench::threads_option(opts);
 
   bench::header("Ablation — VNF replication vs VNF migration (§VII)",
                 "fat-tree k=" + std::to_string(k) + ", l=" +
                     std::to_string(l) + ", n=" + std::to_string(n) +
                     ", mu=" + TablePrinter::num(mu, 0) + ", zipf=" +
                     TablePrinter::num(zipf, 1) + ", " +
-                    std::to_string(trials) + " trials, 12h diurnal cycle");
+                    std::to_string(trials) + " trials, threads=" +
+                    bench::threads_label(threads) + ", 12h diurnal cycle");
 
   const Topology topo = build_fat_tree(k);
   const AllPairs apsp(topo.graph);
@@ -101,6 +109,7 @@ int main(int argc, char** argv) {
   cfg.workload.num_pairs = l;
   cfg.workload.rack_zipf_s = zipf;
   cfg.sfc_length = n;
+  cfg.threads = threads;
   cfg.sim.initial_placement = dp_opts;
 
   NoMigrationPolicy none;
@@ -108,7 +117,7 @@ int main(int argc, char** argv) {
   pareto_opts.placement = dp_opts;
   ParetoMigrationPolicy pareto(mu, pareto_opts);
   std::vector<std::unique_ptr<ReplicationPolicy>> reps;
-  std::vector<MigrationPolicy*> policies{&none, &pareto};
+  std::vector<const MigrationPolicy*> policies{&none, &pareto};
   for (const int r : replica_counts) {
     reps.push_back(std::make_unique<ReplicationPolicy>(r, dp_opts));
     policies.push_back(reps.back().get());

@@ -13,7 +13,7 @@
 // busiest rack, and where the optimal chain sits — making the mechanism
 // visible.
 //
-// Options: --k --trials --l --n --mu --svalues --seed --csv
+// Options: --k --trials --l --n --mu --svalues --seed --threads --csv
 #include <algorithm>
 #include <iostream>
 #include <sstream>
@@ -34,7 +34,8 @@ std::vector<double> parse_doubles(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
-  opts.restrict_to({"k", "trials", "l", "n", "mu", "svalues", "seed", "csv"});
+  opts.restrict_to(
+      {"k", "trials", "l", "n", "mu", "svalues", "seed", "threads", "csv"});
   const int k = static_cast<int>(opts.get_int("k", 8));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 200));
@@ -44,13 +45,15 @@ int main(int argc, char** argv) {
       parse_doubles(opts.get_string("svalues", "0,1,1.5,2,2.5,3"));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int threads = bench::threads_option(opts);
 
   bench::header("Ablation — migration gain vs spatial traffic skew",
                 "fat-tree k=" + std::to_string(k) + ", l=" +
                     std::to_string(l) + ", n=" + std::to_string(n) +
                     ", mu=" + TablePrinter::num(mu, 0) + ", " +
-                    std::to_string(trials) + " trials; s=0 is the paper's "
-                    "literal uniform-rack workload");
+                    std::to_string(trials) + " trials, threads=" +
+                    bench::threads_label(threads) +
+                    "; s=0 is the paper's literal uniform-rack workload");
 
   const Topology topo = build_fat_tree(k);
   const AllPairs apsp(topo.graph);
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.workload = wcfg;
     cfg.sfc_length = n;
+    cfg.threads = threads;
     ParetoMigrationPolicy pareto(mu);
     NoMigrationPolicy none;
     const auto stats = run_experiment(topo, apsp, cfg, {&pareto, &none});

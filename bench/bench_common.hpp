@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/apsp.hpp"
+#include "sim/experiment.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
@@ -32,6 +33,20 @@ inline std::vector<VmFlow> paper_workload(const Topology& topo, int l,
 inline void header(const std::string& figure, const std::string& setup) {
   print_banner(std::cout, figure);
   std::cout << "setup: " << setup << "\n\n";
+}
+
+/// Shared --threads option of the experiment benches: worker threads of
+/// the SimJob pool (0 / absent = auto, see ExperimentConfig::threads).
+inline int threads_option(const Options& opts) {
+  return static_cast<int>(opts.get_int("threads", 0));
+}
+
+/// Header label for the resolved thread count: "4", or "auto(8)" when the
+/// pool size was derived from hardware concurrency.
+inline std::string threads_label(int requested) {
+  const int resolved = resolve_experiment_threads(requested);
+  if (requested >= 1) return std::to_string(resolved);
+  return "auto(" + std::to_string(resolved) + ")";
 }
 
 /// Formats a MeanCi cell.

@@ -17,7 +17,7 @@
 // add the exact branch-and-bound policy.
 //
 // Options: --k --trials --l --n --mu --hours --lvalues --nvalues
-//          --true-optimal --seed --csv
+//          --true-optimal --seed --threads --csv
 #include <iostream>
 #include <sstream>
 
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "lvalues",
                     "nvalues", "true-optimal", "seed", "zipf",
-                    "vm-mu-factor", "host-capacity", "csv"});
+                    "vm-mu-factor", "host-capacity", "threads", "csv"});
   const int k = static_cast<int>(opts.get_int("k", 16));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 1000));
@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const bool csv = opts.get_bool("csv", false);
+  const int threads = bench::threads_option(opts);
 
   const Topology topo = build_fat_tree(k);
   const AllPairs apsp(topo.graph);
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
     cfg.sfc_length = sfc;
     cfg.sim.hours = hours;
     cfg.sim.initial_placement = dp_opts;
+    cfg.threads = threads;
     return cfg;
   };
 
@@ -104,8 +106,8 @@ int main(int argc, char** argv) {
     PlanPolicy plan(vm_cfg);
     McfPolicy mcf(vm_cfg);
     NoMigrationPolicy none;
-    std::vector<MigrationPolicy*> policies{&pareto, &optimal, &plan, &mcf,
-                                           &none};
+    std::vector<const MigrationPolicy*> policies{&pareto, &optimal, &plan,
+                                                 &mcf, &none};
     ExhaustiveMigrationPolicy exact(mu);
     if (true_optimal) policies.push_back(&exact);
 
@@ -115,7 +117,8 @@ int main(int argc, char** argv) {
                   "fat-tree k=" + std::to_string(k) + ", l=" +
                       std::to_string(l) + ", n=" + std::to_string(n) +
                       ", mu=" + TablePrinter::num(mu, 0) + ", " +
-                      std::to_string(trials) + " trials");
+                      std::to_string(trials) + " trials, threads=" +
+                      bench::threads_label(threads));
     {
       std::vector<std::string> cols{"hour"};
       for (const auto& s : stats) cols.push_back(s.name);
@@ -165,7 +168,8 @@ int main(int argc, char** argv) {
   {
     bench::header("Fig. 11(c) — 12-hour total cost vs number of VM pairs l",
                   "n=" + std::to_string(n) + ", mu in {1e4, 1e5}, " +
-                      std::to_string(trials) + " trials");
+                      std::to_string(trials) + " trials, threads=" +
+                      bench::threads_label(threads));
     TablePrinter t({"l", "mPareto mu=1e4", "Optimal(frontier) mu=1e4",
                     "mPareto mu=1e5", "Optimal(frontier) mu=1e5",
                     "NoMigration", "reduction vs NoMig (%)"});
@@ -196,7 +200,8 @@ int main(int argc, char** argv) {
     bench::header("Fig. 11(d) — 12-hour total cost vs SFC length n",
                   "l=" + std::to_string(l) + ", mu=" +
                       TablePrinter::num(mu, 0) + ", " +
-                      std::to_string(trials) + " trials");
+                      std::to_string(trials) + " trials, threads=" +
+                      bench::threads_label(threads));
     TablePrinter t({"n", "mPareto", "NoMigration", "reduction (%)"});
     for (const int sfc : n_values) {
       ParetoMigrationPolicy pareto(mu, pareto_opts);

@@ -41,9 +41,12 @@ int main(int argc, char** argv) {
 
   SimConfig cfg;  // 12 diurnal hours by default
   std::vector<std::pair<std::string, SimTrace>> traces;
-  for (MigrationPolicy* policy :
-       std::vector<MigrationPolicy*>{&none, &pareto, &plan, &mcf}) {
-    traces.emplace_back(policy->name(),
+  // Policies are cloneable prototypes (see sim/policy.hpp): each operator
+  // runs on its own clone, leaving the prototypes untouched.
+  for (const MigrationPolicy* proto :
+       std::vector<const MigrationPolicy*>{&none, &pareto, &plan, &mcf}) {
+    const auto policy = proto->clone();
+    traces.emplace_back(proto->name(),
                         run_simulation(apsp, flows, n, cfg, *policy));
   }
 

@@ -13,7 +13,8 @@ namespace ppdc {
 
 SimTrace run_simulation(const AllPairs& apsp,
                         const std::vector<VmFlow>& base_flows, int n,
-                        const SimConfig& config, MigrationPolicy& policy) {
+                        const SimConfig& config, MigrationPolicy& policy,
+                        EpochObserver* observer) {
   PPDC_REQUIRE(!base_flows.empty(), "simulation needs at least one flow");
   PPDC_REQUIRE(config.hours >= 1, "simulation needs at least one hour");
   PPDC_REQUIRE(config.fault.mu >= 0.0,
@@ -77,8 +78,16 @@ SimTrace run_simulation(const AllPairs& apsp,
       solve_top_dp(model, n, config.initial_placement);
   state.placement = initial.placement;
 
-  SimTrace trace;
-  trace.initial_placement = initial.placement;
+  // The recorder is the engine's own trace-building observer; an external
+  // observer, when present, sees the identical event stream.
+  TraceRecorder recorder;
+  auto emit = [&](auto&& fn) {
+    fn(static_cast<EpochObserver&>(recorder));
+    if (observer != nullptr) fn(*observer);
+  };
+  emit([&](EpochObserver& o) {
+    o.on_run_begin(Hour{config.hours}, initial.placement);
+  });
 
   // Fault-epoch machinery; both stay null while the fabric is pristine, so
   // a fault-free run never deviates from the incremental fast path.
@@ -87,9 +96,14 @@ SimTrace run_simulation(const AllPairs& apsp,
   bool base_resync_pending = false;  ///< primary bases stale after faults
 
   for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
+    emit([&](EpochObserver& o) { o.on_epoch_begin(hour); });
+
     // 1. Apply this epoch's fault events and refresh the degraded view.
     EpochFaults events;
     if (injector && hour >= Hour{1}) events = injector->advance_to(hour);
+    if (events.switch_failures + events.link_failures + events.repairs > 0) {
+      emit([&](EpochObserver& o) { o.on_faults(hour, events); });
+    }
     const bool faults_active = injector && injector->any_faults_active();
     if (events.topology_changed) {
       degraded_model.reset();
@@ -120,9 +134,16 @@ SimTrace run_simulation(const AllPairs& apsp,
       }
     }
     set_rates(state.flows, rates);
+    const double epoch_penalty = config.fault.quarantine_penalty * unserved;
+    if (quarantined > 0) {
+      emit([&](EpochObserver& o) {
+        o.on_quarantine(hour, quarantined, unserved, epoch_penalty);
+      });
+    }
 
     int recovery_migrations = 0;
     double recovery_cost = 0.0;
+    int recovery_truncations = 0;
     EpochDecision d;
 
     if (blackout) {
@@ -130,6 +151,7 @@ SimTrace run_simulation(const AllPairs& apsp,
       // The stranded placement stays where it is and is emergency-migrated
       // once enough switches return.
       d.service_down = true;
+      emit([&](EpochObserver& o) { o.on_blackout(hour); });
     } else {
       // 3. Cost-model maintenance. Degraded epochs use a dedicated model
       // over the masked metric, restricted to the core's alive switches;
@@ -184,7 +206,9 @@ SimTrace run_simulation(const AllPairs& apsp,
           ChainSearchConfig cc;
           cc.budget = config.fault.budget;
           cc.initial = target;  // degradation floor: the DP answer
-          target = solve_top_exhaustive(*m, n, cc).placement;
+          const ChainSearchResult refined = solve_top_exhaustive(*m, n, cc);
+          if (!refined.proven_optimal) ++recovery_truncations;
+          target = refined.placement;
         }
         double distance = 0.0;
         for (std::size_t j = 0; j < state.placement.size(); ++j) {
@@ -194,6 +218,9 @@ SimTrace run_simulation(const AllPairs& apsp,
         }
         recovery_cost = config.fault.mu * distance;
         state.placement = std::move(target);
+        emit([&](EpochObserver& o) {
+          o.on_recovery(hour, recovery_migrations, recovery_cost);
+        });
       }
 
       // 5. The policy reacts to the epoch.
@@ -236,33 +263,25 @@ SimTrace run_simulation(const AllPairs& apsp,
       }
     }
 
-    // 6. Stamp the epoch's fault bookkeeping and accumulate.
+    // 6. Stamp the epoch's fault bookkeeping and hand it to the sinks
+    // (the recorder accumulates the trace; an external observer watches).
     d.switch_failures = events.switch_failures;
     d.link_failures = events.link_failures;
     d.repairs = events.repairs;
     d.recovery_migrations = recovery_migrations;
     d.recovery_cost = recovery_cost;
     d.quarantined_flows = quarantined;
-    d.quarantine_penalty = config.fault.quarantine_penalty * unserved;
-
-    trace.total_comm_cost += d.comm_cost;
-    trace.total_migration_cost += d.migration_cost;
-    trace.total_vnf_migrations += d.vnf_migrations;
-    trace.total_vm_migrations += d.vm_migrations;
-    trace.total_switch_failures += d.switch_failures;
-    trace.total_link_failures += d.link_failures;
-    trace.total_repairs += d.repairs;
-    trace.total_recovery_migrations += d.recovery_migrations;
-    trace.total_recovery_cost += d.recovery_cost;
-    trace.quarantined_flow_epochs += d.quarantined_flows;
-    trace.total_quarantine_penalty += d.quarantine_penalty;
-    if (d.service_down) ++trace.downtime_epochs;
-    trace.epochs.push_back(std::move(d));
+    d.quarantine_penalty = epoch_penalty;
+    d.truncated_solves += recovery_truncations;
+    if (d.truncated_solves > 0) {
+      emit([&](EpochObserver& o) {
+        o.on_budget_truncation(hour, d.truncated_solves);
+      });
+    }
+    emit([&](EpochObserver& o) { o.on_epoch_end(hour, d); });
   }
-  trace.total_cost = trace.total_comm_cost + trace.total_migration_cost +
-                     trace.total_recovery_cost +
-                     trace.total_quarantine_penalty;
-  return trace;
+  emit([&](EpochObserver& o) { o.on_run_end(); });
+  return recorder.take();
 }
 
 }  // namespace ppdc

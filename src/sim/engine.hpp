@@ -36,6 +36,7 @@
 #include "core/placement_dp.hpp"
 #include "core/solve_budget.hpp"
 #include "fault/fault.hpp"
+#include "sim/observer.hpp"
 #include "sim/policy.hpp"
 #include "workload/diurnal.hpp"
 
@@ -83,33 +84,17 @@ struct SimConfig {
   FaultOptions fault;  ///< recovery / quarantine knobs
 };
 
-/// Full record of one simulation run.
-struct SimTrace {
-  std::vector<EpochDecision> epochs;
-  Placement initial_placement;
-  double total_comm_cost = 0.0;
-  double total_migration_cost = 0.0;
-  /// Grand total: communication + policy migration + emergency recovery
-  /// migration + quarantine penalties.
-  double total_cost = 0.0;
-  int total_vnf_migrations = 0;
-  int total_vm_migrations = 0;
-
-  // Fault accounting (all zero for a pristine run).
-  int total_switch_failures = 0;
-  int total_link_failures = 0;
-  int total_repairs = 0;
-  int total_recovery_migrations = 0;  ///< VNFs force-moved off failures
-  double total_recovery_cost = 0.0;
-  int quarantined_flow_epochs = 0;  ///< Σ per-epoch quarantined flow count
-  double total_quarantine_penalty = 0.0;
-  int downtime_epochs = 0;  ///< epochs the core could not host the chain
-};
-
 /// Runs one policy over the horizon. `base_flows` carry the base rates
 /// (the diurnal scale multiplies them); `n` is the SFC length.
+///
+/// The returned `SimTrace` (see sim/observer.hpp) is accumulated by the
+/// engine's own `TraceRecorder`; pass an `observer` to additionally
+/// receive the structured epoch event stream (epoch boundaries, fault
+/// fires/repairs, recovery, budget truncation, quarantine, blackout)
+/// while the run executes. The observer is invoked on the calling thread.
 SimTrace run_simulation(const AllPairs& apsp,
                         const std::vector<VmFlow>& base_flows, int n,
-                        const SimConfig& config, MigrationPolicy& policy);
+                        const SimConfig& config, MigrationPolicy& policy,
+                        EpochObserver* observer = nullptr);
 
 }  // namespace ppdc

@@ -1,79 +1,211 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
 #include "util/require.hpp"
 #include "util/rng.hpp"
 
 namespace ppdc {
 
+namespace {
+
+/// One simulation run's samples, and the per-policy accumulator: every
+/// field is a RunningStats so a job result and the reduction target are
+/// the same type, merged with RunningStats::merge. The reduction order is
+/// fixed (trial-major, below), never a function of worker interleaving —
+/// that alone makes every thread count bit-identical. On top of that,
+/// merging a single-sample bundle runs Welford's add() arithmetic on the
+/// mean (Chan's update degenerates for nb = 1), so reported means also
+/// match the historical serial loop bit for bit (see stats_test.cpp).
+struct StatsBundle {
+  RunningStats total, comm, migration, vnf_moves, vm_moves, recovery_moves,
+      recovery_cost, quarantined, penalty, downtime, truncated;
+  std::vector<RunningStats> hourly_cost, hourly_moves;
+
+  explicit StatsBundle(std::size_t hours)
+      : hourly_cost(hours), hourly_moves(hours) {}
+
+  void add(const SimTrace& trace) {
+    total.add(trace.total_cost);
+    comm.add(trace.total_comm_cost);
+    migration.add(trace.total_migration_cost);
+    vnf_moves.add(static_cast<double>(trace.total_vnf_migrations));
+    vm_moves.add(static_cast<double>(trace.total_vm_migrations));
+    recovery_moves.add(static_cast<double>(trace.total_recovery_migrations));
+    recovery_cost.add(trace.total_recovery_cost);
+    quarantined.add(static_cast<double>(trace.quarantined_flow_epochs));
+    penalty.add(trace.total_quarantine_penalty);
+    downtime.add(static_cast<double>(trace.downtime_epochs));
+    truncated.add(static_cast<double>(trace.total_truncated_solves));
+    for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
+      const EpochDecision& d = trace.epochs[h];
+      hourly_cost[h].add(d.comm_cost + d.migration_cost);
+      hourly_moves[h].add(
+          static_cast<double>(d.vnf_migrations + d.vm_migrations));
+    }
+  }
+
+  void merge(const StatsBundle& other) {
+    total.merge(other.total);
+    comm.merge(other.comm);
+    migration.merge(other.migration);
+    vnf_moves.merge(other.vnf_moves);
+    vm_moves.merge(other.vm_moves);
+    recovery_moves.merge(other.recovery_moves);
+    recovery_cost.merge(other.recovery_cost);
+    quarantined.merge(other.quarantined);
+    penalty.merge(other.penalty);
+    downtime.merge(other.downtime);
+    truncated.merge(other.truncated);
+    for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
+      hourly_cost[h].merge(other.hourly_cost[h]);
+      hourly_moves[h].merge(other.hourly_moves[h]);
+    }
+  }
+};
+
+MeanCi mean_ci_of(const RunningStats& s) {
+  return MeanCi{s.mean(), s.ci95_halfwidth()};
+}
+
+}  // namespace
+
+int resolve_experiment_threads(int requested) {
+  if (requested >= 1) return requested;
+#if defined(PPDC_TSAN)
+  return 1;
+#else
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+#endif
+}
+
 std::vector<PolicyStats> run_experiment(
     const Topology& topo, const AllPairs& apsp, const ExperimentConfig& config,
-    const std::vector<MigrationPolicy*>& policies) {
+    const std::vector<const MigrationPolicy*>& policies) {
   PPDC_REQUIRE(config.trials >= 1, "need at least one trial");
   PPDC_REQUIRE(!policies.empty(), "need at least one policy");
+  for (const MigrationPolicy* p : policies) {
+    PPDC_REQUIRE(p != nullptr, "null policy prototype");
+  }
 
   const std::size_t num_policies = policies.size();
+  const std::size_t num_trials = static_cast<std::size_t>(config.trials);
   const std::size_t hours = static_cast<std::size_t>(config.sim.hours);
 
-  std::vector<RunningStats> total(num_policies), comm(num_policies),
-      migration(num_policies), vnf_moves(num_policies),
-      vm_moves(num_policies), recovery_moves(num_policies),
-      recovery(num_policies), quarantined(num_policies),
-      penalty(num_policies), downtime(num_policies);
-  std::vector<std::vector<RunningStats>> hourly_cost(
-      num_policies, std::vector<RunningStats>(hours));
-  std::vector<std::vector<RunningStats>> hourly_moves(
-      num_policies, std::vector<RunningStats>(hours));
+  // Pre-split the per-trial RNG streams and regenerate each trial's
+  // workload before dispatch — same seeder order as the serial runner, so
+  // trial t sees the same flows regardless of how jobs are scheduled.
+  std::vector<std::vector<VmFlow>> trial_flows;
+  trial_flows.reserve(num_trials);
+  {
+    Rng seeder(config.seed);
+    for (std::size_t trial = 0; trial < num_trials; ++trial) {
+      Rng trial_rng = seeder.split();
+      trial_flows.push_back(generate_vm_flows(topo, config.workload,
+                                              trial_rng));
+    }
+  }
 
-  Rng seeder(config.seed);
-  for (int trial = 0; trial < config.trials; ++trial) {
-    Rng trial_rng = seeder.split();
-    const std::vector<VmFlow> flows =
-        generate_vm_flows(topo, config.workload, trial_rng);
+  // The (trial, policy) grid as independent jobs, trial-major so the
+  // reduction below walks trials in order for each policy.
+  struct SimJob {
+    std::size_t trial;
+    std::size_t policy;
+  };
+  std::vector<SimJob> jobs;
+  jobs.reserve(num_trials * num_policies);
+  for (std::size_t trial = 0; trial < num_trials; ++trial) {
     for (std::size_t pi = 0; pi < num_policies; ++pi) {
-      const SimTrace trace = run_simulation(apsp, flows, config.sfc_length,
-                                            config.sim, *policies[pi]);
-      total[pi].add(trace.total_cost);
-      comm[pi].add(trace.total_comm_cost);
-      migration[pi].add(trace.total_migration_cost);
-      vnf_moves[pi].add(static_cast<double>(trace.total_vnf_migrations));
-      vm_moves[pi].add(static_cast<double>(trace.total_vm_migrations));
-      recovery_moves[pi].add(
-          static_cast<double>(trace.total_recovery_migrations));
-      recovery[pi].add(trace.total_recovery_cost);
-      quarantined[pi].add(static_cast<double>(trace.quarantined_flow_epochs));
-      penalty[pi].add(trace.total_quarantine_penalty);
-      downtime[pi].add(static_cast<double>(trace.downtime_epochs));
-      for (std::size_t h = 0; h < hours && h < trace.epochs.size(); ++h) {
-        const EpochDecision& d = trace.epochs[h];
-        hourly_cost[pi][h].add(d.comm_cost + d.migration_cost);
-        hourly_moves[pi][h].add(
-            static_cast<double>(d.vnf_migrations + d.vm_migrations));
+      jobs.push_back(SimJob{trial, pi});
+    }
+  }
+
+  std::vector<StatsBundle> samples(jobs.size(), StatsBundle(hours));
+  std::vector<std::exception_ptr> errors(jobs.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+      if (j >= jobs.size()) return;
+      try {
+        const SimJob& job = jobs[j];
+        // Every job owns an isolated policy instance: stateful policies
+        // start each trial fresh and never race across threads.
+        const std::unique_ptr<MigrationPolicy> policy =
+            policies[job.policy]->clone();
+        PPDC_REQUIRE(policy != nullptr,
+                     "policy '" + policies[job.policy]->name() +
+                         "' returned a null clone()");
+        const SimTrace trace =
+            run_simulation(apsp, trial_flows[job.trial], config.sfc_length,
+                           config.sim, *policy);
+        PPDC_REQUIRE(trace.epochs.size() == hours,
+                     "policy '" + policies[job.policy]->name() + "' trial " +
+                         std::to_string(job.trial) + " produced " +
+                         std::to_string(trace.epochs.size()) +
+                         " epochs for a " + std::to_string(hours) +
+                         "-hour horizon");
+        samples[j].add(trace);
+      } catch (...) {
+        errors[j] = std::current_exception();
       }
     }
+  };
+
+  const int want = resolve_experiment_threads(config.threads);
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(want), jobs.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Deterministic error surfacing: the first failing job in grid order
+  // wins, independent of which thread hit it first.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Deterministic reduction: per policy, merge single-trial bundles in
+  // trial order (the jobs vector is trial-major).
+  std::vector<StatsBundle> acc(num_policies, StatsBundle(hours));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    acc[jobs[j].policy].merge(samples[j]);
   }
 
   std::vector<PolicyStats> stats;
   stats.reserve(num_policies);
   for (std::size_t pi = 0; pi < num_policies; ++pi) {
+    const StatsBundle& b = acc[pi];
     PolicyStats s;
     s.name = policies[pi]->name();
-    s.total_cost = {total[pi].mean(), total[pi].ci95_halfwidth()};
-    s.comm_cost = {comm[pi].mean(), comm[pi].ci95_halfwidth()};
-    s.migration_cost = {migration[pi].mean(), migration[pi].ci95_halfwidth()};
-    s.vnf_migrations = {vnf_moves[pi].mean(), vnf_moves[pi].ci95_halfwidth()};
-    s.vm_migrations = {vm_moves[pi].mean(), vm_moves[pi].ci95_halfwidth()};
-    s.recovery_migrations = {recovery_moves[pi].mean(),
-                             recovery_moves[pi].ci95_halfwidth()};
-    s.recovery_cost = {recovery[pi].mean(), recovery[pi].ci95_halfwidth()};
-    s.quarantined_flow_epochs = {quarantined[pi].mean(),
-                                 quarantined[pi].ci95_halfwidth()};
-    s.quarantine_penalty = {penalty[pi].mean(), penalty[pi].ci95_halfwidth()};
-    s.downtime_epochs = {downtime[pi].mean(), downtime[pi].ci95_halfwidth()};
+    s.total_cost = mean_ci_of(b.total);
+    s.comm_cost = mean_ci_of(b.comm);
+    s.migration_cost = mean_ci_of(b.migration);
+    s.vnf_migrations = mean_ci_of(b.vnf_moves);
+    s.vm_migrations = mean_ci_of(b.vm_moves);
+    s.recovery_migrations = mean_ci_of(b.recovery_moves);
+    s.recovery_cost = mean_ci_of(b.recovery_cost);
+    s.quarantined_flow_epochs = mean_ci_of(b.quarantined);
+    s.quarantine_penalty = mean_ci_of(b.penalty);
+    s.downtime_epochs = mean_ci_of(b.downtime);
+    s.truncated_solves = mean_ci_of(b.truncated);
+    s.hourly_cost.reserve(hours);
+    s.hourly_migrations.reserve(hours);
     for (std::size_t h = 0; h < hours; ++h) {
-      s.hourly_cost.push_back(
-          {hourly_cost[pi][h].mean(), hourly_cost[pi][h].ci95_halfwidth()});
-      s.hourly_migrations.push_back(
-          {hourly_moves[pi][h].mean(), hourly_moves[pi][h].ci95_halfwidth()});
+      s.hourly_cost.push_back(mean_ci_of(b.hourly_cost[h]));
+      s.hourly_migrations.push_back(mean_ci_of(b.hourly_moves[h]));
     }
     stats.push_back(std::move(s));
   }

@@ -8,6 +8,17 @@
 // × hour rides the engine's incremental group-scaled cost-model refresh
 // (see sim/engine.hpp), which is what keeps Fig. 8/11-style sweeps with
 // tens of thousands of flows tractable.
+//
+// Execution model: the trials × policies grid is decomposed into
+// independent SimJobs dispatched to a worker pool. Each job derives its
+// own policy instance from the caller's prototype via
+// MigrationPolicy::clone() and consumes a pre-split, trial-indexed RNG
+// stream, so no mutable state is shared between jobs. Per-job
+// RunningStats are merged in deterministic trial order, which makes the
+// result bit-identical for every thread count (the merge schedule is
+// fixed, not a function of worker interleaving). For single-sample
+// bundles merge() degenerates to Welford's add() on the mean, so the
+// reported means also match the historical serial runner bit for bit.
 #pragma once
 
 #include <string>
@@ -26,6 +37,11 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   VmPlacementConfig workload;  ///< how flows are generated each trial
   int sfc_length = 7;          ///< n
+  /// Worker threads of the SimJob pool. 0 = auto: hardware concurrency
+  /// (1 under PPDC_TSAN builds, where parallel runs are opt-in so the
+  /// default instrumented suite stays serial). Any value yields
+  /// bit-identical results; only wall-clock changes.
+  int threads = 0;
   SimConfig sim;
 };
 
@@ -43,15 +59,26 @@ struct PolicyStats {
   MeanCi quarantined_flow_epochs;   ///< Σ per-epoch quarantined flows
   MeanCi quarantine_penalty;        ///< SLA penalty for unserved demand
   MeanCi downtime_epochs;           ///< epochs with no feasible placement
+  MeanCi truncated_solves;          ///< budget-truncated exponential solves
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;
 };
 
+/// Resolves an ExperimentConfig::threads request to the worker count the
+/// pool will actually use: values >= 1 pass through; 0 (auto) means
+/// std::thread::hardware_concurrency(), except under PPDC_TSAN builds
+/// where auto is 1.
+int resolve_experiment_threads(int requested);
+
 /// Runs every policy over `config.trials` independently seeded workloads.
 /// All policies see the same workload in each trial (paired comparison).
+///
+/// `policies` are prototypes: each (trial, policy) SimJob runs on a fresh
+/// `clone()` of its prototype, so the instances passed in are never
+/// mutated and stateful policies start every trial from a clean slate.
 std::vector<PolicyStats> run_experiment(
     const Topology& topo, const AllPairs& apsp, const ExperimentConfig& config,
-    const std::vector<MigrationPolicy*>& policies);
+    const std::vector<const MigrationPolicy*>& policies);
 
 }  // namespace ppdc

@@ -1,0 +1,139 @@
+// Structured epoch-event stream of the dynamic simulation.
+//
+// The engine used to accumulate its accounting ad hoc into trace totals;
+// benches and tests that wanted to know *when* something happened had to
+// poke at per-epoch fields after the fact. `EpochObserver` turns the
+// engine inside out: every notable event — epoch boundaries, fault fires
+// and repairs, emergency recovery, solver budget truncation, quarantine,
+// blackout — is pushed through a sink interface while the run executes.
+// `SimTrace` itself is rebuilt on top of the stream: `TraceRecorder` is
+// the one observer the engine always installs, and the trace returned by
+// `run_simulation` is exactly what the recorder accumulated. External
+// observers (progress meters, CSV event logs, convergence probes) attach
+// as a second sink without touching the engine.
+//
+// Every callback has an empty default body, so observers override only
+// what they care about. Callbacks fire on the thread running the
+// simulation; an observer shared across parallel SimJobs must synchronise
+// itself (the experiment runner never shares one — each job owns its
+// recorder).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/policy.hpp"
+
+namespace ppdc {
+
+/// Sink interface for the engine's epoch event stream.
+class EpochObserver {
+ public:
+  virtual ~EpochObserver() = default;
+
+  /// The hour-0 TOP solve finished; the run is about to iterate `horizon`
+  /// epochs starting from `initial`.
+  virtual void on_run_begin(Hour /*horizon*/, const Placement& /*initial*/) {}
+
+  /// A new epoch starts (before fault events and traffic are applied).
+  virtual void on_epoch_begin(Hour /*hour*/) {}
+
+  /// Fault events fired this epoch (only called when at least one switch
+  /// or link failed or was repaired).
+  virtual void on_faults(Hour /*hour*/, const EpochFaults& /*events*/) {}
+
+  /// `flows` flows were cut off from the serving core this epoch; their
+  /// `unserved_rate` went unserved and `penalty` was charged for it.
+  virtual void on_quarantine(Hour /*hour*/, int /*flows*/,
+                             double /*unserved_rate*/, double /*penalty*/) {}
+
+  /// The surviving core cannot host the chain: a downtime epoch.
+  virtual void on_blackout(Hour /*hour*/) {}
+
+  /// Emergency recovery force-moved `migrations` VNFs off dead or
+  /// unreachable switches at `cost` migration traffic.
+  virtual void on_recovery(Hour /*hour*/, int /*migrations*/,
+                           double /*cost*/) {}
+
+  /// `truncated_solves` exponential solves behind this epoch's decision
+  /// ran out of budget and fell back to their incumbent.
+  virtual void on_budget_truncation(Hour /*hour*/, int /*truncated_solves*/) {}
+
+  /// The epoch is fully costed; `decision` carries the final bookkeeping
+  /// (policy costs plus the engine's fault stamps).
+  virtual void on_epoch_end(Hour /*hour*/, const EpochDecision& /*decision*/) {}
+
+  /// The horizon is exhausted; no further callbacks follow.
+  virtual void on_run_end() {}
+};
+
+/// Full record of one simulation run, accumulated by `TraceRecorder` from
+/// the observer stream.
+struct SimTrace {
+  std::vector<EpochDecision> epochs;
+  Placement initial_placement;
+  double total_comm_cost = 0.0;
+  double total_migration_cost = 0.0;
+  /// Grand total: communication + policy migration + emergency recovery
+  /// migration + quarantine penalties.
+  double total_cost = 0.0;
+  int total_vnf_migrations = 0;
+  int total_vm_migrations = 0;
+
+  // Fault accounting (all zero for a pristine run).
+  int total_switch_failures = 0;
+  int total_link_failures = 0;
+  int total_repairs = 0;
+  int total_recovery_migrations = 0;  ///< VNFs force-moved off failures
+  double total_recovery_cost = 0.0;
+  int quarantined_flow_epochs = 0;  ///< Σ per-epoch quarantined flow count
+  double total_quarantine_penalty = 0.0;
+  int downtime_epochs = 0;  ///< epochs the core could not host the chain
+  /// Budget-truncated exponential solves across the run (policy fallbacks
+  /// plus exhaustive-recovery refinements).
+  int total_truncated_solves = 0;
+};
+
+/// The observer that builds `SimTrace`. The engine always installs one;
+/// external code may also use it standalone to aggregate a custom event
+/// stream into trace form.
+class TraceRecorder final : public EpochObserver {
+ public:
+  void on_run_begin(Hour horizon, const Placement& initial) override {
+    trace_.initial_placement = initial;
+    trace_.epochs.reserve(static_cast<std::size_t>(horizon.value()));
+  }
+
+  void on_epoch_end(Hour /*hour*/, const EpochDecision& d) override {
+    trace_.total_comm_cost += d.comm_cost;
+    trace_.total_migration_cost += d.migration_cost;
+    trace_.total_vnf_migrations += d.vnf_migrations;
+    trace_.total_vm_migrations += d.vm_migrations;
+    trace_.total_switch_failures += d.switch_failures;
+    trace_.total_link_failures += d.link_failures;
+    trace_.total_repairs += d.repairs;
+    trace_.total_recovery_migrations += d.recovery_migrations;
+    trace_.total_recovery_cost += d.recovery_cost;
+    trace_.quarantined_flow_epochs += d.quarantined_flows;
+    trace_.total_quarantine_penalty += d.quarantine_penalty;
+    trace_.total_truncated_solves += d.truncated_solves;
+    if (d.service_down) ++trace_.downtime_epochs;
+    trace_.epochs.push_back(d);
+  }
+
+  void on_run_end() override {
+    trace_.total_cost = trace_.total_comm_cost +
+                        trace_.total_migration_cost +
+                        trace_.total_recovery_cost +
+                        trace_.total_quarantine_penalty;
+  }
+
+  /// Hands the accumulated trace out (recorder is spent afterwards).
+  SimTrace take() { return std::move(trace_); }
+
+ private:
+  SimTrace trace_;
+};
+
+}  // namespace ppdc

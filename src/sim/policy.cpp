@@ -56,6 +56,7 @@ EpochDecision ExhaustiveMigrationPolicy::on_epoch(const CostModel& model,
     if (pareto.total_cost < eval.total_cost) eval = std::move(pareto);
   }
   EpochDecision d;
+  d.truncated_solves = r.proven_optimal ? 0 : 1;
   d.comm_cost = eval.comm_cost;
   d.migration_cost = eval.migration_cost;
   d.migration_distance =

@@ -36,6 +36,10 @@ struct EpochDecision {
   /// here — the engine uses it to patch the cost model incrementally
   /// instead of re-scanning every flow (CostModel::endpoints_moved).
   std::vector<FlowId> moved_flows;
+  /// Exponential solves behind this decision that exhausted their budget
+  /// and fell back to the incumbent (the engine adds its own recovery
+  /// refinements; observers see the sum via on_budget_truncation).
+  int truncated_solves = 0;
 
   // Fault bookkeeping, filled in by the engine (all zero on a pristine
   // fabric; policies never touch these).
@@ -52,10 +56,21 @@ struct EpochDecision {
 };
 
 /// Interface implemented by every migration strategy.
+///
+/// Policies are *cloneable prototypes*: the experiment runner never calls
+/// `on_epoch` on the instance it is handed — it derives one fresh clone
+/// per (trial, policy) SimJob, so any mutable per-run state a policy
+/// keeps is isolated per trial and safe to run in parallel. `clone()`
+/// must produce an independent instance carrying the configuration but
+/// none of the shared mutable state (a copy of `*this` is correct for
+/// value-semantic policies).
 class MigrationPolicy {
  public:
   virtual ~MigrationPolicy() = default;
   virtual std::string name() const = 0;
+  /// Independent copy for one simulation run (the clone()/factory
+  /// contract of the parallel experiment runner).
+  virtual std::unique_ptr<MigrationPolicy> clone() const = 0;
   /// Reacts to the epoch's (already refreshed) cost model; may mutate
   /// `state` (placement and/or flow endpoints). Endpoint mutations must be
   /// reported via EpochDecision::moved_flows so the engine can patch the
@@ -67,6 +82,9 @@ class MigrationPolicy {
 class NoMigrationPolicy final : public MigrationPolicy {
  public:
   std::string name() const override { return "NoMigration"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<NoMigrationPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 };
 
@@ -77,6 +95,9 @@ class ParetoMigrationPolicy final : public MigrationPolicy {
   ParetoMigrationPolicy(double mu, ParetoMigrationOptions options = {},
                         std::string display_name = "mPareto");
   std::string name() const override { return name_; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<ParetoMigrationPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 
  private:
@@ -94,6 +115,9 @@ class ExhaustiveMigrationPolicy final : public MigrationPolicy {
  public:
   ExhaustiveMigrationPolicy(double mu, ChainSearchConfig config = {});
   std::string name() const override { return "Optimal"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<ExhaustiveMigrationPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 
  private:
@@ -108,6 +132,9 @@ class ResolvePlacementPolicy final : public MigrationPolicy {
  public:
   explicit ResolvePlacementPolicy(double mu, TopDpOptions options = {});
   std::string name() const override { return "Resolve"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<ResolvePlacementPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 
  private:
@@ -120,6 +147,9 @@ class PlanPolicy final : public MigrationPolicy {
  public:
   explicit PlanPolicy(VmMigrationConfig config);
   std::string name() const override { return "PLAN"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<PlanPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 
  private:
@@ -131,6 +161,9 @@ class McfPolicy final : public MigrationPolicy {
  public:
   explicit McfPolicy(VmMigrationConfig config);
   std::string name() const override { return "MCF"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<McfPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override;
 
  private:

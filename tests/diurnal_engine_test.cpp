@@ -12,6 +12,9 @@ namespace {
 class RateProbe final : public MigrationPolicy {
  public:
   std::string name() const override { return "probe"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<RateProbe>(*this);
+  }
   EpochDecision on_epoch(const CostModel& model, SimState& state) override {
     rates.push_back(model.total_rate());
     EpochDecision d;

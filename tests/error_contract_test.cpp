@@ -79,6 +79,9 @@ TEST(ErrorContract, RateScheduleNegativeRateNamesFlow) {
 class VandalPolicy final : public MigrationPolicy {
  public:
   std::string name() const override { return "Vandal"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<VandalPolicy>(*this);
+  }
   EpochDecision on_epoch(const CostModel&, SimState& state) override {
     state.placement.back() = state.placement.front();
     return {};

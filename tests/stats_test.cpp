@@ -56,6 +56,51 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeMatchesSequentialTo1e12) {
+  // The experiment runner's determinism contract (DESIGN.md §9) leans on
+  // Chan's pairwise combine being exact to high precision even for
+  // ill-conditioned splits: samples of wildly different magnitude,
+  // partitioned contiguously rather than interleaved.
+  RunningStats front, back, all;
+  for (int i = 0; i < 200; ++i) {
+    const double x =
+        std::cos(static_cast<double>(i)) * (i < 100 ? 1e6 : 1e-3) + 42.0;
+    (i < 100 ? front : back).add(x);
+    all.add(x);
+  }
+  front.merge(back);
+  EXPECT_EQ(front.count(), all.count());
+  EXPECT_NEAR(front.mean(), all.mean(), 1e-12 * std::abs(all.mean()));
+  EXPECT_NEAR(front.variance(), all.variance(),
+              1e-12 * std::abs(all.variance()));
+  EXPECT_EQ(front.min(), all.min());
+  EXPECT_EQ(front.max(), all.max());
+}
+
+TEST(RunningStats, MergingSingletonsMatchesAddingMeanBitExact) {
+  // The experiment runner reduces per-job (single-sample) accumulators
+  // with merge(). For nb = 1 Chan's mean update `delta * nb / nt`
+  // degenerates to Welford's `delta / n` exactly — so the reported means
+  // are *bit-identical* to the historical serial add loop. The m2 update
+  // takes a different (equally stable) rounding path, so variance may
+  // differ from sequential add by an ulp or two — but never more.
+  const double samples[] = {3.25,      -17.5, 1e9,  0.1,
+                            2.0 / 3.0, -1e-7, 42.0, 1.0 / 3.0};
+  RunningStats sequential, merged;
+  for (const double x : samples) {
+    sequential.add(x);
+    RunningStats single;
+    single.add(x);
+    merged.merge(single);
+    EXPECT_EQ(merged.count(), sequential.count());
+    EXPECT_EQ(merged.mean(), sequential.mean());  // exact, not NEAR
+    EXPECT_EQ(merged.min(), sequential.min());
+    EXPECT_EQ(merged.max(), sequential.max());
+    EXPECT_NEAR(merged.variance(), sequential.variance(),
+                4e-16 * sequential.variance());
+  }
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(1.0);

@@ -94,6 +94,48 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Stage 4: policy ownership contract (always runs; needs only grep).
+# run_experiment takes policies as *const prototypes* and every SimJob
+# clones its own instance (see sim/policy.hpp). A mutable raw-pointer
+# policy list reintroduces the shared-instance aliasing the refactor
+# removed, so any `std::vector<MigrationPolicy*>` — without const — is
+# rejected. (clang-tidy, when installed, has no check for this idiom;
+# the grep gate runs everywhere the repo builds.)
+# ---------------------------------------------------------------------------
+note "policy ownership: no mutable std::vector<MigrationPolicy*> lists"
+raw_owners=$(grep -rn --include='*.hpp' --include='*.cpp' \
+               -E 'std::vector< *MigrationPolicy *\*' \
+               src tests bench examples 2>/dev/null)
+if [ -n "$raw_owners" ]; then
+  echo "$raw_owners" >&2
+  echo "   FAIL: pass policies as std::vector<const MigrationPolicy*>" \
+       "prototypes (each SimJob clones its own instance)" >&2
+  failures=$((failures + 1))
+else
+  echo "   OK: all policy lists are const prototypes"
+fi
+
+# ---------------------------------------------------------------------------
+# Stage 5: ThreadSanitizer over the parallel experiment runner (optional;
+# needs the tsan preset built: cmake --preset tsan && cmake --build
+# --preset tsan). The experiment_parallel_test pins threads=4 explicitly,
+# so the SimJob pool's dispatch/merge paths run instrumented even though
+# PPDC_TSAN builds default auto-threads to 1.
+# ---------------------------------------------------------------------------
+TSAN_RUNNER=build-tsan/tests/experiment_parallel_test
+if [ -x "$TSAN_RUNNER" ]; then
+  note "tsan: $TSAN_RUNNER"
+  if "$TSAN_RUNNER" >/dev/null; then
+    echo "   OK: parallel runner is race-free under TSan"
+  else
+    echo "   FAIL: TSan flagged the parallel runner" >&2
+    failures=$((failures + 1))
+  fi
+else
+  note "tsan: SKIPPED (no $TSAN_RUNNER — build the tsan preset first)"
+fi
+
+# ---------------------------------------------------------------------------
 if [ "$failures" -eq 0 ]; then
   note "check.sh: all executed stages passed"
   exit 0
