@@ -11,6 +11,11 @@
 //      range-aware optimum?
 //
 // Options: --k --trials --l --n --seed --csv
+//
+// This harness runs hand-rolled trial loops (no run_experiment), so the
+// shared checkpoint journal does not apply; it still honours
+// SIGINT/SIGTERM cooperatively — an interrupted sweep prints the rows
+// aggregated so far (marked partial) instead of dying mid-table.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "seed", "csv"});
+  bench::install_signal_handlers();
   const int k = static_cast<int>(opts.get_int("k", 8));
   const int trials = static_cast<int>(opts.get_int("trials", 10));
   const int l = static_cast<int>(opts.get_int("l", 200));
@@ -41,14 +47,21 @@ int main(int argc, char** argv) {
   {
     TablePrinter t({"capacity", "C_a", "vs capacity 1 (%)"});
     std::vector<double> totals;
+    bool partial = false;
     for (const int cap : {1, 2, 3, n}) {
       RunningStats s;
       for (int trial = 0; trial < trials; ++trial) {
+        if (bench::cancel_flag().load(std::memory_order_relaxed)) break;
         Rng rng(seed * 1000003 + static_cast<std::uint64_t>(trial));
         const auto flows = bench::paper_workload(topo, l, rng);
         CostModel cm(apsp, flows);
         s.add(solve_top_colocated(cm, n, cap).comm_cost);
       }
+      if (s.count() == 0) {
+        partial = true;
+        break;  // interrupted before this capacity produced a sample
+      }
+      if (s.count() < static_cast<std::size_t>(trials)) partial = true;
       totals.push_back(s.mean());
       t.add_row({std::to_string(cap),
                  bench::cell({s.mean(), s.ci95_halfwidth()}),
@@ -58,6 +71,11 @@ int main(int argc, char** argv) {
       t.write_csv(std::cout);
     } else {
       t.print(std::cout);
+    }
+    if (partial) {
+      std::cerr << "\ninterrupted: co-location sweep is partial (fewer "
+                   "trials or capacities than requested)\n";
+      return 130;
     }
   }
 
@@ -69,6 +87,7 @@ int main(int argc, char** argv) {
     RunningStats full_aware, range_aware, range_exact;
     bool proven = true;
     for (int trial = 0; trial < trials; ++trial) {
+      if (bench::cancel_flag().load(std::memory_order_relaxed)) break;
       Rng rng(seed * 1000003 + static_cast<std::uint64_t>(trial));
       const auto flows = bench::paper_workload(topo, l, rng);
       std::vector<RangedFlow> ranged;
@@ -94,6 +113,10 @@ int main(int argc, char** argv) {
       proven = proven && exact.proven_optimal;
       range_exact.add(exact.comm_cost);
     }
+    if (full_aware.count() == 0) {
+      std::cerr << "\ninterrupted: no heterogeneous-SFC trial completed\n";
+      return 130;
+    }
     TablePrinter t({"placer", "cost", "vs full-chain placement (%)"});
     const double base = full_aware.mean();
     auto row = [&](const std::string& name, const RunningStats& s) {
@@ -108,6 +131,11 @@ int main(int argc, char** argv) {
       t.write_csv(std::cout);
     } else {
       t.print(std::cout);
+    }
+    if (full_aware.count() < static_cast<std::size_t>(trials)) {
+      std::cerr << "\ninterrupted: heterogeneous-SFC table aggregates only "
+                << full_aware.count() << " of " << trials << " trials\n";
+      return 130;
     }
   }
   std::cout << "\nreading: co-location converts chain legs into free "

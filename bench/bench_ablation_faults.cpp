@@ -14,6 +14,8 @@
 //
 // Options: --k --trials --l --n --mu --hours --mtbf --mttr --penalty
 //          --seed --threads --csv
+//          --checkpoint --keep-going --retries  (robustness; see
+//          EXPERIMENTS.md "Crash-safe checkpointing")
 #include <iostream>
 #include <sstream>
 
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "mtbf", "mttr",
-                    "penalty", "seed", "threads", "csv"});
+                    "penalty", "seed", "threads", "csv", "checkpoint",
+                    "keep-going", "retries"});
   const int k = static_cast<int>(opts.get_int("k", 4));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 100));
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const int threads = bench::threads_option(opts);
+  const bench::RobustnessOptions robust = bench::robustness_options(opts);
+  bench::install_signal_handlers();
 
   bench::header(
       "Ablation — migration policies under switch/link failures",
@@ -94,19 +99,21 @@ int main(int argc, char** argv) {
     cfg.sim.fault.mu = mu;
     cfg.sim.fault.quarantine_penalty = penalty;
     cfg.threads = threads;
+    bench::apply_robustness(cfg, robust,
+                            "mtbf" + TablePrinter::num(mtbf, 0));
     ParetoMigrationPolicy pareto(mu);
     NoMigrationPolicy none;
     ResolvePlacementPolicy resolve(mu);
     const auto stats =
-        run_experiment(topo, apsp, cfg, {&pareto, &none, &resolve});
+        bench::run_or_exit(topo, apsp, cfg, {&pareto, &none, &resolve});
     table.add_row({TablePrinter::num(mtbf, 0),
                    std::to_string(failures) + "/" + std::to_string(repairs),
-                   bench::cell(stats[0].total_cost),
-                   bench::cell(stats[1].total_cost),
-                   bench::cell(stats[2].total_cost),
-                   bench::cell(stats[0].recovery_migrations, 1),
-                   bench::cell(stats[0].quarantined_flow_epochs, 1),
-                   bench::cell(stats[0].downtime_epochs, 1)});
+                   bench::cell(stats[0], stats[0].total_cost),
+                   bench::cell(stats[1], stats[1].total_cost),
+                   bench::cell(stats[2], stats[2].total_cost),
+                   bench::cell(stats[0], stats[0].recovery_migrations, 1),
+                   bench::cell(stats[0], stats[0].quarantined_flow_epochs, 1),
+                   bench::cell(stats[0], stats[0].downtime_epochs, 1)});
   }
   if (opts.get_bool("csv", false)) {
     table.write_csv(std::cout);

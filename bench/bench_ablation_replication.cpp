@@ -9,7 +9,8 @@
 // replication could be beneficial ... when compared to VNF migration".
 //
 // Options: --k --trials --l --n --mu --replicas --zipf --seed --threads
-//          --csv
+//          --csv --checkpoint --keep-going --retries  (robustness; see
+//          EXPERIMENTS.md "Crash-safe checkpointing")
 #include <iostream>
 #include <sstream>
 
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "replicas", "zipf", "seed",
-                    "threads", "csv"});
+                    "threads", "csv", "checkpoint", "keep-going", "retries"});
   const int k = static_cast<int>(opts.get_int("k", 8));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 200));
@@ -89,6 +90,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const int threads = bench::threads_option(opts);
+  const bench::RobustnessOptions robust = bench::robustness_options(opts);
+  bench::install_signal_handlers();
 
   bench::header("Ablation — VNF replication vs VNF migration (§VII)",
                 "fat-tree k=" + std::to_string(k) + ", l=" +
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
   cfg.sfc_length = n;
   cfg.threads = threads;
   cfg.sim.initial_placement = dp_opts;
+  bench::apply_robustness(cfg, robust);
 
   NoMigrationPolicy none;
   ParetoMigrationOptions pareto_opts;
@@ -123,13 +127,13 @@ int main(int argc, char** argv) {
     policies.push_back(reps.back().get());
   }
 
-  const auto stats = run_experiment(topo, apsp, cfg, policies);
+  const auto stats = bench::run_or_exit(topo, apsp, cfg, policies);
   TablePrinter t({"strategy", "12h total", "comm", "migration",
                   "vs NoMigration (%)"});
   const double base = stats[0].total_cost.mean;
   for (const auto& s : stats) {
-    t.add_row({s.name, bench::cell(s.total_cost), bench::cell(s.comm_cost),
-               bench::cell(s.migration_cost),
+    t.add_row({s.name, bench::cell(s, s.total_cost),
+               bench::cell(s, s.comm_cost), bench::cell(s, s.migration_cost),
                TablePrinter::num(100.0 * (1.0 - s.total_cost.mean / base),
                                  1)});
   }

@@ -14,6 +14,8 @@
 // visible.
 //
 // Options: --k --trials --l --n --mu --svalues --seed --threads --csv
+//          --checkpoint --keep-going --retries  (robustness; see
+//          EXPERIMENTS.md "Crash-safe checkpointing")
 #include <algorithm>
 #include <iostream>
 #include <sstream>
@@ -34,8 +36,8 @@ std::vector<double> parse_doubles(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace ppdc;
   const Options opts = Options::parse(argc, argv);
-  opts.restrict_to(
-      {"k", "trials", "l", "n", "mu", "svalues", "seed", "threads", "csv"});
+  opts.restrict_to({"k", "trials", "l", "n", "mu", "svalues", "seed",
+                    "threads", "csv", "checkpoint", "keep-going", "retries"});
   const int k = static_cast<int>(opts.get_int("k", 8));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 200));
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const int threads = bench::threads_option(opts);
+  const bench::RobustnessOptions robust = bench::robustness_options(opts);
+  bench::install_signal_handlers();
 
   bench::header("Ablation — migration gain vs spatial traffic skew",
                 "fat-tree k=" + std::to_string(k) + ", l=" +
@@ -87,17 +91,18 @@ int main(int argc, char** argv) {
     cfg.workload = wcfg;
     cfg.sfc_length = n;
     cfg.threads = threads;
+    bench::apply_robustness(cfg, robust, "s" + TablePrinter::num(s, 1));
     ParetoMigrationPolicy pareto(mu);
     NoMigrationPolicy none;
-    const auto stats = run_experiment(topo, apsp, cfg, {&pareto, &none});
+    const auto stats = bench::run_or_exit(topo, apsp, cfg, {&pareto, &none});
     const double reduction =
         100.0 * (1.0 - stats[0].total_cost.mean / stats[1].total_cost.mean);
     table.add_row({TablePrinter::num(s, 1),
                    TablePrinter::num(100.0 * hot, 1),
-                   bench::cell(stats[0].total_cost),
-                   bench::cell(stats[1].total_cost),
+                   bench::cell(stats[0], stats[0].total_cost),
+                   bench::cell(stats[1], stats[1].total_cost),
                    TablePrinter::num(reduction, 1),
-                   bench::cell(stats[0].vnf_migrations, 1)});
+                   bench::cell(stats[0], stats[0].vnf_migrations, 1)});
   }
   if (opts.get_bool("csv", false)) {
     table.write_csv(std::cout);

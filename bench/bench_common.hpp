@@ -1,7 +1,12 @@
 // Shared plumbing for the figure-reproduction harnesses: workload
-// construction per §VI's experiment setup, and result-table helpers.
+// construction per §VI's experiment setup, result-table helpers, and the
+// robustness wiring (crash-safe checkpointing, failure containment,
+// SIGINT/SIGTERM handling — DESIGN.md §10) every experiment driver shares.
 #pragma once
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -52,6 +57,120 @@ inline std::string threads_label(int requested) {
 /// Formats a MeanCi cell.
 inline std::string cell(const MeanCi& mc, int precision = 0) {
   return TablePrinter::num_ci(mc.mean, mc.ci95, precision);
+}
+
+/// Formats a MeanCi cell of a policy row, marking it absent ("n/a") when
+/// keep_going quarantined every trial of that policy — an all-failed cell
+/// must never render as a zero-cost result.
+inline std::string cell(const PolicyStats& s, const MeanCi& mc,
+                        int precision = 0) {
+  if (s.completed_trials == 0) return "n/a";
+  return cell(mc, precision);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness wiring (DESIGN.md §10): --checkpoint / --keep-going /
+// --retries options, the SIGINT/SIGTERM cancellation flag, and the
+// interrupted-run exit path shared by every experiment driver.
+// ---------------------------------------------------------------------------
+
+/// Process-wide cooperative cancellation flag, flipped by the signal
+/// handler below and wired into SimConfig::cancel.
+inline std::atomic<bool>& cancel_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+namespace detail {
+inline void request_cancel(int /*signum*/) {
+  // Lock-free atomic store: async-signal-safe. The experiment runner
+  // flushes the journal per completed job, so there is nothing else to
+  // save here — the workers notice the flag at the next epoch boundary.
+  cancel_flag().store(true, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Installs SIGINT/SIGTERM handlers that request a cooperative stop: the
+/// run finishes its journal record in flight, then run_experiment throws
+/// ExperimentInterrupted (handled by run_or_exit below).
+inline void install_signal_handlers() {
+  std::signal(SIGINT, &detail::request_cancel);
+  std::signal(SIGTERM, &detail::request_cancel);
+}
+
+/// The three robustness options every experiment driver exposes.
+struct RobustnessOptions {
+  std::string checkpoint;  ///< journal base path ("" = no checkpointing)
+  bool keep_going = false;
+  int retries = 0;
+};
+
+inline RobustnessOptions robustness_options(const Options& opts) {
+  RobustnessOptions r;
+  r.checkpoint = opts.get_string("checkpoint", "");
+  r.keep_going = opts.get_bool("keep-going", false);
+  r.retries = static_cast<int>(opts.get_int("retries", 0));
+  return r;
+}
+
+/// Derives the journal path of one experiment section from the driver's
+/// --checkpoint base. Drivers that run several differently-configured
+/// experiments (e.g. fig11's panels) must give each its own journal —
+/// they have different fingerprints and would reject a shared file.
+inline std::string checkpoint_for(const std::string& base,
+                                  const std::string& tag) {
+  if (base.empty()) return "";
+  if (tag.empty()) return base;
+  return base + "." + tag;
+}
+
+/// Applies the robustness options to one experiment section and wires the
+/// signal-driven cancellation flag into the simulation.
+inline void apply_robustness(ExperimentConfig& cfg,
+                             const RobustnessOptions& r,
+                             const std::string& tag = "") {
+  cfg.checkpoint_path = checkpoint_for(r.checkpoint, tag);
+  cfg.keep_going = r.keep_going;
+  cfg.retry_limit = r.retries;
+  cfg.sim.cancel = &cancel_flag();
+}
+
+/// Reports quarantined cells of a keep-going run on stderr (stdout stays
+/// reserved for the result tables, which must diff clean across resumes).
+inline void report_failures(const std::vector<PolicyStats>& stats) {
+  for (const PolicyStats& s : stats) {
+    for (const JobFailure& f : s.failures) {
+      std::cerr << "warning: policy '" << s.name << "' trial " << f.trial
+                << " quarantined after " << f.attempts
+                << " attempt(s): " << f.error << "\n";
+    }
+    if (!s.failures.empty()) {
+      std::cerr << "warning: policy '" << s.name << "' aggregates "
+                << s.completed_trials << " of "
+                << s.completed_trials + static_cast<int>(s.failures.size())
+                << " trials\n";
+    }
+  }
+}
+
+/// run_experiment with the drivers' shared interrupted-run exit path: on
+/// ExperimentInterrupted (SIGINT/SIGTERM), print the partial per-policy
+/// summary on stderr and exit 130 — the journal already holds every
+/// completed job, so rerunning the same command resumes. Failure reports
+/// of keep-going runs are printed as a side effect.
+inline std::vector<PolicyStats> run_or_exit(
+    const Topology& topo, const AllPairs& apsp, const ExperimentConfig& cfg,
+    const std::vector<const MigrationPolicy*>& policies) {
+  try {
+    std::vector<PolicyStats> stats =
+        run_experiment(topo, apsp, cfg, policies);
+    report_failures(stats);
+    return stats;
+  } catch (const ExperimentInterrupted& e) {
+    std::cerr << "\ninterrupted: " << e.what() << "\n"
+              << e.partial_summary();
+    std::exit(130);
+  }
 }
 
 }  // namespace ppdc::bench

@@ -18,6 +18,8 @@
 //
 // Options: --k --trials --l --n --mu --hours --lvalues --nvalues
 //          --true-optimal --seed --threads --csv
+//          --checkpoint --keep-going --retries  (robustness; see
+//          EXPERIMENTS.md "Crash-safe checkpointing")
 #include <iostream>
 #include <sstream>
 
@@ -39,7 +41,8 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "lvalues",
                     "nvalues", "true-optimal", "seed", "zipf",
-                    "vm-mu-factor", "host-capacity", "threads", "csv"});
+                    "vm-mu-factor", "host-capacity", "threads", "csv",
+                    "checkpoint", "keep-going", "retries"});
   const int k = static_cast<int>(opts.get_int("k", 16));
   const int trials = static_cast<int>(opts.get_int("trials", 5));
   const int l = static_cast<int>(opts.get_int("l", 1000));
@@ -54,6 +57,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const bool csv = opts.get_bool("csv", false);
   const int threads = bench::threads_option(opts);
+  const bench::RobustnessOptions robust = bench::robustness_options(opts);
+  bench::install_signal_handlers();
 
   const Topology topo = build_fat_tree(k);
   const AllPairs apsp(topo.graph);
@@ -78,7 +83,9 @@ int main(int argc, char** argv) {
   // mu = 1e4 and degenerate both baselines to NoMigration.
   vm_cfg.horizon_hours = 4.0;
 
-  auto make_config = [&](int pairs, int sfc) {
+  // Each panel section is its own experiment with its own fingerprint, so
+  // each gets its own journal file derived from the --checkpoint base.
+  auto make_config = [&](int pairs, int sfc, const std::string& tag) {
     ExperimentConfig cfg;
     cfg.trials = trials;
     cfg.seed = seed;
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
     cfg.sim.hours = hours;
     cfg.sim.initial_placement = dp_opts;
     cfg.threads = threads;
+    bench::apply_robustness(cfg, robust, tag);
     return cfg;
   };
 
@@ -111,7 +119,8 @@ int main(int argc, char** argv) {
     ExhaustiveMigrationPolicy exact(mu);
     if (true_optimal) policies.push_back(&exact);
 
-    const auto stats = run_experiment(topo, apsp, make_config(l, n), policies);
+    const auto stats =
+        bench::run_or_exit(topo, apsp, make_config(l, n, "a"), policies);
 
     bench::header("Fig. 11(a) — per-hour total cost under dynamic traffic",
                   "fat-tree k=" + std::to_string(k) + ", l=" +
@@ -136,10 +145,11 @@ int main(int argc, char** argv) {
       TablePrinter t({"policy", "12h total cost", "comm", "migration",
                       "VNF moves", "VM moves"});
       for (const auto& s : stats) {
-        t.add_row({s.name, bench::cell(s.total_cost), bench::cell(s.comm_cost),
-                   bench::cell(s.migration_cost),
-                   bench::cell(s.vnf_migrations, 1),
-                   bench::cell(s.vm_migrations, 1)});
+        t.add_row({s.name, bench::cell(s, s.total_cost),
+                   bench::cell(s, s.comm_cost),
+                   bench::cell(s, s.migration_cost),
+                   bench::cell(s, s.vnf_migrations, 1),
+                   bench::cell(s, s.vm_migrations, 1)});
       }
       std::cout << '\n';
       print(t);
@@ -179,8 +189,9 @@ int main(int argc, char** argv) {
       ParetoMigrationPolicy p5(1e5, pareto_opts, "mPareto-1e5");
       ParetoMigrationPolicy o5(1e5, optimal_opts, "Opt-1e5");
       NoMigrationPolicy none;
-      const auto stats = run_experiment(topo, apsp, make_config(pairs, n),
-                                        {&p4, &o4, &p5, &o5, &none});
+      const auto stats = bench::run_or_exit(
+          topo, apsp, make_config(pairs, n, "c" + std::to_string(pairs)),
+          {&p4, &o4, &p5, &o5, &none});
       const double reduction =
           100.0 * (1.0 - stats[0].total_cost.mean / stats[4].total_cost.mean);
       t.add_row({std::to_string(pairs), bench::cell(stats[0].total_cost),
@@ -206,8 +217,9 @@ int main(int argc, char** argv) {
     for (const int sfc : n_values) {
       ParetoMigrationPolicy pareto(mu, pareto_opts);
       NoMigrationPolicy none;
-      const auto stats =
-          run_experiment(topo, apsp, make_config(l, sfc), {&pareto, &none});
+      const auto stats = bench::run_or_exit(
+          topo, apsp, make_config(l, sfc, "d" + std::to_string(sfc)),
+          {&pareto, &none});
       const double reduction =
           100.0 * (1.0 - stats[0].total_cost.mean / stats[1].total_cost.mean);
       t.add_row({std::to_string(sfc), bench::cell(stats[0].total_cost),

@@ -1,17 +1,92 @@
 #include "io/serialize.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <iomanip>
+#include <iostream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
 
+#include "util/checksum.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {
 
 namespace {
+
+/// Integrity footer appended as the final line of every serialized
+/// artifact: "# crc32 <8 hex digits>" over every byte that precedes the
+/// footer line. It is a comment, so readers predating the footer (and
+/// LineReader below) skip it — new files remain loadable by old code.
+constexpr const char* kCrcMarker = "# crc32 ";
+
+std::string format_crc(std::uint32_t crc) {
+  std::ostringstream os;
+  os << kCrcMarker << std::hex << std::setw(8) << std::setfill('0') << crc
+     << "\n";
+  return std::move(os).str();
+}
+
+/// Writes `body` followed by its CRC-32 footer line.
+void write_with_footer(std::ostream& os, const std::string& body) {
+  os << body << format_crc(crc32(body));
+}
+
+std::string slurp(std::istream& is, const char* what) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  PPDC_REQUIRE(!is.bad(), std::string("cannot read ") + what + " stream");
+  return std::move(buf).str();
+}
+
+/// Verifies the CRC-32 footer of a slurped artifact, when present.
+/// Truncation or bit rot throws a PpdcError naming the footer's line
+/// number and the byte range the mismatch covers; a footer-less (legacy)
+/// file loads with a warning on stderr instead of failing.
+void verify_footer(const std::string& text, const char* what) {
+  // Locate the final non-empty line.
+  std::size_t end = text.size();
+  while (end > 0 && (text[end - 1] == '\n' || text[end - 1] == '\r')) --end;
+  if (end == 0) return;  // nothing to verify; the parser reports emptiness
+  std::size_t line_start = text.rfind('\n', end - 1);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string last = text.substr(line_start, end - line_start);
+  const std::size_t marker_len = std::string(kCrcMarker).size();
+  if (last.compare(0, marker_len, kCrcMarker) != 0) {
+    std::cerr << "warning: " << what
+              << ": no crc32 footer (legacy file); integrity unverified\n";
+    return;
+  }
+  const int footer_line =
+      1 + static_cast<int>(std::count(text.begin(),
+                                      text.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              line_start),
+                                      '\n'));
+  const std::string hex = last.substr(marker_len);
+  std::uint32_t stored = 0;
+  try {
+    std::size_t consumed = 0;
+    const unsigned long parsed = std::stoul(hex, &consumed, 16);
+    PPDC_REQUIRE(consumed == hex.size() && parsed <= 0xFFFFFFFFul,
+                 "trailing characters");
+    stored = static_cast<std::uint32_t>(parsed);
+  } catch (const std::exception&) {
+    throw PpdcError("line " + std::to_string(footer_line) + ": " + what +
+                    ": malformed crc32 footer: '" + last + "'");
+  }
+  const std::uint32_t actual = crc32(text.data(), line_start);
+  PPDC_REQUIRE(actual == stored,
+               "line " + std::to_string(footer_line) + ": " + what +
+                   ": crc32 mismatch over bytes [0, " +
+                   std::to_string(line_start) + ") — file truncated or "
+                   "corrupt (footer says " + format_crc(stored).substr(
+                       marker_len, 8) + ", content hashes to " +
+                   format_crc(actual).substr(marker_len, 8) + ")");
+}
 
 /// Pulls meaningful lines (skipping blanks and '#' comments) while
 /// counting every physical line, so every parse error can report the
@@ -63,29 +138,34 @@ void expect_header(LineReader& in, const std::string& magic) {
 
 void save_topology(std::ostream& os, const Topology& topo) {
   const Graph& g = topo.graph;
-  os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << "ppdc-topology v1\n";
-  os << "name " << topo.name << "\n";
+  std::ostringstream body;
+  body << std::setprecision(std::numeric_limits<double>::max_digits10);
+  body << "ppdc-topology v1\n";
+  body << "name " << topo.name << "\n";
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    os << "node " << v << ' ' << (g.is_host(v) ? "host" : "switch") << ' '
-       << g.label(v) << "\n";
+    body << "node " << v << ' ' << (g.is_host(v) ? "host" : "switch") << ' '
+         << g.label(v) << "\n";
   }
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (const auto& a : g.neighbors(u)) {
       if (u < a.to) {
-        os << "edge " << u << ' ' << a.to << ' ' << a.weight << "\n";
+        body << "edge " << u << ' ' << a.to << ' ' << a.weight << "\n";
       }
     }
   }
   for (const RackIdx r : topo.racks.ids()) {
-    os << "rack " << topo.rack_switches[r];
-    for (const NodeId h : topo.racks[r]) os << ' ' << h;
-    os << "\n";
+    body << "rack " << topo.rack_switches[r];
+    for (const NodeId h : topo.racks[r]) body << ' ' << h;
+    body << "\n";
   }
+  write_with_footer(os, std::move(body).str());
 }
 
 Topology load_topology(std::istream& is) {
-  LineReader in(is);
+  const std::string text = slurp(is, "topology");
+  verify_footer(text, "topology");
+  std::istringstream verified(text);
+  LineReader in(verified);
   expect_header(in, "ppdc-topology");
   Topology topo;
   std::string line;
@@ -131,16 +211,21 @@ Topology load_topology(std::istream& is) {
 }
 
 void save_flows(std::ostream& os, const std::vector<VmFlow>& flows) {
-  os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << "ppdc-flows v1\n";
+  std::ostringstream body;
+  body << std::setprecision(std::numeric_limits<double>::max_digits10);
+  body << "ppdc-flows v1\n";
   for (const auto& f : flows) {
-    os << "flow " << f.src_host << ' ' << f.dst_host << ' ' << f.rate << ' '
-       << f.group << "\n";
+    body << "flow " << f.src_host << ' ' << f.dst_host << ' ' << f.rate << ' '
+         << f.group << "\n";
   }
+  write_with_footer(os, std::move(body).str());
 }
 
 std::vector<VmFlow> load_flows(std::istream& is) {
-  LineReader in(is);
+  const std::string text = slurp(is, "flows");
+  verify_footer(text, "flows");
+  std::istringstream verified(text);
+  LineReader in(verified);
   expect_header(in, "ppdc-flows");
   std::vector<VmFlow> flows;
   std::string line;
@@ -157,14 +242,19 @@ std::vector<VmFlow> load_flows(std::istream& is) {
 }
 
 void save_placement(std::ostream& os, const Placement& p) {
-  os << "ppdc-placement v1\n";
+  std::ostringstream body;
+  body << "ppdc-placement v1\n";
   for (std::size_t j = 0; j < p.size(); ++j) {
-    os << "vnf " << j << ' ' << p[j] << "\n";
+    body << "vnf " << j << ' ' << p[j] << "\n";
   }
+  write_with_footer(os, std::move(body).str());
 }
 
 Placement load_placement(std::istream& is) {
-  LineReader in(is);
+  const std::string text = slurp(is, "placement");
+  verify_footer(text, "placement");
+  std::istringstream verified(text);
+  LineReader in(verified);
   expect_header(in, "ppdc-placement");
   Placement p;
   std::string line;

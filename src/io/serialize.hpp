@@ -14,6 +14,14 @@
 //
 //   ppdc-placement v1
 //   vnf <index> <switch>
+//
+// Integrity: every save_* appends a final "# crc32 <8 hex digits>" line
+// covering all preceding bytes. Loaders verify it and throw a PpdcError
+// naming the footer line and the corrupt byte range on mismatch —
+// truncated or bit-rotted artifacts are detected instead of being parsed
+// into a silently wrong experiment. Because the footer is a comment,
+// readers that predate it still load new files; files without a footer
+// (written before it existed) still load, with a warning on stderr.
 #pragma once
 
 #include <iosfwd>

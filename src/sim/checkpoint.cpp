@@ -1,0 +1,511 @@
+#include "sim/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/serialize.hpp"
+#include "util/checksum.hpp"
+#include "util/require.hpp"
+
+namespace ppdc {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'D', 'C', 'J', 'N', 'L', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Little serialization layer: fixed-width fields appended to a string,
+// and a bounds-checked cursor for reading them back. Host-endian by
+// design (journals are same-machine scratch artifacts).
+// ---------------------------------------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, checked_cast<std::uint32_t>(s.size(), "journal string length"));
+  out.append(s);
+}
+
+void put_running_stats(std::string& out, const RunningStats& s) {
+  const RunningStats::Raw raw = s.raw();
+  put_u64(out, raw.n);
+  put_f64(out, raw.mean);
+  put_f64(out, raw.m2);
+  put_f64(out, raw.min);
+  put_f64(out, raw.max);
+}
+
+/// Bounds-checked reader over a byte range; every overrun throws with the
+/// absolute byte offset so corruption reports are actionable.
+class Cursor {
+ public:
+  Cursor(const std::string& bytes, std::size_t begin, std::size_t end)
+      : bytes_(&bytes), pos_(begin), end_(end) {}
+
+  std::size_t pos() const noexcept { return pos_; }
+  bool exhausted() const noexcept { return pos_ == end_; }
+
+  void raw(void* out, std::size_t len) {
+    PPDC_REQUIRE(len <= end_ - pos_,
+                 "journal payload truncated at byte offset " +
+                     std::to_string(pos_));
+    std::memcpy(out, bytes_->data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    PPDC_REQUIRE(len <= end_ - pos_,
+                 "journal string truncated at byte offset " +
+                     std::to_string(pos_));
+    std::string s(bytes_->data() + pos_, len);
+    pos_ += len;
+    return s;
+  }
+  RunningStats running_stats() {
+    RunningStats::Raw raw;
+    raw.n = u64();
+    raw.mean = f64();
+    raw.m2 = f64();
+    raw.min = f64();
+    raw.max = f64();
+    return RunningStats::from_raw(raw);
+  }
+
+ private:
+  const std::string* bytes_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+/// Frames a payload: [u32 length][u32 crc32(payload)][payload].
+void append_frame(std::string& out, const std::string& payload) {
+  put_u32(out, checked_cast<std::uint32_t>(payload.size(),
+                                           "journal frame length"));
+  put_u32(out, crc32(payload));
+  out.append(payload);
+}
+
+/// Reads the frame starting at `pos`; returns the [begin, end) payload
+/// range and advances `pos` past the frame. Throws on truncation or CRC
+/// mismatch, naming the offset.
+std::pair<std::size_t, std::size_t> read_frame(const std::string& bytes,
+                                               std::size_t& pos) {
+  Cursor head(bytes, pos, bytes.size());
+  const std::uint32_t len = head.u32();
+  const std::uint32_t stored_crc = head.u32();
+  const std::size_t begin = head.pos();
+  PPDC_REQUIRE(len <= bytes.size() - begin,
+               "journal frame at byte offset " + std::to_string(pos) +
+                   " claims " + std::to_string(len) + " bytes but only " +
+                   std::to_string(bytes.size() - begin) + " remain (torn "
+                   "write)");
+  const std::uint32_t actual_crc = crc32(bytes.data() + begin, len);
+  PPDC_REQUIRE(actual_crc == stored_crc,
+               "journal frame at byte offset " + std::to_string(pos) +
+                   " fails its CRC32 (stored " + std::to_string(stored_crc) +
+                   ", computed " + std::to_string(actual_crc) + ")");
+  pos = begin + len;
+  return {begin, begin + len};
+}
+
+std::string serialize_header(const ExperimentFingerprint& fp,
+                             const JournalDims& dims) {
+  std::string payload;
+  put_u32(payload, kVersion);
+  put_u64(payload, fp.topology);
+  put_u64(payload, fp.workload);
+  put_u64(payload, fp.fault_schedule);
+  put_u64(payload, fp.policy_list);
+  put_u64(payload, fp.sim_config);
+  put_u32(payload, dims.trials);
+  put_u32(payload, dims.policies);
+  put_u32(payload, dims.hours);
+  return payload;
+}
+
+std::string serialize_record(const JobRecord& rec) {
+  std::string payload;
+  put_u32(payload, rec.trial);
+  put_u32(payload, rec.policy);
+  put_u8(payload, static_cast<std::uint8_t>(rec.outcome));
+  put_u32(payload, rec.attempts);
+  put_str(payload, rec.policy_name);
+  put_str(payload, rec.error);
+  const bool has_stats = rec.outcome != JobOutcome::kFailed;
+  put_u8(payload, has_stats ? 1 : 0);
+  if (has_stats) {
+    put_u32(payload, checked_cast<std::uint32_t>(rec.stats.hourly_cost.size(),
+                                                 "journal hours"));
+    put_running_stats(payload, rec.stats.total);
+    put_running_stats(payload, rec.stats.comm);
+    put_running_stats(payload, rec.stats.migration);
+    put_running_stats(payload, rec.stats.vnf_moves);
+    put_running_stats(payload, rec.stats.vm_moves);
+    put_running_stats(payload, rec.stats.recovery_moves);
+    put_running_stats(payload, rec.stats.recovery_cost);
+    put_running_stats(payload, rec.stats.quarantined);
+    put_running_stats(payload, rec.stats.penalty);
+    put_running_stats(payload, rec.stats.downtime);
+    put_running_stats(payload, rec.stats.truncated);
+    for (const RunningStats& s : rec.stats.hourly_cost) {
+      put_running_stats(payload, s);
+    }
+    for (const RunningStats& s : rec.stats.hourly_moves) {
+      put_running_stats(payload, s);
+    }
+  }
+  return payload;
+}
+
+JobRecord parse_record(const std::string& bytes, std::size_t begin,
+                       std::size_t end, const JournalDims& dims) {
+  Cursor c(bytes, begin, end);
+  JobRecord rec;
+  rec.trial = c.u32();
+  rec.policy = c.u32();
+  const std::uint8_t outcome = c.u8();
+  PPDC_REQUIRE(outcome <= static_cast<std::uint8_t>(JobOutcome::kFailed),
+               "journal record at byte offset " + std::to_string(begin) +
+                   " carries unknown outcome " + std::to_string(outcome));
+  rec.outcome = static_cast<JobOutcome>(outcome);
+  rec.attempts = c.u32();
+  rec.policy_name = c.str();
+  rec.error = c.str();
+  const bool has_stats = c.u8() != 0;
+  PPDC_REQUIRE(rec.trial < dims.trials && rec.policy < dims.policies,
+               "journal record at byte offset " + std::to_string(begin) +
+                   " addresses cell (" + std::to_string(rec.trial) + ", " +
+                   std::to_string(rec.policy) + ") outside the " +
+                   std::to_string(dims.trials) + "x" +
+                   std::to_string(dims.policies) + " grid");
+  if (has_stats) {
+    const std::uint32_t hours = c.u32();
+    PPDC_REQUIRE(hours == dims.hours,
+                 "journal record at byte offset " + std::to_string(begin) +
+                     " carries " + std::to_string(hours) +
+                     " hourly series entries for a " +
+                     std::to_string(dims.hours) + "-hour horizon");
+    rec.stats = StatsBundle(hours);
+    rec.stats.total = c.running_stats();
+    rec.stats.comm = c.running_stats();
+    rec.stats.migration = c.running_stats();
+    rec.stats.vnf_moves = c.running_stats();
+    rec.stats.vm_moves = c.running_stats();
+    rec.stats.recovery_moves = c.running_stats();
+    rec.stats.recovery_cost = c.running_stats();
+    rec.stats.quarantined = c.running_stats();
+    rec.stats.penalty = c.running_stats();
+    rec.stats.downtime = c.running_stats();
+    rec.stats.truncated = c.running_stats();
+    for (std::uint32_t h = 0; h < hours; ++h) {
+      rec.stats.hourly_cost[h] = c.running_stats();
+    }
+    for (std::uint32_t h = 0; h < hours; ++h) {
+      rec.stats.hourly_moves[h] = c.running_stats();
+    }
+  }
+  PPDC_REQUIRE(c.exhausted(),
+               "journal record at byte offset " + std::to_string(begin) +
+                   " has trailing bytes");
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Durable file plumbing (POSIX): the journal at `path` is replaced via
+// write-to-temp + fsync + rename, then the directory entry is fsynced, so
+// the visible file is always a complete journal.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw PpdcError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: FS may not support directory opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io("cannot open checkpoint temp file", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_io("cannot write checkpoint temp file", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_io("cannot fsync checkpoint temp file", tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io("cannot rename checkpoint temp file over", path);
+  }
+  fsync_parent_dir(path);
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PPDC_REQUIRE(in.good(), "cannot read checkpoint journal '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Fault-injection hook for the kill-resume CI gate: when the environment
+/// variable PPDC_CHECKPOINT_CRASH_AFTER=N is set, the process hard-exits
+/// (no unwinding, no atexit — a SIGKILL stand-in) right after the N-th
+/// record of this run becomes durable.
+int crash_after_from_env() {
+  const char* v = std::getenv("PPDC_CHECKPOINT_CRASH_AFTER");
+  if (v == nullptr) return 0;
+  const int n = std::atoi(v);
+  return n > 0 ? n : 0;
+}
+
+}  // namespace
+
+const char* to_string(JobOutcome outcome) noexcept {
+  switch (outcome) {
+    case JobOutcome::kOk:
+      return "ok";
+    case JobOutcome::kTruncated:
+      return "truncated";
+    case JobOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ExperimentFingerprint::diff(
+    const ExperimentFingerprint& other) const {
+  std::vector<std::string> out;
+  if (topology != other.topology) out.emplace_back("topology");
+  if (workload != other.workload) out.emplace_back("workload");
+  if (fault_schedule != other.fault_schedule) {
+    out.emplace_back("fault schedule");
+  }
+  if (policy_list != other.policy_list) out.emplace_back("policy list");
+  if (sim_config != other.sim_config) out.emplace_back("sim config");
+  return out;
+}
+
+ExperimentFingerprint fingerprint_experiment(
+    const Topology& topo, const ExperimentConfig& config,
+    const std::vector<const MigrationPolicy*>& policies) {
+  ExperimentFingerprint fp;
+  {
+    // The serialized form captures nodes, labels, edges, weights and rack
+    // structure — everything the simulation can observe of the fabric.
+    std::ostringstream os;
+    save_topology(os, topo);
+    fp.topology = hash64(os.str());
+  }
+  {
+    Hash64 h;
+    h.u64(config.seed).i64(config.trials);
+    const VmPlacementConfig& w = config.workload;
+    h.i64(w.num_pairs).f64(w.intra_rack_fraction).b(w.spatial_coasts);
+    h.f64(w.rack_zipf_s);
+    const RateDistribution& r = w.rates;
+    h.f64(r.light_fraction).f64(r.medium_fraction).f64(r.heavy_fraction);
+    h.f64(r.light_lo).f64(r.light_hi).f64(r.medium_lo).f64(r.medium_hi);
+    h.f64(r.heavy_lo).f64(r.heavy_hi);
+    fp.workload = h.value();
+  }
+  {
+    Hash64 h;
+    h.u64(config.sim.faults.size());
+    for (const FaultEvent& e : config.sim.faults) {
+      h.i64(e.epoch.value()).u64(static_cast<std::uint64_t>(e.kind));
+      h.i64(e.node).i64(e.u).i64(e.v);
+    }
+    fp.fault_schedule = h.value();
+  }
+  {
+    Hash64 h;
+    h.u64(policies.size());
+    for (const MigrationPolicy* p : policies) h.str(p->name());
+    fp.policy_list = h.value();
+  }
+  {
+    Hash64 h;
+    h.i64(config.sfc_length).i64(config.sim.hours);
+    h.i64(config.sim.diurnal.hours_per_day).f64(config.sim.diurnal.tau_min);
+    h.i64(config.sim.diurnal.coast_offset);
+    h.i64(config.sim.initial_placement.candidate_limit);
+    h.b(static_cast<bool>(config.sim.rate_schedule));
+    h.f64(config.sim.downtime_factor);
+    h.f64(config.sim.fault.mu).f64(config.sim.fault.quarantine_penalty);
+    h.i64(config.sim.fault.placement.candidate_limit);
+    h.b(config.sim.fault.exhaustive_recovery);
+    h.f64(config.sim.fault.budget.wall_ms);
+    fp.sim_config = h.value();
+  }
+  return fp;
+}
+
+CheckpointJournal::CheckpointJournal(std::string path,
+                                     const ExperimentFingerprint& fingerprint,
+                                     const JournalDims& dims)
+    : path_(std::move(path)), crash_after_(crash_after_from_env()) {
+  PPDC_REQUIRE(!path_.empty(), "checkpoint journal path is empty");
+  if (file_exists(path_)) {
+    JournalContents contents = read_journal(path_);
+    if (contents.fingerprint != fingerprint) {
+      const std::vector<std::string> diverged =
+          contents.fingerprint.diff(fingerprint);
+      std::string what = "checkpoint journal '" + path_ +
+                         "' was written by a different experiment — "
+                         "diverged component";
+      what += diverged.size() == 1 ? ": " : "s: ";
+      for (std::size_t i = 0; i < diverged.size(); ++i) {
+        if (i > 0) what += ", ";
+        what += diverged[i];
+      }
+      what += " (delete the journal or rerun the original configuration)";
+      throw CheckpointMismatchError(what);
+    }
+    PPDC_REQUIRE(contents.dims == dims,
+                 "checkpoint journal '" + path_ +
+                     "' header dimensions disagree with a matching "
+                     "fingerprint (corrupt header?)");
+    warning_ = contents.warning;
+    resumed_ = std::move(contents.records);
+    // Keep exactly the verified prefix: a dropped tail is rewritten by
+    // the first append, and the rerun jobs re-journal their records.
+    buffer_.assign(kMagic, sizeof kMagic);
+    append_frame(buffer_, serialize_header(fingerprint, dims));
+    for (const JobRecord& rec : resumed_) {
+      append_frame(buffer_, serialize_record(rec));
+    }
+  } else {
+    buffer_.assign(kMagic, sizeof kMagic);
+    append_frame(buffer_, serialize_header(fingerprint, dims));
+    write_atomic(path_, buffer_);
+  }
+}
+
+void CheckpointJournal::append(const JobRecord& record) {
+  const std::string payload = serialize_record(record);
+  const std::lock_guard<std::mutex> lock(mu_);
+  append_frame(buffer_, payload);
+  write_atomic(path_, buffer_);
+  ++appended_;
+  if (crash_after_ > 0 && appended_ >= crash_after_) {
+    // SIGKILL stand-in for the kill-resume gate: no unwinding, no
+    // flushing beyond what is already durable.
+    std::_Exit(37);
+  }
+}
+
+JournalContents read_journal(const std::string& path) {
+  PPDC_REQUIRE(file_exists(path),
+               "checkpoint journal '" + path + "' does not exist");
+  const std::string bytes = read_file(path);
+  JournalContents out;
+  PPDC_REQUIRE(bytes.size() >= sizeof kMagic &&
+                   std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0,
+               "'" + path + "' is not a ppdc checkpoint journal (bad magic)");
+  std::size_t pos = sizeof kMagic;
+  {
+    // Header corruption is not recoverable — without a trusted
+    // fingerprint nothing in the file can be believed.
+    const auto [begin, end] = read_frame(bytes, pos);
+    Cursor c(bytes, begin, end);
+    const std::uint32_t version = c.u32();
+    PPDC_REQUIRE(version == kVersion,
+                 "checkpoint journal '" + path + "' has version " +
+                     std::to_string(version) + ", this build reads version " +
+                     std::to_string(kVersion));
+    out.fingerprint.topology = c.u64();
+    out.fingerprint.workload = c.u64();
+    out.fingerprint.fault_schedule = c.u64();
+    out.fingerprint.policy_list = c.u64();
+    out.fingerprint.sim_config = c.u64();
+    out.dims.trials = c.u32();
+    out.dims.policies = c.u32();
+    out.dims.hours = c.u32();
+    PPDC_REQUIRE(c.exhausted(),
+                 "checkpoint journal '" + path + "' header has trailing bytes");
+  }
+  while (pos < bytes.size()) {
+    const std::size_t frame_start = pos;
+    try {
+      const auto [begin, end] = read_frame(bytes, pos);
+      JobRecord rec = parse_record(bytes, begin, end, out.dims);
+      out.record_offsets.push_back(frame_start);
+      out.records.push_back(std::move(rec));
+    } catch (const PpdcError& e) {
+      // A torn or corrupt record invalidates everything after it (frame
+      // boundaries can no longer be trusted). Drop the tail: the affected
+      // jobs rerun, which is always safe.
+      out.tail_dropped = true;
+      out.warning = "checkpoint journal '" + path + "': dropping " +
+                    std::to_string(bytes.size() - frame_start) +
+                    " byte(s) after record " +
+                    std::to_string(out.records.size()) + " — " + e.what();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ppdc

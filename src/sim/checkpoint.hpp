@@ -1,0 +1,151 @@
+// Crash-safe checkpointing of the experiment grid (DESIGN.md §10).
+//
+// A long campaign over the (trial, policy) SimJob grid must survive a
+// crash, an OOM kill, or a ^C without discarding completed work. The
+// journal persists one record per *terminal* job — the job's merged
+// RunningStats bundle in raw IEEE bits, its outcome, attempt count and
+// (for quarantined cells) the exception text — plus a header carrying a
+// per-component fingerprint of the experiment configuration. A
+// re-launched run with the same journal path validates the fingerprint,
+// skips journaled cells and merges them into the reduction at their fixed
+// trial-major position, so a resumed campaign is bit-identical to an
+// uninterrupted one at every thread count.
+//
+// Durability model: the journal is rewritten through a `write to
+// <path>.tmp + fsync + rename over <path>` cycle on every append, so the
+// file visible at <path> is always a complete, internally consistent
+// journal — a crash at any instant loses at most the in-flight record.
+// Each frame (header and records alike) is CRC32-framed
+// (util/checksum.hpp); should a non-atomic filesystem still tear the
+// file, the loader verifies every frame and drops the corrupt tail with
+// a warning instead of poisoning the resume (the dropped jobs simply
+// rerun). Journals are host-endian scratch artifacts for resuming on the
+// same machine, not interchange files.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace ppdc {
+
+/// Terminal outcome of one (trial, policy) SimJob.
+enum class JobOutcome : std::uint8_t {
+  kOk = 0,         ///< completed cleanly
+  kTruncated = 1,  ///< completed, but >= 1 solver fell back on budget expiry
+  kFailed = 2,     ///< threw; stats absent (terminal only under keep_going)
+};
+
+const char* to_string(JobOutcome outcome) noexcept;
+
+/// Per-component 64-bit hashes of everything that determines experiment
+/// *results* (never wall-clock-only knobs: thread count, checkpoint path,
+/// keep_going and retry_limit are deliberately excluded, as is
+/// SimConfig::cancel). Split per component so a mismatch can name what
+/// diverged instead of reporting a bare hash inequality.
+struct ExperimentFingerprint {
+  std::uint64_t topology = 0;        ///< nodes, edges, weights, racks
+  std::uint64_t workload = 0;        ///< seed, trials, generator config
+  std::uint64_t fault_schedule = 0;  ///< full failure/repair timeline
+  std::uint64_t policy_list = 0;     ///< ordered policy names
+  std::uint64_t sim_config = 0;      ///< horizon, diurnal, fault knobs, ...
+  bool operator==(const ExperimentFingerprint&) const = default;
+
+  /// Names of the components on which *this differs from `other`
+  /// ("topology", "workload", "fault schedule", "policy list",
+  /// "sim config"), in that fixed order. Empty iff equal.
+  std::vector<std::string> diff(const ExperimentFingerprint& other) const;
+};
+
+/// Computes the fingerprint of one run_experiment invocation. Policies
+/// are fingerprinted by their ordered name() list — two configurations of
+/// a policy that report the same name are indistinguishable here, so give
+/// distinct display names to distinct configurations (the benches already
+/// do: "mPareto-1e4" vs "mPareto-1e5").
+ExperimentFingerprint fingerprint_experiment(
+    const Topology& topo, const ExperimentConfig& config,
+    const std::vector<const MigrationPolicy*>& policies);
+
+/// One journaled (trial, policy) cell.
+struct JobRecord {
+  std::uint32_t trial = 0;
+  std::uint32_t policy = 0;  ///< index into the experiment's policy list
+  JobOutcome outcome = JobOutcome::kOk;
+  std::uint32_t attempts = 1;  ///< total attempts including retries
+  std::string policy_name;
+  std::string error;      ///< what() of the final attempt (kFailed only)
+  StatsBundle stats{0};   ///< single-trial bundle; empty when kFailed
+};
+
+/// Grid dimensions stored in the journal header (sanity bounds for the
+/// records; the fingerprint is the real identity check).
+struct JournalDims {
+  std::uint32_t trials = 0;
+  std::uint32_t policies = 0;
+  std::uint32_t hours = 0;
+  bool operator==(const JournalDims&) const = default;
+};
+
+/// Fingerprint-mismatch on resume: the journal belongs to a different
+/// experiment. what() names the diverged components.
+class CheckpointMismatchError : public PpdcError {
+ public:
+  using PpdcError::PpdcError;
+};
+
+/// Append-only journal of terminal SimJobs, durable per record.
+class CheckpointJournal {
+ public:
+  /// Opens `path`: an existing journal is loaded and validated against
+  /// (`fingerprint`, `dims`) — CheckpointMismatchError on divergence,
+  /// PpdcError on an unreadable header; a missing file is created with a
+  /// durable header. A corrupt record tail is dropped with a warning
+  /// (see load_warning()); the dropped cells rerun.
+  CheckpointJournal(std::string path, const ExperimentFingerprint& fingerprint,
+                    const JournalDims& dims);
+
+  /// Records recovered from a pre-existing journal, in file order
+  /// (later records for the same cell supersede earlier ones).
+  const std::vector<JobRecord>& resumed() const noexcept { return resumed_; }
+
+  /// Non-empty when the loader dropped a corrupt/torn tail on open.
+  const std::string& load_warning() const noexcept { return warning_; }
+
+  /// Appends one terminal record durably (temp + fsync + rename).
+  /// Thread-safe: concurrent SimJob workers may call it directly.
+  void append(const JobRecord& record);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::string buffer_;  ///< full serialized journal (header + records)
+  std::vector<JobRecord> resumed_;
+  std::string warning_;
+  int appended_ = 0;
+  int crash_after_ = 0;  ///< fault-injection hook; 0 = disabled
+};
+
+/// Parsed journal, for inspection/tooling/tests. No fingerprint check.
+struct JournalContents {
+  ExperimentFingerprint fingerprint;
+  JournalDims dims;
+  std::vector<JobRecord> records;
+  /// Byte offset of each record's frame start (record_offsets[i] is where
+  /// records[i] begins; truncating the file to record_offsets[k] leaves a
+  /// valid journal holding exactly the first k records).
+  std::vector<std::size_t> record_offsets;
+  bool tail_dropped = false;  ///< a corrupt/torn tail was discarded
+  std::string warning;        ///< where and why, when tail_dropped
+};
+
+/// Reads and frame-verifies a journal file. Throws PpdcError when the
+/// file is missing or its header is unreadable; a bad record tail is
+/// reported via tail_dropped/warning instead of thrown.
+JournalContents read_journal(const std::string& path);
+
+}  // namespace ppdc

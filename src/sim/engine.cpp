@@ -96,6 +96,13 @@ SimTrace run_simulation(const AllPairs& apsp,
   bool base_resync_pending = false;  ///< primary bases stale after faults
 
   for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      emit([&](EpochObserver& o) { o.on_interrupted(hour); });
+      throw SimInterrupted("simulation cancelled before epoch " +
+                           std::to_string(hour.value()) + " of " +
+                           std::to_string(config.hours));
+    }
     emit([&](EpochObserver& o) { o.on_epoch_begin(hour); });
 
     // 1. Apply this epoch's fault events and refresh the degraded view.

@@ -30,6 +30,7 @@
 // bit.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "fault/fault.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
+#include "util/require.hpp"
 #include "workload/diurnal.hpp"
 
 namespace ppdc {
@@ -82,6 +84,22 @@ struct SimConfig {
   /// start at epoch 1: the initial placement always sees the full fabric.
   FaultSchedule faults;
   FaultOptions fault;  ///< recovery / quarantine knobs
+  /// Cooperative cancellation (SIGINT/SIGTERM plumbing of bench_common):
+  /// when non-null and the pointee flips to true, the engine stops at the
+  /// next epoch boundary by throwing SimInterrupted. A cancelled run
+  /// produced no trace and must be treated as never having happened —
+  /// the experiment runner reruns it from scratch on resume, which is
+  /// what keeps resumed results bit-identical. Not part of the
+  /// experiment fingerprint (it never influences results, only whether
+  /// they are produced).
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by run_simulation when SimConfig::cancel flips mid-run. The
+/// simulation state is abandoned; no partial trace escapes.
+class SimInterrupted : public PpdcError {
+ public:
+  using PpdcError::PpdcError;
 };
 
 /// Runs one policy over the horizon. `base_flows` carry the base rates

@@ -19,6 +19,16 @@
 // fixed, not a function of worker interleaving). For single-sample
 // bundles merge() degenerates to Welford's add() on the mean, so the
 // reported means also match the historical serial runner bit for bit.
+//
+// Robustness (DESIGN.md §10): with `checkpoint_path` set, every completed
+// (trial, policy) job is journaled durably (sim/checkpoint.hpp) and a
+// relaunched run validates the config fingerprint, skips journaled cells
+// and merges them in the same fixed trial order — bit-identical to an
+// uninterrupted run at any thread count. `keep_going` quarantines
+// throwing policy clones into per-policy failure records instead of
+// aborting the grid; `retry_limit` bounds reruns of TransientError jobs;
+// SimConfig::cancel wires SIGINT/SIGTERM into a clean partial stop
+// (ExperimentInterrupted) with the journal already flushed.
 #pragma once
 
 #include <string>
@@ -42,7 +52,30 @@ struct ExperimentConfig {
   /// default instrumented suite stays serial). Any value yields
   /// bit-identical results; only wall-clock changes.
   int threads = 0;
+  /// Crash-safe journal path (empty = no checkpointing). When the file
+  /// exists its fingerprint is validated against this experiment and the
+  /// journaled jobs are skipped; when it does not, it is created. Never
+  /// part of the fingerprint itself.
+  std::string checkpoint_path;
+  /// Failure containment: instead of rethrowing the first failing job in
+  /// grid order, quarantine the failing (trial, policy) cell — record the
+  /// exception text in PolicyStats::failures, leave that cell's samples
+  /// absent, and keep running the rest of the grid untouched.
+  bool keep_going = false;
+  /// Extra attempts for jobs that fail with TransientError (0 = fail on
+  /// first throw). Each retry runs a fresh policy clone that is handed a
+  /// deterministically resplit per-attempt RNG stream via
+  /// MigrationPolicy::reseed; deterministic errors (plain PpdcError) are
+  /// never retried.
+  int retry_limit = 0;
   SimConfig sim;
+};
+
+/// One (trial, policy) cell that was quarantined under keep_going.
+struct JobFailure {
+  int trial = 0;
+  int attempts = 1;    ///< total attempts, including retries
+  std::string error;   ///< what() of the final attempt
 };
 
 /// Aggregated outcome of one policy across trials.
@@ -63,6 +96,54 @@ struct PolicyStats {
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;
+  /// Trials that contributed samples. Equal to ExperimentConfig::trials
+  /// unless keep_going quarantined cells of this policy; 0 means every
+  /// trial failed and all MeanCi fields above are absent (not zero-cost).
+  int completed_trials = 0;
+  /// Quarantined cells of this policy (empty unless keep_going).
+  std::vector<JobFailure> failures;
+};
+
+/// One simulation run's samples, and the per-policy accumulator: every
+/// field is a RunningStats so a job result and the reduction target are
+/// the same type, merged with RunningStats::merge. The reduction order is
+/// fixed (trial-major), never a function of worker interleaving — that
+/// alone makes every thread count bit-identical. On top of that, merging
+/// a single-sample bundle runs Welford's add() arithmetic on the mean
+/// (Chan's update degenerates for nb = 1), so reported means also match
+/// the historical serial loop bit for bit (see stats_test.cpp). Public
+/// because the checkpoint journal persists one bundle per completed job
+/// (raw IEEE bits, sim/checkpoint.hpp) and must restore it bit-exactly.
+struct StatsBundle {
+  RunningStats total, comm, migration, vnf_moves, vm_moves, recovery_moves,
+      recovery_cost, quarantined, penalty, downtime, truncated;
+  std::vector<RunningStats> hourly_cost, hourly_moves;
+
+  explicit StatsBundle(std::size_t hours = 0)
+      : hourly_cost(hours), hourly_moves(hours) {}
+
+  /// The 11 scalar accumulators, in journal serialization order.
+  static constexpr std::size_t kScalarFields = 11;
+
+  void add(const SimTrace& trace);
+  void merge(const StatsBundle& other);
+};
+
+/// Thrown by run_experiment when SimConfig::cancel flips mid-grid (the
+/// SIGINT/SIGTERM path of bench_common). Every job that completed before
+/// the stop is already durable in the journal (when one is configured);
+/// partial_summary() reports per-policy completion so the harness can
+/// print what the interrupted campaign already knows.
+class ExperimentInterrupted : public PpdcError {
+ public:
+  ExperimentInterrupted(const std::string& what, std::string summary)
+      : PpdcError(what), summary_(std::move(summary)) {}
+
+  /// Human-readable per-policy "completed trials / total" table.
+  const std::string& partial_summary() const noexcept { return summary_; }
+
+ private:
+  std::string summary_;
 };
 
 /// Resolves an ExperimentConfig::threads request to the worker count the

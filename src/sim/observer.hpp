@@ -66,6 +66,13 @@ class EpochObserver {
 
   /// The horizon is exhausted; no further callbacks follow.
   virtual void on_run_end() {}
+
+  /// Cooperative cancellation fired before epoch `hour` ran
+  /// (SimConfig::cancel): the run is being abandoned mid-horizon and
+  /// SimInterrupted is about to be thrown. Neither on_epoch_end for this
+  /// hour nor on_run_end follows — the partial run must not be mistaken
+  /// for a complete trace (the checkpoint layer reruns it on resume).
+  virtual void on_interrupted(Hour /*hour*/) {}
 };
 
 /// Full record of one simulation run, accumulated by `TraceRecorder` from

@@ -12,6 +12,7 @@
 #include "baselines/vm_migration.hpp"
 #include "core/chain_search.hpp"
 #include "core/migration_pareto.hpp"
+#include "util/rng.hpp"
 
 namespace ppdc {
 
@@ -71,6 +72,14 @@ class MigrationPolicy {
   /// Independent copy for one simulation run (the clone()/factory
   /// contract of the parallel experiment runner).
   virtual std::unique_ptr<MigrationPolicy> clone() const = 0;
+  /// Retry hook of the experiment runner: when a job fails with
+  /// TransientError and is re-attempted, the fresh clone of attempt a >= 1
+  /// receives a deterministically resplit per-attempt stream here before
+  /// its first epoch. Stochastic policies may re-derive tie-break state
+  /// from it to escape the transient condition; deterministic policies
+  /// (every built-in) ignore it — the default body draws nothing, so
+  /// attempt 0 remains bit-identical to a runner without retry support.
+  virtual void reseed(Rng& /*attempt_rng*/) {}
   /// Reacts to the epoch's (already refreshed) cost model; may mutate
   /// `state` (placement and/or flow endpoints). Endpoint mutations must be
   /// reported via EpochDecision::moved_flows so the engine can patch the

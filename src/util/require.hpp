@@ -18,6 +18,17 @@ class PpdcError : public std::runtime_error {
   explicit PpdcError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure worth retrying: the operation may succeed on a rerun because
+/// the cause is environmental (wall-clock pathology, external solver
+/// hiccup, resource pressure), not a deterministic contract violation.
+/// The experiment runner retries jobs that fail with TransientError up to
+/// ExperimentConfig::retry_limit extra attempts (sim/checkpoint.hpp);
+/// plain PpdcError never triggers a retry.
+class TransientError : public PpdcError {
+ public:
+  using PpdcError::PpdcError;
+};
+
 namespace detail {
 [[noreturn]] void throw_requirement_failed(const char* expr, const char* file,
                                            int line, const std::string& msg);

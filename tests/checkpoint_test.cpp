@@ -1,0 +1,544 @@
+// Crash-safe checkpointing and failure containment of the experiment
+// runner (DESIGN.md §10): interrupted-then-resumed campaigns must be
+// bit-identical to uninterrupted ones at every thread count, corrupt
+// journals must degrade to rerunning the affected cells, fingerprint
+// mismatches must name the diverged component, and keep-going must
+// quarantine a failing policy without perturbing anyone else's numbers.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/require.hpp"
+
+namespace ppdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Test policies.
+// ---------------------------------------------------------------------------
+
+/// Always throws a deterministic (non-retryable) error. The display name
+/// is configurable so a test can impersonate a healthy policy (policy
+/// lists are fingerprinted by name) and prove a resumed cell never reran.
+class ThrowingPolicy final : public MigrationPolicy {
+ public:
+  explicit ThrowingPolicy(std::string name = "Thrower")
+      : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<ThrowingPolicy>(*this);
+  }
+  EpochDecision on_epoch(const CostModel&, SimState&) override {
+    throw PpdcError("boom: deterministic policy failure");
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Fails with TransientError until the runner's retry path hands it a
+/// fresh per-attempt stream via reseed() — the minimal "transient
+/// condition that heals on retry".
+class FlakyPolicy final : public MigrationPolicy {
+ public:
+  std::string name() const override { return "Flaky"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<FlakyPolicy>(*this);
+  }
+  void reseed(Rng& attempt_rng) override {
+    attempt_rng.uniform_int(0, 100);  // consume the resplit stream
+    healed_ = true;
+  }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override {
+    if (!healed_) throw TransientError("flaky: transient hiccup");
+    EpochDecision d;
+    d.comm_cost = model.communication_cost(state.placement);
+    return d;
+  }
+
+ private:
+  bool healed_ = false;
+};
+
+/// Completes cleanly but reports budget-truncated solves, so its jobs
+/// must journal as kTruncated rather than kOk.
+class TruncatingPolicy final : public MigrationPolicy {
+ public:
+  std::string name() const override { return "Truncating"; }
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    return std::make_unique<TruncatingPolicy>(*this);
+  }
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override {
+    EpochDecision d;
+    d.comm_cost = model.communication_cost(state.placement);
+    d.truncated_solves = 1;
+    return d;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fixture: a small grid whose full run takes well under a second.
+// ---------------------------------------------------------------------------
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() : topo_(build_fat_tree(4)), apsp_(topo_.graph) {}
+
+  ExperimentConfig base_config() const {
+    ExperimentConfig cfg;
+    cfg.trials = 3;
+    cfg.seed = 7;
+    cfg.workload.num_pairs = 12;
+    cfg.sfc_length = 2;
+    cfg.threads = 1;
+    cfg.sim.hours = 4;
+    return cfg;
+  }
+
+  std::string journal_path(const std::string& name) const {
+    const std::string path = ::testing::TempDir() + "ppdc_" + name + ".jnl";
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    return path;
+  }
+
+  static void truncate_file(const std::string& path, std::size_t size) {
+    std::filesystem::resize_file(path, size);
+  }
+
+  static void flip_byte(const std::string& path, std::size_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
+  }
+
+  Topology topo_;
+  AllPairs apsp_;
+  NoMigrationPolicy none_;
+  ParetoMigrationPolicy pareto_{1e4};
+};
+
+/// Bit-exact PolicyStats comparison: EXPECT_EQ on every double.
+void expect_same(const MeanCi& a, const MeanCi& b, const std::string& what) {
+  EXPECT_EQ(a.mean, b.mean) << what << ".mean";
+  EXPECT_EQ(a.ci95, b.ci95) << what << ".ci95";
+}
+
+void expect_same(const PolicyStats& a, const PolicyStats& b) {
+  EXPECT_EQ(a.name, b.name);
+  expect_same(a.total_cost, b.total_cost, a.name + " total_cost");
+  expect_same(a.comm_cost, b.comm_cost, a.name + " comm_cost");
+  expect_same(a.migration_cost, b.migration_cost, a.name + " migration_cost");
+  expect_same(a.vnf_migrations, b.vnf_migrations, a.name + " vnf_migrations");
+  expect_same(a.vm_migrations, b.vm_migrations, a.name + " vm_migrations");
+  expect_same(a.recovery_migrations, b.recovery_migrations,
+              a.name + " recovery_migrations");
+  expect_same(a.recovery_cost, b.recovery_cost, a.name + " recovery_cost");
+  expect_same(a.quarantined_flow_epochs, b.quarantined_flow_epochs,
+              a.name + " quarantined_flow_epochs");
+  expect_same(a.quarantine_penalty, b.quarantine_penalty,
+              a.name + " quarantine_penalty");
+  expect_same(a.downtime_epochs, b.downtime_epochs,
+              a.name + " downtime_epochs");
+  expect_same(a.truncated_solves, b.truncated_solves,
+              a.name + " truncated_solves");
+  ASSERT_EQ(a.hourly_cost.size(), b.hourly_cost.size());
+  for (std::size_t h = 0; h < a.hourly_cost.size(); ++h) {
+    expect_same(a.hourly_cost[h], b.hourly_cost[h],
+                a.name + " hourly_cost[" + std::to_string(h) + "]");
+    expect_same(a.hourly_migrations[h], b.hourly_migrations[h],
+                a.name + " hourly_migrations[" + std::to_string(h) + "]");
+  }
+  EXPECT_EQ(a.completed_trials, b.completed_trials) << a.name;
+  EXPECT_EQ(a.failures.size(), b.failures.size()) << a.name;
+}
+
+void expect_same(const std::vector<PolicyStats>& a,
+                 const std::vector<PolicyStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_same(a[i], b[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Journal contents after an uninterrupted checkpointed run.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, JournalRecordsEveryCellOfTheGrid) {
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("full");
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  run_experiment(topo_, apsp_, cfg, policies);
+
+  const JournalContents contents = read_journal(cfg.checkpoint_path);
+  EXPECT_FALSE(contents.tail_dropped);
+  EXPECT_EQ(contents.dims.trials, 3u);
+  EXPECT_EQ(contents.dims.policies, 2u);
+  EXPECT_EQ(contents.dims.hours, 4u);
+  EXPECT_EQ(contents.fingerprint, fingerprint_experiment(topo_, cfg, policies));
+  ASSERT_EQ(contents.records.size(), 6u);
+  ASSERT_EQ(contents.record_offsets.size(), 6u);
+  for (const JobRecord& rec : contents.records) {
+    EXPECT_EQ(rec.outcome, JobOutcome::kOk);
+    EXPECT_EQ(rec.attempts, 1u);
+    EXPECT_EQ(rec.policy_name,
+              policies[rec.policy]->name());
+    EXPECT_EQ(rec.stats.total.count(), 1u);  // single-trial bundle
+    EXPECT_TRUE(rec.error.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The headline contract: interrupt mid-grid, resume, bit-identical — at
+// one worker and at four.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, ResumeAfterMidRunInterruptionIsBitIdentical) {
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  const std::vector<PolicyStats> reference =
+      run_experiment(topo_, apsp_, base_config(), policies);
+
+  // Produce a complete journal once; its record offsets let us simulate a
+  // SIGKILL after exactly K durable appends (every prefix of a journal is
+  // a valid journal — that is the atomic-append contract).
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("resume");
+  run_experiment(topo_, apsp_, cfg, policies);
+  const JournalContents full = read_journal(cfg.checkpoint_path);
+  ASSERT_EQ(full.record_offsets.size(), 6u);
+  std::string bytes;
+  {
+    std::ifstream in(cfg.checkpoint_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = std::move(buf).str();
+  }
+
+  for (const int threads : {1, 4}) {
+    for (const std::size_t survivors : {std::size_t{1}, std::size_t{4}}) {
+      {
+        std::ofstream out(cfg.checkpoint_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(
+                      full.record_offsets[survivors]));
+      }
+      ExperimentConfig resumed = base_config();
+      resumed.checkpoint_path = cfg.checkpoint_path;
+      resumed.threads = threads;
+      const std::vector<PolicyStats> stats =
+          run_experiment(topo_, apsp_, resumed, policies);
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " survivors=" +
+                   std::to_string(survivors));
+      expect_same(stats, reference);
+
+      // The resumed run re-journals the rerun cells: the journal is
+      // complete again and a second resume runs zero jobs.
+      const JournalContents after = read_journal(cfg.checkpoint_path);
+      EXPECT_EQ(after.records.size(), 6u);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, FullyJournaledRunResumesWithoutRunningAnyJob) {
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("noop");
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  const std::vector<PolicyStats> first =
+      run_experiment(topo_, apsp_, cfg, policies);
+  // Resume with impostor prototypes that carry the same names (so the
+  // fingerprint matches) but throw on first use: with every cell already
+  // journaled, no job runs, nothing throws, and the result comes purely
+  // from the journal — bit-identical to the first pass.
+  ThrowingPolicy fake_none("NoMigration");
+  ThrowingPolicy fake_pareto("mPareto");
+  const std::vector<PolicyStats> second =
+      run_experiment(topo_, apsp_, cfg, {&fake_none, &fake_pareto});
+  expect_same(second, first);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation (the SIGINT/SIGTERM path).
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, CancelledRunThrowsExperimentInterruptedAndResumes) {
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  const std::vector<PolicyStats> reference =
+      run_experiment(topo_, apsp_, base_config(), policies);
+
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("cancel");
+  std::atomic<bool> cancel{true};  // flag already raised: stop immediately
+  cfg.sim.cancel = &cancel;
+  try {
+    run_experiment(topo_, apsp_, cfg, policies);
+    FAIL() << "expected ExperimentInterrupted";
+  } catch (const ExperimentInterrupted& e) {
+    EXPECT_NE(std::string(e.what()).find(cfg.checkpoint_path),
+              std::string::npos)
+        << "the interruption message must name the journal";
+    EXPECT_NE(e.partial_summary().find("NoMigration"), std::string::npos);
+    EXPECT_NE(e.partial_summary().find("0/3"), std::string::npos);
+  }
+
+  // Nothing completed, so nothing was journaled; the resume runs the full
+  // grid and matches the uninterrupted reference bit for bit.
+  EXPECT_TRUE(read_journal(cfg.checkpoint_path).records.empty());
+  cancel.store(false);
+  const std::vector<PolicyStats> resumed =
+      run_experiment(topo_, apsp_, cfg, policies);
+  expect_same(resumed, reference);
+}
+
+TEST_F(CheckpointTest, CancellationWithoutJournalSaysWorkIsLost) {
+  ExperimentConfig cfg = base_config();
+  std::atomic<bool> cancel{true};
+  cfg.sim.cancel = &cancel;
+  try {
+    run_experiment(topo_, apsp_, cfg, {&none_});
+    FAIL() << "expected ExperimentInterrupted";
+  } catch (const ExperimentInterrupted& e) {
+    EXPECT_NE(std::string(e.what()).find("no checkpoint journal"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption handling.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, CorruptRecordTailIsDroppedAndRerunOnResume) {
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  const std::vector<PolicyStats> reference =
+      run_experiment(topo_, apsp_, base_config(), policies);
+
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("corrupt");
+  run_experiment(topo_, apsp_, cfg, policies);
+  const JournalContents full = read_journal(cfg.checkpoint_path);
+  ASSERT_EQ(full.records.size(), 6u);
+
+  // Flip one byte inside the 5th record: records 5 and 6 must be dropped
+  // (frame boundaries after a corrupt frame cannot be trusted).
+  flip_byte(cfg.checkpoint_path, full.record_offsets[4] + 12);
+  const JournalContents damaged = read_journal(cfg.checkpoint_path);
+  EXPECT_TRUE(damaged.tail_dropped);
+  EXPECT_EQ(damaged.records.size(), 4u);
+  EXPECT_NE(damaged.warning.find("CRC32"), std::string::npos);
+  EXPECT_NE(damaged.warning.find("byte offset"), std::string::npos);
+
+  const std::vector<PolicyStats> resumed =
+      run_experiment(topo_, apsp_, cfg, policies);
+  expect_same(resumed, reference);
+  EXPECT_FALSE(read_journal(cfg.checkpoint_path).tail_dropped);
+}
+
+TEST_F(CheckpointTest, CorruptHeaderIsNotRecoverable) {
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("badheader");
+  const std::vector<const MigrationPolicy*> policies{&none_};
+  run_experiment(topo_, apsp_, cfg, policies);
+  flip_byte(cfg.checkpoint_path, 16);  // inside the header frame
+  EXPECT_THROW(read_journal(cfg.checkpoint_path), PpdcError);
+  EXPECT_THROW(run_experiment(topo_, apsp_, cfg, policies), PpdcError);
+}
+
+TEST_F(CheckpointTest, NonJournalFileIsRejectedByMagic) {
+  const std::string path = journal_path("notajournal");
+  std::ofstream(path) << "this is not a journal\n";
+  EXPECT_THROW(read_journal(path), PpdcError);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint validation.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, FingerprintMismatchNamesTheDivergedComponent) {
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("fingerprint");
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  run_experiment(topo_, apsp_, cfg, policies);
+
+  {
+    ExperimentConfig other = cfg;
+    other.workload.num_pairs = 13;  // different workload, same everything else
+    try {
+      run_experiment(topo_, apsp_, other, policies);
+      FAIL() << "expected CheckpointMismatchError";
+    } catch (const CheckpointMismatchError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("workload"), std::string::npos) << what;
+      EXPECT_EQ(what.find("topology"), std::string::npos) << what;
+      EXPECT_EQ(what.find("policy list"), std::string::npos) << what;
+    }
+  }
+  {
+    try {
+      run_experiment(topo_, apsp_, cfg, {&pareto_, &none_});  // reordered
+      FAIL() << "expected CheckpointMismatchError";
+    } catch (const CheckpointMismatchError& e) {
+      EXPECT_NE(std::string(e.what()).find("policy list"), std::string::npos);
+    }
+  }
+  {
+    ExperimentConfig other = cfg;
+    other.sim.hours = 5;
+    EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
+                 CheckpointMismatchError);
+  }
+  {
+    // Thread count is wall-clock-only: it must NOT invalidate the journal.
+    ExperimentConfig other = cfg;
+    other.threads = 4;
+    other.keep_going = true;
+    other.retry_limit = 2;
+    EXPECT_NO_THROW(run_experiment(topo_, apsp_, other, policies));
+  }
+}
+
+TEST_F(CheckpointTest, FingerprintDiffReportsComponentsInFixedOrder) {
+  ExperimentFingerprint a;
+  ExperimentFingerprint b;
+  EXPECT_TRUE(a.diff(b).empty());
+  b.topology = 1;
+  b.sim_config = 2;
+  const std::vector<std::string> names = a.diff(b);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "topology");
+  EXPECT_EQ(names[1], "sim config");
+}
+
+// ---------------------------------------------------------------------------
+// Failure containment: keep-going quarantine and retries.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, KeepGoingQuarantinesOnlyTheFailingPolicy) {
+  ThrowingPolicy thrower;
+  const std::vector<PolicyStats> solo =
+      run_experiment(topo_, apsp_, base_config(), {&none_, &pareto_});
+
+  ExperimentConfig cfg = base_config();
+  cfg.keep_going = true;
+  const std::vector<PolicyStats> stats =
+      run_experiment(topo_, apsp_, cfg, {&none_, &thrower, &pareto_});
+  ASSERT_EQ(stats.size(), 3u);
+
+  // The healthy policies are bit-identical to a run without the thrower.
+  expect_same(stats[0], solo[0]);
+  expect_same(stats[2], solo[1]);
+
+  // The thrower is fully quarantined: no samples, every trial recorded.
+  EXPECT_EQ(stats[1].completed_trials, 0);
+  ASSERT_EQ(stats[1].failures.size(), 3u);
+  for (int trial = 0; trial < 3; ++trial) {
+    EXPECT_EQ(stats[1].failures[static_cast<std::size_t>(trial)].trial, trial);
+    EXPECT_EQ(stats[1].failures[static_cast<std::size_t>(trial)].attempts, 1);
+    EXPECT_NE(stats[1].failures[static_cast<std::size_t>(trial)].error.find(
+                  "boom"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, WithoutKeepGoingTheFirstGridOrderErrorSurfaces) {
+  ThrowingPolicy thrower;
+  ExperimentConfig cfg = base_config();
+  try {
+    run_experiment(topo_, apsp_, cfg, {&none_, &thrower});
+    FAIL() << "expected PpdcError";
+  } catch (const PpdcError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, FailedCellsJournalAsFailedAndRerunOnResume) {
+  ThrowingPolicy thrower;
+  ExperimentConfig cfg = base_config();
+  cfg.keep_going = true;
+  cfg.checkpoint_path = journal_path("failed");
+  const std::vector<const MigrationPolicy*> policies{&none_, &thrower};
+  run_experiment(topo_, apsp_, cfg, policies);
+
+  const JournalContents contents = read_journal(cfg.checkpoint_path);
+  ASSERT_EQ(contents.records.size(), 6u);
+  int failed = 0;
+  for (const JobRecord& rec : contents.records) {
+    if (rec.outcome != JobOutcome::kFailed) continue;
+    ++failed;
+    EXPECT_EQ(rec.policy, 1u);
+    EXPECT_NE(rec.error.find("boom"), std::string::npos);
+    EXPECT_EQ(rec.stats.total.count(), 0u);  // stats absent, not zero
+  }
+  EXPECT_EQ(failed, 3);
+
+  // Failed records are rerun on resume (they might have been transient);
+  // here they deterministically fail again and the result is unchanged.
+  const std::vector<PolicyStats> resumed =
+      run_experiment(topo_, apsp_, cfg, policies);
+  EXPECT_EQ(resumed[1].completed_trials, 0);
+  EXPECT_EQ(resumed[1].failures.size(), 3u);
+}
+
+TEST_F(CheckpointTest, TransientErrorRetriesWithReseedAndSucceeds) {
+  FlakyPolicy flaky;
+  ExperimentConfig cfg = base_config();
+  cfg.retry_limit = 1;
+  cfg.checkpoint_path = journal_path("retry");
+  const std::vector<const MigrationPolicy*> policies{&none_, &flaky};
+  const std::vector<PolicyStats> stats =
+      run_experiment(topo_, apsp_, cfg, policies);
+  EXPECT_EQ(stats[1].completed_trials, 3);
+  EXPECT_TRUE(stats[1].failures.empty());
+
+  const JournalContents contents = read_journal(cfg.checkpoint_path);
+  for (const JobRecord& rec : contents.records) {
+    if (rec.policy_name != "Flaky") continue;
+    EXPECT_EQ(rec.outcome, JobOutcome::kOk);
+    EXPECT_EQ(rec.attempts, 2u);  // attempt 0 threw, attempt 1 healed
+  }
+}
+
+TEST_F(CheckpointTest, TransientErrorWithoutRetryBudgetFails) {
+  FlakyPolicy flaky;
+  ExperimentConfig cfg = base_config();
+  cfg.keep_going = true;  // retry_limit stays 0
+  const std::vector<PolicyStats> stats =
+      run_experiment(topo_, apsp_, cfg, {&flaky});
+  EXPECT_EQ(stats[0].completed_trials, 0);
+  ASSERT_EQ(stats[0].failures.size(), 3u);
+  EXPECT_EQ(stats[0].failures[0].attempts, 1);
+  EXPECT_NE(stats[0].failures[0].error.find("flaky"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, BudgetTruncatedJobsJournalAsTruncated) {
+  TruncatingPolicy truncating;
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("truncated");
+  run_experiment(topo_, apsp_, cfg, {&truncating});
+  const JournalContents contents = read_journal(cfg.checkpoint_path);
+  ASSERT_EQ(contents.records.size(), 3u);
+  for (const JobRecord& rec : contents.records) {
+    EXPECT_EQ(rec.outcome, JobOutcome::kTruncated);
+    EXPECT_EQ(rec.stats.total.count(), 1u);  // truncated still has stats
+  }
+  EXPECT_STREQ(to_string(JobOutcome::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(JobOutcome::kOk), "ok");
+  EXPECT_STREQ(to_string(JobOutcome::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace ppdc

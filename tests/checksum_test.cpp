@@ -1,0 +1,79 @@
+// util/checksum.hpp: the CRC-32 and Hash64 primitives under the
+// checkpoint journal and the serialize footers. The CRC check vector is
+// the classic IEEE 802.3 one; the Hash64 tests pin the properties the
+// fingerprint layer relies on (field separation, bit-pattern doubles).
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppdc {
+namespace {
+
+TEST(Crc32, MatchesTheIeeeCheckVector) {
+  // Every CRC-32/IEEE implementation must map "123456789" to 0xCBF43926.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputHasCrcZero) { EXPECT_EQ(crc32(""), 0u); }
+
+TEST(Crc32, IncrementalEqualsOneShotForEveryChunking) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    Crc32 c;
+    c.update(data.substr(0, cut));
+    c.update(data.substr(cut));
+    EXPECT_EQ(c.value(), oneshot) << "split at " << cut;
+  }
+}
+
+TEST(Crc32, ValueIsReadableMidStream) {
+  Crc32 c;
+  c.update("12345");
+  const std::uint32_t mid = c.value();
+  c.update("6789");
+  EXPECT_EQ(c.value(), 0xCBF43926u);  // reading value() did not disturb it
+  EXPECT_NE(mid, c.value());
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data(64, 'x');
+  const std::uint32_t clean = crc32(data);
+  data[17] = static_cast<char>(data[17] ^ 0x04);
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(Hash64, IsDeterministicAndOrderSensitive) {
+  EXPECT_EQ(Hash64().u64(1).u64(2).value(), Hash64().u64(1).u64(2).value());
+  EXPECT_NE(Hash64().u64(1).u64(2).value(), Hash64().u64(2).u64(1).value());
+}
+
+TEST(Hash64, StringFieldsCannotAlias) {
+  // Length-prefixing: ("ab","c") must not collide with ("a","bc").
+  const std::uint64_t ab_c = Hash64().str("ab").str("c").value();
+  const std::uint64_t a_bc = Hash64().str("a").str("bc").value();
+  EXPECT_NE(ab_c, a_bc);
+}
+
+TEST(Hash64, DoublesHashByBitPattern) {
+  // 0.0 and -0.0 compare equal but have distinct IEEE bits — the
+  // fingerprint contract is bit-exactness, so they must hash apart.
+  EXPECT_NE(Hash64().f64(0.0).value(), Hash64().f64(-0.0).value());
+  EXPECT_EQ(Hash64().f64(1.5).value(), Hash64().f64(1.5).value());
+}
+
+TEST(Hash64, BoolAndIntegerFieldsAreDistinct) {
+  EXPECT_NE(Hash64().b(true).value(), Hash64().b(false).value());
+  EXPECT_NE(Hash64().i64(-1).value(), Hash64().i64(1).value());
+}
+
+TEST(Hash64, ValueIsStableAcrossReads) {
+  Hash64 h;
+  h.u64(42);
+  EXPECT_EQ(h.value(), h.value());
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -107,5 +107,93 @@ TEST(Serialize, RejectsMalformedLines) {
   EXPECT_THROW(load_placement(bad_vnf), PpdcError);
 }
 
+TEST(Serialize, SavedArtifactsEndWithACrcFooterLine) {
+  std::stringstream buf;
+  save_placement(buf, Placement{1, 2, 3});
+  const std::string text = buf.str();
+  // Final line is "# crc32 <8 hex digits>\n".
+  const auto footer_at = text.rfind("# crc32 ");
+  ASSERT_NE(footer_at, std::string::npos);
+  EXPECT_EQ(text.size() - footer_at, std::string("# crc32 xxxxxxxx\n").size());
+}
+
+TEST(Serialize, CorruptByteIsDetectedWithLineAndRange) {
+  std::stringstream buf;
+  save_topology(buf, build_fat_tree(4));
+  std::string text = buf.str();
+  // Flip one bit in the body (well before the footer line).
+  text[text.size() / 2] = static_cast<char>(text[text.size() / 2] ^ 0x01);
+  std::stringstream corrupted(text);
+  try {
+    load_topology(corrupted);
+    FAIL() << "corrupt topology loaded without error";
+  } catch (const PpdcError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("crc32 mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bytes [0, "), std::string::npos) << msg;
+  }
+}
+
+TEST(Serialize, TruncatedArtifactFailsTheFooterCheck) {
+  std::stringstream buf;
+  save_flows(buf, {VmFlow{1, 2, 3.5, 0}});
+  std::string text = buf.str();
+  // Drop a line from the middle but keep the footer: the CRC no longer
+  // covers what it claims to.
+  const auto cut = text.find("flow ");
+  ASSERT_NE(cut, std::string::npos);
+  const auto line_end = text.find('\n', cut);
+  text.erase(cut, line_end - cut + 1);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_flows(truncated), PpdcError);
+}
+
+TEST(Serialize, MalformedFooterHexIsRejected) {
+  std::stringstream buf;
+  save_placement(buf, Placement{4, 5});
+  std::string text = buf.str();
+  const auto footer_at = text.rfind("# crc32 ");
+  ASSERT_NE(footer_at, std::string::npos);
+  text[footer_at + 9] = 'z';  // not a hex digit
+  std::stringstream mangled(text);
+  try {
+    load_placement(mangled);
+    FAIL() << "malformed footer accepted";
+  } catch (const PpdcError& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed crc32 footer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, LegacyFooterlessFileLoadsWithAWarning) {
+  std::stringstream buf;
+  const Placement original{7, 3, 11};
+  save_placement(buf, original);
+  std::string text = buf.str();
+  const auto footer_at = text.rfind("# crc32 ");
+  ASSERT_NE(footer_at, std::string::npos);
+  text.erase(footer_at);  // a file written before the footer existed
+  std::stringstream legacy(text);
+  testing::internal::CaptureStderr();
+  const Placement loaded = load_placement(legacy);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(loaded, original);
+  EXPECT_NE(warning.find("no crc32 footer"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("legacy"), std::string::npos) << warning;
+}
+
+TEST(Serialize, RoundTripThroughTheFooterIsByteStable) {
+  // save → load → save must reproduce the same bytes (and thus the same
+  // CRC): the footer never feeds back into the body.
+  const Topology topo = build_fat_tree(4);
+  std::stringstream first;
+  save_topology(first, topo);
+  std::stringstream second;
+  save_topology(second, load_topology(first));
+  EXPECT_EQ(first.str(), second.str());
+}
+
 }  // namespace
 }  // namespace ppdc

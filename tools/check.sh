@@ -136,6 +136,29 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Stage 6: kill-resume smoke under ASan (optional; needs the sanitize
+# preset built: cmake --preset sanitize && cmake --build --preset
+# sanitize). The default
+# build already runs tools/smoke_resume.sh as the tier1 resume_smoke
+# CTest; this stage repeats it instrumented, so the journal's
+# crash/resume paths (raw POSIX I/O, _Exit mid-run) are also exercised
+# under AddressSanitizer + UBSan.
+# ---------------------------------------------------------------------------
+ASAN_BENCH=build-asan/bench/bench_ablation_replication
+if [ -x "$ASAN_BENCH" ]; then
+  note "resume smoke (asan): tools/smoke_resume.sh --build-dir build-asan"
+  if tools/smoke_resume.sh --build-dir build-asan > /dev/null; then
+    echo "   OK: kill-resume round trip is clean under ASan"
+  else
+    echo "   FAIL: checkpoint kill-resume smoke failed under ASan" >&2
+    failures=$((failures + 1))
+  fi
+else
+  note "resume smoke (asan): SKIPPED (no $ASAN_BENCH — build the" \
+       "sanitize preset first)"
+fi
+
+# ---------------------------------------------------------------------------
 if [ "$failures" -eq 0 ]; then
   note "check.sh: all executed stages passed"
   exit 0
