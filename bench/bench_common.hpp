@@ -4,16 +4,28 @@
 // SIGINT/SIGTERM handling — DESIGN.md §10) every experiment driver shares.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(PPDC_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 #include "graph/apsp.hpp"
 #include "sim/experiment.hpp"
 #include "topology/fat_tree.hpp"
+#include "util/checksum.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -171,6 +183,174 @@ inline std::vector<PolicyStats> run_or_exit(
               << e.partial_summary();
     std::exit(130);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Perf-trajectory artifacts (EXPERIMENTS.md "BENCH artifacts"): pinned-
+// scenario kernel timings written as BENCH_<kernel>.json, with enough
+// build and scenario metadata that tools/bench_compare can *reject*
+// apples-to-oranges comparisons (different build type, flags, compiler,
+// -march=native, thread count) instead of silently passing them, and can
+// flag output-checksum drift as a correctness failure rather than a
+// perf number.
+// ---------------------------------------------------------------------------
+
+// Build metadata is baked in by bench/CMakeLists.txt for micro_kernels;
+// the fallbacks keep bench_common.hpp self-contained for every other TU.
+#ifndef PPDC_BENCH_BUILD_TYPE
+#define PPDC_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef PPDC_BENCH_CXX_FLAGS
+#define PPDC_BENCH_CXX_FLAGS ""
+#endif
+#ifndef PPDC_BENCH_COMPILER
+#define PPDC_BENCH_COMPILER "unknown"
+#endif
+#ifndef PPDC_BENCH_NATIVE
+#define PPDC_BENCH_NATIVE 0
+#endif
+
+/// Build provenance of a BENCH artifact. Two artifacts are comparable
+/// only when every field matches — a Release baseline must never be
+/// compared against a RelWithDebInfo (or -march=native) run.
+struct BenchBuildInfo {
+  std::string build_type;
+  std::string cxx_flags;
+  std::string compiler;
+  bool native = false;
+  int threads = 1;
+};
+
+inline BenchBuildInfo bench_build_info() {
+  BenchBuildInfo b;
+  b.build_type = PPDC_BENCH_BUILD_TYPE;
+  b.cxx_flags = PPDC_BENCH_CXX_FLAGS;
+  b.compiler = PPDC_BENCH_COMPILER;
+  b.native = PPDC_BENCH_NATIVE != 0;
+#if defined(PPDC_HAVE_OPENMP)
+  b.threads = omp_get_max_threads();
+#else
+  b.threads = 1;
+#endif
+  return b;
+}
+
+/// Calibrated timing of one kernel: per-iteration nanoseconds over
+/// `repetitions` repetitions of `iterations` calls each. best_ns (the
+/// minimum) is the regression-gate statistic — it is robust against
+/// scheduler noise, which only ever makes a repetition slower.
+struct KernelTiming {
+  std::uint64_t iterations = 1;
+  int repetitions = 0;
+  double best_ns = 0.0;
+  double median_ns = 0.0;
+  double mean_ns = 0.0;
+};
+
+template <typename Fn>
+KernelTiming time_kernel(Fn&& fn, bool smoke) {
+  using clock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(clock::now() - t0)
+        .count();
+  };
+  // Smoke mode (the check.sh gate) trades precision for runtime; full
+  // mode (baseline refresh) spends ~0.5 s per kernel for tight minima.
+  const double min_rep_ns = smoke ? 2e6 : 5e7;
+  const int reps = smoke ? 3 : 11;
+  constexpr std::uint64_t kMaxIters = 1u << 20;
+
+  fn();  // warm-up: faults pages, fills caches, materializes lazy state
+
+  // Calibrate the iteration count until one repetition meets min_rep_ns.
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double ns = elapsed_ns(t0);
+    if (ns >= min_rep_ns || iters >= kMaxIters) break;
+    const double per = std::max(ns / static_cast<double>(iters), 1.0);
+    const auto want =
+        static_cast<std::uint64_t>(min_rep_ns * 1.2 / per) + 1;
+    iters = std::min(kMaxIters, std::max(want, iters * 2));
+  }
+
+  std::vector<double> per_iter;
+  per_iter.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    per_iter.push_back(elapsed_ns(t0) / static_cast<double>(iters));
+  }
+  std::sort(per_iter.begin(), per_iter.end());
+
+  KernelTiming t;
+  t.iterations = iters;
+  t.repetitions = reps;
+  t.best_ns = per_iter.front();
+  t.median_ns = per_iter[per_iter.size() / 2];
+  t.mean_ns = 0.0;
+  for (const double v : per_iter) t.mean_ns += v;
+  t.mean_ns /= static_cast<double>(per_iter.size());
+  return t;
+}
+
+/// One pinned-scenario measurement. `fingerprint` hashes the scenario
+/// parameters (topology arity, workload size, seeds, n, mu) so a baseline
+/// from an edited scenario cannot be compared against the new one;
+/// `checksum` hashes the kernel's *outputs* bit-exactly, so the artifact
+/// doubles as a cross-PR equivalence check on the hot kernels.
+struct BenchRecord {
+  std::string kernel;
+  std::string scenario;  ///< human-readable pinned-scenario description
+  std::uint64_t fingerprint = 0;
+  std::uint64_t checksum = 0;
+  KernelTiming timing;
+};
+
+inline std::string bench_hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+/// Writes BENCH_<kernel>.json under `dir`. Line-oriented on purpose: one
+/// `"key": value` pair per line, so tools/bench_compare can parse it with
+/// a scanner instead of a JSON library (none is baked into the image).
+inline bool write_bench_json(const std::string& dir, const BenchRecord& rec,
+                             const BenchBuildInfo& build, bool smoke) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/BENCH_" + rec.kernel + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  const auto ns = [](double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << v;
+    return os.str();
+  };
+  out << "{\n"
+      << "  \"schema\": 1,\n"
+      << "  \"kernel\": \"" << rec.kernel << "\",\n"
+      << "  \"scenario\": \"" << rec.scenario << "\",\n"
+      << "  \"fingerprint\": \"" << bench_hex64(rec.fingerprint) << "\",\n"
+      << "  \"checksum\": \"" << bench_hex64(rec.checksum) << "\",\n"
+      << "  \"build_type\": \"" << build.build_type << "\",\n"
+      << "  \"cxx_flags\": \"" << build.cxx_flags << "\",\n"
+      << "  \"compiler\": \"" << build.compiler << "\",\n"
+      << "  \"native\": " << (build.native ? "true" : "false") << ",\n"
+      << "  \"threads\": " << build.threads << ",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"iterations\": " << rec.timing.iterations << ",\n"
+      << "  \"repetitions\": " << rec.timing.repetitions << ",\n"
+      << "  \"best_ns\": " << ns(rec.timing.best_ns) << ",\n"
+      << "  \"median_ns\": " << ns(rec.timing.median_ns) << ",\n"
+      << "  \"mean_ns\": " << ns(rec.timing.mean_ns) << "\n"
+      << "}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace ppdc::bench

@@ -14,7 +14,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Depth-first branch-and-bound state. Candidate-universe rows are the
 /// CandidateIdx domain throughout; NodeIds appear only at the cost-model
-/// boundary (attractions, distances).
+/// boundary (attractions, distances). The candidate-to-candidate distance
+/// closure and the per-row candidate orderings are flat row-major matrices
+/// with stride |candidates| (DESIGN.md §11), so the descend() inner loop
+/// reads two contiguous rows instead of hopping per-candidate vectors and
+/// the big APSP matrix.
 class Searcher {
  public:
   Searcher(const CostModel& model, int n, const ExtraMatrix& extra,
@@ -46,19 +50,36 @@ class Searcher {
       }
     }
 
+    // Flat candidate-distance closure dist_[i·s + k] = c(u_i, u_k) plus
+    // the NodeId -> row map (replaces the linear row_of scan).
+    const NodeId* sw = switches_.raw().data();
+    dist_.resize(s * s);
+    row_of_.assign(static_cast<std::size_t>(apsp_.num_nodes()),
+                   CandidateIdx::invalid());
+    for (std::size_t i = 0; i < s; ++i) {
+      const double* arow = apsp_.cost_row(sw[i]);
+      double* drow = dist_.data() + i * s;
+      for (std::size_t k = 0; k < s; ++k) {
+        drow[k] = arow[static_cast<std::size_t>(sw[k])];
+      }
+      row_of_[static_cast<std::size_t>(sw[i])] =
+          CandidateIdx{static_cast<CandidateIdx::rep_type>(i)};
+    }
+
     // Candidate orderings: per switch, all switches by increasing distance
-    // (drives the DFS toward cheap completions first).
-    by_distance_.resize(s);
-    for (const CandidateIdx i : switches_.ids()) {
-      auto& order = by_distance_[i];
-      order.reserve(s);
-      for (const CandidateIdx k : switches_.ids()) order.push_back(k);
-      const NodeId u = switches_[i];
-      std::sort(order.begin(), order.end(),
-                [&](CandidateIdx a, CandidateIdx b) {
-                  return apsp_.cost(u, switches_[a]) <
-                         apsp_.cost(u, switches_[b]);
-                });
+    // (drives the DFS toward cheap completions first). Row i of the flat
+    // order table is the CandidateIdx permutation for predecessor row i.
+    by_distance_.resize(s * s);
+    for (std::size_t i = 0; i < s; ++i) {
+      CandidateIdx* order = by_distance_.data() + i * s;
+      for (std::size_t k = 0; k < s; ++k) {
+        order[k] = CandidateIdx{static_cast<CandidateIdx::rep_type>(k)};
+      }
+      const double* drow = dist_.data() + i * s;
+      std::sort(order, order + s, [&](CandidateIdx a, CandidateIdx b) {
+        return drow[static_cast<std::size_t>(a.value())] <
+               drow[static_cast<std::size_t>(b.value())];
+      });
     }
 
     used_.assign(s, 0);
@@ -119,10 +140,10 @@ class Searcher {
   }
 
   CandidateIdx row_of(NodeId w) const {
-    const auto it = std::find(switches_.begin(), switches_.end(), w);
-    PPDC_REQUIRE(it != switches_.end(), "placement node is not a switch");
-    return CandidateIdx{
-        static_cast<CandidateIdx::rep_type>(it - switches_.begin())};
+    PPDC_REQUIRE(w >= 0 && w < static_cast<NodeId>(row_of_.size()) &&
+                     row_of_[static_cast<std::size_t>(w)].valid(),
+                 "placement node is not a candidate switch");
+    return row_of_[static_cast<std::size_t>(w)];
   }
 
   /// Lower bound on any completion after `depth` positions are fixed with
@@ -174,11 +195,17 @@ class Searcher {
       return;
     }
 
-    const NodeId prev = switches_[prev_row];
-    for (const CandidateIdx row : by_distance_[prev_row]) {
+    const std::size_t s = switches_.size();
+    const std::size_t prev = static_cast<std::size_t>(prev_row.value());
+    const double* drow = dist_.data() + prev * s;
+    const CandidateIdx* order = by_distance_.data() + prev * s;
+    const double rate = model_.total_rate();
+    for (std::size_t oi = 0; oi < s; ++oi) {
+      const CandidateIdx row = order[oi];
       if (used_[row]) continue;
-      const double step = model_.total_rate() * apsp_.cost(prev, switches_[row]) +
-                          extra_at(depth, row);
+      const double step =
+          rate * drow[static_cast<std::size_t>(row.value())] +
+          extra_at(depth, row);
       const double next_partial = partial + step;
       if (completion_bound(depth + 1, next_partial) >= best_cost_) {
         // Candidates are sorted by distance from `prev`. Without an extra
@@ -201,7 +228,11 @@ class Searcher {
   const ExtraMatrix& extra_;
   ChainSearchConfig config_;
 
-  IndexedVector<CandidateIdx, std::vector<CandidateIdx>> by_distance_;
+  /// Flat |candidates|² matrices, row stride switches_.size().
+  std::vector<double> dist_;
+  std::vector<CandidateIdx> by_distance_;
+  /// NodeId -> candidate row; invalid() outside the universe.
+  std::vector<CandidateIdx> row_of_;
   std::vector<double> extra_suffix_min_;
   IndexedVector<CandidateIdx, char> used_;
   Placement current_;
@@ -235,10 +266,11 @@ ChainSearchResult solve_tom_exhaustive(const CostModel& model,
   ExtraMatrix extra(
       from.size(), IndexedVector<CandidateIdx, double>(switches.size(), 0.0));
   for (std::size_t j = 0; j < from.size(); ++j) {
+    const double* frow = model.apsp().cost_row(from[j]);
     for (const CandidateIdx k : id_range<CandidateIdx>(switches.size())) {
       extra[j][k] =
-          mu * model.apsp().cost(from[j],
-                                 switches[static_cast<std::size_t>(k.value())]);
+          mu * frow[static_cast<std::size_t>(
+                   switches[static_cast<std::size_t>(k.value())])];
     }
   }
   return chain_search(model, static_cast<int>(from.size()), extra, config);

@@ -15,6 +15,11 @@ namespace {
 /// subtract/add patches.
 constexpr std::size_t kDirtyRebuildDivisor = 4;
 
+/// Switch-block width of the attraction rebuild kernels: the block's
+/// accumulators (kSwitchBlock doubles) stay cache-resident while the flow
+/// list streams past, and blocks double as the OpenMP work unit.
+constexpr std::ptrdiff_t kSwitchBlock = 512;
+
 }  // namespace
 
 void validate_placement(const Graph& g, const Placement& p) {
@@ -45,22 +50,42 @@ void CostModel::refresh() {
   const Graph& g = apsp_->graph();
   const auto& switches = g.switches();
   const auto num_switches = static_cast<std::ptrdiff_t>(switches.size());
+  const std::ptrdiff_t num_blocks =
+      (num_switches + kSwitchBlock - 1) / kSwitchBlock;
+  // Switch-blocked rebuild. Per switch, each attraction still accumulates
+  // its flow contributions in flow order — bit-identical to the naive
+  // switch-outer scan — but the memory access pattern is flat: the ingress
+  // pass streams each flow's APSP row contiguously past a cache-resident
+  // block of accumulators, the egress pass keeps one c(sw, ·) row resident
+  // while streaming the flow list.
 #if defined(PPDC_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::ptrdiff_t si = 0; si < num_switches; ++si) {
-    const NodeId sw = switches[static_cast<std::size_t>(si)];
-    double a = 0.0, b = 0.0;
+  for (std::ptrdiff_t blk = 0; blk < num_blocks; ++blk) {
+    const std::ptrdiff_t b0 = blk * kSwitchBlock;
+    const std::ptrdiff_t b1 = std::min(num_switches, b0 + kSwitchBlock);
     for (const auto& f : *flows_) {
       // Zero-rate flows contribute nothing; skipping them also keeps the
       // sums NaN-free on degraded fabrics, where a quarantined flow's
       // endpoint distance is +inf (0 * inf = NaN).
       if (f.rate == 0.0) continue;
-      a += f.rate * apsp_->cost(f.src_host, sw);
-      b += f.rate * apsp_->cost(sw, f.dst_host);
+      const double* srow = apsp_->cost_row(f.src_host);
+      for (std::ptrdiff_t si = b0; si < b1; ++si) {
+        const auto sw =
+            static_cast<std::size_t>(switches[static_cast<std::size_t>(si)]);
+        ingress_[sw] += f.rate * srow[sw];
+      }
     }
-    ingress_[static_cast<std::size_t>(sw)] = a;
-    egress_[static_cast<std::size_t>(sw)] = b;
+    for (std::ptrdiff_t si = b0; si < b1; ++si) {
+      const NodeId sw = switches[static_cast<std::size_t>(si)];
+      const double* swrow = apsp_->cost_row(sw);
+      double b = 0.0;
+      for (const auto& f : *flows_) {
+        if (f.rate == 0.0) continue;
+        b += f.rate * swrow[static_cast<std::size_t>(f.dst_host)];
+      }
+      egress_[static_cast<std::size_t>(sw)] = b;
+    }
   }
   rescan_minima();
   if (group_refresh_enabled()) {
@@ -141,21 +166,40 @@ void CostModel::rebuild_group_bases() {
   group_egress_.assign(g_count * n, 0.0);
   const auto& switches = apsp_->graph().switches();
   const auto num_switches = static_cast<std::ptrdiff_t>(switches.size());
+  const std::ptrdiff_t num_blocks =
+      (num_switches + kSwitchBlock - 1) / kSwitchBlock;
+  // Same switch-blocked structure as refresh(): per (group, switch) cell
+  // the contributions still land in flow order (bit-identical), while the
+  // ingress pass streams APSP rows contiguously and the egress pass keeps
+  // one c(sw, ·) row resident per switch.
 #if defined(PPDC_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
 #endif
-  for (std::ptrdiff_t si = 0; si < num_switches; ++si) {
-    const NodeId sw = switches[static_cast<std::size_t>(si)];
-    const auto col = static_cast<std::size_t>(sw);
+  for (std::ptrdiff_t blk = 0; blk < num_blocks; ++blk) {
+    const std::ptrdiff_t b0 = blk * kSwitchBlock;
+    const std::ptrdiff_t b1 = std::min(num_switches, b0 + kSwitchBlock);
     for (std::size_t i = 0; i < groups_.size(); ++i) {
       // Zero-base flows (including fault-quarantined ones, whose distances
       // may be +inf) contribute nothing.
       if (base_rates_[i] == 0.0) continue;
+      const double* srow = apsp_->cost_row(snap_src_[i]);
       const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
-      group_ingress_[row + col] +=
-          base_rates_[i] * apsp_->cost(snap_src_[i], sw);
-      group_egress_[row + col] +=
-          base_rates_[i] * apsp_->cost(sw, snap_dst_[i]);
+      for (std::ptrdiff_t si = b0; si < b1; ++si) {
+        const auto col =
+            static_cast<std::size_t>(switches[static_cast<std::size_t>(si)]);
+        group_ingress_[row + col] += base_rates_[i] * srow[col];
+      }
+    }
+    for (std::ptrdiff_t si = b0; si < b1; ++si) {
+      const NodeId sw = switches[static_cast<std::size_t>(si)];
+      const auto col = static_cast<std::size_t>(sw);
+      const double* swrow = apsp_->cost_row(sw);
+      for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (base_rates_[i] == 0.0) continue;
+        const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+        group_egress_[row + col] +=
+            base_rates_[i] * swrow[static_cast<std::size_t>(snap_dst_[i])];
+      }
     }
   }
 }
@@ -173,16 +217,21 @@ void CostModel::patch_moved_flow(FlowId flow) {
     return;
   }
   if (f.src_host != snap_src_[i]) {
+    const double* nrow = apsp_->cost_row(f.src_host);
+    const double* orow = apsp_->cost_row(snap_src_[i]);
     for (const NodeId sw : apsp_->graph().switches()) {
-      group_ingress_[row + static_cast<std::size_t>(sw)] +=
-          base * (apsp_->cost(f.src_host, sw) - apsp_->cost(snap_src_[i], sw));
+      const auto col = static_cast<std::size_t>(sw);
+      group_ingress_[row + col] += base * (nrow[col] - orow[col]);
     }
     snap_src_[i] = f.src_host;
   }
   if (f.dst_host != snap_dst_[i]) {
+    const auto ncol = static_cast<std::size_t>(f.dst_host);
+    const auto ocol = static_cast<std::size_t>(snap_dst_[i]);
     for (const NodeId sw : apsp_->graph().switches()) {
+      const double* swrow = apsp_->cost_row(sw);
       group_egress_[row + static_cast<std::size_t>(sw)] +=
-          base * (apsp_->cost(sw, f.dst_host) - apsp_->cost(sw, snap_dst_[i]));
+          base * (swrow[ncol] - swrow[ocol]);
     }
     snap_dst_[i] = f.dst_host;
   }
@@ -202,15 +251,19 @@ void CostModel::recombine(const std::vector<double>& scales) {
   }
   ingress_.assign(n, 0.0);
   egress_.assign(n, 0.0);
-  for (const NodeId sw : apsp_->graph().switches()) {
-    const auto col = static_cast<std::size_t>(sw);
-    double a = 0.0, b = 0.0;
-    for (std::size_t g = 0; g < scales.size(); ++g) {
-      a += scales[g] * group_ingress_[g * n + col];
-      b += scales[g] * group_egress_[g * n + col];
+  // Group-major recombination: each pass streams one base-vector row
+  // contiguously. Per switch the scaled terms still add in group order, so
+  // the result is bit-identical to a switch-outer group-inner scan.
+  const auto& switches = apsp_->graph().switches();
+  for (std::size_t g = 0; g < scales.size(); ++g) {
+    const double scale = scales[g];
+    const double* girow = group_ingress_.data() + g * n;
+    const double* gerow = group_egress_.data() + g * n;
+    for (const NodeId sw : switches) {
+      const auto col = static_cast<std::size_t>(sw);
+      ingress_[col] += scale * girow[col];
+      egress_[col] += scale * gerow[col];
     }
-    ingress_[col] = a;
-    egress_[col] = b;
   }
   rescan_minima();
 }

@@ -9,7 +9,12 @@ namespace ppdc {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+
+/// Candidate-scan tile width of extend(): the shared previous-level cost
+/// and successor segments (kBlock doubles + kBlock NodeIds) stay L1-hot
+/// while every row re-scans them.
+constexpr std::size_t kBlock = 256;
+}  // namespace
 
 StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
                          double rate, std::vector<NodeId> universe)
@@ -27,6 +32,7 @@ StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
     }
     switches_ = IndexedVector<CandidateIdx, NodeId>(std::move(universe));
   }
+  rows_ = switches_.size();
   switch_index_.assign(static_cast<std::size_t>(g.num_nodes()),
                        CandidateIdx::invalid());
   for (const CandidateIdx i : switches_.ids()) {
@@ -34,66 +40,93 @@ StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
   }
 }
 
+void StrollTable::ensure_metric() {
+  if (!metric_.empty() || rows_ == 0) return;
+  metric_.resize(rows_ * rows_);
+  metric_to_t_.resize(rows_);
+  const NodeId* sw = switches_.raw().data();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = apsp_->cost_row(sw[i]);
+    double* mrow = metric_.data() + i * rows_;
+    for (std::size_t k = 0; k < rows_; ++k) {
+      mrow[k] = rate_ * arow[static_cast<std::size_t>(sw[k])];
+    }
+    metric_to_t_[i] = rate_ * arow[static_cast<std::size_t>(t_)];
+  }
+}
+
 void StrollTable::extend(int e_max) {
-  const std::size_t rows = switches_.size();
-  while (static_cast<int>(cost_.size()) < e_max) {
-    const int e = static_cast<int>(cost_.size()) + 1;
-    IndexedVector<CandidateIdx, double> ce(rows, kInf);
-    IndexedVector<CandidateIdx, NodeId> se(rows, kInvalidNode);
+  if (levels_ >= e_max) return;
+  ensure_metric();
+  const std::size_t rows = rows_;
+  cost_.resize(static_cast<std::size_t>(e_max) * rows, kInf);
+  succ_.resize(static_cast<std::size_t>(e_max) * rows, kInvalidNode);
+  const NodeId* sw = switches_.raw().data();
+  while (levels_ < e_max) {
+    const int e = levels_ + 1;
+    double* ce = cost_.data() + static_cast<std::size_t>(e - 1) * rows;
+    NodeId* se = succ_.data() + static_cast<std::size_t>(e - 1) * rows;
     if (e == 1) {
       // Base case (pseudocode line 2): one metric edge straight to t.
-      for (const CandidateIdx i : switches_.ids()) {
-        const NodeId u = switches_[i];
-        if (u == t_) continue;  // c(t,t,1) stays +inf
-        ce[i] = metric(u, t_);
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (sw[i] == t_) continue;  // c(t,t,1) stays +inf
+        ce[i] = metric_to_t_[i];
         se[i] = t_;
       }
     } else {
-      const auto& prev_cost = cost_.back();
-      const auto& prev_succ = succ_.back();
-      for (const CandidateIdx i : switches_.ids()) {
-        const NodeId u = switches_[i];
-        double best = kInf;
-        NodeId best_w = kInvalidNode;
-        for (const CandidateIdx k : switches_.ids()) {
-          const NodeId w = switches_[k];
-          // Line 6: intermediate w may be neither u itself nor t, and the
-          // stored continuation from w must not immediately return to u.
-          if (w == u || w == t_) continue;
-          if (prev_succ[k] == u) continue;
-          if (prev_cost[k] == kInf) continue;
-          const double cand = metric(u, w) + prev_cost[k];
-          if (cand < best) {
-            best = cand;
-            best_w = w;
+      const double* pc = ce - rows;
+      const NodeId* ps = se - rows;
+      // Tiled candidate min-scan: the k tile of the shared previous-level
+      // rows stays cache-resident while every row i streams its metric
+      // segment past it. ce/se are the running best per row; tiles arrive
+      // in increasing k, so the strict-< argmin picks the same candidate
+      // as a single left-to-right scan.
+      for (std::size_t k0 = 0; k0 < rows; k0 += kBlock) {
+        const std::size_t k1 = std::min(rows, k0 + kBlock);
+        for (std::size_t i = 0; i < rows; ++i) {
+          const NodeId u = sw[i];
+          const double* mrow = metric_.data() + i * rows;
+          double best = ce[i];
+          NodeId best_w = se[i];
+          for (std::size_t k = k0; k < k1; ++k) {
+            const NodeId w = sw[k];
+            // Line 6, branchless: intermediate w may be neither u itself
+            // nor t, and the stored continuation from w must not
+            // immediately return to u. An excluded (or unreachable)
+            // candidate costs +inf and never wins the strict <.
+            const bool ok = (w != u) && (w != t_) && (ps[k] != u);
+            const double cand = ok ? mrow[k] + pc[k] : kInf;
+            if (cand < best) {
+              best = cand;
+              best_w = w;
+            }
           }
+          ce[i] = best;
+          se[i] = best_w;
         }
-        ce[i] = best;
-        se[i] = best_w;
       }
     }
-    cost_.push_back(std::move(ce));
-    succ_.push_back(std::move(se));
+    ++levels_;
   }
 }
 
 std::pair<double, NodeId> StrollTable::source_row(NodeId s, int e) const {
-  PPDC_REQUIRE(e >= 1 && e <= static_cast<int>(cost_.size()),
-               "edge budget not materialized");
+  PPDC_REQUIRE(e >= 1 && e <= levels_, "edge budget not materialized");
   if (e == 1) {
     if (s == t_) return {kInf, kInvalidNode};
     return {metric(s, t_), t_};
   }
-  const auto& prev_cost = cost_[static_cast<std::size_t>(e - 2)];
-  const auto& prev_succ = succ_[static_cast<std::size_t>(e - 2)];
+  const double* pc = cost_row(e - 1);
+  const NodeId* ps = succ_row(e - 1);
+  const double* srow = apsp_->cost_row(s);
+  const NodeId* sw = switches_.raw().data();
   double best = kInf;
   NodeId best_w = kInvalidNode;
-  for (const CandidateIdx k : switches_.ids()) {
-    const NodeId w = switches_[k];
-    if (w == s || w == t_) continue;
-    if (prev_succ[k] == s) continue;
-    if (prev_cost[k] == kInf) continue;
-    const double cand = metric(s, w) + prev_cost[k];
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const NodeId w = sw[k];
+    const bool ok = (w != s) && (w != t_) && (ps[k] != s);
+    const double cand =
+        ok ? rate_ * srow[static_cast<std::size_t>(w)] + pc[k] : kInf;
     if (cand < best) {
       best = cand;
       best_w = w;
@@ -115,14 +148,26 @@ StrollResult StrollTable::find(NodeId s, int n_distinct) {
 
   StrollResult out;
   if (n_distinct == 0) {
+    if (s == t_) {
+      // Degenerate n-tour base: no edge is needed, and a {s, s} walk would
+      // violate the consecutive-nodes-distinct invariant downstream
+      // consumers (explain, Theorem-3 suffix checks) rely on.
+      out.cost = 0.0;
+      out.walk = {s};
+      out.edges_used = 0;
+      return out;
+    }
     out.cost = metric(s, t_);
     out.walk = {s, t_};
-    out.edges_used = (s == t_) ? 0 : 1;
+    out.edges_used = 1;
     return out;
   }
 
   const int r_cap = n_distinct + 1 + std::max(16, n_distinct * 2);
   std::vector<NodeId> best_partial;  // longest distinct prefix seen so far
+  // Membership bitmap over DP rows: dedups the walk's distinct switches in
+  // O(1) per step instead of a linear scan of the growing vector.
+  std::vector<char> seen(rows_, 0);
 
   for (int r = n_distinct + 1; r <= r_cap; ++r) {
     extend(r);
@@ -136,15 +181,19 @@ StrollResult StrollTable::find(NodeId s, int n_distinct) {
     int budget = r - 1;
     while (true) {
       walk.push_back(cur);
-      if (cur != s && cur != t_ && g.is_switch(cur) &&
-          std::find(distinct.begin(), distinct.end(), cur) ==
-              distinct.end()) {
-        distinct.push_back(cur);
+      if (cur != s && cur != t_ && g.is_switch(cur)) {
+        const CandidateIdx row = switch_index_[static_cast<std::size_t>(cur)];
+        PPDC_REQUIRE(row.valid(), "walk visits a non-universe switch");
+        char& mark = seen[static_cast<std::size_t>(row.value())];
+        if (!mark) {
+          mark = 1;
+          distinct.push_back(cur);
+        }
       }
       if (budget == 0) break;
       const CandidateIdx row = switch_index_[static_cast<std::size_t>(cur)];
       PPDC_REQUIRE(row.valid(), "walk stepped outside the switch universe");
-      cur = succ_[static_cast<std::size_t>(budget - 1)][row];
+      cur = succ_row(budget)[static_cast<std::size_t>(row.value())];
       PPDC_REQUIRE(cur != kInvalidNode, "broken successor chain");
       --budget;
     }
@@ -161,26 +210,41 @@ StrollResult StrollTable::find(NodeId s, int n_distinct) {
       out.edges_used = r;
       return out;
     }
+    // Clear only the bits this round set (distinct is tiny next to rows_).
+    for (const NodeId w : distinct) {
+      seen[static_cast<std::size_t>(
+          switch_index_[static_cast<std::size_t>(w)].value())] = 0;
+    }
   }
 
   // Cap hit: greedily complete the best partial cover with nearest unused
   // switches so callers always receive a valid placement.
   out.used_fallback = true;
   std::vector<NodeId> seq = best_partial;
+  // `seen` is all-clear here; reuse it as the membership bitmap of `seq`.
+  for (const NodeId w : seq) {
+    seen[static_cast<std::size_t>(
+        switch_index_[static_cast<std::size_t>(w)].value())] = 1;
+  }
+  const NodeId* sw = switches_.raw().data();
   while (static_cast<int>(seq.size()) < n_distinct) {
     const NodeId from = seq.empty() ? s : seq.back();
+    const double* frow = apsp_->cost_row(from);
     double best_d = kInf;
     NodeId best_sw = kInvalidNode;
-    for (const NodeId w : switches_) {
-      if (w == s || w == t_) continue;
-      if (std::find(seq.begin(), seq.end(), w) != seq.end()) continue;
-      const double d = apsp_->cost(from, w);
+    std::size_t best_row = 0;
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const NodeId w = sw[k];
+      if (w == s || w == t_ || seen[k]) continue;
+      const double d = frow[static_cast<std::size_t>(w)];
       if (d < best_d) {
         best_d = d;
         best_sw = w;
+        best_row = k;
       }
     }
     PPDC_REQUIRE(best_sw != kInvalidNode, "fallback ran out of switches");
+    seen[best_row] = 1;
     seq.push_back(best_sw);
   }
   out.walk = {s};
@@ -198,7 +262,7 @@ StrollResult StrollTable::find(NodeId s, int n_distinct) {
 bool StrollTable::satisfies_theorem3(const StrollResult& result) const {
   if (result.used_fallback || result.walk.size() < 2) return false;
   const int r = result.edges_used;
-  if (r > static_cast<int>(cost_.size())) return false;
+  if (r > levels_) return false;
   // For each position i >= 1 on the walk, the suffix starting there uses
   // (r - i) edges; Theorem 3 requires it to be the cheapest (r-i)-edge
   // stroll into t over every possible start row.
@@ -206,9 +270,9 @@ bool StrollTable::satisfies_theorem3(const StrollResult& result) const {
     const NodeId u = result.walk[static_cast<std::size_t>(i)];
     const CandidateIdx row = switch_index_[static_cast<std::size_t>(u)];
     if (!row.valid()) return false;
-    const auto& level = cost_[static_cast<std::size_t>(r - i - 1)];
-    const double suffix = level[row];
-    const double global_min = *std::min_element(level.begin(), level.end());
+    const double* level = cost_row(r - i);
+    const double suffix = level[static_cast<std::size_t>(row.value())];
+    const double global_min = *std::min_element(level, level + rows_);
     if (suffix > global_min + 1e-9) return false;
   }
   return true;

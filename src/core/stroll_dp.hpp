@@ -58,7 +58,10 @@ class StrollTable {
 
   /// Finds a min-cost stroll from `s` to the table's destination visiting
   /// at least `n_distinct` distinct switches (excluding s and the
-  /// destination). n_distinct == 0 degenerates to the direct metric edge.
+  /// destination). n_distinct == 0 degenerates to the direct metric edge —
+  /// or, when s is the destination itself, to the single-node walk {s}
+  /// (cost 0, no edges), so the walk invariant "consecutive nodes are
+  /// distinct" holds for every returned walk.
   StrollResult find(NodeId s, int n_distinct);
 
   /// Theorem 3 sufficient-optimality condition: every suffix of the found
@@ -73,12 +76,30 @@ class StrollTable {
   /// Extends the DP table to edge budget `e_max` (rows 1..e_max).
   void extend(int e_max);
 
+  /// Materializes the flat metric closure over the row universe on first
+  /// use: metric_[i * rows_ + k] = rate · c(switches_[i], switches_[k]).
+  void ensure_metric();
+
   /// Cost of the best e-edge stroll from source `s` (possibly a host, not
   /// in the switch rows) plus its first hop.
   std::pair<double, NodeId> source_row(NodeId s, int e) const;
 
   double metric(NodeId u, NodeId v) const {
     return rate_ * apsp_->cost(u, v);
+  }
+
+  /// Level-e cost row (e in [1, levels_]); contiguous over CandidateIdx.
+  const double* cost_row(int e) const {
+#if PPDC_CHECK_IDS
+    PPDC_REQUIRE(e >= 1 && e <= levels_, "stroll level out of range");
+#endif
+    return cost_.data() + static_cast<std::size_t>(e - 1) * rows_;
+  }
+  const NodeId* succ_row(int e) const {
+#if PPDC_CHECK_IDS
+    PPDC_REQUIRE(e >= 1 && e <= levels_, "stroll level out of range");
+#endif
+    return succ_.data() + static_cast<std::size_t>(e - 1) * rows_;
   }
 
   const AllPairs* apsp_;
@@ -88,9 +109,16 @@ class StrollTable {
   IndexedVector<CandidateIdx, NodeId> switches_;
   /// NodeId -> row; CandidateIdx::invalid() for nodes outside the universe.
   std::vector<CandidateIdx> switch_index_;
-  /// cost_[e-1][row], succ_[e-1][row]: best e-edge stroll row -> t.
-  std::vector<IndexedVector<CandidateIdx, double>> cost_;
-  std::vector<IndexedVector<CandidateIdx, NodeId>> succ_;
+  /// Flat structure-of-arrays DP state (DESIGN.md §11). The per-level
+  /// tables live in two contiguous level-major buffers so the candidate
+  /// min-scan of extend() is a plain index loop over double rows — no
+  /// per-candidate vector hops, and the compiler sees unit strides.
+  std::size_t rows_ = 0;  ///< switches_.size(), the row stride
+  int levels_ = 0;        ///< materialized edge budgets 1..levels_
+  std::vector<double> metric_;       ///< rows_ × rows_ scaled metric closure
+  std::vector<double> metric_to_t_;  ///< rate · c(row, t), one per row
+  std::vector<double> cost_;  ///< cost_[(e-1)·rows_ + row]: best e-edge stroll
+  std::vector<NodeId> succ_;  ///< first hop of that stroll (kInvalidNode: none)
 };
 
 /// Convenience wrapper for one-shot TOP-1 queries: builds the table for

@@ -33,6 +33,16 @@ class AllPairs {
     return dist_[index(u, v)];
   }
 
+  /// Contiguous row c(u, ·) of the distance matrix, indexed by NodeId.
+  /// The flat hot kernels (stroll-DP metric closure, chain-search candidate
+  /// tables, cost-model attraction rebuilds) stream rows through this
+  /// pointer instead of paying a bounds check per cost() element.
+  const double* cost_row(NodeId u) const {
+    PPDC_REQUIRE(u >= 0 && u < n_, "node out of range");
+    return dist_.data() +
+           static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+  }
+
   /// True when a path u -> v exists (always true in connected mode).
   bool reachable(NodeId u, NodeId v) const {
     return dist_[index(u, v)] != kUnreachable;

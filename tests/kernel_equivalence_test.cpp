@@ -1,0 +1,714 @@
+// Bit-exact equivalence suite for the flattened hot kernels (DESIGN.md
+// §11). The flat structure-of-arrays rewrite of StrollTable and the
+// blocked attraction rescans of CostModel were engineered to preserve
+// floating-point results to the last ulp: every candidate argmin keeps
+// the strict-< first-win tie-break of an increasing-index scan, and
+// every accumulator adds its terms in the original flow (or group)
+// order. This suite pins that contract with == comparisons against
+//
+//   * RefStrollTable / ref_solve_top_dp / ref_solve_tom_pareto — the
+//     pre-flattening (seed) implementations, embedded here verbatim so
+//     they stay compilable as the production code evolves;
+//   * naive per-switch flow-order attraction sums for CostModel.
+//
+// Any EXPECT_EQ failure on a double below is a behaviour change, not
+// noise: tolerances would defeat the purpose.
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/frontier.hpp"
+#include "core/migration_pareto.hpp"
+#include "core/placement_dp.hpp"
+#include "core/stroll_dp.hpp"
+#include "graph/apsp.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/indexed_vector.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Reference: the seed StrollTable (per-level IndexedVectors, linear-scan
+// dedup, per-use metric products). Verbatim from the pre-flattening
+// implementation, except that the n_distinct == 0 && s == t query returns
+// the fixed single-node walk {s} — that bugfix changed the *contract*
+// (walks never repeat consecutive nodes) and is regression-tested in
+// stroll_dp_test.cpp, so the reference follows the fixed contract here.
+// ---------------------------------------------------------------------------
+class RefStrollTable {
+ public:
+  RefStrollTable(const AllPairs& apsp, NodeId destination, double rate = 1.0,
+                 std::vector<NodeId> universe = {})
+      : apsp_(&apsp), t_(destination), rate_(rate) {
+    const Graph& g = apsp.graph();
+    if (universe.empty()) {
+      switches_ = IndexedVector<CandidateIdx, NodeId>(g.switches());
+    } else {
+      switches_ = IndexedVector<CandidateIdx, NodeId>(std::move(universe));
+    }
+    switch_index_.assign(static_cast<std::size_t>(g.num_nodes()),
+                         CandidateIdx::invalid());
+    for (const CandidateIdx i : switches_.ids()) {
+      switch_index_[static_cast<std::size_t>(switches_[i])] = i;
+    }
+  }
+
+  StrollResult find(NodeId s, int n_distinct) {
+    const Graph& g = apsp_->graph();
+    StrollResult out;
+    if (n_distinct == 0) {
+      if (s == t_) {
+        out.cost = 0.0;
+        out.walk = {s};
+        out.edges_used = 0;
+        return out;
+      }
+      out.cost = metric(s, t_);
+      out.walk = {s, t_};
+      out.edges_used = 1;
+      return out;
+    }
+
+    const int r_cap = n_distinct + 1 + std::max(16, n_distinct * 2);
+    std::vector<NodeId> best_partial;
+
+    for (int r = n_distinct + 1; r <= r_cap; ++r) {
+      extend(r);
+      const auto [total, first_hop] = source_row(s, r);
+      if (total == kInf) continue;
+
+      std::vector<NodeId> walk{s};
+      std::vector<NodeId> distinct;
+      NodeId cur = first_hop;
+      int budget = r - 1;
+      while (true) {
+        walk.push_back(cur);
+        if (cur != s && cur != t_ && g.is_switch(cur) &&
+            std::find(distinct.begin(), distinct.end(), cur) ==
+                distinct.end()) {
+          distinct.push_back(cur);
+        }
+        if (budget == 0) break;
+        const CandidateIdx row =
+            switch_index_[static_cast<std::size_t>(cur)];
+        cur = succ_[static_cast<std::size_t>(budget - 1)][row];
+        --budget;
+      }
+
+      if (static_cast<int>(distinct.size()) >
+          static_cast<int>(best_partial.size())) {
+        best_partial = distinct;
+      }
+      if (static_cast<int>(distinct.size()) >= n_distinct) {
+        out.cost = total;
+        out.walk = std::move(walk);
+        distinct.resize(static_cast<std::size_t>(n_distinct));
+        out.placement = std::move(distinct);
+        out.edges_used = r;
+        return out;
+      }
+    }
+
+    out.used_fallback = true;
+    std::vector<NodeId> seq = best_partial;
+    while (static_cast<int>(seq.size()) < n_distinct) {
+      const NodeId from = seq.empty() ? s : seq.back();
+      double best_d = kInf;
+      NodeId best_sw = kInvalidNode;
+      for (const NodeId w : switches_) {
+        if (w == s || w == t_) continue;
+        if (std::find(seq.begin(), seq.end(), w) != seq.end()) continue;
+        const double d = apsp_->cost(from, w);
+        if (d < best_d) {
+          best_d = d;
+          best_sw = w;
+        }
+      }
+      seq.push_back(best_sw);
+    }
+    out.walk = {s};
+    out.walk.insert(out.walk.end(), seq.begin(), seq.end());
+    out.walk.push_back(t_);
+    out.cost = 0.0;
+    for (std::size_t i = 0; i + 1 < out.walk.size(); ++i) {
+      out.cost += metric(out.walk[i], out.walk[i + 1]);
+    }
+    out.placement = std::move(seq);
+    out.edges_used = static_cast<int>(out.walk.size()) - 1;
+    return out;
+  }
+
+  bool satisfies_theorem3(const StrollResult& result) const {
+    if (result.used_fallback || result.walk.size() < 2) return false;
+    const int r = result.edges_used;
+    if (r > static_cast<int>(cost_.size())) return false;
+    for (int i = 1; i < r; ++i) {
+      const NodeId u = result.walk[static_cast<std::size_t>(i)];
+      const CandidateIdx row = switch_index_[static_cast<std::size_t>(u)];
+      if (!row.valid()) return false;
+      const auto& level = cost_[static_cast<std::size_t>(r - i - 1)];
+      const double suffix = level[row];
+      const double global_min =
+          *std::min_element(level.begin(), level.end());
+      if (suffix > global_min + 1e-9) return false;
+    }
+    return true;
+  }
+
+ private:
+  void extend(int e_max) {
+    const std::size_t rows = switches_.size();
+    while (static_cast<int>(cost_.size()) < e_max) {
+      const int e = static_cast<int>(cost_.size()) + 1;
+      IndexedVector<CandidateIdx, double> ce(rows, kInf);
+      IndexedVector<CandidateIdx, NodeId> se(rows, kInvalidNode);
+      if (e == 1) {
+        for (const CandidateIdx i : switches_.ids()) {
+          const NodeId u = switches_[i];
+          if (u == t_) continue;
+          ce[i] = metric(u, t_);
+          se[i] = t_;
+        }
+      } else {
+        const auto& prev_cost = cost_.back();
+        const auto& prev_succ = succ_.back();
+        for (const CandidateIdx i : switches_.ids()) {
+          const NodeId u = switches_[i];
+          double best = kInf;
+          NodeId best_w = kInvalidNode;
+          for (const CandidateIdx k : switches_.ids()) {
+            const NodeId w = switches_[k];
+            if (w == u || w == t_) continue;
+            if (prev_succ[k] == u) continue;
+            if (prev_cost[k] == kInf) continue;
+            const double cand = metric(u, w) + prev_cost[k];
+            if (cand < best) {
+              best = cand;
+              best_w = w;
+            }
+          }
+          ce[i] = best;
+          se[i] = best_w;
+        }
+      }
+      cost_.push_back(std::move(ce));
+      succ_.push_back(std::move(se));
+    }
+  }
+
+  std::pair<double, NodeId> source_row(NodeId s, int e) const {
+    if (e == 1) {
+      if (s == t_) return {kInf, kInvalidNode};
+      return {metric(s, t_), t_};
+    }
+    const auto& prev_cost = cost_[static_cast<std::size_t>(e - 2)];
+    const auto& prev_succ = succ_[static_cast<std::size_t>(e - 2)];
+    double best = kInf;
+    NodeId best_w = kInvalidNode;
+    for (const CandidateIdx k : switches_.ids()) {
+      const NodeId w = switches_[k];
+      if (w == s || w == t_) continue;
+      if (prev_succ[k] == s) continue;
+      if (prev_cost[k] == kInf) continue;
+      const double cand = metric(s, w) + prev_cost[k];
+      if (cand < best) {
+        best = cand;
+        best_w = w;
+      }
+    }
+    return {best, best_w};
+  }
+
+  double metric(NodeId u, NodeId v) const { return rate_ * apsp_->cost(u, v); }
+
+  const AllPairs* apsp_;
+  NodeId t_;
+  double rate_;
+  IndexedVector<CandidateIdx, NodeId> switches_;
+  std::vector<CandidateIdx> switch_index_;
+  std::vector<IndexedVector<CandidateIdx, double>> cost_;
+  std::vector<IndexedVector<CandidateIdx, NodeId>> succ_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference: the seed Algorithm 3 driver, on top of RefStrollTable.
+// solve_top_dp's own source is unchanged by the flattening; what this
+// pins is that swapping the stroll engine underneath cannot change any
+// placement or cost bit.
+// ---------------------------------------------------------------------------
+std::vector<NodeId> ref_top_candidates(const std::vector<NodeId>& switches,
+                                       int limit, auto&& key) {
+  if (limit <= 0 || static_cast<std::size_t>(limit) >= switches.size()) {
+    return switches;
+  }
+  std::vector<NodeId> out = switches;
+  std::nth_element(out.begin(), out.begin() + limit, out.end(),
+                   [&](NodeId a, NodeId b) { return key(a) < key(b); });
+  out.resize(static_cast<std::size_t>(limit));
+  return out;
+}
+
+PlacementResult ref_solve_top_dp(const CostModel& model, int n,
+                                 const TopDpOptions& options = {}) {
+  const AllPairs& apsp = model.apsp();
+  const auto& switches = model.placement_candidates();
+  PlacementResult best;
+  double best_cost = kInf;
+
+  if (n == 1) {
+    for (const NodeId w : switches) {
+      const double c =
+          model.ingress_attraction(w) + model.egress_attraction(w);
+      if (c < best_cost) {
+        best_cost = c;
+        best.placement = {w};
+      }
+    }
+    best.comm_cost = best_cost;
+    return best;
+  }
+
+  if (n == 2) {
+    const std::vector<NodeId> ingress_candidates = ref_top_candidates(
+        switches, options.candidate_limit,
+        [&](NodeId w) { return model.ingress_attraction(w); });
+    const std::vector<NodeId> egress_candidates = ref_top_candidates(
+        switches, options.candidate_limit,
+        [&](NodeId w) { return model.egress_attraction(w); });
+    for (const NodeId a : ingress_candidates) {
+      for (const NodeId b : egress_candidates) {
+        if (a == b) continue;
+        const double c = model.ingress_attraction(a) +
+                         model.total_rate() * apsp.cost(a, b) +
+                         model.egress_attraction(b);
+        if (c < best_cost) {
+          best_cost = c;
+          best.placement = {a, b};
+        }
+      }
+    }
+    if (best_cost == kInf && options.candidate_limit > 0) {
+      return ref_solve_top_dp(model, n, TopDpOptions{});
+    }
+    best.comm_cost = best_cost;
+    return best;
+  }
+
+  const double rate = model.total_rate() > 0.0 ? model.total_rate() : 1.0;
+  const std::vector<NodeId> egress_candidates = ref_top_candidates(
+      switches, options.candidate_limit,
+      [&](NodeId w) { return model.egress_attraction(w); });
+  const std::vector<NodeId> ingress_candidates = ref_top_candidates(
+      switches, options.candidate_limit,
+      [&](NodeId w) { return model.ingress_attraction(w); });
+  for (const NodeId egress : egress_candidates) {
+    RefStrollTable table(apsp, egress, rate, switches);
+    for (const NodeId ingress : ingress_candidates) {
+      if (ingress == egress) continue;
+      StrollResult stroll = table.find(ingress, n - 2);
+      Placement p;
+      p.reserve(static_cast<std::size_t>(n));
+      p.push_back(ingress);
+      p.insert(p.end(), stroll.placement.begin(), stroll.placement.end());
+      p.push_back(egress);
+      const double c = model.communication_cost(p);
+      if (c < best_cost) {
+        best_cost = c;
+        best.placement = std::move(p);
+        best.used_fallback = stroll.used_fallback;
+      }
+    }
+  }
+  if (best_cost == kInf && options.candidate_limit > 0) {
+    return ref_solve_top_dp(model, n, TopDpOptions{});
+  }
+  best.comm_cost = best_cost;
+  return best;
+}
+
+// Reference Algorithm 5 on top of ref_solve_top_dp and the public
+// frontier API. The deadline poll of the production scan is omitted: the
+// suite only runs it with the default (unlimited) budget, where the poll
+// never stops the enumeration.
+MigrationResult ref_solve_tom_pareto(
+    const CostModel& model, const Placement& from, double mu,
+    const ParetoMigrationOptions& options = {}) {
+  const PlacementResult fresh =
+      ref_solve_top_dp(model, static_cast<int>(from.size()),
+                       options.placement);
+  const MigrationFrontiers frontiers(model.apsp(), from, fresh.placement);
+
+  MigrationResult best;
+  double best_total = kInf;
+  std::vector<FrontierPoint> points;
+  auto consider = [&](const Placement& fr, bool record_point) {
+    const bool free = is_collision_free(fr);
+    const double cb = model.migration_cost(from, fr, mu);
+    const double ca = model.total_rate() * model.chain_cost(fr) +
+                      model.ingress_attraction(fr.front()) +
+                      model.egress_attraction(fr.back());
+    if (record_point) {
+      points.push_back(FrontierPoint{cb, ca, free});
+    }
+    if (free && cb + ca < best_total) {
+      best_total = cb + ca;
+      best.migration = fr;
+      best.migration_cost = cb;
+      best.comm_cost = ca;
+    }
+  };
+
+  for (const Placement& fr : frontiers.all_parallel_frontiers()) {
+    consider(fr, /*record_point=*/true);
+  }
+  if (options.exhaustive_frontiers &&
+      frontiers.frontier_count() <= options.frontier_budget) {
+    frontiers.for_each_frontier_until(
+        options.frontier_budget, [&](const Placement& fr) {
+          consider(fr, /*record_point=*/false);
+          return true;
+        });
+  }
+
+  best.total_cost = best_total;
+  int moved = 0;
+  for (std::size_t j = 0; j < from.size(); ++j) {
+    if (from[j] != best.migration[j]) ++moved;
+  }
+  best.vnfs_moved = moved;
+  best.frontier_points = std::move(points);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Comparison helpers: every double compares with ==.
+// ---------------------------------------------------------------------------
+void expect_stroll_eq(const StrollResult& got, const StrollResult& want) {
+  EXPECT_EQ(got.cost, want.cost);
+  EXPECT_EQ(got.walk, want.walk);
+  EXPECT_EQ(got.placement, want.placement);
+  EXPECT_EQ(got.edges_used, want.edges_used);
+  EXPECT_EQ(got.used_fallback, want.used_fallback);
+}
+
+void expect_placement_eq(const PlacementResult& got,
+                         const PlacementResult& want) {
+  EXPECT_EQ(got.placement, want.placement);
+  EXPECT_EQ(got.comm_cost, want.comm_cost);
+  EXPECT_EQ(got.used_fallback, want.used_fallback);
+}
+
+void expect_migration_eq(const MigrationResult& got,
+                         const MigrationResult& want) {
+  EXPECT_EQ(got.migration, want.migration);
+  EXPECT_EQ(got.total_cost, want.total_cost);
+  EXPECT_EQ(got.migration_cost, want.migration_cost);
+  EXPECT_EQ(got.comm_cost, want.comm_cost);
+  EXPECT_EQ(got.vnfs_moved, want.vnfs_moved);
+  ASSERT_EQ(got.frontier_points.size(), want.frontier_points.size());
+  for (std::size_t i = 0; i < got.frontier_points.size(); ++i) {
+    EXPECT_EQ(got.frontier_points[i].migration_cost,
+              want.frontier_points[i].migration_cost);
+    EXPECT_EQ(got.frontier_points[i].comm_cost,
+              want.frontier_points[i].comm_cost);
+    EXPECT_EQ(got.frontier_points[i].collision_free,
+              want.frontier_points[i].collision_free);
+  }
+}
+
+std::vector<VmFlow> workload(const Topology& topo, int l,
+                             std::uint64_t seed) {
+  VmPlacementConfig cfg;
+  cfg.num_pairs = l;
+  Rng rng(seed);
+  return generate_vm_flows(topo, cfg, rng);
+}
+
+// ---------------------------------------------------------------------------
+// DP-Stroll equivalence: fat-trees k ∈ {4, 8}, non-unit rates, host and
+// switch sources, n from the degenerate 0 up past the metric-closure
+// sweet spot. Queries run in identical order on both tables so the lazily
+// grown DP state matches level by level.
+// ---------------------------------------------------------------------------
+TEST(KernelEquivalence, StrollFindMatchesSeed) {
+  for (const int k : {4, 8}) {
+    const Topology topo = build_fat_tree(k);
+    const AllPairs apsp(topo.graph);
+    const auto& switches = topo.graph.switches();
+    const auto& hosts = topo.graph.hosts();
+    const std::vector<NodeId> destinations = {
+        switches.front(), switches[switches.size() / 2]};
+    const std::vector<NodeId> sources = {hosts[1], hosts.back(),
+                                         switches[3]};
+    for (const double rate : {0.75, 3.5}) {
+      for (const NodeId t : destinations) {
+        StrollTable cur(apsp, t, rate);
+        RefStrollTable ref(apsp, t, rate);
+        for (const NodeId s : sources) {
+          for (const int n : {0, 1, 2, 3, 5}) {
+            SCOPED_TRACE(::testing::Message()
+                         << "k=" << k << " rate=" << rate << " t=" << t
+                         << " s=" << s << " n=" << n);
+            const StrollResult got = cur.find(s, n);
+            const StrollResult want = ref.find(s, n);
+            expect_stroll_eq(got, want);
+            EXPECT_EQ(cur.satisfies_theorem3(got),
+                      ref.satisfies_theorem3(want));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, RestrictedUniverseStrollMatchesSeed) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto& switches = topo.graph.switches();
+  std::vector<NodeId> universe;
+  for (std::size_t i = 0; i < switches.size(); i += 2) {
+    universe.push_back(switches[i]);
+  }
+  const NodeId t = universe.back();
+  StrollTable cur(apsp, t, 1.25, universe);
+  RefStrollTable ref(apsp, t, 1.25, universe);
+  for (const NodeId s : {topo.graph.hosts()[0], universe.front()}) {
+    for (const int n : {0, 1, 2, 3}) {
+      SCOPED_TRACE(::testing::Message() << "s=" << s << " n=" << n);
+      const StrollResult got = cur.find(s, n);
+      const StrollResult want = ref.find(s, n);
+      expect_stroll_eq(got, want);
+      // Every intermediate must come from the restricted universe.
+      for (std::size_t i = 1; i + 1 < got.walk.size(); ++i) {
+        EXPECT_NE(std::find(universe.begin(), universe.end(), got.walk[i]),
+                  universe.end());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The greedy cap fallback, exercised for real: switches A, B, C form a
+// unit-weight triangle, so the anti-backtrack rule still allows the
+// 3-cycle A→B→C→A and the min-cost r-edge stroll oscillates inside it for
+// every r — the far switch F (weight 1000) never enters an optimal
+// stroll. Requesting 4 distinct switches therefore exhausts the r cap,
+// and the greedy completion must deliver F (flagged via used_fallback).
+// Both implementations must agree bit-exactly on the completed result.
+// ---------------------------------------------------------------------------
+TEST(KernelEquivalence, FallbackCapPathMatchesSeed) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::kSwitch, "A");
+  const NodeId b = g.add_node(NodeKind::kSwitch, "B");
+  const NodeId c = g.add_node(NodeKind::kSwitch, "C");
+  const NodeId f = g.add_node(NodeKind::kSwitch, "F");
+  const NodeId s = g.add_node(NodeKind::kHost, "src");
+  const NodeId t = g.add_node(NodeKind::kHost, "dst");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, c, 1.0);
+  g.add_edge(c, a, 1.0);
+  g.add_edge(a, f, 1000.0);
+  g.add_edge(s, a, 1.0);
+  g.add_edge(t, a, 1.0);
+  const AllPairs apsp(g);
+
+  StrollTable cur(apsp, t, 2.0);
+  RefStrollTable ref(apsp, t, 2.0);
+  const StrollResult got = cur.find(s, 4);
+  const StrollResult want = ref.find(s, 4);
+
+  EXPECT_TRUE(got.used_fallback);
+  expect_stroll_eq(got, want);
+  ASSERT_EQ(got.placement.size(), 4u);
+  EXPECT_NE(std::find(got.placement.begin(), got.placement.end(), f),
+            got.placement.end());
+  // The walk is s, <placement switches>, t with the recomputed cost.
+  ASSERT_EQ(got.walk.size(), 6u);
+  EXPECT_EQ(got.walk.front(), s);
+  EXPECT_EQ(got.walk.back(), t);
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < got.walk.size(); ++i) {
+    cost += 2.0 * apsp.cost(got.walk[i], got.walk[i + 1]);
+  }
+  EXPECT_EQ(got.cost, cost);
+  EXPECT_FALSE(cur.satisfies_theorem3(got));
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 equivalence across chain lengths (all three n branches),
+// candidate pruning, and restricted candidate universes.
+// ---------------------------------------------------------------------------
+TEST(KernelEquivalence, PlacementDpMatchesSeed) {
+  struct Scenario {
+    int k, l;
+    std::uint64_t seed;
+  };
+  for (const Scenario sc : {Scenario{4, 37, 5}, Scenario{8, 200, 11}}) {
+    const Topology topo = build_fat_tree(sc.k);
+    const AllPairs apsp(topo.graph);
+    const auto flows = workload(topo, sc.l, sc.seed);
+    const CostModel cm(apsp, flows);
+    for (const int n : {1, 2, 3, 5, 7}) {
+      for (const int limit : {0, 6}) {
+        SCOPED_TRACE(::testing::Message() << "k=" << sc.k << " n=" << n
+                                          << " limit=" << limit);
+        TopDpOptions opt;
+        opt.candidate_limit = limit;
+        expect_placement_eq(solve_top_dp(cm, n, opt),
+                            ref_solve_top_dp(cm, n, opt));
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, RestrictedCandidatesPlacementMatchesSeed) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const auto flows = workload(topo, 60, 17);
+  CostModel cm(apsp, flows);
+  const auto& switches = topo.graph.switches();
+  std::vector<NodeId> alive;
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (i % 3 != 0) alive.push_back(switches[i]);
+  }
+  cm.restrict_candidates(alive);
+  for (const int n : {1, 3, 5}) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    expect_placement_eq(solve_top_dp(cm, n), ref_solve_top_dp(cm, n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 5 equivalence, parallel rows and the exhaustive general-
+// frontier scan, under shifted traffic (the migration trigger).
+// ---------------------------------------------------------------------------
+TEST(KernelEquivalence, ParetoMigrationMatchesSeed) {
+  const Topology topo = build_fat_tree(8);
+  const AllPairs apsp(topo.graph);
+  auto flows = workload(topo, 200, 13);
+  CostModel cm(apsp, flows);
+  const Placement from = solve_top_dp(cm, 7).placement;
+  std::vector<double> rates = rates_of(flows);
+  std::reverse(rates.begin(), rates.end());
+  set_rates(flows, rates);
+  cm.refresh();
+  for (const double mu : {0.0, 1e4}) {
+    SCOPED_TRACE(::testing::Message() << "mu=" << mu);
+    expect_migration_eq(solve_tom_pareto(cm, from, mu),
+                        ref_solve_tom_pareto(cm, from, mu));
+  }
+}
+
+TEST(KernelEquivalence, ExhaustiveFrontierMigrationMatchesSeed) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  auto flows = workload(topo, 30, 23);
+  CostModel cm(apsp, flows);
+  const Placement from = solve_top_dp(cm, 3).placement;
+  std::vector<double> rates = rates_of(flows);
+  for (double& r : rates) r *= 2.5;
+  std::reverse(rates.begin(), rates.end());
+  set_rates(flows, rates);
+  cm.refresh();
+  ParetoMigrationOptions opt;
+  opt.exhaustive_frontiers = true;
+  expect_migration_eq(solve_tom_pareto(cm, from, 5e2, opt),
+                      ref_solve_tom_pareto(cm, from, 5e2, opt));
+}
+
+// ---------------------------------------------------------------------------
+// CostModel attraction equivalence: the blocked (and OpenMP-parallel)
+// rescans must reproduce a naive per-switch flow-order sum bit-exactly,
+// because each accumulator still adds its terms in flow order.
+// ---------------------------------------------------------------------------
+TEST(KernelEquivalence, AttractionsMatchNaiveFlowOrderSums) {
+  struct Scenario {
+    int k, l;
+    std::uint64_t seed;
+  };
+  for (const Scenario sc : {Scenario{4, 37, 3}, Scenario{8, 200, 19}}) {
+    const Topology topo = build_fat_tree(sc.k);
+    const AllPairs apsp(topo.graph);
+    auto flows = workload(topo, sc.l, sc.seed);
+    CostModel cm(apsp, flows);
+    const auto check = [&] {
+      double lambda = 0.0;
+      for (const VmFlow& f : flows) lambda += f.rate;
+      EXPECT_EQ(cm.total_rate(), lambda);
+      for (const NodeId sw : topo.graph.switches()) {
+        double a = 0.0, b = 0.0;
+        for (const VmFlow& f : flows) {
+          a += f.rate * apsp.cost(f.src_host, sw);
+          b += f.rate * apsp.cost(sw, f.dst_host);
+        }
+        EXPECT_EQ(cm.ingress_attraction(sw), a) << "switch " << sw;
+        EXPECT_EQ(cm.egress_attraction(sw), b) << "switch " << sw;
+      }
+    };
+    check();
+    // Shift the rate vector and rescan.
+    std::vector<double> rates = rates_of(flows);
+    for (double& r : rates) r *= 1.75;
+    std::reverse(rates.begin(), rates.end());
+    set_rates(flows, rates);
+    cm.refresh();
+    check();
+  }
+}
+
+TEST(KernelEquivalence, GroupRecombineMatchesNaiveGroupOrderSums) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  auto flows = workload(topo, 45, 29);
+  CostModel cm(apsp, flows);
+
+  const std::vector<double> base_rates = rates_of(flows);
+  std::vector<int> groups(flows.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    groups[i] = static_cast<int>(i % 3);
+  }
+  cm.enable_group_refresh(base_rates, groups);
+  const std::vector<double> scales = {1.0, 0.5, 2.25};
+  // Keep the bound flow vector coherent, as refresh_scaled documents.
+  std::vector<double> scaled = base_rates;
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    scaled[i] *= scales[static_cast<std::size_t>(groups[i])];
+  }
+  set_rates(flows, scaled);
+  cm.refresh_scaled(scales);
+
+  // Λ recombines in *flow* order (bit-identical to refresh()).
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < base_rates.size(); ++i) {
+    lambda += base_rates[i] * scales[static_cast<std::size_t>(groups[i])];
+  }
+  EXPECT_EQ(cm.total_rate(), lambda);
+
+  // Attractions recombine in *group* order over flow-order base vectors.
+  for (const NodeId sw : topo.graph.switches()) {
+    double a = 0.0, b = 0.0;
+    for (std::size_t g = 0; g < scales.size(); ++g) {
+      double ag = 0.0, bg = 0.0;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (groups[i] != static_cast<int>(g)) continue;
+        ag += base_rates[i] * apsp.cost(flows[i].src_host, sw);
+        bg += base_rates[i] * apsp.cost(sw, flows[i].dst_host);
+      }
+      a += scales[g] * ag;
+      b += scales[g] * bg;
+    }
+    EXPECT_EQ(cm.ingress_attraction(sw), a) << "switch " << sw;
+    EXPECT_EQ(cm.egress_attraction(sw), b) << "switch " << sw;
+  }
+}
+
+}  // namespace
+}  // namespace ppdc

@@ -132,6 +132,25 @@ TEST(StrollDp, NTourSameEndpointHost) {
   EXPECT_EQ(r.placement.size(), 2u);
 }
 
+TEST(StrollDp, ZeroQuotaSameEndpointIsSingleNodeWalk) {
+  // Degenerate n-tour base: s == t with nothing to place needs no edge at
+  // all. The walk must be the single node {s} — the old {s, s} answer
+  // broke the "consecutive walk nodes are distinct" invariant downstream
+  // consumers rely on.
+  const Topology topo = build_linear(5);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  const StrollResult r = solve_top1_dp(apsp, h1, h1, 0);
+  EXPECT_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.walk, std::vector<NodeId>{h1});
+  EXPECT_TRUE(r.placement.empty());
+  EXPECT_EQ(r.edges_used, 0);
+  EXPECT_FALSE(r.used_fallback);
+  for (std::size_t i = 0; i + 1 < r.walk.size(); ++i) {
+    EXPECT_NE(r.walk[i], r.walk[i + 1]);
+  }
+}
+
 TEST(StrollDp, MatchesBruteForceOnRandomWeightedGraphs) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     const Topology topo = build_random_connected(7, 2, 6, 0.5, 3.0, seed);

@@ -1,0 +1,228 @@
+// bench_compare: the perf-trajectory regression gate over BENCH_*.json
+// artifacts (see bench/bench_common.hpp for the writer and EXPERIMENTS.md
+// for the workflow).
+//
+//   bench_compare BASELINE_DIR CURRENT_DIR [--tolerance FRACTION]
+//
+// For every BENCH_<kernel>.json in BASELINE_DIR the same-named artifact
+// must exist in CURRENT_DIR and satisfy, in order:
+//
+//   1. build comparability — build_type, cxx_flags, compiler, native and
+//      threads must match exactly. A mismatch is *rejected* (exit 3), not
+//      compared: a Release baseline against a RelWithDebInfo run would
+//      only produce noise dressed up as a regression (or worse, mask one).
+//   2. scenario identity — the fingerprint must match, else the pinned
+//      scenario was edited without refreshing the baseline (exit 1).
+//   3. output identity — the checksum must match bit-exactly; drift means
+//      a kernel changed numeric behaviour, which is a correctness failure
+//      long before it is a perf question (exit 1).
+//   4. perf — current best_ns may exceed baseline best_ns by at most the
+//      tolerance (default 0.10, overridable via --tolerance or the
+//      PPDC_BENCH_TOLERANCE environment variable). When either side ran
+//      in smoke mode an extra 0.25 slack absorbs the short repetitions'
+//      scheduler noise.
+//
+// Exit codes: 0 all kernels pass; 1 regression / drift / missing kernel;
+// 2 usage or I/O error; 3 build-metadata mismatch (incomparable).
+//
+// The parser is a line scanner over the writer's "one key per line"
+// format, not a JSON library — the container bakes none in, and the
+// format is under this repo's control end to end.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Flat key -> raw-value view of one artifact. Values keep their JSON
+/// spelling ("Release" without quotes for strings, "true", "123.4").
+using Record = std::map<std::string, std::string>;
+
+/// Parses `  "key": value,` lines; returns false when the file cannot be
+/// read or holds no recognisable pairs.
+bool parse_bench_json(const fs::path& path, Record& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t kq0 = line.find('"');
+    if (kq0 == std::string::npos) continue;
+    const std::size_t kq1 = line.find('"', kq0 + 1);
+    if (kq1 == std::string::npos) continue;
+    const std::size_t colon = line.find(':', kq1);
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    // Trim whitespace and the trailing comma; unquote strings.
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ' ||
+                              value.back() == '\r')) {
+      value.pop_back();
+    }
+    std::size_t start = value.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    value = value.substr(start);
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    out[line.substr(kq0 + 1, kq1 - kq0 - 1)] = value;
+  }
+  return !out.empty();
+}
+
+std::string get(const Record& r, const std::string& key) {
+  const auto it = r.find(key);
+  return it == r.end() ? std::string() : it->second;
+}
+
+bool get_double(const Record& r, const std::string& key, double& out) {
+  const std::string v = get(r, key);
+  if (v.empty()) return false;
+  std::istringstream is(v);
+  return static_cast<bool>(is >> out);
+}
+
+int usage() {
+  std::cerr << "usage: bench_compare BASELINE_DIR CURRENT_DIR"
+            << " [--tolerance FRACTION]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> dirs;
+  double tolerance = 0.10;
+  if (const char* env = std::getenv("PPDC_BENCH_TOLERANCE")) {
+    std::istringstream is(env);
+    if (!(is >> tolerance) || tolerance < 0.0) {
+      std::cerr << "error: bad PPDC_BENCH_TOLERANCE '" << env << "'\n";
+      return 2;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      std::istringstream is(argv[++i]);
+      if (!(is >> tolerance) || tolerance < 0.0) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.size() != 2) return usage();
+  const fs::path baseline_dir = dirs[0];
+  const fs::path current_dir = dirs[1];
+  if (!fs::is_directory(baseline_dir) || !fs::is_directory(current_dir)) {
+    std::cerr << "error: both arguments must be directories\n";
+    return 2;
+  }
+
+  std::vector<fs::path> baselines;
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  std::sort(baselines.begin(), baselines.end());
+  if (baselines.empty()) {
+    std::cerr << "error: no BENCH_*.json baselines in " << baseline_dir
+              << "\n";
+    return 2;
+  }
+
+  int failures = 0;
+  bool rejected = false;
+  for (const fs::path& base_path : baselines) {
+    const std::string name = base_path.filename().string();
+    Record base, cur;
+    if (!parse_bench_json(base_path, base)) {
+      std::cerr << "error: cannot parse " << base_path << "\n";
+      return 2;
+    }
+    const fs::path cur_path = current_dir / name;
+    if (!parse_bench_json(cur_path, cur)) {
+      std::cout << "FAIL " << name << ": missing from " << current_dir
+                << " (kernel dropped from the pinned set?)\n";
+      ++failures;
+      continue;
+    }
+
+    // 1. Build comparability: reject, never compare.
+    bool mismatch = false;
+    for (const char* key :
+         {"build_type", "cxx_flags", "compiler", "native", "threads"}) {
+      if (get(base, key) != get(cur, key)) {
+        std::cout << "REJECT " << name << ": " << key << " '"
+                  << get(cur, key) << "' vs baseline '" << get(base, key)
+                  << "' — artifacts are not comparable; rebuild with the"
+                  << " bench preset or refresh the baseline\n";
+        mismatch = true;
+      }
+    }
+    if (mismatch) {
+      rejected = true;
+      continue;
+    }
+
+    // 2. Scenario identity.
+    if (get(base, "fingerprint") != get(cur, "fingerprint")) {
+      std::cout << "FAIL " << name << ": scenario fingerprint "
+                << get(cur, "fingerprint") << " vs baseline "
+                << get(base, "fingerprint")
+                << " — pinned scenario changed; refresh bench/baselines\n";
+      ++failures;
+      continue;
+    }
+
+    // 3. Output identity (bit-exact).
+    if (get(base, "checksum") != get(cur, "checksum")) {
+      std::cout << "FAIL " << name << ": output checksum "
+                << get(cur, "checksum") << " vs baseline "
+                << get(base, "checksum")
+                << " — kernel output drifted (correctness, not perf)\n";
+      ++failures;
+      continue;
+    }
+
+    // 4. Perf against best_ns.
+    double base_ns = 0.0, cur_ns = 0.0;
+    if (!get_double(base, "best_ns", base_ns) ||
+        !get_double(cur, "best_ns", cur_ns) || base_ns <= 0.0) {
+      std::cerr << "error: " << name << " lacks a usable best_ns\n";
+      return 2;
+    }
+    double allowed = tolerance;
+    if (get(base, "smoke") == "true" || get(cur, "smoke") == "true") {
+      allowed += 0.25;  // short smoke repetitions jitter more
+    }
+    const double ratio = cur_ns / base_ns;
+    std::ostringstream line;
+    line << name << ": " << cur_ns / 1e6 << " ms vs baseline "
+         << base_ns / 1e6 << " ms (x" << ratio << ", allowed x"
+         << 1.0 + allowed << ")";
+    if (ratio > 1.0 + allowed) {
+      std::cout << "FAIL " << line.str() << "\n";
+      ++failures;
+    } else {
+      std::cout << "OK   " << line.str() << "\n";
+    }
+  }
+
+  if (rejected) return 3;
+  if (failures > 0) {
+    std::cout << failures << " kernel(s) failed the perf gate\n";
+    return 1;
+  }
+  std::cout << "all " << baselines.size() << " kernel(s) within tolerance\n";
+  return 0;
+}

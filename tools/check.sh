@@ -159,6 +159,27 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Stage 7: BENCH_*.json perf-trajectory gate (optional; needs the bench
+# preset built plus committed baselines in bench/baselines/). Runs the
+# pinned micro-kernel scenarios in smoke mode and rejects >tolerance
+# best_ns regressions, output-checksum drift, and build-metadata
+# mismatches against the committed artifacts. bench_gate.sh exits 77
+# when an ingredient is missing (same SKIPPED degradation as the
+# sanitizer stages).
+# ---------------------------------------------------------------------------
+note "bench gate: tools/bench_gate.sh"
+tools/bench_gate.sh
+gate_rc=$?
+if [ "$gate_rc" -eq 0 ]; then
+  echo "   OK: pinned kernels within tolerance of committed baselines"
+elif [ "$gate_rc" -eq 77 ]; then
+  note "bench gate: SKIPPED (build the bench preset first)"
+else
+  echo "   FAIL: perf gate flagged a regression or incomparable baseline" >&2
+  failures=$((failures + 1))
+fi
+
+# ---------------------------------------------------------------------------
 if [ "$failures" -eq 0 ]; then
   note "check.sh: all executed stages passed"
   exit 0
