@@ -1,0 +1,220 @@
+// Chaos soak: correlated fault domains under the invariant auditor.
+//
+// Sweeps a fixed set of fault-domain scenarios (DESIGN.md §12) over a
+// fat-tree and runs every epoch with the graceful-degradation ladder AND
+// the runtime invariant auditor enabled:
+//   - indep:       independent switch/link renewal processes (control),
+//   - pod-outage:  pod-scale power-domain outages,
+//   - cascade:     aggregation-switch failures drag their pod down,
+//   - gray-links:  flapping fabric links (fail/repair bursts),
+//   - maintenance: scheduled pod drain windows,
+//   - storm:       everything at once.
+// Every scenario also applies solver budget pressure (a deliberately tiny
+// node budget on the exhaustive policy), so the ladder actually steps
+// down and back up while the auditor re-checks placement feasibility,
+// cost conservation, injector consistency, and the observer event stream
+// each epoch.
+//
+// Exit status: nonzero when any invariant audit violation surfaced —
+// with --keep-going the violating (trial, policy) cells are quarantined,
+// reported, and counted; without it the first violation aborts the sweep.
+//
+// Options: --k --trials --l --n --mu --hours --mtbf --mttr --penalty
+//          --node-budget --seed --threads --csv --smoke
+//          --checkpoint --keep-going --retries  (robustness; see
+//          EXPERIMENTS.md "Chaos soak")
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/chain_search.hpp"
+#include "fault/fault.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  ppdc::FaultScheduleConfig faults;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppdc;
+  const Options opts = Options::parse(argc, argv);
+  opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "mtbf", "mttr",
+                    "penalty", "node-budget", "seed", "threads", "csv",
+                    "smoke", "checkpoint", "keep-going", "retries"});
+  // Smoke mode is the tier-1 / sanitizer gate: one trial of every
+  // scenario at the smallest fabric that still has four pods to fail.
+  const bool smoke = opts.get_bool("smoke", false);
+  const int k = static_cast<int>(opts.get_int("k", smoke ? 4 : 8));
+  const int trials = static_cast<int>(opts.get_int("trials", smoke ? 1 : 5));
+  const int l = static_cast<int>(opts.get_int("l", smoke ? 30 : 200));
+  const int n = static_cast<int>(opts.get_int("n", 3));
+  const double mu = opts.get_double("mu", 1e4);
+  const int hours = static_cast<int>(opts.get_int("hours", smoke ? 16 : 48));
+  const double mtbf = opts.get_double("mtbf", smoke ? 12.0 : 32.0);
+  const double mttr = opts.get_double("mttr", 2.0);
+  const double penalty = opts.get_double("penalty", 50.0);
+  // Deliberate budget pressure: a node budget this small truncates every
+  // full re-solve of the exhaustive policy, which trips the ladder. The
+  // node budget (not SolveBudget) keeps the trips deterministic.
+  const std::uint64_t node_budget =
+      static_cast<std::uint64_t>(opts.get_int("node-budget", 1));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  const int threads = bench::threads_option(opts);
+  const bench::RobustnessOptions robust = bench::robustness_options(opts);
+  bench::install_signal_handlers();
+
+  bench::header(
+      "Chaos soak — fault domains, degradation ladder, invariant audit",
+      "fat-tree k=" + std::to_string(k) + ", l=" + std::to_string(l) +
+          ", n=" + std::to_string(n) + ", mu=" + TablePrinter::num(mu, 0) +
+          ", " + std::to_string(hours) + "h, " + std::to_string(trials) +
+          " trials, threads=" + bench::threads_label(threads) +
+          "; MTBF=" + TablePrinter::num(mtbf, 0) + ", MTTR=" +
+          TablePrinter::num(mttr, 0) + ", node budget=" +
+          std::to_string(node_budget) + (smoke ? " [smoke]" : ""));
+
+  const Topology topo = build_fat_tree(k);
+  const AllPairs apsp(topo.graph);
+
+  // The scenario grid. Every config shares the horizon and seed so the
+  // spread across rows is the fault structure, not the draw.
+  std::vector<Scenario> scenarios;
+  {
+    FaultScheduleConfig base;
+    base.hours = hours;
+    base.seed = seed;
+
+    Scenario indep{"indep", base};
+    indep.faults.switch_mtbf = mtbf;
+    indep.faults.switch_mttr = mttr;
+    indep.faults.link_mtbf = 2.0 * mtbf;
+    indep.faults.link_mttr = mttr;
+    scenarios.push_back(indep);
+
+    Scenario pod{"pod-outage", base};
+    pod.faults.domain_mtbf = static_cast<double>(hours);
+    pod.faults.domain_mttr = 3.0;
+    scenarios.push_back(pod);
+
+    Scenario cascade{"cascade", base};
+    cascade.faults.switch_mtbf = mtbf;
+    cascade.faults.switch_mttr = mttr;
+    cascade.faults.cascade_prob = 0.5;
+    scenarios.push_back(cascade);
+
+    Scenario gray{"gray-links", base};
+    gray.faults.flap_mtbf = mtbf;
+    gray.faults.flap_cycles = 3;
+    scenarios.push_back(gray);
+
+    Scenario drain{"maintenance", base};
+    drain.faults.maintenance = {
+        {"pod0", Hour{hours / 4}, Hour{hours / 4 + 3}},
+        {"pod1", Hour{hours / 2}, Hour{hours / 2 + 3}},
+    };
+    scenarios.push_back(drain);
+
+    Scenario storm{"storm", base};
+    storm.faults = indep.faults;
+    storm.faults.domain_mtbf = static_cast<double>(hours);
+    storm.faults.domain_mttr = 3.0;
+    storm.faults.cascade_prob = 0.25;
+    storm.faults.flap_mtbf = 2.0 * mtbf;
+    storm.faults.maintenance = {
+        {"pod2", Hour{hours / 3}, Hour{hours / 3 + 3}},
+    };
+    scenarios.push_back(storm);
+  }
+
+  TablePrinter table({"scenario", "fail/rep", "mPareto", "Optimal",
+                      "quarantined", "downtime", "ladder", "refresh/frozen",
+                      "polfail"});
+  int audit_violations = 0;
+  try {
+    for (const Scenario& sc : scenarios) {
+      const FaultSchedule schedule = generate_fault_schedule(topo, sc.faults);
+      int failures = 0, repairs = 0;
+      for (const FaultEvent& e : schedule) {
+        if (e.kind == FaultKind::kSwitchFail ||
+            e.kind == FaultKind::kLinkFail) {
+          ++failures;
+        } else {
+          ++repairs;
+        }
+      }
+
+      ExperimentConfig cfg;
+      cfg.trials = trials;
+      cfg.seed = seed;
+      cfg.workload.num_pairs = l;
+      cfg.workload.intra_rack_fraction = 0.8;
+      cfg.sfc_length = n;
+      cfg.sim.hours = hours;
+      cfg.sim.faults = schedule;
+      cfg.sim.fault.mu = mu;
+      cfg.sim.fault.quarantine_penalty = penalty;
+      cfg.sim.ladder.enabled = true;
+      cfg.sim.audit.enabled = true;
+      cfg.threads = threads;
+      bench::apply_robustness(cfg, robust, sc.name);
+
+      ParetoMigrationPolicy pareto(mu);
+      ChainSearchConfig pressured;
+      pressured.node_budget = node_budget;
+      ExhaustiveMigrationPolicy optimal(mu, pressured);
+      const auto stats =
+          bench::run_or_exit(topo, apsp, cfg, {&pareto, &optimal});
+      for (const PolicyStats& s : stats) {
+        for (const JobFailure& f : s.failures) {
+          if (f.error.find("invariant audit") != std::string::npos) {
+            ++audit_violations;
+          }
+        }
+      }
+
+      // The Optimal column is the pressured one — its ladder columns show
+      // the soak actually exercising the degradation machinery.
+      const PolicyStats& hot = stats[1];
+      table.add_row(
+          {sc.name, std::to_string(failures) + "/" + std::to_string(repairs),
+           bench::cell(stats[0], stats[0].total_cost),
+           bench::cell(hot, hot.total_cost),
+           bench::cell(hot, hot.quarantined_flow_epochs, 1),
+           bench::cell(hot, hot.downtime_epochs, 1),
+           bench::cell(hot, hot.ladder_transitions, 1),
+           bench::cell(hot, hot.refresh_only_epochs, 1) + "/" +
+               bench::cell(hot, hot.frozen_epochs, 1),
+           bench::cell(hot, hot.policy_failures, 1)});
+    }
+  } catch (const PpdcError& e) {
+    // Without --keep-going the first audit violation (or any other
+    // failing job) aborts the sweep; surface it and fail the gate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (opts.get_bool("csv", false)) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nnote: every epoch ran under the invariant auditor "
+               "(placement feasibility, cost conservation, injector "
+               "consistency, event-stream sanity); 'ladder' counts rung "
+               "transitions and 'refresh/frozen' the epochs spent "
+               "degraded. The Optimal policy runs under a node budget of "
+            << node_budget << " to keep the ladder busy on purpose.\n";
+  if (audit_violations > 0) {
+    std::cerr << "error: " << audit_violations
+              << " invariant audit violation(s) — see warnings above\n";
+    return 1;
+  }
+  std::cout << "audit: 0 violations\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/indexed_vector.hpp"
 #include "util/require.hpp"
@@ -15,31 +16,75 @@ namespace {
 struct LinkIdxTag {};
 using LinkIdx = StrongId<LinkIdxTag>;
 
-/// Per-epoch transition probability of a geometric sojourn with mean
-/// `mean_epochs`. A mean of 0 disables the transition; means below one
-/// epoch saturate at certainty.
-double per_epoch_prob(double mean_epochs) {
-  if (mean_epochs <= 0.0) return 0.0;
-  return std::min(1.0, 1.0 / mean_epochs);
+/// A mean of 0 or >= 1 epoch; (0,1) would demand a per-epoch probability
+/// above 1 — rejected by name instead of silently clamped (a config that
+/// asks for sub-epoch sojourns is a bug, not a certainty request).
+void validate_mean(const char* field, double mean) {
+  PPDC_REQUIRE(mean >= 0.0,
+               std::string(field) + " must be non-negative, got " +
+                   std::to_string(mean));
+  PPDC_REQUIRE(
+      mean == 0.0 || mean >= 1.0,
+      std::string(field) + " of " + std::to_string(mean) +
+          " epochs is in (0,1): the per-epoch probability 1/" + field +
+          " would exceed 1 — use 0 to disable or a mean of at least one "
+          "epoch");
 }
 
-}  // namespace
+/// Per-epoch transition probability of a geometric sojourn with mean
+/// `mean_epochs` (validated 0 or >= 1, so no clamping is needed). A mean
+/// of 0 disables the transition.
+double per_epoch_prob(double mean_epochs) {
+  if (mean_epochs <= 0.0) return 0.0;
+  return 1.0 / mean_epochs;
+}
 
-FaultSchedule generate_fault_schedule(const Graph& g,
-                                      const FaultScheduleConfig& config) {
+void validate_config(const FaultScheduleConfig& config) {
   PPDC_REQUIRE(config.hours >= 1, "fault schedule needs at least one epoch");
-  PPDC_REQUIRE(config.switch_mtbf >= 0.0 && config.link_mtbf >= 0.0,
-               "negative MTBF");
-  PPDC_REQUIRE(config.switch_mttr >= 0.0 && config.link_mttr >= 0.0,
-               "negative MTTR");
+  validate_mean("switch_mtbf", config.switch_mtbf);
+  validate_mean("switch_mttr", config.switch_mttr);
+  validate_mean("link_mtbf", config.link_mtbf);
+  validate_mean("link_mttr", config.link_mttr);
+  validate_mean("domain_mtbf", config.domain_mtbf);
+  validate_mean("domain_mttr", config.domain_mttr);
+  validate_mean("flap_mtbf", config.flap_mtbf);
+  PPDC_REQUIRE(config.cascade_prob >= 0.0 && config.cascade_prob <= 1.0,
+               "cascade_prob must be a probability in [0,1]");
+  PPDC_REQUIRE(config.flap_mtbf == 0.0 || config.flap_cycles >= 1,
+               "flap_cycles must be >= 1 when flapping is enabled");
+}
+
+/// Which process currently holds a switch down — its repair discipline.
+/// Domain-outage victims return together on one draw; maintenance
+/// victims return at the window's fixed end; independent (and cascade)
+/// victims each run their own geometric repair.
+enum class Owner : std::uint8_t { kNone, kIndependent, kDomain, kMaintenance };
+
+FaultSchedule generate_impl(const Graph& g,
+                            const std::vector<PowerDomain>& domains,
+                            const std::vector<NodeId>& tor_switches,
+                            const FaultScheduleConfig& config) {
+  validate_config(config);
 
   const double p_switch_fail = per_epoch_prob(config.switch_mtbf);
   const double p_link_fail = per_epoch_prob(config.link_mtbf);
+  const double p_domain_fail = per_epoch_prob(config.domain_mtbf);
+  const double p_flap = per_epoch_prob(config.flap_mtbf);
   // MTTR of 0 means repair at the next epoch boundary.
   const double p_switch_repair =
       config.switch_mttr > 0.0 ? per_epoch_prob(config.switch_mttr) : 1.0;
   const double p_link_repair =
       config.link_mttr > 0.0 ? per_epoch_prob(config.link_mttr) : 1.0;
+  const double p_domain_repair =
+      config.domain_mttr > 0.0 ? per_epoch_prob(config.domain_mttr) : 1.0;
+
+  const bool wants_domains = config.domain_mtbf > 0.0 ||
+                             config.cascade_prob > 0.0 ||
+                             !config.maintenance.empty();
+  PPDC_REQUIRE(!wants_domains || !domains.empty(),
+               "domain_mtbf / cascade_prob / maintenance need power-domain "
+               "metadata (generate_fault_schedule(const Topology&, ...) on a "
+               "topology that defines domains)");
 
   // Fabric links (switch-switch, normalized, id-sorted for determinism).
   std::vector<EdgeKey> links;
@@ -52,36 +97,204 @@ FaultSchedule generate_fault_schedule(const Graph& g,
 
   const auto& switches = g.switches();
   IndexedVector<SwitchIdx, char> switch_down(switches.size(), 0);
+  IndexedVector<SwitchIdx, Owner> switch_owner(switches.size(), Owner::kNone);
   IndexedVector<LinkIdx, EdgeKey> link_universe(std::move(links));
   IndexedVector<LinkIdx, char> link_down(link_universe.size(), 0);
+  // Remaining toggles of an active flap burst per link (0 = not flapping).
+  IndexedVector<LinkIdx, int> flap_left(link_universe.size(), 0);
+
+  // Dense switch-id -> SwitchIdx (and domain membership) lookups.
+  std::vector<SwitchIdx> row_of(static_cast<std::size_t>(g.num_nodes()),
+                                SwitchIdx::invalid());
+  for (const SwitchIdx i : switch_down.ids()) {
+    row_of[static_cast<std::size_t>(
+        switches[static_cast<std::size_t>(i.value())])] = i;
+  }
+  std::vector<int> domain_of(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<char> is_tor(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const NodeId s : tor_switches) {
+    is_tor[static_cast<std::size_t>(s)] = 1;
+  }
+  for (std::size_t dom = 0; dom < domains.size(); ++dom) {
+    for (const NodeId s : domains[dom].switches) {
+      PPDC_REQUIRE(s >= 0 && s < g.num_nodes() && g.is_switch(s),
+                   "power domain '" + domains[dom].name +
+                       "' names a non-switch node");
+      PPDC_REQUIRE(domain_of[static_cast<std::size_t>(s)] < 0,
+                   "switch " + g.label(s) + " belongs to two power domains");
+      domain_of[static_cast<std::size_t>(s)] = static_cast<int>(dom);
+    }
+  }
+  std::vector<char> domain_in_outage(domains.size(), 0);
+
+  // Maintenance windows resolved to domain indices, validated up front.
+  struct Drain {
+    std::size_t domain;
+    Hour start;
+    Hour end;
+  };
+  std::vector<Drain> drains;
+  for (const MaintenanceWindow& w : config.maintenance) {
+    PPDC_REQUIRE(w.start >= Hour{1},
+                 "maintenance window must start at epoch 1 or later (epoch 0 "
+                 "sees the pristine fabric)");
+    PPDC_REQUIRE(w.end > w.start, "maintenance window '" + w.domain +
+                                      "' must end after it starts");
+    const auto it =
+        std::find_if(domains.begin(), domains.end(),
+                     [&](const PowerDomain& d) { return d.name == w.domain; });
+    PPDC_REQUIRE(it != domains.end(),
+                 "maintenance window names unknown power domain '" + w.domain +
+                     "'");
+    drains.push_back({static_cast<std::size_t>(it - domains.begin()), w.start,
+                      w.end});
+  }
 
   Rng rng(config.seed);
   FaultSchedule schedule;
+
+  const auto fail_switch = [&](Hour epoch, SwitchIdx i, Owner owner,
+                               FaultCause cause) {
+    switch_down[i] = 1;
+    switch_owner[i] = owner;
+    schedule.push_back({epoch, FaultKind::kSwitchFail,
+                        switches[static_cast<std::size_t>(i.value())],
+                        kInvalidNode, kInvalidNode, cause});
+  };
+  const auto repair_switch = [&](Hour epoch, SwitchIdx i) {
+    switch_down[i] = 0;
+    switch_owner[i] = Owner::kNone;
+    schedule.push_back({epoch, FaultKind::kSwitchRepair,
+                        switches[static_cast<std::size_t>(i.value())],
+                        kInvalidNode, kInvalidNode, FaultCause::kIndependent});
+  };
+
   for (const Hour epoch : id_range(Hour{1}, Hour{config.hours})) {
+    // 1. Maintenance: drains end, then drains begin (fixed timetable, no
+    // randomness). Only maintenance-owned switches return — a domain that
+    // also lost power mid-drain keeps its outage victims down.
+    for (const Drain& drain : drains) {
+      if (drain.end != epoch) continue;
+      for (const NodeId s : domains[drain.domain].switches) {
+        const SwitchIdx i = row_of[static_cast<std::size_t>(s)];
+        if (switch_down[i] && switch_owner[i] == Owner::kMaintenance) {
+          repair_switch(epoch, i);
+        }
+      }
+    }
+    for (const Drain& drain : drains) {
+      if (drain.start != epoch) continue;
+      for (const NodeId s : domains[drain.domain].switches) {
+        const SwitchIdx i = row_of[static_cast<std::size_t>(s)];
+        if (!switch_down[i]) {
+          fail_switch(epoch, i, Owner::kMaintenance,
+                      FaultCause::kMaintenance);
+        }
+      }
+    }
+
+    // 2. Power-domain outages: one shared draw per domain, so the whole
+    // domain fails in one epoch and returns in one epoch (the correlated
+    // blob the independent processes cannot produce).
+    for (std::size_t dom = 0; dom < domains.size(); ++dom) {
+      if (domain_in_outage[dom]) {
+        if (rng.bernoulli(p_domain_repair)) {
+          domain_in_outage[dom] = 0;
+          for (const NodeId s : domains[dom].switches) {
+            const SwitchIdx i = row_of[static_cast<std::size_t>(s)];
+            if (switch_down[i] && switch_owner[i] == Owner::kDomain) {
+              repair_switch(epoch, i);
+            }
+          }
+        }
+      } else if (p_domain_fail > 0.0 && rng.bernoulli(p_domain_fail)) {
+        domain_in_outage[dom] = 1;
+        for (const NodeId s : domains[dom].switches) {
+          const SwitchIdx i = row_of[static_cast<std::size_t>(s)];
+          if (!switch_down[i]) {
+            fail_switch(epoch, i, Owner::kDomain, FaultCause::kDomainOutage);
+          }
+        }
+      }
+    }
+
+    // 3. Independent switch process (identical draw order to the
+    // domain-free generator) plus aggregation cascades: an independently
+    // failing non-ToR domain member drags each sibling down with
+    // cascade_prob; victims repair independently.
     for (const SwitchIdx i : switch_down.ids()) {
       const NodeId sw = switches[static_cast<std::size_t>(i.value())];
       if (!switch_down[i] && rng.bernoulli(p_switch_fail)) {
-        switch_down[i] = 1;
-        schedule.push_back({epoch, FaultKind::kSwitchFail, sw,
-                            kInvalidNode, kInvalidNode});
-      } else if (switch_down[i] && rng.bernoulli(p_switch_repair)) {
-        switch_down[i] = 0;
-        schedule.push_back({epoch, FaultKind::kSwitchRepair, sw,
-                            kInvalidNode, kInvalidNode});
+        fail_switch(epoch, i, Owner::kIndependent, FaultCause::kIndependent);
+        const int dom = domain_of[static_cast<std::size_t>(sw)];
+        if (config.cascade_prob > 0.0 && dom >= 0 &&
+            !is_tor[static_cast<std::size_t>(sw)]) {
+          for (const NodeId s : domains[static_cast<std::size_t>(dom)]
+                                    .switches) {
+            if (s == sw) continue;
+            const SwitchIdx j = row_of[static_cast<std::size_t>(s)];
+            if (!switch_down[j] && rng.bernoulli(config.cascade_prob)) {
+              fail_switch(epoch, j, Owner::kIndependent, FaultCause::kCascade);
+            }
+          }
+        }
+      } else if (switch_down[i] && switch_owner[i] == Owner::kIndependent &&
+                 rng.bernoulli(p_switch_repair)) {
+        repair_switch(epoch, i);
       }
     }
+
+    // 4. Link process: active flap bursts toggle deterministically every
+    // epoch (2 x flap_cycles toggles starting with a fail, so the burst
+    // ends with the link up); otherwise the independent renewal process
+    // runs, and an up link may start a new burst.
     for (const LinkIdx i : link_universe.ids()) {
       const auto& [u, v] = link_universe[i];
-      if (!link_down[i] && rng.bernoulli(p_link_fail)) {
+      if (flap_left[i] > 0) {
+        --flap_left[i];
+        if (!link_down[i]) {
+          link_down[i] = 1;
+          schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v,
+                              FaultCause::kFlap});
+        } else {
+          link_down[i] = 0;
+          schedule.push_back({epoch, FaultKind::kLinkRepair, kInvalidNode, u,
+                              v, FaultCause::kFlap});
+        }
+      } else if (!link_down[i] && rng.bernoulli(p_link_fail)) {
         link_down[i] = 1;
-        schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v});
+        schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v,
+                            FaultCause::kIndependent});
+      } else if (!link_down[i] && p_flap > 0.0 && rng.bernoulli(p_flap)) {
+        link_down[i] = 1;
+        flap_left[i] = 2 * config.flap_cycles - 1;  // this fail is toggle one
+        schedule.push_back({epoch, FaultKind::kLinkFail, kInvalidNode, u, v,
+                            FaultCause::kFlap});
       } else if (link_down[i] && rng.bernoulli(p_link_repair)) {
         link_down[i] = 0;
-        schedule.push_back({epoch, FaultKind::kLinkRepair, kInvalidNode, u, v});
+        schedule.push_back({epoch, FaultKind::kLinkRepair, kInvalidNode, u, v,
+                            FaultCause::kIndependent});
       }
     }
   }
   return schedule;
+}
+
+}  // namespace
+
+FaultSchedule generate_fault_schedule(const Graph& g,
+                                      const FaultScheduleConfig& config) {
+  PPDC_REQUIRE(config.domain_mtbf == 0.0 && config.cascade_prob == 0.0 &&
+                   config.maintenance.empty(),
+               "domain_mtbf / cascade_prob / maintenance need power-domain "
+               "metadata: call generate_fault_schedule(const Topology&, ...)");
+  return generate_impl(g, {}, {}, config);
+}
+
+FaultSchedule generate_fault_schedule(const Topology& t,
+                                      const FaultScheduleConfig& config) {
+  std::vector<NodeId> tors(t.rack_switches.begin(), t.rack_switches.end());
+  return generate_impl(t.graph, t.power_domains, tors, config);
 }
 
 FaultInjector::FaultInjector(const Graph& pristine, FaultSchedule schedule)

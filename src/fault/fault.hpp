@@ -16,12 +16,23 @@
 // The injector never touches the pristine Graph: consumers build a
 // DegradedNetwork (masked copy + allow-disconnected APSP) whenever
 // advance_to() reports a topology change.
+//
+// Correlated fault domains (chaos layer): on top of the independent
+// renewal processes, the Topology overload of generate_fault_schedule
+// draws pod-scale power-domain outages, aggregation-switch cascades,
+// gray (flapping) links, and scheduled maintenance drains. All of them
+// compile down to the same FaultEvent stream — the injector, the
+// DegradedNetwork, and the engine's serving-core logic are reused
+// unchanged — and the generator keeps one unified per-component state
+// machine so overlapping processes never emit an illegal double-fail or
+// repair-of-healthy transition.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "topology/topology.hpp"
 #include "util/ids.hpp"
 
 namespace ppdc {
@@ -34,6 +45,17 @@ enum class FaultKind : std::uint8_t {
   kLinkRepair,
 };
 
+/// Which process drew a fault event. Purely diagnostic: the injector
+/// replays every cause identically; benches and tests use it to
+/// attribute chaos (a pod outage vs. an unlucky independent draw).
+enum class FaultCause : std::uint8_t {
+  kIndependent,  ///< per-component renewal process (and all repairs)
+  kDomainOutage, ///< power-domain outage took the whole domain
+  kCascade,      ///< dragged down by an aggregation-switch failure
+  kFlap,         ///< gray link: one toggle of a flap burst
+  kMaintenance,  ///< scheduled drain window
+};
+
 /// One timeline entry. Switch events use `node`; link events use `u`/`v`
 /// (normalized u < v, see make_edge_key). Epochs share the simulation's
 /// Hour domain, so a flow or switch index can never masquerade as a time.
@@ -43,13 +65,27 @@ struct FaultEvent {
   NodeId node = kInvalidNode;  ///< switch events
   NodeId u = kInvalidNode;     ///< link events, u < v
   NodeId v = kInvalidNode;
+  FaultCause cause = FaultCause::kIndependent;
 };
 
 /// A timeline of fault events, non-decreasing in epoch.
 using FaultSchedule = std::vector<FaultEvent>;
 
-/// Parameters of the renewal fault process. All times are in epochs
-/// (simulation hours); a mean of 0 disables that event class.
+/// A scheduled drain: every switch of the named PowerDomain that is up
+/// at epoch `start` fails there and is repaired at epoch `end` (the
+/// first epoch after the drain). A window whose `end` reaches the
+/// horizon never returns within the run.
+struct MaintenanceWindow {
+  std::string domain;  ///< PowerDomain::name, e.g. "pod3"
+  Hour start{0};       ///< first drained epoch, >= 1
+  Hour end{0};         ///< first epoch after the drain, > start
+};
+
+/// Parameters of the fault processes. All times are in epochs
+/// (simulation hours); a mean of 0 disables that event class. Every mean
+/// must be 0 or >= 1 epoch — a mean in (0,1) would demand a per-epoch
+/// probability above 1 and is rejected with a PpdcError naming the field
+/// (no silent clamping).
 struct FaultScheduleConfig {
   int hours = 24;              ///< epochs [0, hours); epoch 0 is fault-free
   double switch_mtbf = 0.0;    ///< mean epochs between switch failures
@@ -57,6 +93,21 @@ struct FaultScheduleConfig {
   double link_mtbf = 0.0;      ///< mean epochs between fabric-link failures
   double link_mttr = 2.0;      ///< mean epochs until a dead link returns
   std::uint64_t seed = 0;
+
+  // --- Correlated fault domains. The knobs below (except the link-level
+  // flap process) need PowerDomain metadata: use the Topology overload.
+  double domain_mtbf = 0.0;  ///< mean epochs between power outages per domain
+  double domain_mttr = 4.0;  ///< mean epochs until the whole domain returns
+  /// When an aggregation switch (a domain member that is not a ToR) fails
+  /// independently, each other switch of its domain is dragged down with
+  /// this probability (victims repair independently).
+  double cascade_prob = 0.0;
+  /// Gray links: mean epochs between flap bursts per fabric link. A burst
+  /// toggles the link every epoch through `flap_cycles` fail/repair
+  /// cycles, ending up.
+  double flap_mtbf = 0.0;
+  int flap_cycles = 3;  ///< fail/repair cycles per flap burst (>= 1)
+  std::vector<MaintenanceWindow> maintenance;  ///< scheduled drains
 };
 
 /// Draws a deterministic schedule for `g`: every switch and every
@@ -65,7 +116,18 @@ struct FaultScheduleConfig {
 /// probability 1/MTTR while down). Host uplinks never fail on their own —
 /// losing a ToR switch already models rack disconnection. Events start at
 /// epoch 1 so the initial placement always happens on the pristine fabric.
+/// Domain-level knobs (domain_mtbf, cascade_prob, maintenance) are
+/// rejected here — they need PowerDomain metadata, use the Topology
+/// overload; the link-level flap process is available on both.
 FaultSchedule generate_fault_schedule(const Graph& g,
+                                      const FaultScheduleConfig& config);
+
+/// Topology-aware overload: additionally draws correlated events over
+/// `t.power_domains` — pod-scale power outages (every up switch of a
+/// domain fails together and returns together), aggregation-switch
+/// cascades, and scheduled maintenance drains. With every domain knob at
+/// its default this reproduces the Graph overload bit for bit.
+FaultSchedule generate_fault_schedule(const Topology& t,
                                       const FaultScheduleConfig& config);
 
 /// What advance_to() applied for one epoch.

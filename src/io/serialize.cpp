@@ -1,6 +1,7 @@
 #include "io/serialize.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
@@ -175,6 +176,7 @@ Topology load_topology(std::istream& is) {
     ss >> kind;
     if (kind == "name") {
       ss >> topo.name;
+      PPDC_REQUIRE(!ss.fail(), in.where("malformed name line", line));
     } else if (kind == "node") {
       NodeId id;
       std::string role, label;
@@ -191,14 +193,31 @@ Topology load_topology(std::istream& is) {
       double w;
       ss >> u >> v >> w;
       PPDC_REQUIRE(!ss.fail(), in.where("malformed edge line", line));
-      topo.graph.add_edge(u, v, w);
+      PPDC_REQUIRE(std::isfinite(w) && w >= 0.0,
+                   in.where("edge weight must be finite and >= 0", line));
+      // Graph::add_edge validates endpoints and duplicates, but knows
+      // nothing about the file — re-anchor its diagnostics on the line.
+      try {
+        topo.graph.add_edge(u, v, w);
+      } catch (const PpdcError& e) {
+        throw PpdcError(in.where(std::string("bad edge: ") + e.what(), line));
+      }
     } else if (kind == "rack") {
       NodeId sw;
       ss >> sw;
       PPDC_REQUIRE(!ss.fail(), in.where("malformed rack line", line));
+      PPDC_REQUIRE(sw >= 0 && sw < topo.graph.num_nodes() &&
+                       !topo.graph.is_host(sw),
+                   in.where("rack switch must name a declared switch", line));
       std::vector<NodeId> hosts;
       NodeId h;
-      while (ss >> h) hosts.push_back(h);
+      while (ss >> h) {
+        PPDC_REQUIRE(h >= 0 && h < topo.graph.num_nodes() &&
+                         topo.graph.is_host(h),
+                     in.where("rack member must name a declared host", line));
+        hosts.push_back(h);
+      }
+      PPDC_REQUIRE(ss.eof(), in.where("malformed rack line", line));
       PPDC_REQUIRE(!hosts.empty(), in.where("rack without hosts", line));
       topo.rack_switches.push_back(sw);
       topo.racks.push_back(std::move(hosts));
@@ -236,6 +255,12 @@ std::vector<VmFlow> load_flows(std::istream& is) {
     ss >> kind >> f.src_host >> f.dst_host >> f.rate >> f.group;
     PPDC_REQUIRE(kind == "flow" && !ss.fail(),
                  in.where("malformed flow line", line));
+    PPDC_REQUIRE(f.src_host >= 0 && f.dst_host >= 0,
+                 in.where("flow endpoints must be non-negative", line));
+    PPDC_REQUIRE(std::isfinite(f.rate) && f.rate >= 0.0,
+                 in.where("flow rate must be finite and >= 0", line));
+    PPDC_REQUIRE(f.group >= 0,
+                 in.where("flow group must be non-negative", line));
     flows.push_back(f);
   }
   return flows;
@@ -268,6 +293,8 @@ Placement load_placement(std::istream& is) {
                  in.where("malformed placement line", line));
     PPDC_REQUIRE(index == p.size(),
                  in.where("vnf indices must be dense, in order", line));
+    PPDC_REQUIRE(sw >= 0,
+                 in.where("placement switch must be non-negative", line));
     p.push_back(sw);
   }
   return p;

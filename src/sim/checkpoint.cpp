@@ -21,7 +21,12 @@ namespace ppdc {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'P', 'D', 'C', 'J', 'N', 'L', '1'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2: StatsBundle grew the graceful-degradation ladder scalars
+// (ladder_transitions, refresh_only, frozen, policy_failures) and the
+// sim-config fingerprint covers the ladder/audit knobs. Version-1
+// journals are rejected with a clear message — their records cannot be
+// merged bit-exactly into the wider bundle.
+constexpr std::uint32_t kVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Little serialization layer: fixed-width fields appended to a string,
@@ -188,6 +193,10 @@ std::string serialize_record(const JobRecord& rec) {
     put_running_stats(payload, rec.stats.penalty);
     put_running_stats(payload, rec.stats.downtime);
     put_running_stats(payload, rec.stats.truncated);
+    put_running_stats(payload, rec.stats.ladder_transitions);
+    put_running_stats(payload, rec.stats.refresh_only);
+    put_running_stats(payload, rec.stats.frozen);
+    put_running_stats(payload, rec.stats.policy_failures);
     for (const RunningStats& s : rec.stats.hourly_cost) {
       put_running_stats(payload, s);
     }
@@ -238,6 +247,10 @@ JobRecord parse_record(const std::string& bytes, std::size_t begin,
     rec.stats.penalty = c.running_stats();
     rec.stats.downtime = c.running_stats();
     rec.stats.truncated = c.running_stats();
+    rec.stats.ladder_transitions = c.running_stats();
+    rec.stats.refresh_only = c.running_stats();
+    rec.stats.frozen = c.running_stats();
+    rec.stats.policy_failures = c.running_stats();
     for (std::uint32_t h = 0; h < hours; ++h) {
       rec.stats.hourly_cost[h] = c.running_stats();
     }
@@ -397,6 +410,13 @@ ExperimentFingerprint fingerprint_experiment(
     h.i64(config.sim.fault.placement.candidate_limit);
     h.b(config.sim.fault.exhaustive_recovery);
     h.f64(config.sim.fault.budget.wall_ms);
+    h.b(config.sim.ladder.enabled);
+    h.f64(config.sim.ladder.max_quarantined_fraction);
+    h.i64(config.sim.ladder.trip_truncations);
+    h.i64(config.sim.ladder.recovery_epochs);
+    // Auditing changes no results, but a run that dies on an AuditError
+    // must not silently resume as a non-audited run (and vice versa).
+    h.b(config.sim.audit.enabled);
     fp.sim_config = h.value();
   }
   return fp;

@@ -21,6 +21,15 @@ SimTrace run_simulation(const AllPairs& apsp,
                "negative recovery migration coefficient");
   PPDC_REQUIRE(config.fault.quarantine_penalty >= 0.0,
                "negative quarantine penalty");
+  PPDC_REQUIRE(config.ladder.max_quarantined_fraction >= 0.0 &&
+                   config.ladder.max_quarantined_fraction <= 1.0,
+               "ladder quarantine trip must be a fraction in [0,1]");
+  PPDC_REQUIRE(config.ladder.trip_truncations >= 0,
+               "negative ladder truncation trip");
+  PPDC_REQUIRE(config.ladder.recovery_epochs >= 1,
+               "ladder recovery needs at least one clean epoch");
+  PPDC_REQUIRE(config.audit.rel_tol >= 0.0 && config.audit.abs_tol >= 0.0,
+               "negative audit tolerance");
 
   const Graph& graph = apsp.graph();
   std::optional<FaultInjector> injector;
@@ -79,11 +88,15 @@ SimTrace run_simulation(const AllPairs& apsp,
   state.placement = initial.placement;
 
   // The recorder is the engine's own trace-building observer; an external
-  // observer, when present, sees the identical event stream.
+  // observer, when present, sees the identical event stream, and so does
+  // the per-run invariant auditor when auditing is on.
   TraceRecorder recorder;
+  std::optional<InvariantAuditor> auditor;
+  if (config.audit.enabled) auditor.emplace(config.audit, policy.name());
   auto emit = [&](auto&& fn) {
     fn(static_cast<EpochObserver&>(recorder));
     if (observer != nullptr) fn(*observer);
+    if (auditor) fn(*auditor);
   };
   emit([&](EpochObserver& o) {
     o.on_run_begin(Hour{config.hours}, initial.placement);
@@ -94,6 +107,13 @@ SimTrace run_simulation(const AllPairs& apsp,
   std::unique_ptr<DegradedNetwork> degraded;
   std::unique_ptr<CostModel> degraded_model;
   bool base_resync_pending = false;  ///< primary bases stale after faults
+
+  // Graceful-degradation ladder state (DESIGN.md §12). The rung is the
+  // mode the *next* epoch executes at; transitions are evaluated after
+  // each epoch is costed and emitted.
+  DegradationRung rung = DegradationRung::kFull;
+  int clean_streak = 0;
+  double last_comm_cost = 0.0;  ///< stale estimate charged at kFrozen
 
   for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
     if (config.cancel != nullptr &&
@@ -152,6 +172,14 @@ SimTrace run_simulation(const AllPairs& apsp,
     double recovery_cost = 0.0;
     int recovery_truncations = 0;
     EpochDecision d;
+    // The epoch executes at the current rung; stamped into the decision
+    // below. At kFrozen the per-epoch cost refresh is skipped (rebuilds on
+    // topology changes still happen — emergency recovery needs a valid
+    // metric), the policy is skipped, and a stale comm estimate is
+    // charged.
+    const bool frozen = config.ladder.enabled &&
+                        rung == DegradationRung::kFrozen;
+    CostModel* m = &model;
 
     if (blackout) {
       // The surviving core cannot host an n-VNF chain: nothing is served.
@@ -166,18 +194,17 @@ SimTrace run_simulation(const AllPairs& apsp,
       // (quarantine breaks the base-rate x scale decomposition, so the
       // group fast path does not apply). The primary model is resynced
       // lazily when the fabric heals.
-      CostModel* m = &model;
       if (faults_active) {
         if (!degraded_model) {
           degraded_model =
               std::make_unique<CostModel>(degraded->apsp(), state.flows);
           degraded_model->restrict_candidates(degraded->core_switches());
-        } else {
+        } else if (!frozen) {
           degraded_model->refresh();
         }
         m = degraded_model.get();
         base_resync_pending = true;
-      } else {
+      } else if (!frozen) {
         if (base_resync_pending) {
           // Heal: endpoints may have moved while the degraded model was
           // authoritative; resync the per-group base vectors before
@@ -230,42 +257,68 @@ SimTrace run_simulation(const AllPairs& apsp,
         });
       }
 
-      // 5. The policy reacts to the epoch.
+      // 5. The policy reacts to the epoch — at rung kFull. kRefreshOnly
+      // holds the placement and re-charges it on the refreshed metric;
+      // kFrozen holds the placement *and* charges the previous epoch's
+      // (stale) comm estimate. With the ladder enabled, a policy throw is
+      // contained: the pre-policy state is restored, the epoch is charged
+      // at the held placement, and the throw becomes a trip signal.
       if (hour == Hour{0}) {
         // The initial placement is already optimal for hour 0; policies
         // only react to *changes*, so hour 0 just charges the
         // communication cost.
         d.comm_cost = model.communication_cost(state.placement);
+      } else if (frozen) {
+        d.comm_cost = last_comm_cost;
+      } else if (config.ladder.enabled &&
+                 rung == DegradationRung::kRefreshOnly) {
+        d.comm_cost = m->communication_cost(state.placement);
       } else {
-        d = policy.on_epoch(*m, state);
-        // Contract check before the decision is costed into the trace:
-        // the placement must be n distinct in-range switches, all alive
-        // and inside the serving core.
+        std::optional<SimState> snapshot;
+        if (config.ladder.enabled) snapshot = state;
         try {
-          PPDC_REQUIRE(state.placement.size() == static_cast<std::size_t>(n),
-                       "placement length changed");
-          validate_placement(m->apsp().graph(), state.placement);
-          if (faults_active) {
-            for (const NodeId s : state.placement) {
-              PPDC_REQUIRE(degraded->in_core(s),
-                           "VNF placed on a dead or unreachable switch");
+          d = policy.on_epoch(*m, state);
+          // Contract check before the decision is costed into the trace:
+          // the placement must be n distinct in-range switches, all alive
+          // and inside the serving core.
+          try {
+            PPDC_REQUIRE(state.placement.size() ==
+                             static_cast<std::size_t>(n),
+                         "placement length changed");
+            validate_placement(m->apsp().graph(), state.placement);
+            if (faults_active) {
+              for (const NodeId s : state.placement) {
+                PPDC_REQUIRE(degraded->in_core(s),
+                             "VNF placed on a dead or unreachable switch");
+              }
             }
+          } catch (const PpdcError& e) {
+            throw PpdcError("policy '" + policy.name() +
+                            "' produced an invalid placement at epoch " +
+                            std::to_string(hour.value()) + ": " + e.what());
           }
-        } catch (const PpdcError& e) {
-          throw PpdcError("policy '" + policy.name() +
-                          "' produced an invalid placement at epoch " +
-                          std::to_string(hour.value()) + ": " + e.what());
+        } catch (const PpdcError&) {
+          if (!config.ladder.enabled) throw;
+          // Contain the failure: roll back whatever the policy did
+          // (flows and placement; the cost model was not patched, so it
+          // still matches the restored state) and hold position.
+          state = std::move(*snapshot);
+          d = EpochDecision{};
+          d.policy_failed = true;
+          d.comm_cost = m->communication_cost(state.placement);
         }
-        // PLAN/MCF may have moved endpoints: patch only the touched flows
-        // (CostModel reads the flow vector it was bound to). Epochs
-        // without endpoint moves need no refresh at all — rates are
-        // untouched by policies.
-        if (!d.moved_flows.empty()) {
-          m->endpoints_moved(d.moved_flows);
-        }
-        if (config.downtime_factor > 0.0) {
-          d.migration_cost += config.downtime_factor * m->total_rate() *
-                              d.migration_distance;
+        if (!d.policy_failed) {
+          // PLAN/MCF may have moved endpoints: patch only the touched
+          // flows (CostModel reads the flow vector it was bound to).
+          // Epochs without endpoint moves need no refresh at all — rates
+          // are untouched by policies.
+          if (!d.moved_flows.empty()) {
+            m->endpoints_moved(d.moved_flows);
+          }
+          if (config.downtime_factor > 0.0) {
+            d.migration_cost += config.downtime_factor * m->total_rate() *
+                                d.migration_distance;
+          }
         }
       }
     }
@@ -280,15 +333,76 @@ SimTrace run_simulation(const AllPairs& apsp,
     d.quarantined_flows = quarantined;
     d.quarantine_penalty = epoch_penalty;
     d.truncated_solves += recovery_truncations;
+    d.rung = rung;
     if (d.truncated_solves > 0) {
       emit([&](EpochObserver& o) {
         o.on_budget_truncation(hour, d.truncated_solves);
       });
     }
     emit([&](EpochObserver& o) { o.on_epoch_end(hour, d); });
+    last_comm_cost = d.comm_cost;
+
+    // 7. Ladder transition: evaluate this epoch's stress signals and step
+    // one rung down (or, after a clean streak, one rung up). The epoch
+    // that tripped still executed at the old rung; the new rung governs
+    // the next epoch.
+    if (config.ladder.enabled) {
+      const char* trip = nullptr;
+      if (d.policy_failed) {
+        trip = "policy-throw";
+      } else if (blackout) {
+        trip = "blackout";
+      } else if (config.ladder.trip_truncations > 0 &&
+                 d.truncated_solves >= config.ladder.trip_truncations) {
+        trip = "solve-budget";
+      } else if (static_cast<double>(quarantined) >
+                 config.ladder.max_quarantined_fraction *
+                     static_cast<double>(state.flows.size())) {
+        trip = "quarantine";
+      }
+      if (trip != nullptr) {
+        clean_streak = 0;
+        if (rung != DegradationRung::kFrozen) {
+          const DegradationRung from = rung;
+          rung = static_cast<DegradationRung>(static_cast<int>(rung) + 1);
+          emit([&](EpochObserver& o) {
+            o.on_ladder_transition(hour, from, rung, trip);
+          });
+        }
+      } else {
+        ++clean_streak;
+        if (rung != DegradationRung::kFull &&
+            clean_streak >= config.ladder.recovery_epochs) {
+          const DegradationRung from = rung;
+          rung = static_cast<DegradationRung>(static_cast<int>(rung) - 1);
+          clean_streak = 0;
+          emit([&](EpochObserver& o) {
+            o.on_ladder_transition(hour, from, rung, "recovered");
+          });
+        }
+      }
+    }
+
+    // 8. Runtime invariant audit of the fully costed epoch (opt-in).
+    if (auditor) {
+      AuditContext actx;
+      actx.epoch = hour;
+      actx.model = m;
+      actx.state = &state;
+      actx.decision = &d;
+      actx.degraded = degraded.get();
+      actx.injector = injector ? &*injector : nullptr;
+      actx.n = n;
+      auditor->check_epoch(actx);
+    }
   }
   emit([&](EpochObserver& o) { o.on_run_end(); });
-  return recorder.take();
+  SimTrace trace = recorder.take();
+  if (auditor) {
+    trace.audited_epochs = auditor->checked_epochs();
+    auditor->check_run(trace);
+  }
+  return trace;
 }
 
 }  // namespace ppdc

@@ -37,12 +37,35 @@
 #include "core/placement_dp.hpp"
 #include "core/solve_budget.hpp"
 #include "fault/fault.hpp"
+#include "sim/audit.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
 #include "util/require.hpp"
 #include "workload/diurnal.hpp"
 
 namespace ppdc {
+
+/// Knobs of the graceful-degradation ladder (DESIGN.md §12). When
+/// enabled, sustained stress steps the engine down one rung per stressed
+/// epoch — full re-solve (kFull) → refresh-only (kRefreshOnly, the
+/// placement is held and only the exact cost refresh runs) → frozen
+/// (kFrozen, placement and cost refresh held, the previous epoch's comm
+/// cost is charged as a stale estimate) — and a clean streak steps it
+/// back up one rung at a time. Every transition is emitted as a
+/// first-class EpochObserver event and counted in SimTrace. Quarantine,
+/// SLA penalties, downtime accounting, and emergency recovery (stranded
+/// VNFs must move) keep running at every rung.
+struct LadderOptions {
+  bool enabled = false;
+  /// Trip when more than this fraction of the flow population is
+  /// quarantined in one epoch.
+  double max_quarantined_fraction = 0.5;
+  /// Trip when the epoch's budget-truncated solves reach this count
+  /// (0 disables the truncation trip).
+  int trip_truncations = 1;
+  /// Clean (trip-free) epochs required at a rung before stepping back up.
+  int recovery_epochs = 2;
+};
 
 /// Knobs of the fault-handling machinery (only consulted when the
 /// schedule actually degrades the fabric).
@@ -84,6 +107,16 @@ struct SimConfig {
   /// start at epoch 1: the initial placement always sees the full fabric.
   FaultSchedule faults;
   FaultOptions fault;  ///< recovery / quarantine knobs
+  /// Graceful-degradation ladder; disabled by default (a throwing policy
+  /// then aborts the run, exactly the pre-ladder contract). With the
+  /// ladder on, a policy throw is contained: the pre-policy state is
+  /// restored, the epoch is charged at the held placement, and the
+  /// ladder steps down.
+  LadderOptions ladder;
+  /// Runtime invariant auditing (sim/audit.hpp); disabled by default.
+  /// The engine constructs one InvariantAuditor per run — plain-data
+  /// options copy safely into parallel experiment jobs.
+  AuditOptions audit;
   /// Cooperative cancellation (SIGINT/SIGTERM plumbing of bench_common):
   /// when non-null and the pointee flips to true, the engine stops at the
   /// next epoch boundary by throwing SimInterrupted. A cancelled run

@@ -30,6 +30,10 @@ void StatsBundle::add(const SimTrace& trace) {
   penalty.add(trace.total_quarantine_penalty);
   downtime.add(static_cast<double>(trace.downtime_epochs));
   truncated.add(static_cast<double>(trace.total_truncated_solves));
+  ladder_transitions.add(static_cast<double>(trace.ladder_transitions));
+  refresh_only.add(static_cast<double>(trace.refresh_only_epochs));
+  frozen.add(static_cast<double>(trace.frozen_epochs));
+  policy_failures.add(static_cast<double>(trace.policy_failures));
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     const EpochDecision& d = trace.epochs[h];
     hourly_cost[h].add(d.comm_cost + d.migration_cost);
@@ -50,6 +54,10 @@ void StatsBundle::merge(const StatsBundle& other) {
   penalty.merge(other.penalty);
   downtime.merge(other.downtime);
   truncated.merge(other.truncated);
+  ladder_transitions.merge(other.ladder_transitions);
+  refresh_only.merge(other.refresh_only);
+  frozen.merge(other.frozen);
+  policy_failures.merge(other.policy_failures);
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     hourly_cost[h].merge(other.hourly_cost[h]);
     hourly_moves[h].merge(other.hourly_moves[h]);
@@ -353,6 +361,10 @@ std::vector<PolicyStats> run_experiment(
     s.quarantine_penalty = mean_ci_of(b.penalty);
     s.downtime_epochs = mean_ci_of(b.downtime);
     s.truncated_solves = mean_ci_of(b.truncated);
+    s.ladder_transitions = mean_ci_of(b.ladder_transitions);
+    s.refresh_only_epochs = mean_ci_of(b.refresh_only);
+    s.frozen_epochs = mean_ci_of(b.frozen);
+    s.policy_failures = mean_ci_of(b.policy_failures);
     s.hourly_cost.reserve(hours);
     s.hourly_migrations.reserve(hours);
     for (std::size_t h = 0; h < hours; ++h) {

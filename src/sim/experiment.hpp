@@ -93,6 +93,11 @@ struct PolicyStats {
   MeanCi quarantine_penalty;        ///< SLA penalty for unserved demand
   MeanCi downtime_epochs;           ///< epochs with no feasible placement
   MeanCi truncated_solves;          ///< budget-truncated exponential solves
+  // Graceful-degradation ladder accounting (all zero with the ladder off).
+  MeanCi ladder_transitions;        ///< rung changes per run
+  MeanCi refresh_only_epochs;       ///< epochs executed at kRefreshOnly
+  MeanCi frozen_epochs;             ///< epochs executed at kFrozen
+  MeanCi policy_failures;           ///< policy throws contained per run
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;
@@ -116,14 +121,15 @@ struct PolicyStats {
 /// (raw IEEE bits, sim/checkpoint.hpp) and must restore it bit-exactly.
 struct StatsBundle {
   RunningStats total, comm, migration, vnf_moves, vm_moves, recovery_moves,
-      recovery_cost, quarantined, penalty, downtime, truncated;
+      recovery_cost, quarantined, penalty, downtime, truncated,
+      ladder_transitions, refresh_only, frozen, policy_failures;
   std::vector<RunningStats> hourly_cost, hourly_moves;
 
   explicit StatsBundle(std::size_t hours = 0)
       : hourly_cost(hours), hourly_moves(hours) {}
 
-  /// The 11 scalar accumulators, in journal serialization order.
-  static constexpr std::size_t kScalarFields = 11;
+  /// The 15 scalar accumulators, in journal serialization order.
+  static constexpr std::size_t kScalarFields = 15;
 
   void add(const SimTrace& trace);
   void merge(const StatsBundle& other);

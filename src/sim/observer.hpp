@@ -19,6 +19,7 @@
 // recorder).
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -60,6 +61,15 @@ class EpochObserver {
   /// ran out of budget and fell back to their incumbent.
   virtual void on_budget_truncation(Hour /*hour*/, int /*truncated_solves*/) {}
 
+  /// The graceful-degradation ladder stepped from rung `from` to `to`
+  /// after epoch `hour` executed (always one rung at a time; `reason` is
+  /// a short tag like "solve-budget", "policy-throw", "quarantine",
+  /// "blackout", or "recovered"). The epoch that *triggered* the step
+  /// still executed at `from`; the next epoch runs at `to`.
+  virtual void on_ladder_transition(Hour /*hour*/, DegradationRung /*from*/,
+                                    DegradationRung /*to*/,
+                                    const std::string& /*reason*/) {}
+
   /// The epoch is fully costed; `decision` carries the final bookkeeping
   /// (policy costs plus the engine's fault stamps).
   virtual void on_epoch_end(Hour /*hour*/, const EpochDecision& /*decision*/) {}
@@ -100,6 +110,15 @@ struct SimTrace {
   /// Budget-truncated exponential solves across the run (policy fallbacks
   /// plus exhaustive-recovery refinements).
   int total_truncated_solves = 0;
+
+  // Graceful-degradation ladder accounting (all zero when the ladder is
+  // disabled or never tripped).
+  int ladder_transitions = 0;    ///< rung changes (down steps + recoveries)
+  int refresh_only_epochs = 0;   ///< epochs executed at kRefreshOnly
+  int frozen_epochs = 0;         ///< epochs executed at kFrozen
+  int policy_failures = 0;       ///< policy throws contained by the ladder
+  /// Epochs the InvariantAuditor checked (0 when auditing is off).
+  int audited_epochs = 0;
 };
 
 /// The observer that builds `SimTrace`. The engine always installs one;
@@ -112,7 +131,16 @@ class TraceRecorder final : public EpochObserver {
     trace_.epochs.reserve(static_cast<std::size_t>(horizon.value()));
   }
 
+  void on_ladder_transition(Hour /*hour*/, DegradationRung /*from*/,
+                            DegradationRung /*to*/,
+                            const std::string& /*reason*/) override {
+    ++trace_.ladder_transitions;
+  }
+
   void on_epoch_end(Hour /*hour*/, const EpochDecision& d) override {
+    if (d.rung == DegradationRung::kRefreshOnly) ++trace_.refresh_only_epochs;
+    if (d.rung == DegradationRung::kFrozen) ++trace_.frozen_epochs;
+    if (d.policy_failed) ++trace_.policy_failures;
     trace_.total_comm_cost += d.comm_cost;
     trace_.total_migration_cost += d.migration_cost;
     trace_.total_vnf_migrations += d.vnf_migrations;

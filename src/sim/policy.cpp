@@ -6,6 +6,18 @@
 
 namespace ppdc {
 
+const char* to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kFull:
+      return "full";
+    case DegradationRung::kRefreshOnly:
+      return "refresh-only";
+    case DegradationRung::kFrozen:
+      return "frozen";
+  }
+  return "?";
+}
+
 EpochDecision NoMigrationPolicy::on_epoch(const CostModel& model,
                                           SimState& state) {
   EpochDecision d;

@@ -22,6 +22,19 @@ struct SimState {
   Placement placement;        ///< current VNF placement
 };
 
+/// Rung of the engine's graceful-degradation ladder (DESIGN.md §12).
+/// Under sustained stress — solver budget blow-outs, a policy throwing,
+/// too many quarantined flows, blackout — the engine steps down one rung
+/// per stressed epoch and climbs back one rung per clean streak.
+enum class DegradationRung : std::uint8_t {
+  kFull = 0,         ///< normal operation: the policy solves the epoch
+  kRefreshOnly = 1,  ///< placement held; only the exact cost refresh runs
+  kFrozen = 2,       ///< placement and cost refresh frozen; stale accounting
+};
+
+/// Human-readable rung name ("full" / "refresh-only" / "frozen").
+const char* to_string(DegradationRung rung);
+
 /// What one policy invocation did in one epoch.
 struct EpochDecision {
   double comm_cost = 0.0;       ///< C_a charged for the epoch
@@ -54,6 +67,15 @@ struct EpochDecision {
   /// True when the serving core could not host the chain this epoch
   /// (blackout: no placement, every flow quarantined).
   bool service_down = false;
+  /// Ladder rung the epoch *executed* at (kFull unless the ladder is
+  /// enabled and had stepped down before this epoch). At kRefreshOnly
+  /// the policy was skipped; at kFrozen comm_cost is the previous
+  /// epoch's estimate (stale by design — the auditor exempts it).
+  DegradationRung rung = DegradationRung::kFull;
+  /// True when the ladder contained a policy throw this epoch (the
+  /// pre-policy state was restored and the epoch charged at the held
+  /// placement).
+  bool policy_failed = false;
 };
 
 /// Interface implemented by every migration strategy.

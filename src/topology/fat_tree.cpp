@@ -66,6 +66,15 @@ Topology build_fat_tree(int k) {
       t.racks.push_back(std::move(rack));
       t.rack_switches.push_back(edge[static_cast<std::size_t>(e)]);
     }
+
+    // The pod's switches share a power feed: one correlated failure
+    // domain of its aggregation + edge layer. Core switches are fed
+    // redundantly and belong to no domain.
+    PowerDomain domain;
+    domain.name = "pod" + std::to_string(pod);
+    domain.switches = agg;
+    domain.switches.insert(domain.switches.end(), edge.begin(), edge.end());
+    t.power_domains.push_back(std::move(domain));
   }
 
   PPDC_REQUIRE(t.num_hosts() == fat_tree_num_hosts(k), "host count mismatch");

@@ -15,6 +15,17 @@
 
 namespace ppdc {
 
+/// A correlated failure unit: switches that share a power feed (and a
+/// maintenance schedule) and therefore fail and return together. Fat
+/// trees get one domain per pod (its aggregation + edge switches); the
+/// core layer, fed redundantly, belongs to no domain. The fault
+/// generator (fault/fault.hpp) uses domains to draw pod-outage,
+/// cascade, and maintenance-drain events.
+struct PowerDomain {
+  std::string name;
+  std::vector<NodeId> switches;  ///< ascending NodeId order
+};
+
 /// A built data-center network.
 struct Topology {
   Graph graph;
@@ -24,6 +35,10 @@ struct Topology {
   /// rack_switches[r]; both sides are subscripted by the same RackIdx.
   IndexedVector<RackIdx, std::vector<NodeId>> racks;
   IndexedVector<RackIdx, NodeId> rack_switches;
+
+  /// Correlated failure units (may be empty: a topology without domain
+  /// metadata only supports the independent fault processes).
+  std::vector<PowerDomain> power_domains;
 
   NodeId num_hosts() const {
     return checked_cast<NodeId>(graph.hosts().size(), "host count");

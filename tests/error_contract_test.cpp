@@ -4,6 +4,9 @@
 // attribution in the rate-schedule validation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -127,6 +130,53 @@ TEST(ErrorContract, LoadersReportLineNumberAndOffendingText) {
   msg = error_of([&] { load_flows(wrong_header); });
   EXPECT_TRUE(mentions(msg, "line 2")) << msg;
   EXPECT_TRUE(mentions(msg, "expected header 'ppdc-flows v1'")) << msg;
+}
+
+// Every file of the committed malformed-artifact corpus
+// (tests/corpus/README.md) must raise a PpdcError whose message carries a
+// 1-based line number — truncated, bit-rotted, and hostile inputs all get
+// the same diagnosable rejection. The loader is picked by filename
+// prefix; an unknown prefix is itself a test failure so stray files
+// cannot silently skip coverage.
+TEST(ErrorContract, MalformedCorpusAllRaiseLineNumberedErrors) {
+  namespace fs = std::filesystem;
+  const fs::path dir(PPDC_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".txt") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 15u) << "corpus looks gutted";
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string name = path.filename().string();
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    const std::string msg = error_of([&] {
+      if (name.rfind("topo_", 0) == 0) {
+        load_topology(in);
+      } else if (name.rfind("flows_", 0) == 0) {
+        load_flows(in);
+      } else if (name.rfind("placement_", 0) == 0) {
+        load_placement(in);
+      } else {
+        FAIL() << "corpus file with unknown loader prefix: " << name;
+      }
+    });
+    EXPECT_TRUE(mentions(msg, "line ")) << name << ": " << msg;
+  }
+}
+
+TEST(ErrorContract, LoaderAnchorsGraphErrorsOnTheOffendingLine) {
+  // The graph layer rejects the duplicate edge; the loader must re-anchor
+  // that diagnostic on the file line so the artifact is fixable.
+  std::stringstream dup;
+  dup << "ppdc-topology v1\nnode 0 switch s0\nnode 1 switch s1\n"
+      << "edge 0 1 1.0\nedge 1 0 2.0\n";
+  const std::string msg = error_of([&] { load_topology(dup); });
+  EXPECT_TRUE(mentions(msg, "line 5")) << msg;
+  EXPECT_TRUE(mentions(msg, "bad edge")) << msg;
 }
 
 TEST(ErrorContract, FaultInjectorRejectsInconsistentSchedules) {

@@ -4,6 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "core/chain_search.hpp"
 #include "core/cost_model.hpp"
@@ -351,6 +356,215 @@ TEST(FaultSimulation, HealedFabricMatchesPristineEpochsExactly) {
   for (std::size_t h = 4; h < 8; ++h) {
     // Bit-identical: the healed path recombines the same base vectors.
     EXPECT_EQ(ta.epochs[h].comm_cost, tb.epochs[h].comm_cost) << "h=" << h;
+  }
+}
+
+// Satellite contract: a mean in (0,1) would demand a per-epoch
+// probability above 1. The generator must fail fast with a PpdcError
+// naming the offending field — silent clamping would quietly change the
+// fault intensity of a study.
+TEST(FaultSchedule, SubEpochMeansAreRejectedByName) {
+  const Topology topo = build_fat_tree(4);
+  const std::vector<std::pair<std::string,
+                              std::function<void(FaultScheduleConfig&)>>>
+      cases{
+          {"switch_mtbf", [](FaultScheduleConfig& c) { c.switch_mtbf = 0.5; }},
+          {"switch_mttr", [](FaultScheduleConfig& c) {
+             c.switch_mtbf = 4.0;
+             c.switch_mttr = 0.25;
+           }},
+          {"link_mtbf", [](FaultScheduleConfig& c) { c.link_mtbf = 0.9; }},
+          {"link_mttr", [](FaultScheduleConfig& c) {
+             c.link_mtbf = 4.0;
+             c.link_mttr = 0.1;
+           }},
+          {"domain_mtbf", [](FaultScheduleConfig& c) { c.domain_mtbf = 0.3; }},
+          {"domain_mttr", [](FaultScheduleConfig& c) {
+             c.domain_mtbf = 4.0;
+             c.domain_mttr = 0.7;
+           }},
+          {"flap_mtbf", [](FaultScheduleConfig& c) { c.flap_mtbf = 0.5; }},
+      };
+  for (const auto& [field, mutate] : cases) {
+    FaultScheduleConfig cfg;
+    cfg.hours = 8;
+    mutate(cfg);
+    try {
+      generate_fault_schedule(topo, cfg);
+      ADD_FAILURE() << field << " in (0,1) was accepted";
+    } catch (const PpdcError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << field << " not named in: " << e.what();
+    }
+    // Negative means are rejected the same way.
+    FaultScheduleConfig neg;
+    neg.hours = 8;
+    mutate(neg);
+    EXPECT_THROW(generate_fault_schedule(topo, neg), PpdcError);
+  }
+}
+
+// A pod-scale power outage must take the whole domain down in one epoch
+// and bring the whole domain back in one epoch — never a partial pod.
+// With only the domain process enabled, every switch event belongs to a
+// domain cycle, so the per-epoch event groups must be exact domain sets.
+TEST(FaultSchedule, PodOutagesAreDomainCompleteAndEpochConsistent) {
+  const Topology topo = build_fat_tree(4);
+  ASSERT_EQ(topo.power_domains.size(), 4u);  // one domain per pod
+  std::map<NodeId, std::size_t> domain_of;
+  for (std::size_t d = 0; d < topo.power_domains.size(); ++d) {
+    for (const NodeId s : topo.power_domains[d].switches) {
+      domain_of[s] = d;
+    }
+  }
+
+  FaultScheduleConfig cfg;
+  cfg.hours = 96;
+  cfg.domain_mtbf = 12.0;
+  cfg.domain_mttr = 3.0;
+  cfg.seed = 11;
+  const FaultSchedule schedule = generate_fault_schedule(topo, cfg);
+  ASSERT_FALSE(schedule.empty());
+
+  // Group the switch events per (epoch, domain) and demand completeness.
+  std::map<std::pair<int, std::size_t>, std::set<NodeId>> fails, repairs;
+  for (const FaultEvent& e : schedule) {
+    ASSERT_TRUE(e.kind == FaultKind::kSwitchFail ||
+                e.kind == FaultKind::kSwitchRepair);
+    ASSERT_TRUE(domain_of.count(e.node));
+    const auto key = std::make_pair(static_cast<int>(e.epoch.value()),
+                                    domain_of.at(e.node));
+    if (e.kind == FaultKind::kSwitchFail) {
+      EXPECT_EQ(e.cause, FaultCause::kDomainOutage);
+      fails[key].insert(e.node);
+    } else {
+      repairs[key].insert(e.node);
+    }
+  }
+  ASSERT_FALSE(fails.empty());
+  for (const auto& [key, members] : fails) {
+    const auto& domain = topo.power_domains[key.second].switches;
+    EXPECT_EQ(members.size(), domain.size())
+        << "partial outage of " << topo.power_domains[key.second].name
+        << " at epoch " << key.first;
+  }
+  for (const auto& [key, members] : repairs) {
+    const auto& domain = topo.power_domains[key.second].switches;
+    EXPECT_EQ(members.size(), domain.size())
+        << "partial repair of " << topo.power_domains[key.second].name
+        << " at epoch " << key.first;
+  }
+
+  // The injector accepts the whole correlated timeline.
+  FaultInjector injector(topo.graph, schedule);
+  for (const Hour epoch : id_range(Hour{1}, Hour{cfg.hours})) {
+    injector.advance_to(epoch);
+  }
+  EXPECT_LE(injector.dead_switch_count(),
+            static_cast<int>(topo.graph.switches().size()));
+}
+
+// Gray links: flap bursts toggle fail/repair every epoch, always starting
+// with a failure, never double-failing — the injector replay is the
+// legality oracle, the per-link scan the alternation check.
+TEST(FaultSchedule, FlappingLinksAlternateLegallyThroughInjector) {
+  const Topology topo = build_fat_tree(4);
+  FaultScheduleConfig cfg;
+  cfg.hours = 96;
+  cfg.flap_mtbf = 8.0;
+  cfg.flap_cycles = 2;
+  cfg.seed = 5;
+  // The flap process is link-level and available on the Graph overload.
+  const FaultSchedule schedule = generate_fault_schedule(topo.graph, cfg);
+  ASSERT_FALSE(schedule.empty());
+  bool saw_flap = false;
+  std::map<EdgeKey, bool> down;  // per-link state oracle
+  std::map<EdgeKey, Hour> last_epoch;
+  for (const FaultEvent& e : schedule) {
+    ASSERT_TRUE(e.kind == FaultKind::kLinkFail ||
+                e.kind == FaultKind::kLinkRepair);
+    if (e.cause == FaultCause::kFlap) saw_flap = true;
+    const EdgeKey key{e.u, e.v};
+    const bool fail = e.kind == FaultKind::kLinkFail;
+    EXPECT_NE(down[key], fail) << "illegal alternation on link " << e.u
+                               << "-" << e.v << " at epoch "
+                               << e.epoch.value();
+    down[key] = fail;
+    // Mid-burst toggles are one epoch apart.
+    if (last_epoch.count(key) && e.cause == FaultCause::kFlap &&
+        !fail) {
+      EXPECT_EQ(e.epoch.value(), last_epoch[key].value() + 1)
+          << "flap repair not adjacent to its failure";
+    }
+    last_epoch[key] = e.epoch;
+  }
+  EXPECT_TRUE(saw_flap);
+  FaultInjector injector(topo.graph, schedule);
+  for (const Hour epoch : id_range(Hour{1}, Hour{cfg.hours})) {
+    injector.advance_to(epoch);
+  }
+}
+
+// Back-compat: with every domain knob at its default, the Topology
+// overload must reproduce the Graph overload bit for bit (no extra RNG
+// draws, same event order, same causes).
+TEST(FaultSchedule, TopologyOverloadDefaultsMatchGraphOverload) {
+  const Topology topo = build_fat_tree(4);
+  FaultScheduleConfig cfg;
+  cfg.hours = 48;
+  cfg.switch_mtbf = 12.0;
+  cfg.switch_mttr = 2.0;
+  cfg.link_mtbf = 24.0;
+  cfg.link_mttr = 2.0;
+  cfg.seed = 7;
+  const FaultSchedule a = generate_fault_schedule(topo.graph, cfg);
+  const FaultSchedule b = generate_fault_schedule(topo, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].epoch, b[i].epoch);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].cause, b[i].cause);
+  }
+}
+
+// The Graph overload cannot honor domain-level knobs (it has no
+// PowerDomain metadata) and must say so instead of silently ignoring
+// them; maintenance windows validate their domain names and shape.
+TEST(FaultSchedule, DomainKnobsRequireTopologyAndValidate) {
+  const Topology topo = build_fat_tree(4);
+  FaultScheduleConfig cfg;
+  cfg.hours = 24;
+  cfg.domain_mtbf = 8.0;
+  EXPECT_THROW(generate_fault_schedule(topo.graph, cfg), PpdcError);
+  cfg.domain_mtbf = 0.0;
+  cfg.cascade_prob = 0.5;
+  EXPECT_THROW(generate_fault_schedule(topo.graph, cfg), PpdcError);
+  cfg.cascade_prob = 0.0;
+  cfg.maintenance = {{"pod0", Hour{2}, Hour{4}}};
+  EXPECT_THROW(generate_fault_schedule(topo.graph, cfg), PpdcError);
+  // Unknown domain name / inverted window / epoch-0 start are rejected.
+  cfg.maintenance = {{"podX", Hour{2}, Hour{4}}};
+  EXPECT_THROW(generate_fault_schedule(topo, cfg), PpdcError);
+  cfg.maintenance = {{"pod0", Hour{4}, Hour{2}}};
+  EXPECT_THROW(generate_fault_schedule(topo, cfg), PpdcError);
+  cfg.maintenance = {{"pod0", Hour{0}, Hour{2}}};
+  EXPECT_THROW(generate_fault_schedule(topo, cfg), PpdcError);
+  // A well-formed drain fails the whole pod at start and repairs at end.
+  cfg.maintenance = {{"pod0", Hour{2}, Hour{4}}};
+  const FaultSchedule s = generate_fault_schedule(topo, cfg);
+  const std::size_t pod_size = topo.power_domains[0].switches.size();
+  ASSERT_EQ(s.size(), 2 * pod_size);
+  for (std::size_t i = 0; i < pod_size; ++i) {
+    EXPECT_EQ(s[i].epoch, Hour{2});
+    EXPECT_EQ(s[i].kind, FaultKind::kSwitchFail);
+    EXPECT_EQ(s[i].cause, FaultCause::kMaintenance);
+  }
+  for (std::size_t i = pod_size; i < 2 * pod_size; ++i) {
+    EXPECT_EQ(s[i].epoch, Hour{4});
+    EXPECT_EQ(s[i].kind, FaultKind::kSwitchRepair);
   }
 }
 

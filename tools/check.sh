@@ -116,6 +116,26 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Stage 4b: wall-clock deadline hygiene (always runs; needs only grep).
+# Every deadline/budget in the tree must be measured on
+# std::chrono::steady_clock — system_clock jumps under NTP slews and
+# manual clock changes, which turns solver budgets and bench timings into
+# nondeterminism. system_clock is only legitimate for wall-time *display*
+# (none needed so far), so any mention in code is rejected outright.
+# ---------------------------------------------------------------------------
+note "clock hygiene: no std::chrono::system_clock in code"
+clock_uses=$(grep -rn --include='*.hpp' --include='*.cpp' \
+               'system_clock' src tests bench tools examples 2>/dev/null)
+if [ -n "$clock_uses" ]; then
+  echo "$clock_uses" >&2
+  echo "   FAIL: deadlines must use std::chrono::steady_clock" \
+       "(system_clock is not monotonic)" >&2
+  failures=$((failures + 1))
+else
+  echo "   OK: all timing code is steady_clock-based"
+fi
+
+# ---------------------------------------------------------------------------
 # Stage 5: ThreadSanitizer over the parallel experiment runner (optional;
 # needs the tsan preset built: cmake --preset tsan && cmake --build
 # --preset tsan). The experiment_parallel_test pins threads=4 explicitly,
@@ -178,6 +198,31 @@ else
   echo "   FAIL: perf gate flagged a regression or incomparable baseline" >&2
   failures=$((failures + 1))
 fi
+
+# ---------------------------------------------------------------------------
+# Stage 8: chaos soak under the sanitizers (optional; needs the sanitize
+# and/or tsan presets built). The default build already runs bench_chaos
+# --smoke as the tier1 chaos_smoke CTest; this stage repeats the full
+# fault-domain sweep — degradation ladder plus per-epoch invariant
+# auditing — instrumented, so the fault/recovery/ladder code paths are
+# exercised under ASan+UBSan and TSan too. Any audit violation exits
+# nonzero and fails the stage.
+# ---------------------------------------------------------------------------
+for chaos_build in build-asan build-tsan; do
+  CHAOS_BIN=$chaos_build/bench/bench_chaos
+  if [ -x "$CHAOS_BIN" ]; then
+    note "chaos soak ($chaos_build): $CHAOS_BIN --smoke"
+    if "$CHAOS_BIN" --smoke > /dev/null; then
+      echo "   OK: chaos soak clean (0 audit violations) under $chaos_build"
+    else
+      echo "   FAIL: chaos soak failed under $chaos_build" >&2
+      failures=$((failures + 1))
+    fi
+  else
+    note "chaos soak ($chaos_build): SKIPPED (no $CHAOS_BIN — build that" \
+         "preset first)"
+  fi
+done
 
 # ---------------------------------------------------------------------------
 if [ "$failures" -eq 0 ]; then
