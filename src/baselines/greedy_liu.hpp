@@ -12,6 +12,7 @@
 // in the paper's Figs. 9-10.
 #pragma once
 
+#include "core/cost_model.hpp"
 #include "core/placement_dp.hpp"
 
 namespace ppdc {

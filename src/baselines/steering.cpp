@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/cost_model.hpp"
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

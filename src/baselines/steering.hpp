@@ -12,6 +12,7 @@
 // the 56-64% reported in Figs. 9-10.
 #pragma once
 
+#include "core/cost_model.hpp"
 #include "core/placement_dp.hpp"
 
 namespace ppdc {

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "flow/min_cost_flow.hpp"
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "graph/apsp.hpp"
 #include "util/ids.hpp"
 #include "workload/traffic.hpp"
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

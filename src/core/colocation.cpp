@@ -1,5 +1,6 @@
 #include "core/colocation.hpp"
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

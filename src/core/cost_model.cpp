@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {
@@ -19,6 +20,20 @@ constexpr std::size_t kDirtyRebuildDivisor = 4;
 /// accumulators (kSwitchBlock doubles) stay cache-resident while the flow
 /// list streams past, and blocks double as the OpenMP work unit.
 constexpr std::ptrdiff_t kSwitchBlock = 512;
+
+/// Accumulates one flow's ingress contribution over a switch block into
+/// a dense accumulator (acc[j] belongs to sw[j]). The dense store plus
+/// __restrict is what lets the compiler vectorize the gather; the
+/// scatter back into ingress_ happens once per block, not per flow.
+/// tools/vec_gate.sh pins that this loop vectorizes.
+void accumulate_ingress_block(double* __restrict acc,
+                              const double* __restrict srow,
+                              const NodeId* __restrict sw, std::size_t n,
+                              double rate) {
+  for (std::size_t j = 0; j < n; ++j) {  // ppdc-vec: ingress-block-gather
+    acc[j] += rate * srow[static_cast<std::size_t>(sw[j])];
+  }
+}
 
 }  // namespace
 
@@ -64,17 +79,23 @@ void CostModel::refresh() {
   for (std::ptrdiff_t blk = 0; blk < num_blocks; ++blk) {
     const std::ptrdiff_t b0 = blk * kSwitchBlock;
     const std::ptrdiff_t b1 = std::min(num_switches, b0 + kSwitchBlock);
+    const std::size_t bn = static_cast<std::size_t>(b1 - b0);
+    const NodeId* swp = switches.data() + b0;
+    // Per-switch sums still accumulate in flow order starting from 0.0 —
+    // bit-identical to scattering straight into ingress_ — but the
+    // accumulator is dense, so the inner gather loop vectorizes.
+    double acc[kSwitchBlock];
+    std::fill_n(acc, bn, 0.0);
     for (const auto& f : *flows_) {
       // Zero-rate flows contribute nothing; skipping them also keeps the
       // sums NaN-free on degraded fabrics, where a quarantined flow's
       // endpoint distance is +inf (0 * inf = NaN).
       if (f.rate == 0.0) continue;
-      const double* srow = apsp_->cost_row(f.src_host);
-      for (std::ptrdiff_t si = b0; si < b1; ++si) {
-        const auto sw =
-            static_cast<std::size_t>(switches[static_cast<std::size_t>(si)]);
-        ingress_[sw] += f.rate * srow[sw];
-      }
+      accumulate_ingress_block(acc, apsp_->cost_row(f.src_host), swp, bn,
+                               f.rate);
+    }
+    for (std::size_t j = 0; j < bn; ++j) {
+      ingress_[static_cast<std::size_t>(swp[j])] = acc[j];
     }
     for (std::ptrdiff_t si = b0; si < b1; ++si) {
       const NodeId sw = switches[static_cast<std::size_t>(si)];

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/ids.hpp"
 #include "workload/traffic.hpp"
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <limits>
 
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

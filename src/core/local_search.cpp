@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

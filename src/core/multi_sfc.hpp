@@ -26,6 +26,7 @@
 
 #include "graph/apsp.hpp"
 #include "core/cost_model.hpp"
+#include "graph/graph.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {

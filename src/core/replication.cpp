@@ -4,7 +4,10 @@
 #include <limits>
 #include <map>
 
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/require.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -26,6 +26,8 @@
 
 #include "core/cost_model.hpp"
 #include "core/placement_dp.hpp"
+#include "graph/apsp.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {
@@ -14,6 +15,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// and successor segments (kBlock doubles + kBlock NodeIds) stay L1-hot
 /// while every row re-scans them.
 constexpr std::size_t kBlock = 256;
+
+/// Rate-scales one APSP row through the candidate gather into a metric
+/// row. __restrict is what lets the compiler emit the vectorized gather
+/// here — without it the mrow stores may alias the inputs and the loop
+/// stays scalar. tools/vec_gate.sh pins that this loop vectorizes.
+void build_metric_row(double* __restrict mrow, const double* __restrict arow,
+                      const NodeId* __restrict sw, std::size_t rows,
+                      double rate) {
+  for (std::size_t k = 0; k < rows; ++k) {  // ppdc-vec: metric-row-gather
+    mrow[k] = rate * arow[static_cast<std::size_t>(sw[k])];
+  }
+}
 }  // namespace
 
 StrollTable::StrollTable(const AllPairs& apsp, NodeId destination,
@@ -47,10 +60,7 @@ void StrollTable::ensure_metric() {
   const NodeId* sw = switches_.raw().data();
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* arow = apsp_->cost_row(sw[i]);
-    double* mrow = metric_.data() + i * rows_;
-    for (std::size_t k = 0; k < rows_; ++k) {
-      mrow[k] = rate_ * arow[static_cast<std::size_t>(sw[k])];
-    }
+    build_metric_row(metric_.data() + i * rows_, arow, sw, rows_, rate_);
     metric_to_t_[i] = rate_ * arow[static_cast<std::size_t>(t_)];
   }
 }

@@ -30,6 +30,7 @@
 
 #include "core/cost_model.hpp"
 #include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 #include "util/ids.hpp"
 #include "util/indexed_vector.hpp"
 

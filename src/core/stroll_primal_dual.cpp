@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -24,6 +24,7 @@
 
 #include "core/stroll_dp.hpp"
 #include "graph/apsp.hpp"
+#include "graph/graph.hpp"
 
 namespace ppdc {
 

@@ -6,6 +6,7 @@
 #include "util/indexed_vector.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+#include "util/strong_id.hpp"
 
 namespace ppdc {
 

@@ -1,4 +1,5 @@
 #include "graph/dot.hpp"
+#include "graph/graph.hpp"
 
 #include <algorithm>
 #include <iomanip>

@@ -11,7 +11,9 @@
 #include <sstream>
 #include <string>
 
+#include "graph/graph.hpp"
 #include "util/checksum.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -17,6 +17,8 @@
 
 #include "core/cost_model.hpp"
 #include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -1,4 +1,7 @@
+#include "graph/graph.hpp"
 #include "sim/audit.hpp"
+#include "util/ids.hpp"
+#include "workload/traffic.hpp"
 
 #include <algorithm>
 #include <cmath>

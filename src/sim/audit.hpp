@@ -25,8 +25,10 @@
 #include "core/cost_model.hpp"
 #include "fault/degraded.hpp"
 #include "fault/fault.hpp"
+#include "graph/graph.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -9,12 +9,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "io/serialize.hpp"
+#include "sim/policy.hpp"
+#include "topology/topology.hpp"
 #include "util/checksum.hpp"
 #include "util/require.hpp"
+#include "util/stats.hpp"
+#include "workload/traffic.hpp"
+#include "workload/vm_placement.hpp"
 
 namespace ppdc {
 
@@ -329,8 +336,14 @@ std::string read_file(const std::string& path) {
 int crash_after_from_env() {
   const char* v = std::getenv("PPDC_CHECKPOINT_CRASH_AFTER");
   if (v == nullptr) return 0;
-  const int n = std::atoi(v);
-  return n > 0 ? n : 0;
+  // strtol instead of atoi so garbage ("", "abc", trailing junk) is
+  // detectably rejected rather than silently parsed as 0-ish.
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return 0;
+  return n > 0 && n <= std::numeric_limits<int>::max()
+             ? static_cast<int>(n)
+             : 0;
 }
 
 }  // namespace

@@ -29,6 +29,9 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/policy.hpp"
+#include "topology/topology.hpp"
+#include "util/require.hpp"
 
 namespace ppdc {
 

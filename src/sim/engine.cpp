@@ -6,8 +6,13 @@
 #include <utility>
 
 #include "core/chain_search.hpp"
+#include "core/cost_model.hpp"
 #include "fault/degraded.hpp"
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -37,11 +37,14 @@
 #include "core/placement_dp.hpp"
 #include "core/solve_budget.hpp"
 #include "fault/fault.hpp"
+#include "graph/apsp.hpp"
 #include "sim/audit.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
 #include "workload/diurnal.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -11,10 +11,14 @@
 #include <thread>
 #include <utility>
 
+#include "graph/apsp.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/observer.hpp"
+#include "sim/policy.hpp"
 #include "util/checksum.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -34,8 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "graph/apsp.hpp"
 #include "sim/engine.hpp"
+#include "sim/observer.hpp"
+#include "sim/policy.hpp"
 #include "topology/topology.hpp"
+#include "util/require.hpp"
 #include "util/stats.hpp"
 #include "workload/vm_placement.hpp"
 

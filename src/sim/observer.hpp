@@ -23,8 +23,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "fault/fault.hpp"
 #include "sim/policy.hpp"
+#include "util/ids.hpp"
 
 namespace ppdc {
 

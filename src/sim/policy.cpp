@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/cost_model.hpp"
+#include "core/placement_dp.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -11,8 +11,12 @@
 
 #include "baselines/vm_migration.hpp"
 #include "core/chain_search.hpp"
+#include "core/cost_model.hpp"
 #include "core/migration_pareto.hpp"
+#include "core/placement_dp.hpp"
+#include "util/ids.hpp"
 #include "util/rng.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

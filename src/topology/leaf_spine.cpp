@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "graph/graph.hpp"
 #include "util/require.hpp"
 
 namespace ppdc {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/graph.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace ppdc {
 

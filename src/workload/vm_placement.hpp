@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "topology/topology.hpp"
+#include "util/rng.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {

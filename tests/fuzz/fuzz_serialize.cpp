@@ -1,0 +1,44 @@
+// Fuzz entry over the io/serialize loaders (DESIGN.md §13). The first
+// input byte selects the loader (topology / flows / placement); the rest
+// is the artifact text. The loaders' contract (error_contract_test) is
+// that every malformed input is rejected with a PpdcError naming the
+// offending line — so that exception is swallowed here, and anything
+// else that escapes (a crash, a sanitizer abort, a different exception
+// type) is a finding.
+//
+// Two drivers share this entry point:
+//   - fuzz_replay (always built): deterministically replays every file
+//     in tests/corpus/ through all three loaders — the tier1 fuzz_smoke
+//     CTest, which the sanitize preset runs under ASan+UBSan.
+//   - fuzz_serialize (-DPPDC_FUZZ=ON, clang only): the libFuzzer binary
+//     for open-ended exploration, seeded from the same corpus.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "io/serialize.hpp"
+#include "util/require.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const int mode = data[0] % 3;
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data + 1), size - 1));
+  try {
+    switch (mode) {
+      case 0:
+        ppdc::load_topology(is);
+        break;
+      case 1:
+        ppdc::load_flows(is);
+        break;
+      default:
+        ppdc::load_placement(is);
+        break;
+    }
+  } catch (const ppdc::PpdcError&) {
+    // Documented rejection path — not a finding.
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// steady-clock-only fixture: the former check.sh stage-4b grep ban.
+// Spelling system_clock in code fires; comments and string literals do
+// not — which is exactly where the old grep misfired.
+#include <chrono>
+
+namespace fix {
+
+long long stamp() {
+  const auto wall =
+      std::chrono::system_clock::now();  // expect-finding(steady-clock-only)
+  // A comment mentioning system_clock stays clean.
+  const char* label = "system_clock";  // clean: string literal
+  (void)label;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             wall.time_since_epoch())
+      .count();
+}
+
+}  // namespace fix

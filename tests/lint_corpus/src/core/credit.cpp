@@ -1,0 +1,15 @@
+// Own-header-credit fixture (.cpp half): a .cpp inherits its own
+// header's direct includes, so spelling Widget here with only
+// "core/credit.hpp" included is clean.
+#include "core/credit.hpp"
+
+namespace fix {
+
+int measure() {
+  Credit c;
+  Widget w = c.widget;  // clean: credit.hpp includes defs/widgets.hpp
+  (void)w;
+  return 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Own-header-credit fixture (header half): this header includes the
+// Widget declaration directly, so both it and credit.cpp — which
+// includes only this header — spell Widget cleanly.
+#pragma once
+
+#include "defs/widgets.hpp"
+
+namespace fix {
+
+struct Credit {
+  Widget widget;
+};
+
+}  // namespace fix

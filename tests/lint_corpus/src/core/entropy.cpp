@@ -1,0 +1,23 @@
+// nondet-source fixtures: libc entropy and wall-clock reads fire;
+// member functions that happen to share a libc name stay clean.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fix {
+
+struct Stopwatch {
+  double time(int scale) { return 1.0 * scale; }  // clean: declaration
+};
+
+double entropy() {
+  std::random_device dev;         // expect-finding(nondet-source)
+  std::srand(42);                 // expect-finding(nondet-source)
+  double r = 1.0 * std::rand();   // expect-finding(nondet-source)
+  r += 1.0 * std::time(nullptr);  // expect-finding(nondet-source)
+  Stopwatch sw;
+  r += sw.time(3);  // clean: member call, not libc time()
+  return r + 1.0 * dev();
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// pointer-hash-order fixtures: hashing or keying on allocation
+// addresses fires; hashing a value type stays clean.
+#include <cstdint>
+#include <functional>
+
+namespace fix {
+
+struct Node {};
+
+std::size_t identity_keys(const Node* n) {
+  std::hash<const Node*> by_address;  // expect-finding(pointer-hash-order)
+  std::size_t h = by_address(n);
+  h ^= reinterpret_cast<std::uintptr_t>(n);  // expect-finding(pointer-hash-order)
+  std::hash<int> by_value;  // clean: hashes a value, not an address
+  h ^= by_value(3);
+  return h;
+}
+
+}  // namespace fix

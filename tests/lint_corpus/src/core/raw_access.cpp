@@ -1,0 +1,19 @@
+// raw-index fixtures: untyped subscripts through the StrongId layer
+// fire — on the template spelling and on a project alias (Table, which
+// defs/widgets.hpp registers as an IndexedVector alias). Typed
+// subscripts stay clean.
+#include "defs/widgets.hpp"
+
+namespace fix {
+
+double raw_reads(int flow) {
+  IndexedVector<int, double> costs;
+  Table lookup;
+  double x = costs.raw()[3];  // expect-finding(raw-index)
+  x += costs[0];              // expect-finding(raw-index)
+  x += lookup[7];             // expect-finding(raw-index)
+  x += costs[flow];  // clean: not a bare literal (typed ids pass here)
+  return x;
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// include-spell fixtures: spelling a corpus type without directly
+// including its declaring header fires once per missing header;
+// forward declarations stay clean.
+
+namespace fix {
+
+class Gadget;  // clean: forward declaration
+
+int census(const Widget& w) {  // expect-finding(include-spell)
+  (void)w;
+  Widget* again = nullptr;  // clean: the widgets.hpp miss already fired
+  (void)again;
+  return 0;
+}
+
+}  // namespace fix

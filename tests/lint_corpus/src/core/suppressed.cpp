@@ -1,0 +1,13 @@
+// Suppression fixture: the allow() comment silences exactly this rule
+// on the line below. lint_test asserts the finding lands in
+// result.suppressed under default options and resurfaces when
+// suppressions are disabled. Deliberately no expect-finding annotation.
+namespace fix {
+
+double tolerated() {
+  // ppdc-lint: allow(no-float interop shim needs the narrow type)
+  float shim = 1.5f;
+  return 1.0 * shim;
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Symbol donor for the cross-file fixtures: build_context() over this
+// corpus registers Widget, Gadget, and the IndexedVector alias Table as
+// declared here. The `defs` directory is deliberately unknown to the
+// layering DAG, so including this header never trips include-layering.
+#pragma once
+
+namespace fix {
+
+class Widget {};
+struct Gadget {};
+using Table = IndexedVector<int, double>;
+
+}  // namespace fix

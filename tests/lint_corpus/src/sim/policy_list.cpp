@@ -1,0 +1,18 @@
+// policy-prototype-const fixture: the former check.sh stage-4 grep ban.
+// A mutable raw-pointer policy list reintroduces the shared-instance
+// aliasing the SimJob clone refactor removed; the const-prototype
+// spelling stays clean.
+#include <vector>
+
+namespace fix {
+
+class MigrationPolicy;
+
+void collect() {
+  std::vector<MigrationPolicy*> owners;  // expect-finding(policy-prototype-const)
+  std::vector<const MigrationPolicy*> prototypes;  // clean: const prototypes
+  (void)owners;
+  (void)prototypes;
+}
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// unordered-iteration fixtures: iterating a hash container inside the
+// deterministic scope (src/sim) fires; membership probes stay clean.
+#include <unordered_map>
+
+namespace fix {
+
+int walk() {
+  std::unordered_map<int, int> histogram;
+  histogram.emplace(1, 2);
+  int total = 0;
+  for (const auto& kv : histogram) {  // expect-finding(unordered-iteration)
+    total += kv.second;
+  }
+  auto it = histogram.begin();  // expect-finding(unordered-iteration)
+  (void)it;
+  // Membership tests are order-free and stay clean.
+  if (histogram.find(1) != histogram.end()) ++total;
+  return total;
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// no-new-delete fixtures: raw allocation fires; `= delete` members and
+// operator new/delete declarations stay clean.
+#include <cstddef>
+
+namespace fix {
+
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;          // clean: deleted function
+  void* operator new(std::size_t n);       // clean: operator new
+  void operator delete(void* p) noexcept;  // clean: operator delete
+};
+
+int* leak() {
+  int* p = new int(7);  // expect-finding(no-new-delete)
+  delete p;             // expect-finding(no-new-delete)
+  return nullptr;
+}
+
+}  // namespace fix

@@ -1,0 +1,8 @@
+// include-layering fixtures: util sits at the bottom of the DAG, so a
+// sim include is an upward edge; private libstdc++ headers are banned
+// everywhere the tool scans.
+#pragma once
+
+#include <bits/stdc++.h>   // expect-finding(include-layering)
+
+#include "sim/runner.hpp"  // expect-finding(include-layering)

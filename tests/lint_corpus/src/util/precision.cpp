@@ -1,0 +1,10 @@
+// no-float fixture: cost arithmetic is double-only.
+namespace fix {
+
+double narrow() {
+  float truncated = 0.25f;  // expect-finding(no-float)
+  double kept = 0.25;       // clean: double is the cost type
+  return kept + 1.0 * truncated;
+}
+
+}  // namespace fix

@@ -1,0 +1,235 @@
+#include "lex.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ppdc::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line/column tracking.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool eof() const { return i_ >= s_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  char advance() {
+    const char c = s_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      at_line_start_ = true;
+    } else {
+      ++col_;
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        at_line_start_ = false;
+      }
+    }
+    return c;
+  }
+
+  /// True while only whitespace has been consumed on the current line —
+  /// the position where a '#' starts a preprocessor directive.
+  bool at_line_start() const { return at_line_start_; }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+};
+
+/// Consumes a quoted literal (after the opening quote) honouring escapes.
+void skip_quoted(Cursor& c, char quote) {
+  while (!c.eof()) {
+    const char ch = c.advance();
+    if (ch == '\\' && !c.eof()) {
+      c.advance();
+      continue;
+    }
+    if (ch == quote || ch == '\n') return;  // newline: unterminated literal
+  }
+}
+
+/// Consumes a raw string R"delim( ... )delim" after the opening R".
+void skip_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.eof() && c.peek() != '(') {
+    delim += c.advance();
+  }
+  if (!c.eof()) c.advance();  // '('
+  const std::string closer = ")" + delim + "\"";
+  std::string tail;
+  while (!c.eof()) {
+    tail += c.advance();
+    if (tail.size() > closer.size()) tail.erase(0, tail.size() - closer.size());
+    if (tail == closer) return;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  Cursor c(source);
+  while (!c.eof()) {
+    const char ch = c.peek();
+    const int line = c.line();
+    const int col = c.col();
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      c.advance();
+      c.advance();
+      std::string text;
+      while (!c.eof() && c.peek() != '\n') text += c.advance();
+      out.comments.push_back({text, line, line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      std::string text;
+      while (!c.eof() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        text += c.advance();
+      }
+      const int end_line = c.line();
+      if (!c.eof()) {
+        c.advance();
+        c.advance();
+      }
+      out.comments.push_back({text, line, end_line});
+      continue;
+    }
+
+    // Preprocessor directive at start of line: recognise #include, skip
+    // the rest of the directive line (honouring \-continuations) so macro
+    // bodies don't produce phantom identifier tokens.
+    if (ch == '#' && c.at_line_start()) {
+      c.advance();  // '#'
+      while (!c.eof() && (c.peek() == ' ' || c.peek() == '\t')) c.advance();
+      std::string word;
+      while (!c.eof() && is_ident_char(c.peek())) word += c.advance();
+      if (word == "include") {
+        while (!c.eof() && (c.peek() == ' ' || c.peek() == '\t')) c.advance();
+        const char open = c.peek();
+        if (open == '"' || open == '<') {
+          c.advance();
+          const char close = open == '"' ? '"' : '>';
+          std::string path;
+          while (!c.eof() && c.peek() != close && c.peek() != '\n') {
+            path += c.advance();
+          }
+          if (!c.eof() && c.peek() == close) c.advance();
+          out.includes.push_back({path, open == '<', line});
+        }
+      }
+      // Consume to end of directive (with line continuations). #include
+      // lines have no continuations in practice; harmless if they do.
+      while (!c.eof()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.advance();
+          c.advance();
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        if (c.peek() == '/' && c.peek(1) == '/') break;  // trailing comment
+        if (c.peek() == '/' && c.peek(1) == '*') break;
+        c.advance();
+      }
+      continue;
+    }
+
+    // Identifiers (and keywords — rules match on spelling). A leading
+    // R/L/u/U/u8 immediately followed by a quote is a literal prefix.
+    if (is_ident_start(ch)) {
+      std::string text;
+      while (!c.eof() && is_ident_char(c.peek())) text += c.advance();
+      if ((text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+           text == "u8R") &&
+          c.peek() == '"') {
+        c.advance();  // '"'
+        skip_raw_string(c);
+        out.tokens.push_back({TokKind::kString, "R\"...\"", line, col});
+        continue;
+      }
+      if ((text == "L" || text == "u" || text == "U" || text == "u8") &&
+          (c.peek() == '"' || c.peek() == '\'')) {
+        const char q = c.advance();
+        skip_quoted(c, q);
+        out.tokens.push_back({TokKind::kString, "...", line, col});
+        continue;
+      }
+      out.tokens.push_back({TokKind::kIdentifier, std::move(text), line, col});
+      continue;
+    }
+
+    // Numbers (incl. hex, floats, digit separators; pp-number is a
+    // superset but this covers real code).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string text;
+      while (!c.eof()) {
+        const char n = c.peek();
+        if (is_ident_char(n) || n == '.' || n == '\'') {
+          text += c.advance();
+          // Exponent sign: 1e-9, 0x1p+3.
+          if ((n == 'e' || n == 'E' || n == 'p' || n == 'P') &&
+              (c.peek() == '+' || c.peek() == '-') && text.size() > 1) {
+            text += c.advance();
+          }
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back({TokKind::kNumber, std::move(text), line, col});
+      continue;
+    }
+
+    // String / char literals.
+    if (ch == '"' || ch == '\'') {
+      const char q = c.advance();
+      skip_quoted(c, q);
+      out.tokens.push_back({TokKind::kString, "...", line, col});
+      continue;
+    }
+
+    // Punctuation; fuse '::' and '->' (the two digraphs rules care about).
+    c.advance();
+    if (ch == ':' && c.peek() == ':') {
+      c.advance();
+      out.tokens.push_back({TokKind::kPunct, "::", line, col});
+      continue;
+    }
+    if (ch == '-' && c.peek() == '>') {
+      c.advance();
+      out.tokens.push_back({TokKind::kPunct, "->", line, col});
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, ch), line, col});
+  }
+  return out;
+}
+
+}  // namespace ppdc::lint

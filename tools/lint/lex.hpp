@@ -1,0 +1,55 @@
+// Minimal C++ tokenizer for ppdc_lint (tools/lint/).
+//
+// This is not a compiler front end: it produces exactly the token stream
+// the rule registry needs — identifiers, numbers, string/char literals,
+// punctuation (with '::' and '->' fused), comments (kept out of the main
+// stream but retained for suppression scanning), and `#include`
+// directives recognised at line starts. Block comments, raw strings and
+// digit separators are handled so rules never fire on commented-out or
+// quoted text — the failure mode of the grep gates this tool replaces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppdc::lint {
+
+enum class TokKind {
+  kIdentifier,  // keywords included; rules match on spelling
+  kNumber,
+  kString,  // string literal, char literal, or raw string (quotes kept)
+  kPunct,   // one punctuation glyph, or the fused "::" / "->"
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // first line of the comment
+  int end_line = 0;  // last line (== line for // comments)
+};
+
+struct Include {
+  std::string path;  // as spelled between the delimiters
+  bool angled = false;
+  int line = 0;
+};
+
+/// One lexed source file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Tokenizes `source`. Never throws on malformed input: an unterminated
+/// literal or comment is closed at end of file, which is the lenient
+/// behaviour a linter wants (the compiler proper will reject the file).
+LexedFile lex(const std::string& source);
+
+}  // namespace ppdc::lint

@@ -1,0 +1,131 @@
+// CLI for ppdc_lint. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   ppdc_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//             [--sarif FILE] [--rules a,b,c] [--no-suppress]
+//             [--list-rules] [paths...]
+//
+// With no paths, scans src tests bench tools examples under --root
+// (default: the current directory — check.sh and CTest run it from the
+// repo root). The committed baseline tools/lint/ppdc_lint.baseline is
+// applied automatically when present.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace {
+
+constexpr const char* kDefaultBaseline = "tools/lint/ppdc_lint.baseline";
+
+int usage(std::ostream& os, int rc) {
+  os << "usage: ppdc_lint [--root DIR] [--baseline FILE]"
+        " [--write-baseline FILE]\n"
+        "                 [--sarif FILE] [--rules a,b,c] [--no-suppress]\n"
+        "                 [--list-rules] [paths...]\n";
+  return rc;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ppdc::lint::LintOptions;
+  LintOptions options;
+  std::string write_baseline;
+  std::string sarif_path;
+  bool baseline_explicit = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(std::cerr, 2);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = next();
+    } else if (arg == "--baseline") {
+      options.baseline_path = next();
+      baseline_explicit = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = next();
+    } else if (arg == "--sarif") {
+      sarif_path = next();
+    } else if (arg == "--rules") {
+      options.rules = split_csv(next());
+    } else if (arg == "--no-suppress") {
+      options.apply_suppressions = false;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : ppdc::lint::rule_registry()) {
+        std::cout << r.name << "\n    " << r.rationale << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ppdc_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (!baseline_explicit &&
+      std::filesystem::exists(std::filesystem::path(options.root) /
+                              kDefaultBaseline)) {
+    options.baseline_path = kDefaultBaseline;
+  }
+
+  ppdc::lint::LintResult result;
+  try {
+    result = ppdc::lint::run_lint(options);
+  } catch (const std::exception& e) {
+    std::cerr << "ppdc_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline, std::ios::binary);
+    if (!out) {
+      std::cerr << "ppdc_lint: cannot write " << write_baseline << "\n";
+      return 2;
+    }
+    out << ppdc::lint::to_baseline(result.findings);
+    std::cout << "ppdc_lint: wrote " << result.findings.size()
+              << " baseline entries to " << write_baseline << "\n";
+    return 0;
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "ppdc_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << ppdc::lint::to_sarif(result.findings);
+  }
+
+  for (const auto& f : result.findings) {
+    std::cout << ppdc::lint::format_text(f) << "\n";
+  }
+  for (const auto& entry : result.stale_baseline) {
+    std::cout << "ppdc_lint: stale baseline entry (no longer fires): "
+              << entry << "\n";
+  }
+  std::cout << "ppdc_lint: " << result.findings.size() << " finding(s), "
+            << result.suppressed.size() << " suppressed, "
+            << result.baselined.size() << " baselined\n";
+  return result.findings.empty() ? 0 : 1;
+}
