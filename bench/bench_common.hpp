@@ -27,11 +27,27 @@
 #include "topology/fat_tree.hpp"
 #include "util/checksum.hpp"
 #include "util/options.hpp"
+#include "util/rss.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/vm_placement.hpp"
 
 namespace ppdc::bench {
+
+/// Formats a byte count as MiB with one decimal, or "n/a" for the 0 the
+/// RSS probes return on platforms without /proc/self/status.
+inline std::string mib(std::size_t bytes, int precision = 1) {
+  if (bytes == 0) return "n/a";
+  return TablePrinter::num(static_cast<double>(bytes) / (1024.0 * 1024.0),
+                           precision);
+}
+
+/// Standard memory footer under every result table: peak RSS of the whole
+/// process so far (util/rss.hpp). Reporting-only — the value never feeds
+/// a fingerprint or artifact checksum.
+inline void print_rss_footer(std::ostream& os) {
+  os << "peak RSS: " << mib(peak_rss_bytes()) << " MiB\n";
+}
 
 /// §VI experiment setup: fat-tree of arity k, VM pairs with 80% rack
 /// locality and Facebook-like rates. `rack_zipf_s` adds tenant skew for

@@ -228,7 +228,8 @@ int main(int argc, char** argv) {
     }
     print(t);
     std::cout << "\npaper shape: VNF migration cuts the total cost of VM "
-                 "flows by up to ~73% vs NoMigration.\n";
+                 "flows by up to ~73% vs NoMigration.\n\n";
+    bench::print_rss_footer(std::cout);
   }
   return 0;
 }

@@ -1,0 +1,181 @@
+// Million-flow scale harness for the pod-sharded streaming epoch loop
+// (DESIGN.md §14, EXPERIMENTS.md "bench_scale").
+//
+// Where the fig11 drivers reproduce the paper's cost series, this one
+// answers the scaling question the sharded engine exists for: what does
+// one epoch of the dynamic loop cost — wall-clock and resident memory —
+// when the flow population reaches data-center scale (l >= 1,000,000 on a
+// k=32 fat tree, 8192 hosts)? It runs run_sharded_simulation directly
+// over ShardMap::by_ingress_pod with a streaming workload churning
+// between epochs, and prints one row per epoch: live flows, applied
+// churn, resolved/held shard split, communication cost, epoch latency,
+// and current RSS, with peak RSS in the footer.
+//
+// Options: --k --flows --hours --n --mu --threads --cand --seed
+//          --arrivals --depart --rerate --resolve-fraction --staleness
+//          --smoke   (tiny k=4 config; the scale_smoke tier-1 CTest gate)
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/sharded_cost_model.hpp"
+#include "sim/sharded.hpp"
+#include "workload/streaming.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Prints one progress row per epoch as the run executes (a long l=1M run
+/// must not be silent for minutes), tracking per-epoch wall latency from
+/// on_epoch_begin to on_epoch_end.
+class ScaleObserver final : public ppdc::EpochObserver {
+ public:
+  explicit ScaleObserver(const ppdc::StreamingWorkload& workload)
+      : workload_(workload) {}
+
+  void on_epoch_begin(ppdc::Hour /*hour*/) override {
+    epoch_start_ = Clock::now();
+    churned_ = 0;
+    resolved_ = 0;
+    held_ = 0;
+  }
+
+  void on_shard_batch(ppdc::Hour /*hour*/, int resolved, int held,
+                      int churned) override {
+    resolved_ = resolved;
+    held_ = held;
+    churned_ = churned;
+  }
+
+  void on_epoch_end(ppdc::Hour hour, const ppdc::EpochDecision& d) override {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - epoch_start_)
+            .count();
+    total_ms_ += ms;
+    ++epochs_;
+    std::printf("%5d  %9d  %8d  %5d/%-5d  %14.6g  %10.1f  %9s\n",
+                hour.value(), workload_.live_flows(), churned_, resolved_,
+                held_, d.comm_cost,
+                ms, ppdc::bench::mib(ppdc::current_rss_bytes()).c_str());
+    std::fflush(stdout);
+  }
+
+  double mean_epoch_ms() const {
+    return epochs_ == 0 ? 0.0 : total_ms_ / epochs_;
+  }
+
+ private:
+  const ppdc::StreamingWorkload& workload_;
+  Clock::time_point epoch_start_{};
+  int churned_ = 0;
+  int resolved_ = 0;
+  int held_ = 0;
+  double total_ms_ = 0.0;
+  int epochs_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppdc;
+  const Options opts = Options::parse(argc, argv);
+  opts.restrict_to({"k", "flows", "hours", "n", "mu", "threads", "cand",
+                    "seed", "arrivals", "depart", "rerate",
+                    "resolve-fraction", "staleness", "smoke"});
+  const bool smoke = opts.get_bool("smoke", false);
+
+  // Smoke mode is the scale_smoke tier-1 gate: the same code path at a
+  // size that finishes in seconds (and that build-tsan can re-run).
+  const int k = static_cast<int>(opts.get_int("k", smoke ? 4 : 32));
+  const int flows =
+      static_cast<int>(opts.get_int("flows", smoke ? 2000 : 1000000));
+  const int hours = static_cast<int>(opts.get_int("hours", smoke ? 4 : 12));
+  const int n = static_cast<int>(opts.get_int("n", 7));
+  const double mu = opts.get_double("mu", 1e4);
+  const int threads = static_cast<int>(opts.get_int("threads", smoke ? 2 : 0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.get_int("seed", 42));
+
+  ShardedStreamingConfig sharded;
+  sharded.enabled = true;
+  sharded.threads = threads;
+  sharded.churn.arrivals_per_epoch = static_cast<int>(
+      opts.get_int("arrivals", smoke ? 100 : flows / 200));
+  sharded.churn.departure_prob =
+      opts.get_double("depart", smoke ? 0.02 : 0.005);
+  sharded.churn.rerate_prob = opts.get_double("rerate", smoke ? 0.1 : 0.05);
+  sharded.resolve_churn_fraction =
+      opts.get_double("resolve-fraction", smoke ? 0.05 : 0.02);
+  sharded.max_staleness = static_cast<int>(opts.get_int("staleness", 4));
+
+  const auto t_build = Clock::now();
+  const Topology topo = build_fat_tree(k);
+  const AllPairs apsp(topo.graph);
+  const ShardMap map = ShardMap::by_ingress_pod(topo);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t_build)
+          .count();
+
+  VmPlacementConfig workload_cfg;
+  workload_cfg.num_pairs = flows;
+  workload_cfg.intra_rack_fraction = 0.8;
+  workload_cfg.rack_zipf_s = 2.2;  // tenant skew, as in the fig11 dynamics
+  const auto t_gen = Clock::now();
+  StreamingWorkload workload(topo, workload_cfg, sharded.churn, Rng(seed));
+  const double gen_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t_gen).count();
+
+  TopDpOptions dp_opts;
+  dp_opts.candidate_limit = static_cast<int>(
+      opts.get_int("cand", topo.num_switches() > 100 ? 48 : 0));
+  ParetoMigrationOptions pareto_opts;
+  pareto_opts.placement = dp_opts;
+  ParetoMigrationPolicy policy(mu, pareto_opts);
+
+  SimConfig sim;
+  sim.hours = hours;
+  sim.initial_placement = dp_opts;
+
+  bench::header(
+      "bench_scale — pod-sharded streaming epoch loop at scale",
+      "fat-tree k=" + std::to_string(k) + " (" +
+          std::to_string(topo.num_hosts()) + " hosts, " +
+          std::to_string(map.num_shards()) + " shards), l=" +
+          std::to_string(flows) + ", n=" + std::to_string(n) + ", mu=" +
+          TablePrinter::num(mu, 0) + ", churn=" +
+          std::to_string(sharded.churn.arrivals_per_epoch) + "/epoch, " +
+          "resolve-fraction=" +
+          TablePrinter::num(sharded.resolve_churn_fraction, 3) +
+          ", staleness<=" + std::to_string(sharded.max_staleness) +
+          ", threads=" + bench::threads_label(threads));
+  std::cout << "topology+APSP+shard map: " << TablePrinter::num(build_ms, 1)
+            << " ms, workload generation: " << TablePrinter::num(gen_ms, 1)
+            << " ms\n\n";
+
+  std::printf("%5s  %9s  %8s  %11s  %14s  %10s  %9s\n", "hour", "live",
+              "churned", "rslv/held", "comm cost", "epoch ms", "RSS MiB");
+
+  ScaleObserver observer(workload);
+  const auto t_run = Clock::now();
+  const SimTrace trace = run_sharded_simulation(apsp, map, workload, n, sim,
+                                                sharded, policy, &observer);
+  const double run_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t_run).count();
+
+  std::cout << "\ntotal cost " << TablePrinter::num(trace.total_cost, 0)
+            << " (comm " << TablePrinter::num(trace.total_comm_cost, 0)
+            << ", migration "
+            << TablePrinter::num(trace.total_migration_cost, 0) << ", "
+            << trace.total_vnf_migrations << " VNF moves), shards resolved "
+            << trace.total_shard_resolves << " / held "
+            << trace.total_shard_holds << "\n";
+  std::cout << "wall: " << TablePrinter::num(run_ms, 1) << " ms over "
+            << hours << " epochs (mean "
+            << TablePrinter::num(observer.mean_epoch_ms(), 1)
+            << " ms/epoch, hour-0 solve included in wall only)\n";
+  bench::print_rss_footer(std::cout);
+  return 0;
+}

@@ -16,6 +16,11 @@ namespace {
 /// subtract/add patches.
 constexpr std::size_t kDirtyRebuildDivisor = 4;
 
+/// One past the largest accepted group id. Ids may be sparse (storage is
+/// per distinct id), but the *domain* stays bounded so a corrupt id can't
+/// silently size a scale vector into the gigabytes.
+constexpr int kMaxGroupId = 1 << 20;
+
 /// Switch-block width of the attraction rebuild kernels: the block's
 /// accumulators (kSwitchBlock doubles) stay cache-resident while the flow
 /// list streams past, and blocks double as the OpenMP work unit.
@@ -156,35 +161,62 @@ void CostModel::restrict_candidates(std::vector<NodeId> candidates) {
 }
 
 void CostModel::enable_group_refresh(const std::vector<double>& base_rates,
-                                     const std::vector<int>& groups) {
+                                     const std::vector<int>& groups,
+                                     int min_groups) {
   PPDC_REQUIRE(base_rates.size() == flows_->size(),
                "base-rate vector size mismatch");
   PPDC_REQUIRE(groups.size() == flows_->size(), "group vector size mismatch");
-  int max_group = 0;
+  PPDC_REQUIRE(min_groups >= 0 && min_groups <= kMaxGroupId,
+               "group-domain size outside [0, 2^20]");
+  int max_group = min_groups - 1;
   for (std::size_t i = 0; i < groups.size(); ++i) {
-    PPDC_REQUIRE(groups[i] >= 0, "negative group id");
-    PPDC_REQUIRE(base_rates[i] >= 0.0, "negative base traffic rate");
+    // Per-flow validation names the offending FlowId: a departed flow
+    // whose slot carries a stale/garbage group id must fail loudly here
+    // rather than silently corrupt a base-vector row.
+    PPDC_REQUIRE(groups[i] >= 0, "flow " + std::to_string(i) +
+                                     " carries negative group id " +
+                                     std::to_string(groups[i]));
+    PPDC_REQUIRE(groups[i] < kMaxGroupId,
+                 "flow " + std::to_string(i) + " carries group id " +
+                     std::to_string(groups[i]) +
+                     " outside the supported domain [0, 2^20)");
+    PPDC_REQUIRE(base_rates[i] >= 0.0,
+                 "flow " + std::to_string(i) + " carries negative base rate " +
+                     std::to_string(base_rates[i]));
     max_group = std::max(max_group, groups[i]);
   }
-  PPDC_REQUIRE(max_group < (1 << 20), "group ids must be small dense ints");
   base_rates_ = base_rates;
   groups_ = groups;
-  num_groups_ = max_group + 1;
+  num_groups_ = std::max(max_group + 1, 1);
   last_scales_.clear();
   rebuild_group_bases();
 }
 
 void CostModel::rebuild_group_bases() {
   const auto n = static_cast<std::size_t>(apsp_->num_nodes());
-  const auto g_count = static_cast<std::size_t>(num_groups_);
+  // Row compaction: one dense base-vector row per *distinct* group id, in
+  // ascending id order — a dense id set keeps the historical row == id
+  // layout (and recombination order) bit for bit, while a sparse set
+  // (streaming shards re-using freed slots) allocates no dead rows.
+  std::vector<char> used(static_cast<std::size_t>(num_groups_), 0);
+  for (const int g : groups_) used[static_cast<std::size_t>(g)] = 1;
+  group_rows_.assign(static_cast<std::size_t>(num_groups_), -1);
+  row_groups_.clear();
+  for (int g = 0; g < num_groups_; ++g) {
+    if (used[static_cast<std::size_t>(g)] != 0) {
+      group_rows_[static_cast<std::size_t>(g)] =
+          static_cast<int>(row_groups_.size());
+      row_groups_.push_back(g);
+    }
+  }
   snap_src_.resize(flows_->size());
   snap_dst_.resize(flows_->size());
   for (std::size_t i = 0; i < flows_->size(); ++i) {
     snap_src_[i] = (*flows_)[i].src_host;
     snap_dst_[i] = (*flows_)[i].dst_host;
   }
-  group_ingress_.assign(g_count * n, 0.0);
-  group_egress_.assign(g_count * n, 0.0);
+  group_ingress_.assign(row_groups_.size() * n, 0.0);
+  group_egress_.assign(row_groups_.size() * n, 0.0);
   const auto& switches = apsp_->graph().switches();
   const auto num_switches = static_cast<std::ptrdiff_t>(switches.size());
   const std::ptrdiff_t num_blocks =
@@ -204,7 +236,7 @@ void CostModel::rebuild_group_bases() {
       // may be +inf) contribute nothing.
       if (base_rates_[i] == 0.0) continue;
       const double* srow = apsp_->cost_row(snap_src_[i]);
-      const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+      const std::size_t row = row_of(groups_[i]) * n;
       for (std::ptrdiff_t si = b0; si < b1; ++si) {
         const auto col =
             static_cast<std::size_t>(switches[static_cast<std::size_t>(si)]);
@@ -217,7 +249,7 @@ void CostModel::rebuild_group_bases() {
       const double* swrow = apsp_->cost_row(sw);
       for (std::size_t i = 0; i < groups_.size(); ++i) {
         if (base_rates_[i] == 0.0) continue;
-        const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+        const std::size_t row = row_of(groups_[i]) * n;
         group_egress_[row + col] +=
             base_rates_[i] * swrow[static_cast<std::size_t>(snap_dst_[i])];
       }
@@ -228,7 +260,7 @@ void CostModel::rebuild_group_bases() {
 void CostModel::patch_moved_flow(FlowId flow) {
   const auto n = static_cast<std::size_t>(apsp_->num_nodes());
   const auto i = static_cast<std::size_t>(flow.value());
-  const std::size_t row = static_cast<std::size_t>(groups_[i]) * n;
+  const std::size_t row = row_of(groups_[i]) * n;
   const double base = base_rates_[i];
   const VmFlow& f = (*flows_)[i];
   if (base == 0.0) {
@@ -272,14 +304,16 @@ void CostModel::recombine(const std::vector<double>& scales) {
   }
   ingress_.assign(n, 0.0);
   egress_.assign(n, 0.0);
-  // Group-major recombination: each pass streams one base-vector row
-  // contiguously. Per switch the scaled terms still add in group order, so
-  // the result is bit-identical to a switch-outer group-inner scan.
+  // Group-major recombination over the *mapped* rows: each pass streams
+  // one base-vector row contiguously. Per switch the scaled terms still
+  // add in ascending-group order (unused ids would only have added +0.0),
+  // so the result is bit-identical to a switch-outer group-inner scan
+  // over the full id domain.
   const auto& switches = apsp_->graph().switches();
-  for (std::size_t g = 0; g < scales.size(); ++g) {
-    const double scale = scales[g];
-    const double* girow = group_ingress_.data() + g * n;
-    const double* gerow = group_egress_.data() + g * n;
+  for (std::size_t r = 0; r < row_groups_.size(); ++r) {
+    const double scale = scales[static_cast<std::size_t>(row_groups_[r])];
+    const double* girow = group_ingress_.data() + r * n;
+    const double* gerow = group_egress_.data() + r * n;
     for (const NodeId sw : switches) {
       const auto col = static_cast<std::size_t>(sw);
       ingress_[col] += scale * girow[col];
@@ -287,6 +321,103 @@ void CostModel::recombine(const std::vector<double>& scales) {
     }
   }
   rescan_minima();
+}
+
+std::size_t CostModel::ensure_group_row(int group) {
+  if (group >= num_groups_) {
+    group_rows_.resize(static_cast<std::size_t>(group) + 1, -1);
+    num_groups_ = group + 1;
+  }
+  int& row = group_rows_[static_cast<std::size_t>(group)];
+  if (row < 0) {
+    const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+    row = static_cast<int>(row_groups_.size());
+    row_groups_.push_back(group);
+    group_ingress_.resize(row_groups_.size() * n, 0.0);
+    group_egress_.resize(row_groups_.size() * n, 0.0);
+  }
+  return static_cast<std::size_t>(row);
+}
+
+void CostModel::accumulate_flow_base(std::size_t row, double base, NodeId src,
+                                     NodeId dst, double sign) {
+  const auto n = static_cast<std::size_t>(apsp_->num_nodes());
+  const double* srow = apsp_->cost_row(src);
+  double* gi = group_ingress_.data() + row * n;
+  double* ge = group_egress_.data() + row * n;
+  const double signed_base = sign * base;
+  const auto dcol = static_cast<std::size_t>(dst);
+  for (const NodeId sw : apsp_->graph().switches()) {
+    const auto col = static_cast<std::size_t>(sw);
+    gi[col] += signed_base * srow[col];
+    ge[col] += signed_base * apsp_->cost_row(sw)[dcol];
+  }
+}
+
+void CostModel::rebase_flow(FlowId flow, double new_base, int new_group) {
+  PPDC_REQUIRE(group_refresh_enabled(),
+               "rebase_flow needs enable_group_refresh first");
+  const FlowId end = flow_count(*flows_);
+  PPDC_REQUIRE(flow.valid() && flow < end,
+               "rebased flow " + std::to_string(flow.value()) +
+                   " out of range [0, " + std::to_string(end.value()) + ")");
+  PPDC_REQUIRE(new_base >= 0.0,
+               "flow " + std::to_string(flow.value()) +
+                   " rebased to negative base rate " +
+                   std::to_string(new_base));
+  PPDC_REQUIRE(new_group >= 0 && new_group < kMaxGroupId,
+               "flow " + std::to_string(flow.value()) +
+                   " rebased to group id " + std::to_string(new_group) +
+                   " outside the supported domain [0, 2^20)");
+  const auto i = static_cast<std::size_t>(flow.value());
+  if (base_rates_[i] != 0.0) {
+    accumulate_flow_base(row_of(groups_[i]), base_rates_[i], snap_src_[i],
+                         snap_dst_[i], -1.0);
+  }
+  const VmFlow& f = (*flows_)[i];
+  base_rates_[i] = new_base;
+  groups_[i] = new_group;
+  snap_src_[i] = f.src_host;
+  snap_dst_[i] = f.dst_host;
+  if (new_base != 0.0) {
+    accumulate_flow_base(ensure_group_row(new_group), new_base, f.src_host,
+                         f.dst_host, 1.0);
+  }
+}
+
+void CostModel::flows_appended(const std::vector<double>& new_bases,
+                               const std::vector<int>& new_groups) {
+  PPDC_REQUIRE(group_refresh_enabled(),
+               "flows_appended needs enable_group_refresh first");
+  PPDC_REQUIRE(new_bases.size() == new_groups.size(),
+               "appended base/group vector size mismatch");
+  PPDC_REQUIRE(groups_.size() + new_bases.size() == flows_->size(),
+               "flows_appended must describe exactly the appended tail: "
+               "model tracks " +
+                   std::to_string(groups_.size()) + " flows, " +
+                   std::to_string(new_bases.size()) +
+                   " were announced, but the bound vector holds " +
+                   std::to_string(flows_->size()));
+  for (std::size_t j = 0; j < new_bases.size(); ++j) {
+    const std::size_t i = groups_.size();
+    PPDC_REQUIRE(new_groups[j] >= 0 && new_groups[j] < kMaxGroupId,
+                 "flow " + std::to_string(i) + " appended with group id " +
+                     std::to_string(new_groups[j]) +
+                     " outside the supported domain [0, 2^20)");
+    PPDC_REQUIRE(new_bases[j] >= 0.0,
+                 "flow " + std::to_string(i) +
+                     " appended with negative base rate " +
+                     std::to_string(new_bases[j]));
+    const VmFlow& f = (*flows_)[i];
+    base_rates_.push_back(new_bases[j]);
+    groups_.push_back(new_groups[j]);
+    snap_src_.push_back(f.src_host);
+    snap_dst_.push_back(f.dst_host);
+    if (new_bases[j] != 0.0) {
+      accumulate_flow_base(ensure_group_row(new_groups[j]), new_bases[j],
+                           f.src_host, f.dst_host, 1.0);
+    }
+  }
 }
 
 void CostModel::refresh_scaled(const std::vector<double>& scales) {

@@ -56,10 +56,18 @@ class CostModel {
   void refresh();
 
   /// Precomputes per-group base attraction vectors from `base_rates`
-  /// (flow i belongs to `groups[i]`; ids must be dense non-negative ints).
-  /// Afterwards refresh_scaled() serves epochs in O(|groups| · |V_s|).
+  /// (flow i belongs to `groups[i]`). Afterwards refresh_scaled() serves
+  /// epochs in O(|groups| · |V_s|). Group ids may be sparse and re-used:
+  /// base-vector storage is allocated per *distinct* id (ascending row
+  /// order, so dense id sets keep the historical layout bit for bit)
+  /// while num_groups() stays one past the largest id, so diurnal scale
+  /// vectors keep indexing by raw group id. Invalid entries fail with a
+  /// message naming the offending FlowId. `min_groups` widens the id
+  /// domain for callers (sharded views) whose local flow subset may not
+  /// mention every global group.
   void enable_group_refresh(const std::vector<double>& base_rates,
-                            const std::vector<int>& groups);
+                            const std::vector<int>& groups,
+                            int min_groups = 0);
 
   /// True once enable_group_refresh() has been called.
   bool group_refresh_enabled() const noexcept { return num_groups_ > 0; }
@@ -80,6 +88,23 @@ class CostModel {
   /// (or when group refresh is disabled). Ids are validated against the
   /// bound flow vector; the error names the offending flow.
   void endpoints_moved(const std::vector<FlowId>& flow_ids);
+
+  /// Streaming churn: flow `flow`'s base rate, group, and/or endpoints
+  /// changed in place (arrival into a free slot, departure to base 0, a
+  /// re-rate). Subtracts the old base-vector contribution at the snapshot
+  /// endpoints, adds the new one at the flow's current endpoints, and
+  /// updates the snapshot — O(|V_s|). The combined attraction vectors are
+  /// left stale on purpose: callers batch rebase calls per epoch and
+  /// recombine once via refresh_scaled() (or refresh()) before the next
+  /// cost query.
+  void rebase_flow(FlowId flow, double new_base, int new_group);
+
+  /// Streaming churn: the bound flow vector grew by `new_bases.size()`
+  /// tail slots (endpoints already set by the caller). Registers the new
+  /// flows' bases/groups and adds their base-vector contributions; same
+  /// recombine-before-query contract as rebase_flow().
+  void flows_appended(const std::vector<double>& new_bases,
+                      const std::vector<int>& new_groups);
 
   /// Restricts the switches eligible to host VNFs (fault tolerance: only
   /// alive switches of the serving partition may be placement targets).
@@ -141,6 +166,18 @@ class CostModel {
   /// Moves one flow's base-vector contributions from its snapshot
   /// endpoints to its current ones.
   void patch_moved_flow(FlowId flow);
+  /// Dense base-vector row of a group id that is known to be mapped.
+  std::size_t row_of(int group) const {
+    return static_cast<std::size_t>(
+        group_rows_[static_cast<std::size_t>(group)]);
+  }
+  /// Dense base-vector row of a group id, allocating one (and widening
+  /// the id domain) on first use.
+  std::size_t ensure_group_row(int group);
+  /// Adds (sign = +1) or removes (sign = -1) one flow's base contribution
+  /// at the given endpoints from its group's base-vector row.
+  void accumulate_flow_base(std::size_t row, double base, NodeId src,
+                            NodeId dst, double sign);
   /// Derives Λ, A, B (and the argmins) from the base vectors and `scales`.
   void recombine(const std::vector<double>& scales);
   /// Recomputes best/min ingress+egress from the attraction vectors.
@@ -161,8 +198,10 @@ class CostModel {
   int num_groups_ = 0;
   std::vector<double> base_rates_;     ///< λ̄_i, one per flow
   std::vector<int> groups_;            ///< group id, one per flow
-  std::vector<double> group_ingress_;  ///< [g · |V| + a] = A_g(a)
-  std::vector<double> group_egress_;   ///< [g · |V| + b] = B_g(b)
+  std::vector<int> group_rows_;        ///< group id -> dense row (-1 unused)
+  std::vector<int> row_groups_;        ///< dense row -> group id
+  std::vector<double> group_ingress_;  ///< [row · |V| + a] = A_g(a)
+  std::vector<double> group_egress_;   ///< [row · |V| + b] = B_g(b)
   std::vector<double> last_scales_;    ///< scales of the last recombine
   std::vector<NodeId> snap_src_;       ///< endpoints the base vectors use
   std::vector<NodeId> snap_dst_;

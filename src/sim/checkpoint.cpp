@@ -30,10 +30,13 @@ namespace {
 constexpr char kMagic[8] = {'P', 'P', 'D', 'C', 'J', 'N', 'L', '1'};
 // Version 2: StatsBundle grew the graceful-degradation ladder scalars
 // (ladder_transitions, refresh_only, frozen, policy_failures) and the
-// sim-config fingerprint covers the ladder/audit knobs. Version-1
-// journals are rejected with a clear message — their records cannot be
-// merged bit-exactly into the wider bundle.
-constexpr std::uint32_t kVersion = 2;
+// sim-config fingerprint covers the ladder/audit knobs. Version 3:
+// StatsBundle grew the shard scalars (shard_resolves, shard_holds) and
+// the sim-config fingerprint covers the sharded streaming knobs (churn
+// intensities, resolve_churn_fraction, max_staleness). Older journals
+// are rejected with a clear message — their records cannot be merged
+// bit-exactly into the wider bundle.
+constexpr std::uint32_t kVersion = 3;
 
 // ---------------------------------------------------------------------------
 // Little serialization layer: fixed-width fields appended to a string,
@@ -204,6 +207,8 @@ std::string serialize_record(const JobRecord& rec) {
     put_running_stats(payload, rec.stats.refresh_only);
     put_running_stats(payload, rec.stats.frozen);
     put_running_stats(payload, rec.stats.policy_failures);
+    put_running_stats(payload, rec.stats.shard_resolves);
+    put_running_stats(payload, rec.stats.shard_holds);
     for (const RunningStats& s : rec.stats.hourly_cost) {
       put_running_stats(payload, s);
     }
@@ -258,6 +263,8 @@ JobRecord parse_record(const std::string& bytes, std::size_t begin,
     rec.stats.refresh_only = c.running_stats();
     rec.stats.frozen = c.running_stats();
     rec.stats.policy_failures = c.running_stats();
+    rec.stats.shard_resolves = c.running_stats();
+    rec.stats.shard_holds = c.running_stats();
     for (std::uint32_t h = 0; h < hours; ++h) {
       rec.stats.hourly_cost[h] = c.running_stats();
     }
@@ -430,6 +437,15 @@ ExperimentFingerprint fingerprint_experiment(
     // Auditing changes no results, but a run that dies on an AuditError
     // must not silently resume as a non-audited run (and vice versa).
     h.b(config.sim.audit.enabled);
+    // Sharded streaming execution: the churn trace and the
+    // bounded-staleness re-solve schedule both shape results. Thread
+    // counts stay excluded (bit-identical by construction).
+    h.b(config.sharded.enabled);
+    h.i64(config.sharded.churn.arrivals_per_epoch);
+    h.f64(config.sharded.churn.departure_prob);
+    h.f64(config.sharded.churn.rerate_prob);
+    h.f64(config.sharded.resolve_churn_fraction);
+    h.i64(config.sharded.max_staleness);
     fp.sim_config = h.value();
   }
   return fp;

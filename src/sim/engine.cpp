@@ -339,6 +339,20 @@ SimTrace run_simulation(const AllPairs& apsp,
     d.quarantine_penalty = epoch_penalty;
     d.truncated_solves += recovery_truncations;
     d.rung = rung;
+    // The monolithic engine is one shard: it resolved unless the epoch
+    // held the placement (refresh-only / frozen) or nothing was served.
+    if (blackout) {
+      d.resolved_shards = 0;
+      d.held_shards = 0;
+    } else if (frozen || (config.ladder.enabled &&
+                          rung == DegradationRung::kRefreshOnly &&
+                          hour != Hour{0})) {
+      d.resolved_shards = 0;
+      d.held_shards = 1;
+    } else {
+      d.resolved_shards = 1;
+      d.held_shards = 0;
+    }
     if (d.truncated_solves > 0) {
       emit([&](EpochObserver& o) {
         o.on_budget_truncation(hour, d.truncated_solves);

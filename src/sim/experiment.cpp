@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/sharded_cost_model.hpp"
 #include "graph/apsp.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/observer.hpp"
@@ -18,6 +19,7 @@
 #include "util/checksum.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+#include "workload/streaming.hpp"
 #include "workload/traffic.hpp"
 
 namespace ppdc {
@@ -38,6 +40,8 @@ void StatsBundle::add(const SimTrace& trace) {
   refresh_only.add(static_cast<double>(trace.refresh_only_epochs));
   frozen.add(static_cast<double>(trace.frozen_epochs));
   policy_failures.add(static_cast<double>(trace.policy_failures));
+  shard_resolves.add(static_cast<double>(trace.total_shard_resolves));
+  shard_holds.add(static_cast<double>(trace.total_shard_holds));
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     const EpochDecision& d = trace.epochs[h];
     hourly_cost[h].add(d.comm_cost + d.migration_cost);
@@ -62,6 +66,8 @@ void StatsBundle::merge(const StatsBundle& other) {
   refresh_only.merge(other.refresh_only);
   frozen.merge(other.frozen);
   policy_failures.merge(other.policy_failures);
+  shard_resolves.merge(other.shard_resolves);
+  shard_holds.merge(other.shard_holds);
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     hourly_cost[h].merge(other.hourly_cost[h]);
     hourly_moves[h].merge(other.hourly_moves[h]);
@@ -118,16 +124,28 @@ std::vector<PolicyStats> run_experiment(
   // Pre-split the per-trial RNG streams and regenerate each trial's
   // workload before dispatch — same seeder order as the serial runner, so
   // trial t sees the same flows regardless of how jobs are scheduled (and
-  // regardless of which cells a resumed run skips).
+  // regardless of which cells a resumed run skips). Sharded streaming
+  // jobs instead keep a copy of the trial stream: every (trial, policy)
+  // job regenerates its own StreamingWorkload from that copy, so all
+  // policies of a trial see the identical initial draw *and* churn trace
+  // (the streaming analogue of the shared trial_flows vector).
   std::vector<std::vector<VmFlow>> trial_flows;
-  trial_flows.reserve(num_trials);
+  std::vector<Rng> trial_rngs;
   {
     Rng seeder(config.seed);
     for (std::size_t trial = 0; trial < num_trials; ++trial) {
       Rng trial_rng = seeder.split();
-      trial_flows.push_back(generate_vm_flows(topo, config.workload,
-                                              trial_rng));
+      if (config.sharded.enabled) {
+        trial_rngs.push_back(trial_rng);
+      } else {
+        trial_flows.push_back(generate_vm_flows(topo, config.workload,
+                                                trial_rng));
+      }
     }
+  }
+  std::optional<ShardMap> shard_map;
+  if (config.sharded.enabled) {
+    shard_map.emplace(ShardMap::by_ingress_pod(topo));
   }
 
   // The terminal record of every (trial, policy) cell, trial-major. Cells
@@ -230,9 +248,18 @@ std::vector<PolicyStats> run_experiment(
                 attempt_seed(config.seed, job.trial, job.policy, attempt));
             policy->reseed(attempt_rng);
           }
-          const SimTrace trace =
-              run_simulation(apsp, trial_flows[job.trial], config.sfc_length,
-                             config.sim, *policy);
+          SimTrace trace;
+          if (config.sharded.enabled) {
+            StreamingWorkload streaming(topo, config.workload,
+                                        config.sharded.churn,
+                                        trial_rngs[job.trial]);
+            trace = run_sharded_simulation(apsp, *shard_map, streaming,
+                                           config.sfc_length, config.sim,
+                                           config.sharded, *policy);
+          } else {
+            trace = run_simulation(apsp, trial_flows[job.trial],
+                                   config.sfc_length, config.sim, *policy);
+          }
           PPDC_REQUIRE(trace.epochs.size() == hours,
                        "policy '" + policies[job.policy]->name() + "' trial " +
                            std::to_string(job.trial) + " produced " +
@@ -369,6 +396,8 @@ std::vector<PolicyStats> run_experiment(
     s.refresh_only_epochs = mean_ci_of(b.refresh_only);
     s.frozen_epochs = mean_ci_of(b.frozen);
     s.policy_failures = mean_ci_of(b.policy_failures);
+    s.shard_resolves = mean_ci_of(b.shard_resolves);
+    s.shard_holds = mean_ci_of(b.shard_holds);
     s.hourly_cost.reserve(hours);
     s.hourly_migrations.reserve(hours);
     for (std::size_t h = 0; h < hours; ++h) {

@@ -38,6 +38,7 @@
 #include "sim/engine.hpp"
 #include "sim/observer.hpp"
 #include "sim/policy.hpp"
+#include "sim/sharded.hpp"
 #include "topology/topology.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
@@ -73,6 +74,14 @@ struct ExperimentConfig {
   /// never retried.
   int retry_limit = 0;
   SimConfig sim;
+  /// Pod-sharded streaming execution (sim/sharded.hpp). When enabled,
+  /// each trial regenerates a StreamingWorkload from its per-trial RNG
+  /// stream (same seeder order as the static path, so trial t's initial
+  /// flows match the monolithic runner bit for bit) and every job runs
+  /// run_sharded_simulation over ShardMap::by_ingress_pod(topo). The
+  /// churn/staleness knobs are fingerprinted; `sharded.threads` (like
+  /// `threads` above) is not — any value is bit-identical.
+  ShardedStreamingConfig sharded;
 };
 
 /// One (trial, policy) cell that was quarantined under keep_going.
@@ -102,6 +111,10 @@ struct PolicyStats {
   MeanCi refresh_only_epochs;       ///< epochs executed at kRefreshOnly
   MeanCi frozen_epochs;             ///< epochs executed at kFrozen
   MeanCi policy_failures;           ///< policy throws contained per run
+  // Shard accounting (the monolithic engine counts one always-resolving
+  // shard per epoch; see EpochDecision::resolved_shards).
+  MeanCi shard_resolves;            ///< Σ per-epoch re-solved shards
+  MeanCi shard_holds;               ///< Σ per-epoch held shards
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;
@@ -126,14 +139,15 @@ struct PolicyStats {
 struct StatsBundle {
   RunningStats total, comm, migration, vnf_moves, vm_moves, recovery_moves,
       recovery_cost, quarantined, penalty, downtime, truncated,
-      ladder_transitions, refresh_only, frozen, policy_failures;
+      ladder_transitions, refresh_only, frozen, policy_failures,
+      shard_resolves, shard_holds;
   std::vector<RunningStats> hourly_cost, hourly_moves;
 
   explicit StatsBundle(std::size_t hours = 0)
       : hourly_cost(hours), hourly_moves(hours) {}
 
-  /// The 15 scalar accumulators, in journal serialization order.
-  static constexpr std::size_t kScalarFields = 15;
+  /// The 17 scalar accumulators, in journal serialization order.
+  static constexpr std::size_t kScalarFields = 17;
 
   void add(const SimTrace& trace);
   void merge(const StatsBundle& other);

@@ -72,6 +72,14 @@ class EpochObserver {
                                     DegradationRung /*to*/,
                                     const std::string& /*reason*/) {}
 
+  /// Sharded runs only (sim/sharded.hpp): the epoch's shard batch was
+  /// solved — `resolved` shards re-ran their policy, `held` shards kept
+  /// their placement under the bounded-staleness rule, out of a
+  /// `churned`-flow churn applied this epoch. Fires after recovery and
+  /// before on_epoch_end; the monolithic engine never emits it.
+  virtual void on_shard_batch(Hour /*hour*/, int /*resolved*/, int /*held*/,
+                              int /*churned*/) {}
+
   /// The epoch is fully costed; `decision` carries the final bookkeeping
   /// (policy costs plus the engine's fault stamps).
   virtual void on_epoch_end(Hour /*hour*/, const EpochDecision& /*decision*/) {}
@@ -121,6 +129,11 @@ struct SimTrace {
   int policy_failures = 0;       ///< policy throws contained by the ladder
   /// Epochs the InvariantAuditor checked (0 when auditing is off).
   int audited_epochs = 0;
+
+  // Shard accounting (sim/sharded.hpp; the monolithic engine counts as
+  // one always-resolving shard — see EpochDecision::resolved_shards).
+  int total_shard_resolves = 0;  ///< Σ per-epoch resolved shards
+  int total_shard_holds = 0;     ///< Σ per-epoch held shards
 };
 
 /// The observer that builds `SimTrace`. The engine always installs one;
@@ -155,6 +168,8 @@ class TraceRecorder final : public EpochObserver {
     trace_.quarantined_flow_epochs += d.quarantined_flows;
     trace_.total_quarantine_penalty += d.quarantine_penalty;
     trace_.total_truncated_solves += d.truncated_solves;
+    trace_.total_shard_resolves += d.resolved_shards;
+    trace_.total_shard_holds += d.held_shards;
     if (d.service_down) ++trace_.downtime_epochs;
     trace_.epochs.push_back(d);
   }

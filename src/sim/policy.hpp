@@ -80,6 +80,16 @@ struct EpochDecision {
   /// pre-policy state was restored and the epoch charged at the held
   /// placement).
   bool policy_failed = false;
+
+  // Shard bookkeeping (sim/sharded.hpp). The monolithic engine behaves
+  // as one always-resolving shard: it stamps resolved=1/held=0 on every
+  // epoch that charged a placement through the policy path (including
+  // hour 0), resolved=0/held=1 on epochs that held it (kRefreshOnly /
+  // kFrozen), and 0/0 on blackout epochs. The sharded engine counts its
+  // shards the same way, so the single-shard run is field-for-field
+  // identical to the monolithic trace.
+  int resolved_shards = 0;  ///< shards whose placement was re-solved
+  int held_shards = 0;      ///< shards that kept their placement
 };
 
 /// Interface implemented by every migration strategy.

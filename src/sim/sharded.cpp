@@ -1,0 +1,508 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/chain_search.hpp"
+#include "core/cost_model.hpp"
+#include "core/placement_dp.hpp"
+#include "fault/degraded.hpp"
+#include "fault/fault.hpp"
+#include "graph/apsp.hpp"
+#include "graph/graph.hpp"
+#include "sim/experiment.hpp"
+#include "util/ids.hpp"
+#include "util/require.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/traffic.hpp"
+
+namespace ppdc {
+
+namespace {
+
+/// Persistent per-shard runtime state across epochs.
+struct ShardRun {
+  Placement placement;
+  std::unique_ptr<MigrationPolicy> policy;
+  std::unique_ptr<CostModel> degraded_model;
+  double last_comm = 0.0;     ///< stale estimate charged at kFrozen
+  int staleness = 0;          ///< consecutive held epochs
+  int churned = 0;            ///< churned flows since the last re-solve
+  bool resync_pending = false;  ///< primary bases stale after faults
+};
+
+/// One shard's contribution to one epoch, merged in fixed shard order.
+struct ShardEpochResult {
+  EpochDecision d;
+  int quarantined = 0;
+  double unserved = 0.0;
+  int recovery_migrations = 0;
+  double recovery_cost = 0.0;
+  int recovery_truncations = 0;
+  bool resolved = false;
+  bool held = false;
+};
+
+}  // namespace
+
+SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
+                                StreamingWorkload& workload, int n,
+                                const SimConfig& config,
+                                const ShardedStreamingConfig& sharded,
+                                const MigrationPolicy& prototype,
+                                EpochObserver* observer) {
+  PPDC_REQUIRE(!workload.flows().empty(),
+               "simulation needs at least one flow");
+  PPDC_REQUIRE(config.hours >= 1, "simulation needs at least one hour");
+  PPDC_REQUIRE(config.fault.mu >= 0.0,
+               "negative recovery migration coefficient");
+  PPDC_REQUIRE(config.fault.quarantine_penalty >= 0.0,
+               "negative quarantine penalty");
+  PPDC_REQUIRE(config.ladder.max_quarantined_fraction >= 0.0 &&
+                   config.ladder.max_quarantined_fraction <= 1.0,
+               "ladder quarantine trip must be a fraction in [0,1]");
+  PPDC_REQUIRE(config.ladder.trip_truncations >= 0,
+               "negative ladder truncation trip");
+  PPDC_REQUIRE(config.ladder.recovery_epochs >= 1,
+               "ladder recovery needs at least one clean epoch");
+  PPDC_REQUIRE(!config.rate_schedule,
+               "the sharded engine rides the grouped diurnal fast path; "
+               "custom rate schedules are monolithic-only");
+  PPDC_REQUIRE(!config.audit.enabled,
+               "runtime invariant auditing reasons over one monolithic "
+               "model and is not supported by the sharded engine");
+  PPDC_REQUIRE(sharded.resolve_churn_fraction >= 0.0 &&
+                   sharded.resolve_churn_fraction <= 1.0,
+               "resolve_churn_fraction outside [0,1]");
+  PPDC_REQUIRE(sharded.max_staleness >= 1,
+               "bounded staleness needs max_staleness >= 1");
+
+  const Graph& graph = apsp.graph();
+  std::optional<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(graph, config.faults);
+    PPDC_REQUIRE(config.faults.front().epoch >= Hour{1},
+                 "fault events must start at epoch 1 (the initial placement "
+                 "sees the pristine fabric)");
+  }
+
+  // Global diurnal group domain: every shard's scale vector has this
+  // length. Streaming arrivals draw from the same generator as the
+  // initial population and may introduce either coast, so a churning run
+  // widens the domain to at least the two-coast model even when the
+  // initial draw happened to be single-group.
+  const StreamingChurnConfig& churn_cfg = workload.churn_config();
+  const bool streaming = churn_cfg.arrivals_per_epoch > 0 ||
+                         churn_cfg.departure_prob > 0.0 ||
+                         churn_cfg.rerate_prob > 0.0;
+  int n_groups = num_groups(groups_of(workload.flows()));
+  if (streaming) n_groups = std::max(n_groups, 2);
+
+  ShardedCostModel shards(apsp, map, workload.flows(), n_groups);
+  const int num_shards = shards.num_shards();
+  auto scales_at = [&](Hour hour) {
+    return config.diurnal.group_scales(hour, n_groups);
+  };
+
+  // Hour 0: per-shard initial traffic-optimal placement on the pristine
+  // fabric (mirrors the monolithic hour-0 TOP solve per shard).
+  std::vector<ShardRun> runs(static_cast<std::size_t>(num_shards));
+  {
+    const std::vector<double> scales0 = scales_at(Hour{0});
+    for (int s = 0; s < num_shards; ++s) {
+      ShardedCostModel::Shard& sh = shards.shard(s);
+      set_rates(sh.flows, diurnal_rates_grouped(config.diurnal, sh.base_rates,
+                                                sh.groups, Hour{0}));
+      sh.model->refresh_scaled(scales0);
+      ShardRun& run = runs[static_cast<std::size_t>(s)];
+      run.placement =
+          solve_top_dp(*sh.model, n, config.initial_placement).placement;
+      run.policy = prototype.clone();
+      PPDC_REQUIRE(run.policy != nullptr,
+                   "policy '" + prototype.name() + "' returned a null clone()");
+    }
+  }
+  Placement merged_initial;
+  merged_initial.reserve(static_cast<std::size_t>(num_shards * n));
+  for (const ShardRun& run : runs) {
+    merged_initial.insert(merged_initial.end(), run.placement.begin(),
+                          run.placement.end());
+  }
+
+  TraceRecorder recorder;
+  auto emit = [&](auto&& fn) {
+    fn(static_cast<EpochObserver&>(recorder));
+    if (observer != nullptr) fn(*observer);
+  };
+  emit([&](EpochObserver& o) {
+    o.on_run_begin(Hour{config.hours}, merged_initial);
+  });
+
+  std::unique_ptr<DegradedNetwork> degraded;
+
+  DegradationRung rung = DegradationRung::kFull;
+  int clean_streak = 0;
+
+  const int pool_want = resolve_experiment_threads(sharded.threads);
+
+  for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
+    if (config.cancel != nullptr &&
+        config.cancel->load(std::memory_order_relaxed)) {
+      emit([&](EpochObserver& o) { o.on_interrupted(hour); });
+      throw SimInterrupted("simulation cancelled before epoch " +
+                           std::to_string(hour.value()) + " of " +
+                           std::to_string(config.hours));
+    }
+    emit([&](EpochObserver& o) { o.on_epoch_begin(hour); });
+
+    // 0. Inter-epoch churn: the workload advances once per epoch from
+    // hour 1 on, and the shards mirror the churn with O(|V_s|) patches.
+    int epoch_churn = 0;
+    if (hour >= Hour{1}) {
+      const FlowChurn churn = workload.advance();
+      epoch_churn = static_cast<int>(churn.total());
+      if (epoch_churn > 0) {
+        const std::vector<int> touched =
+            shards.apply_churn(workload.flows(), churn);
+        for (int s = 0; s < num_shards; ++s) {
+          runs[static_cast<std::size_t>(s)].churned +=
+              touched[static_cast<std::size_t>(s)];
+        }
+      }
+    }
+
+    // 1. Fault events and the shared degraded view (read-only for the
+    // parallel shard phase, so it is rebuilt here on the main thread).
+    EpochFaults events;
+    if (injector && hour >= Hour{1}) events = injector->advance_to(hour);
+    if (events.switch_failures + events.link_failures + events.repairs > 0) {
+      emit([&](EpochObserver& o) { o.on_faults(hour, events); });
+    }
+    const bool faults_active = injector && injector->any_faults_active();
+    if (events.topology_changed) {
+      for (ShardRun& run : runs) run.degraded_model.reset();
+      degraded.reset();
+      if (faults_active) {
+        degraded = std::make_unique<DegradedNetwork>(
+            graph, injector->dead_nodes(), injector->dead_edges());
+      }
+    }
+    const bool blackout = faults_active && !degraded->core_can_host(n);
+
+    const bool frozen =
+        config.ladder.enabled && rung == DegradationRung::kFrozen;
+    const bool refresh_only =
+        config.ladder.enabled && rung == DegradationRung::kRefreshOnly;
+    const std::vector<double> scales = scales_at(hour);
+
+    // 2.-5. Per-shard epoch work — traffic, quarantine, model
+    // maintenance, emergency recovery, policy or bounded-staleness hold.
+    // Shards are independent; results merge in fixed shard order below.
+    std::vector<ShardEpochResult> results(
+        static_cast<std::size_t>(num_shards));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(num_shards));
+
+    auto shard_epoch = [&](int s) {
+      ShardedCostModel::Shard& sh = shards.shard(s);
+      ShardRun& run = runs[static_cast<std::size_t>(s)];
+      ShardEpochResult& r = results[static_cast<std::size_t>(s)];
+
+      // 2. This epoch's traffic; flows cut off from the core quarantine.
+      std::vector<double> rates =
+          diurnal_rates_grouped(config.diurnal, sh.base_rates, sh.groups,
+                                hour);
+      if (faults_active) {
+        for (std::size_t i = 0; i < sh.flows.size(); ++i) {
+          const VmFlow& f = sh.flows[i];
+          if (sh.base_rates[i] == 0.0) continue;  // vacant slot
+          const bool served = !blackout && degraded->in_core(f.src_host) &&
+                              degraded->in_core(f.dst_host);
+          if (!served) {
+            ++r.quarantined;
+            r.unserved += rates[i];
+            rates[i] = 0.0;
+          }
+        }
+      }
+      set_rates(sh.flows, rates);
+
+      if (blackout) {
+        // Nothing is served and nothing is charged; the stale estimate a
+        // later frozen epoch would charge is this epoch's zero (exactly
+        // the monolithic last_comm_cost bookkeeping).
+        r.d.service_down = true;
+        run.last_comm = 0.0;
+        return;
+      }
+
+      // 3. Cost-model maintenance (mirrors the monolithic engine: a
+      // dedicated full-rescan model over the degraded metric while faults
+      // are active; group recombination on the pristine path, with a lazy
+      // base resync when the fabric heals).
+      CostModel* m = sh.model.get();
+      if (faults_active) {
+        if (!run.degraded_model) {
+          run.degraded_model =
+              std::make_unique<CostModel>(degraded->apsp(), sh.flows);
+          run.degraded_model->restrict_candidates(degraded->core_switches());
+        } else if (!frozen) {
+          run.degraded_model->refresh();
+        }
+        m = run.degraded_model.get();
+        run.resync_pending = true;
+      } else if (!frozen) {
+        if (run.resync_pending) {
+          sh.model->refresh();
+          run.resync_pending = false;
+        }
+        sh.model->refresh_scaled(scales);
+      }
+
+      // 4. Emergency re-placement of VNFs stranded outside the core.
+      bool stranded = false;
+      if (faults_active) {
+        for (const NodeId sw : run.placement) {
+          if (!degraded->in_core(sw)) {
+            stranded = true;
+            break;
+          }
+        }
+      }
+      if (stranded) {
+        const PlacementResult rec =
+            solve_top_dp(*m, n, config.fault.placement);
+        Placement target = rec.placement;
+        if (config.fault.exhaustive_recovery) {
+          ChainSearchConfig cc;
+          cc.budget = config.fault.budget;
+          cc.initial = target;
+          const ChainSearchResult refined = solve_top_exhaustive(*m, n, cc);
+          if (!refined.proven_optimal) ++r.recovery_truncations;
+          target = refined.placement;
+        }
+        double distance = 0.0;
+        for (std::size_t j = 0; j < run.placement.size(); ++j) {
+          if (run.placement[j] == target[j]) continue;
+          ++r.recovery_migrations;
+          distance += apsp.cost(run.placement[j], target[j]);
+        }
+        r.recovery_cost = config.fault.mu * distance;
+        run.placement = std::move(target);
+      }
+
+      // 5. Policy, or a bounded-staleness hold. Held shards charge the
+      // exact communication cost of the kept placement on the *refreshed*
+      // model — never a stale estimate (kFrozen excepted, as in the
+      // monolithic ladder).
+      EpochDecision& d = r.d;
+      if (hour == Hour{0}) {
+        d.comm_cost = sh.model->communication_cost(run.placement);
+        r.resolved = true;
+      } else if (frozen) {
+        d.comm_cost = run.last_comm;
+        r.held = true;
+      } else if (refresh_only) {
+        d.comm_cost = m->communication_cost(run.placement);
+        r.held = true;
+      } else {
+        const bool resolve =
+            sharded.resolve_churn_fraction <= 0.0 || faults_active ||
+            stranded ||
+            static_cast<double>(run.churned) >=
+                sharded.resolve_churn_fraction *
+                    static_cast<double>(std::max(sh.live, 1)) ||
+            run.staleness >= sharded.max_staleness;
+        if (!resolve) {
+          d.comm_cost = m->communication_cost(run.placement);
+          r.held = true;
+          ++run.staleness;
+        } else {
+          SimState st;
+          st.flows = sh.flows;
+          st.placement = run.placement;
+          try {
+            d = run.policy->on_epoch(*m, st);
+            try {
+              PPDC_REQUIRE(st.placement.size() == static_cast<std::size_t>(n),
+                           "placement length changed");
+              validate_placement(m->apsp().graph(), st.placement);
+              if (faults_active) {
+                for (const NodeId sw : st.placement) {
+                  PPDC_REQUIRE(degraded->in_core(sw),
+                               "VNF placed on a dead or unreachable switch");
+                }
+              }
+            } catch (const PpdcError& e) {
+              throw PpdcError("policy '" + run.policy->name() +
+                              "' produced an invalid placement for shard '" +
+                              sh.name + "' at epoch " +
+                              std::to_string(hour.value()) + ": " + e.what());
+            }
+          } catch (const PpdcError&) {
+            if (!config.ladder.enabled) throw;
+            d = EpochDecision{};
+            d.policy_failed = true;
+            d.comm_cost = m->communication_cost(run.placement);
+          }
+          if (!d.policy_failed) {
+            PPDC_REQUIRE(
+                d.moved_flows.empty(),
+                "policy '" + run.policy->name() +
+                    "' relocated VM endpoints at epoch " +
+                    std::to_string(hour.value()) +
+                    ": VM-migration policies are not supported by the "
+                    "sharded engine (shard flow vectors are private)");
+            run.placement = st.placement;
+            if (config.downtime_factor > 0.0) {
+              d.migration_cost += config.downtime_factor * m->total_rate() *
+                                  d.migration_distance;
+            }
+          }
+          r.resolved = true;
+          run.staleness = 0;
+          run.churned = 0;
+        }
+      }
+      run.last_comm = d.comm_cost;
+    };
+
+    const int pool = std::min(pool_want, num_shards);
+    if (pool <= 1) {
+      for (int s = 0; s < num_shards; ++s) {
+        try {
+          shard_epoch(s);
+        } catch (...) {
+          errors[static_cast<std::size_t>(s)] = std::current_exception();
+          break;
+        }
+      }
+    } else {
+      std::atomic<int> next{0};
+      auto worker = [&]() noexcept {
+        for (;;) {
+          const int s = next.fetch_add(1, std::memory_order_relaxed);
+          if (s >= num_shards) return;
+          try {
+            shard_epoch(s);
+          } catch (...) {
+            errors[static_cast<std::size_t>(s)] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(pool));
+      for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+      for (std::thread& t : threads) t.join();
+    }
+    // Deterministic error surfacing: first failing shard in pod order.
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+
+    // 6. Fixed-order merge: sums accumulate in shard order, so the
+    // merged decision is a pure function of shard state — identical at
+    // every thread count.
+    EpochDecision d;
+    int quarantined = 0;
+    double unserved = 0.0;
+    int recovery_migrations = 0;
+    double recovery_cost = 0.0;
+    for (const ShardEpochResult& r : results) {
+      quarantined += r.quarantined;
+      unserved += r.unserved;
+      recovery_migrations += r.recovery_migrations;
+      recovery_cost += r.recovery_cost;
+      d.comm_cost += r.d.comm_cost;
+      d.migration_cost += r.d.migration_cost;
+      d.migration_distance += r.d.migration_distance;
+      d.vnf_migrations += r.d.vnf_migrations;
+      d.vm_migrations += r.d.vm_migrations;
+      d.truncated_solves += r.d.truncated_solves + r.recovery_truncations;
+      d.resolved_shards += r.resolved ? 1 : 0;
+      d.held_shards += r.held ? 1 : 0;
+      if (r.d.policy_failed) d.policy_failed = true;
+    }
+    const double epoch_penalty = config.fault.quarantine_penalty * unserved;
+    if (quarantined > 0) {
+      emit([&](EpochObserver& o) {
+        o.on_quarantine(hour, quarantined, unserved, epoch_penalty);
+      });
+    }
+    if (blackout) {
+      d.service_down = true;
+      emit([&](EpochObserver& o) { o.on_blackout(hour); });
+    } else if (recovery_migrations > 0) {
+      emit([&](EpochObserver& o) {
+        o.on_recovery(hour, recovery_migrations, recovery_cost);
+      });
+    }
+    d.switch_failures = events.switch_failures;
+    d.link_failures = events.link_failures;
+    d.repairs = events.repairs;
+    d.recovery_migrations = recovery_migrations;
+    d.recovery_cost = recovery_cost;
+    d.quarantined_flows = quarantined;
+    d.quarantine_penalty = epoch_penalty;
+    d.rung = rung;
+    if (d.truncated_solves > 0) {
+      emit([&](EpochObserver& o) {
+        o.on_budget_truncation(hour, d.truncated_solves);
+      });
+    }
+    emit([&](EpochObserver& o) {
+      o.on_shard_batch(hour, d.resolved_shards, d.held_shards, epoch_churn);
+    });
+    emit([&](EpochObserver& o) { o.on_epoch_end(hour, d); });
+
+    // 7. Ladder transition on the merged epoch (the global rung governs
+    // every shard — one control loop, many solvers).
+    if (config.ladder.enabled) {
+      const char* trip = nullptr;
+      if (d.policy_failed) {
+        trip = "policy-throw";
+      } else if (blackout) {
+        trip = "blackout";
+      } else if (config.ladder.trip_truncations > 0 &&
+                 d.truncated_solves >= config.ladder.trip_truncations) {
+        trip = "solve-budget";
+      } else if (static_cast<double>(quarantined) >
+                 config.ladder.max_quarantined_fraction *
+                     static_cast<double>(workload.flows().size())) {
+        trip = "quarantine";
+      }
+      if (trip != nullptr) {
+        clean_streak = 0;
+        if (rung != DegradationRung::kFrozen) {
+          const DegradationRung from = rung;
+          rung = static_cast<DegradationRung>(static_cast<int>(rung) + 1);
+          emit([&](EpochObserver& o) {
+            o.on_ladder_transition(hour, from, rung, trip);
+          });
+        }
+      } else {
+        ++clean_streak;
+        if (rung != DegradationRung::kFull &&
+            clean_streak >= config.ladder.recovery_epochs) {
+          const DegradationRung from = rung;
+          rung = static_cast<DegradationRung>(static_cast<int>(rung) - 1);
+          clean_streak = 0;
+          emit([&](EpochObserver& o) {
+            o.on_ladder_transition(hour, from, rung, "recovered");
+          });
+        }
+      }
+    }
+  }
+  emit([&](EpochObserver& o) { o.on_run_end(); });
+  return recorder.take();
+}
+
+}  // namespace ppdc

@@ -1,0 +1,71 @@
+// Pod-sharded epoch loop over a streaming workload (DESIGN.md §14).
+//
+// run_sharded_simulation() restructures run_simulation() around the
+// ingress-pod shards of core/sharded_cost_model.hpp: every shard owns its
+// own flow subset, cost model, policy clone, and placement, and the epoch
+// loop solves the shards concurrently on a worker pool. Between epochs the
+// StreamingWorkload churns (arrivals / departures / re-rates), and each
+// shard re-solves only when its accumulated churn crosses
+// ShardedStreamingConfig::resolve_churn_fraction or it has been held for
+// max_staleness epochs (bounded staleness). Held shards keep their
+// placement but are re-costed *exactly* — their cost model still refreshes
+// under the epoch's diurnal scales and the epoch charges
+// communication_cost(placement), never a stale estimate.
+//
+// Determinism contract:
+//   * Shard state is exact per shard and decisions merge field-wise in
+//     fixed pod order, so the trace is bit-identical at any thread count.
+//   * Over ShardMap::single with a churn-free workload the loop
+//     transcribes the monolithic engine: the returned trace equals
+//     run_simulation's field for field (sharded_equivalence_test).
+//
+// Restrictions vs the monolithic engine: only placement policies (the VNF
+// migration family) are supported — a policy that relocates VM endpoints
+// (PLAN/MCF, EpochDecision::moved_flows non-empty) fails by name; custom
+// SimConfig::rate_schedule and runtime auditing are monolithic-only.
+#pragma once
+
+#include "core/sharded_cost_model.hpp"
+#include "graph/apsp.hpp"
+#include "sim/engine.hpp"
+#include "sim/observer.hpp"
+#include "sim/policy.hpp"
+#include "workload/streaming.hpp"
+
+namespace ppdc {
+
+/// Knobs of the sharded streaming loop.
+struct ShardedStreamingConfig {
+  /// Experiment-level gate (sim/experiment.hpp): when false the runner
+  /// takes the monolithic path and every other field is ignored.
+  bool enabled = false;
+  /// Inter-epoch churn intensities of the StreamingWorkload.
+  StreamingChurnConfig churn;
+  /// A shard re-solves when its churned-flow count since the last solve
+  /// reaches this fraction of its live flows. 0 (default) re-solves every
+  /// shard every epoch — the monolithic semantics. Fault epochs and
+  /// shards with stranded VNFs always re-solve regardless.
+  double resolve_churn_fraction = 0.0;
+  /// Hard bound on consecutive held epochs per shard (bounded staleness);
+  /// only consulted when resolve_churn_fraction > 0.
+  int max_staleness = 4;
+  /// Worker threads solving shards concurrently. 0 = auto (hardware
+  /// concurrency; 1 under PPDC_TSAN). Any value is bit-identical — the
+  /// merge order is fixed — so threads are never fingerprinted.
+  int threads = 1;
+};
+
+/// Runs one policy prototype over the horizon, sharded by `map`. The
+/// workload is advanced in place (one churn step per epoch from hour 1
+/// on); `n` is the per-shard SFC length. The trace's per-epoch decisions
+/// are the fixed-order field-wise merge of the per-shard decisions;
+/// resolved/held shard counts land in EpochDecision::resolved_shards /
+/// held_shards and observers additionally see on_shard_batch.
+SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
+                                StreamingWorkload& workload, int n,
+                                const SimConfig& config,
+                                const ShardedStreamingConfig& sharded,
+                                const MigrationPolicy& prototype,
+                                EpochObserver* observer = nullptr);
+
+}  // namespace ppdc

@@ -1,0 +1,56 @@
+// Resident-set-size probe for the scale benches (EXPERIMENTS.md
+// `bench_scale`): current and peak RSS of the calling process, read from
+// /proc/self/status (VmRSS / VmHWM). The l >= 1M acceptance numbers pair
+// every epoch-latency row with the memory it cost, so the probe lives in
+// util where both bench_common table footers and ad-hoc diagnostics can
+// reach it.
+//
+// Portability: /proc is Linux-only. On platforms (or sandboxes) where the
+// file is absent or the fields are missing, both probes return 0 — callers
+// print "n/a" instead of failing, and no simulation result ever depends on
+// the value (it is reporting-only, never part of a fingerprint).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+namespace ppdc {
+
+namespace detail {
+
+/// Reads one "Vm...:  <kB> kB" field from /proc/self/status; 0 when the
+/// file or the field is unavailable.
+inline std::size_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    // Format: "VmRSS:\t  123456 kB". Scan past the label for the number.
+    unsigned long long v = 0;
+    if (std::sscanf(line + field_len, ": %llu", &v) == 1) {
+      kb = static_cast<std::size_t>(v);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace detail
+
+/// Current resident set size in bytes (VmRSS), or 0 when unavailable.
+inline std::size_t current_rss_bytes() {
+  return detail::proc_status_kb("VmRSS") * 1024;
+}
+
+/// Peak resident set size in bytes (VmHWM — the high-water mark since
+/// process start), or 0 when unavailable.
+inline std::size_t peak_rss_bytes() {
+  return detail::proc_status_kb("VmHWM") * 1024;
+}
+
+}  // namespace ppdc

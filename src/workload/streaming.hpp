@@ -1,0 +1,88 @@
+// Streaming workload: flows arrive, depart, and re-rate between epochs.
+//
+// The paper's dynamic experiments (§VI) fix the flow population and only
+// re-scale rates diurnally. Real tenants churn: meetings start and end,
+// VMs are torn down. StreamingWorkload generalizes the static generator —
+// epoch 0 is bit-identical to generate_vm_flows() under the same seed, and
+// advance() then applies one epoch of churn (departures, re-rates,
+// arrivals, all drawn from one seeded Rng in a fixed order, so the whole
+// trace is deterministic).
+//
+// FlowId stability (the property the sharded cost model depends on):
+// departing flows do NOT compact the flow vector. Their slot keeps its
+// endpoints, drops to base rate 0, and enters a free-list; the next
+// arrival re-uses the smallest free slot (or appends). FlowIds are thus
+// never remapped, per-flow caches stay valid, and the flow vector stays
+// dense in slots while only live_flows() of them carry traffic.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic.hpp"
+#include "workload/vm_placement.hpp"
+
+namespace ppdc {
+
+/// Per-epoch churn intensities. All defaults are zero: a default-constructed
+/// config makes StreamingWorkload behave exactly like the static workload.
+struct StreamingChurnConfig {
+  int arrivals_per_epoch = 0;   ///< new flows drawn each advance()
+  double departure_prob = 0.0;  ///< per live flow per epoch
+  double rerate_prob = 0.0;     ///< per surviving flow per epoch
+};
+
+/// What one advance() changed, as ascending FlowId lists. A flow appears in
+/// at most one list per epoch (a slot freed by a departure can be re-used
+/// by an arrival in the same epoch; it is then reported only as arrived).
+struct FlowChurn {
+  std::vector<FlowId> departed;  ///< base rate dropped to 0, slot freed
+  std::vector<FlowId> arrived;   ///< fresh flow (re-used or appended slot)
+  std::vector<FlowId> rerated;   ///< base rate re-drawn, endpoints unchanged
+
+  std::size_t total() const noexcept {
+    return departed.size() + arrived.size() + rerated.size();
+  }
+};
+
+/// Seeded, deterministic flow source with inter-epoch churn.
+class StreamingWorkload {
+ public:
+  /// Draws the initial population exactly like
+  /// generate_vm_flows(topo, initial, rng). `topo` must outlive the
+  /// workload; `rng` is taken by value (the workload owns its stream).
+  StreamingWorkload(const Topology& topo, const VmPlacementConfig& initial,
+                    const StreamingChurnConfig& churn, Rng rng);
+
+  /// Slot-dense flow vector. Each flow's `rate` is its current *base*
+  /// rate λ̄_i (diurnal scaling is applied downstream); vacant slots have
+  /// rate 0 and keep their last valid endpoints/group. The reference is
+  /// stable across advance() only if no arrival appends a slot — cost
+  /// models bind to this vector and must be told about appended tails
+  /// (CostModel::flows_appended).
+  const std::vector<VmFlow>& flows() const noexcept { return flows_; }
+
+  /// Number of slots carrying traffic (flows() size minus free slots).
+  int live_flows() const noexcept {
+    return static_cast<int>(flows_.size() - free_.size());
+  }
+
+  /// Applies one epoch of churn: departures first (over live flows in
+  /// ascending id order), then re-rates (over the survivors), then
+  /// arrivals (smallest free slot first, appends after).
+  FlowChurn advance();
+
+  const StreamingChurnConfig& churn_config() const noexcept { return churn_; }
+
+ private:
+  VmFlowSampler sampler_;
+  StreamingChurnConfig churn_;
+  Rng rng_;
+  std::vector<VmFlow> flows_;
+  std::vector<FlowId> free_;  ///< vacant slots, sorted descending
+  int next_index_ = 0;        ///< arrival counter feeding sampler groups
+};
+
+}  // namespace ppdc

@@ -30,9 +30,9 @@ NodeId random_host(const std::vector<NodeId>& rack, Rng& rng) {
 
 }  // namespace
 
-std::vector<VmFlow> generate_vm_flows(const Topology& topo,
-                                      const VmPlacementConfig& config,
-                                      Rng& rng) {
+VmFlowSampler::VmFlowSampler(const Topology& topo,
+                             const VmPlacementConfig& config)
+    : topo_(&topo), config_(config) {
   PPDC_REQUIRE(config.num_pairs >= 0, "negative pair count");
   PPDC_REQUIRE(config.intra_rack_fraction >= 0.0 &&
                    config.intra_rack_fraction <= 1.0,
@@ -45,17 +45,17 @@ std::vector<VmFlow> generate_vm_flows(const Topology& topo,
 
   // Per-coast rack lists: east = first half, west = second half
   // (degenerates to a single coast on tiny topologies).
-  std::vector<std::vector<RackIdx>> coast_racks(2);
+  coast_racks_.resize(2);
   for (const RackIdx r : topo.racks.ids()) {
-    coast_racks[r.value() < east_racks ? 0 : 1].push_back(r);
+    coast_racks_[r.value() < east_racks ? 0 : 1].push_back(r);
   }
-  if (coast_racks[1].empty()) coast_racks[1] = coast_racks[0];
+  if (coast_racks_[1].empty()) coast_racks_[1] = coast_racks_[0];
 
   // Zipf popularity within each coast (uniform when s == 0).
-  std::vector<std::vector<double>> coast_weights(2);
+  coast_weights_.resize(2);
   for (int coast = 0; coast < 2; ++coast) {
-    const auto& racks = coast_racks[static_cast<std::size_t>(coast)];
-    auto& w = coast_weights[static_cast<std::size_t>(coast)];
+    const auto& racks = coast_racks_[static_cast<std::size_t>(coast)];
+    auto& w = coast_weights_[static_cast<std::size_t>(coast)];
     w.reserve(racks.size());
     for (std::size_t rank = 0; rank < racks.size(); ++rank) {
       w.push_back(config.rack_zipf_s == 0.0
@@ -64,42 +64,50 @@ std::vector<VmFlow> generate_vm_flows(const Topology& topo,
                                  -config.rack_zipf_s));
     }
   }
+}
 
-  auto pick_rack = [&](int coast) {
-    const auto& racks = coast_racks[static_cast<std::size_t>(coast)];
-    const auto& w = coast_weights[static_cast<std::size_t>(coast)];
-    return racks[rng.weighted_index(w)];
-  };
+RackIdx VmFlowSampler::pick_rack(int coast, Rng& rng) const {
+  const auto& racks = coast_racks_[static_cast<std::size_t>(coast)];
+  const auto& w = coast_weights_[static_cast<std::size_t>(coast)];
+  return racks[rng.weighted_index(w)];
+}
 
+VmFlow VmFlowSampler::sample(int index, Rng& rng) const {
+  const RackIdx num_racks = topo_->num_racks();
+  VmFlow f;
+  const int coast = static_cast<int>(rng.bernoulli(0.5));
+  const RackIdx src_rack = pick_rack(coast, rng);
+  const bool intra = rng.bernoulli(config_.intra_rack_fraction);
+  if (intra || num_racks == RackIdx{1}) {
+    const auto& rack = topo_->racks[src_rack];
+    f.src_host = random_host(rack, rng);
+    f.dst_host = random_host(rack, rng);
+  } else {
+    // Cross-rack pair: the destination stays within the same coast
+    // (tenant locality) but in a different rack when possible.
+    RackIdx dst_rack = src_rack;
+    for (int attempt = 0; attempt < 64 && dst_rack == src_rack; ++attempt) {
+      dst_rack = pick_rack(coast, rng);
+    }
+    if (dst_rack == src_rack) {  // single-rack coast
+      dst_rack = RackIdx{(src_rack.value() + 1) % num_racks.value()};
+    }
+    f.src_host = random_host(topo_->racks[src_rack], rng);
+    f.dst_host = random_host(topo_->racks[dst_rack], rng);
+  }
+  f.rate = config_.rates.sample(rng);
+  f.group = config_.spatial_coasts ? coast : static_cast<int>(index % 2);
+  return f;
+}
+
+std::vector<VmFlow> generate_vm_flows(const Topology& topo,
+                                      const VmPlacementConfig& config,
+                                      Rng& rng) {
+  const VmFlowSampler sampler(topo, config);
   std::vector<VmFlow> flows;
   flows.reserve(static_cast<std::size_t>(config.num_pairs));
-
   for (int i = 0; i < config.num_pairs; ++i) {
-    VmFlow f;
-    const int coast = static_cast<int>(rng.bernoulli(0.5));
-    const RackIdx src_rack = pick_rack(coast);
-    const bool intra = rng.bernoulli(config.intra_rack_fraction);
-    if (intra || num_racks == RackIdx{1}) {
-      const auto& rack = topo.racks[src_rack];
-      f.src_host = random_host(rack, rng);
-      f.dst_host = random_host(rack, rng);
-    } else {
-      // Cross-rack pair: the destination stays within the same coast
-      // (tenant locality) but in a different rack when possible.
-      RackIdx dst_rack = src_rack;
-      for (int attempt = 0; attempt < 64 && dst_rack == src_rack;
-           ++attempt) {
-        dst_rack = pick_rack(coast);
-      }
-      if (dst_rack == src_rack) {  // single-rack coast
-        dst_rack = RackIdx{(src_rack.value() + 1) % num_racks.value()};
-      }
-      f.src_host = random_host(topo.racks[src_rack], rng);
-      f.dst_host = random_host(topo.racks[dst_rack], rng);
-    }
-    f.rate = config.rates.sample(rng);
-    f.group = config.spatial_coasts ? coast : static_cast<int>(i % 2);
-    flows.push_back(f);
+    flows.push_back(sampler.sample(i, rng));
   }
   return flows;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "topology/topology.hpp"
+#include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "workload/traffic.hpp"
 
@@ -36,6 +37,34 @@ struct VmPlacementConfig {
   /// core and never benefits from migration (see DESIGN.md §3 and the
   /// bench_ablation_skew harness). The Fig. 6(b)/11 harnesses use ~2.2.
   double rack_zipf_s = 0.0;
+};
+
+/// Draws VM flows one at a time under the coast/Zipf/intra-rack model.
+/// Extracted from generate_vm_flows() so streaming arrivals
+/// (StreamingWorkload) draw from the *same* distribution with the *same*
+/// per-flow RNG consumption order: generate_vm_flows(topo, c, rng) is
+/// bit-identical to constructing a sampler and calling sample(i, rng) for
+/// i = 0..num_pairs-1.
+class VmFlowSampler {
+ public:
+  /// Precomputes the per-coast rack lists and Zipf weights. `topo` must
+  /// outlive the sampler. Validates `config` (fractions, exponents, racks).
+  VmFlowSampler(const Topology& topo, const VmPlacementConfig& config);
+
+  /// Draws one flow. `index` only feeds the alternating group assignment
+  /// used when `spatial_coasts` is false (generate_vm_flows passes the
+  /// flow's position; streaming passes a monotone arrival counter).
+  VmFlow sample(int index, Rng& rng) const;
+
+  const VmPlacementConfig& config() const noexcept { return config_; }
+
+ private:
+  RackIdx pick_rack(int coast, Rng& rng) const;
+
+  const Topology* topo_;
+  VmPlacementConfig config_;
+  std::vector<std::vector<RackIdx>> coast_racks_;
+  std::vector<std::vector<double>> coast_weights_;
 };
 
 /// Generates `config.num_pairs` VM flows on the topology. Intra-rack pairs

@@ -158,6 +158,9 @@ void expect_same(const PolicyStats& a, const PolicyStats& b) {
               a.name + " downtime_epochs");
   expect_same(a.truncated_solves, b.truncated_solves,
               a.name + " truncated_solves");
+  expect_same(a.shard_resolves, b.shard_resolves,
+              a.name + " shard_resolves");
+  expect_same(a.shard_holds, b.shard_holds, a.name + " shard_holds");
   ASSERT_EQ(a.hourly_cost.size(), b.hourly_cost.size());
   for (std::size_t h = 0; h < a.hourly_cost.size(); ++h) {
     expect_same(a.hourly_cost[h], b.hourly_cost[h],
@@ -407,6 +410,49 @@ TEST_F(CheckpointTest, FingerprintMismatchNamesTheDivergedComponent) {
     other.threads = 4;
     other.keep_going = true;
     other.retry_limit = 2;
+    EXPECT_NO_THROW(run_experiment(topo_, apsp_, other, policies));
+  }
+}
+
+TEST_F(CheckpointTest, ShardedConfigIsFingerprintedExceptThreads) {
+  ExperimentConfig cfg = base_config();
+  cfg.checkpoint_path = journal_path("sharded-fp");
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  run_experiment(topo_, apsp_, cfg, policies);
+
+  {
+    // Turning the sharded streaming engine on is a different experiment.
+    ExperimentConfig other = cfg;
+    other.sharded.enabled = true;
+    try {
+      run_experiment(topo_, apsp_, other, policies);
+      FAIL() << "expected CheckpointMismatchError";
+    } catch (const CheckpointMismatchError& e) {
+      EXPECT_NE(std::string(e.what()).find("sim config"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // So is any churn / staleness knob, even with the engine off — stale
+    // journals must be rejected by name, never silently merged.
+    ExperimentConfig other = cfg;
+    other.sharded.churn.departure_prob = 0.1;
+    EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
+                 CheckpointMismatchError);
+    other = cfg;
+    other.sharded.resolve_churn_fraction = 0.5;
+    EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
+                 CheckpointMismatchError);
+    other = cfg;
+    other.sharded.max_staleness = 9;
+    EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
+                 CheckpointMismatchError);
+  }
+  {
+    // Shard worker threads are wall-clock-only (bit-identical results):
+    // they must NOT invalidate the journal.
+    ExperimentConfig other = cfg;
+    other.sharded.threads = 8;
     EXPECT_NO_THROW(run_experiment(topo_, apsp_, other, policies));
   }
 }

@@ -292,6 +292,128 @@ TEST(IncrementalRefresh, EngineGroupedPathMatchesFullRescanTrace) {
   }
 }
 
+TEST(IncrementalRefresh, SparseGroupIdsCompactAndMatchRebuild) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 60, 17);
+  // Sparse, non-contiguous group ids: rows are compacted per distinct id
+  // while scale vectors keep indexing by raw id (num_groups = 10).
+  const int sparse_ids[3] = {1, 4, 9};
+  std::vector<double> bases(flows.size());
+  std::vector<int> groups(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    bases[i] = flows[i].rate;
+    groups[i] = sparse_ids[i % 3];
+    flows[i].group = groups[i];
+  }
+  CostModel cm(apsp, flows);
+  cm.enable_group_refresh(bases, groups);
+
+  std::vector<double> scales(10, 1.0);
+  scales[1] = 0.25;
+  scales[4] = 2.0;
+  scales[9] = 0.0;
+  cm.refresh_scaled(scales);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    flows[i].rate = bases[i] * scales[static_cast<std::size_t>(groups[i])];
+  }
+  expect_matches_rebuild(apsp, flows, cm);
+}
+
+TEST(IncrementalRefresh, MinGroupsWidensScaleDomain) {
+  const Topology topo = build_linear(4);
+  const AllPairs apsp(topo.graph);
+  const NodeId h0 = topo.graph.hosts()[0];
+  const NodeId h1 = topo.graph.hosts()[1];
+  std::vector<VmFlow> flows{{h0, h1, 2.0, 0}, {h1, h0, 3.0, 0}};
+  CostModel cm(apsp, flows);
+  // The local subset only mentions group 0, but the caller's global
+  // domain has 4 groups (sharded views): scale vectors must be length 4.
+  cm.enable_group_refresh({2.0, 3.0}, {0, 0}, 4);
+  EXPECT_THROW(cm.refresh_scaled({1.0}), PpdcError);
+  cm.refresh_scaled({0.5, 1.0, 1.0, 1.0});
+  flows[0].rate = 1.0;
+  flows[1].rate = 1.5;
+  expect_matches_rebuild(apsp, flows, cm);
+}
+
+TEST(IncrementalRefresh, RebaseFlowPatchesBaseVectors) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 40, 23);
+  std::vector<double> bases(flows.size());
+  std::vector<int> groups(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    bases[i] = flows[i].rate;
+    groups[i] = flows[i].group;
+  }
+  CostModel cm(apsp, flows);
+  cm.enable_group_refresh(bases, groups);
+
+  // Departure: slot 3's base drops to 0 in place.
+  flows[3].rate = 0.0;
+  cm.rebase_flow(FlowId{3}, 0.0, groups[3]);
+  // Re-rate: slot 5 keeps endpoints and group, new base.
+  flows[5].rate = 2.5;
+  cm.rebase_flow(FlowId{5}, 2.5, groups[5]);
+  // Re-spawn: slot 3 is re-used by a fresh flow — new endpoints, new
+  // group, new base.
+  flows[3].src_host = topo.graph.hosts()[0];
+  flows[3].dst_host = topo.graph.hosts().back();
+  flows[3].group = 1 - groups[3];
+  flows[3].rate = 1.7;
+  cm.rebase_flow(FlowId{3}, 1.7, flows[3].group);
+
+  // Batched-churn contract: recombine once, then query.
+  cm.refresh_scaled({1.0, 1.0});
+  expect_matches_rebuild(apsp, flows, cm);
+}
+
+TEST(IncrementalRefresh, FlowsAppendedExtendsModel) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  std::vector<VmFlow> flows = spatial_workload(topo, 30, 31);
+  std::vector<double> bases(flows.size());
+  std::vector<int> groups(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    bases[i] = flows[i].rate;
+    groups[i] = flows[i].group;
+  }
+  CostModel cm(apsp, flows);
+  cm.enable_group_refresh(bases, groups);
+
+  const auto& hosts = topo.graph.hosts();
+  std::vector<double> new_bases{1.25, 0.75, 3.5};
+  std::vector<int> new_groups{1, 0, 1};
+  for (std::size_t j = 0; j < new_bases.size(); ++j) {
+    VmFlow f;
+    f.src_host = hosts[j];
+    f.dst_host = hosts[hosts.size() - 1 - j];
+    f.rate = new_bases[j];
+    f.group = new_groups[j];
+    flows.push_back(f);
+  }
+  cm.flows_appended(new_bases, new_groups);
+  cm.refresh_scaled({1.0, 1.0});
+  expect_matches_rebuild(apsp, flows, cm);
+
+  // Size mismatch between the grown vector and the registration fails.
+  flows.push_back(flows.back());
+  EXPECT_THROW(cm.flows_appended({1.0, 1.0}, {0, 0}), PpdcError);
+}
+
+TEST(IncrementalRefresh, RebaseRejectsBadIdsByName) {
+  const Topology topo = build_linear(3);
+  const AllPairs apsp(topo.graph);
+  const NodeId h1 = topo.graph.hosts()[0];
+  std::vector<VmFlow> flows{{h1, h1, 1.0, 0}};
+  CostModel cm(apsp, flows);
+  cm.enable_group_refresh({1.0}, {0});
+  EXPECT_THROW(cm.rebase_flow(FlowId{7}, 1.0, 0), PpdcError);
+  EXPECT_THROW(cm.rebase_flow(FlowId{0}, -1.0, 0), PpdcError);
+  EXPECT_THROW(cm.rebase_flow(FlowId{0}, 1.0, -2), PpdcError);
+}
+
 TEST(IncrementalRefresh, RejectsBadInput) {
   const Topology topo = build_linear(3);
   const AllPairs apsp(topo.graph);

@@ -159,6 +159,22 @@ else
   note "tsan: SKIPPED (no $TSAN_RUNNER — build the tsan preset first)"
 fi
 
+# The sharded streaming loop solves shards concurrently on its own worker
+# pool (sim/sharded.cpp); re-run the scale_smoke scenario instrumented so
+# the per-shard phase / fixed-order merge handoffs are TSan-checked too.
+TSAN_SCALE=build-tsan/bench/bench_scale
+if [ -x "$TSAN_SCALE" ]; then
+  note "tsan: $TSAN_SCALE --smoke"
+  if "$TSAN_SCALE" --smoke >/dev/null; then
+    echo "   OK: sharded epoch loop is race-free under TSan"
+  else
+    echo "   FAIL: TSan flagged the sharded epoch loop" >&2
+    failures=$((failures + 1))
+  fi
+else
+  note "tsan: SKIPPED (no $TSAN_SCALE — build the tsan preset first)"
+fi
+
 # ---------------------------------------------------------------------------
 # Stage 6: kill-resume smoke under ASan (optional; needs the sanitize
 # preset built: cmake --preset sanitize && cmake --build --preset

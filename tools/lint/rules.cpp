@@ -363,6 +363,9 @@ void rule_include_spell(const FileUnit& f, const ProjectContext& ctx,
 /// src/<dir>/ may only include project headers from the listed
 /// directories; everything else is a new architecture edge that needs a
 /// deliberate decision (and a table update), not an accidental include.
+/// Note the core -> workload edge deliberately carries the sharded cost
+/// model's dependency on workload/streaming.hpp (FlowChurn), and sim ->
+/// workload carries the streaming epoch loop — neither is a new edge.
 void rule_include_layering(const FileUnit& f, const ProjectContext&,
                            std::vector<Finding>* out) {
   static const std::map<std::string, std::set<std::string>> kAllowed = {
