@@ -19,10 +19,22 @@
 // with --keep-going the violating (trial, policy) cells are quarantined,
 // reported, and counted; without it the first violation aborts the sweep.
 //
+// --sharded reruns the soak through the pod-sharded streaming engine
+// (sim/sharded.hpp) on the two scenarios whose fault structure lines up
+// with ingress-pod shards — pod-outage and gray-links — with churn, the
+// per-shard containment ladder, the sharded invariant auditor, and a
+// quarantine SLA price on contained shard failures. --epoch-journal BASE
+// additionally journals every cell at epoch granularity so a killed soak
+// resumes mid-cell (tools/smoke_resume_sharded.sh drives that path with
+// PPDC_EPOCH_CRASH_AFTER).
+//
 // Options: --k --trials --l --n --mu --hours --mtbf --mttr --penalty
 //          --node-budget --seed --threads --csv --smoke
+//          --sharded --shard-threads --resolve-frac --quarantine-sla
+//          --epoch-journal
 //          --checkpoint --keep-going --retries  (robustness; see
 //          EXPERIMENTS.md "Chaos soak")
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -46,10 +58,13 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   opts.restrict_to({"k", "trials", "l", "n", "mu", "hours", "mtbf", "mttr",
                     "penalty", "node-budget", "seed", "threads", "csv",
-                    "smoke", "checkpoint", "keep-going", "retries"});
+                    "smoke", "sharded", "shard-threads", "resolve-frac",
+                    "quarantine-sla", "epoch-journal", "checkpoint",
+                    "keep-going", "retries"});
   // Smoke mode is the tier-1 / sanitizer gate: one trial of every
   // scenario at the smallest fabric that still has four pods to fail.
   const bool smoke = opts.get_bool("smoke", false);
+  const bool sharded_mode = opts.get_bool("sharded", false);
   const int k = static_cast<int>(opts.get_int("k", smoke ? 4 : 8));
   const int trials = static_cast<int>(opts.get_int("trials", smoke ? 1 : 5));
   const int l = static_cast<int>(opts.get_int("l", smoke ? 30 : 200));
@@ -67,11 +82,18 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(opts.get_int("seed", 42));
   const int threads = bench::threads_option(opts);
+  const int shard_threads =
+      static_cast<int>(opts.get_int("shard-threads", 0));
+  const double resolve_frac = opts.get_double("resolve-frac", 0.15);
+  const double quarantine_sla = opts.get_double("quarantine-sla", 5.0);
+  const std::string epoch_journal = opts.get_string("epoch-journal", "");
   const bench::RobustnessOptions robust = bench::robustness_options(opts);
   bench::install_signal_handlers();
 
   bench::header(
-      "Chaos soak — fault domains, degradation ladder, invariant audit",
+      sharded_mode
+          ? "Chaos soak (sharded) — shard containment, sharded audit"
+          : "Chaos soak — fault domains, degradation ladder, invariant audit",
       "fat-tree k=" + std::to_string(k) + ", l=" + std::to_string(l) +
           ", n=" + std::to_string(n) + ", mu=" + TablePrinter::num(mu, 0) +
           ", " + std::to_string(hours) + "h, " + std::to_string(trials) +
@@ -133,9 +155,28 @@ int main(int argc, char** argv) {
     scenarios.push_back(storm);
   }
 
-  TablePrinter table({"scenario", "fail/rep", "mPareto", "Optimal",
-                      "quarantined", "downtime", "ladder", "refresh/frozen",
-                      "polfail"});
+  // The sharded soak keeps the two scenarios whose fault structure maps
+  // onto ingress-pod shards: pod-scale outages (whole shards lose their
+  // fabric at once) and gray links (every shard sees flapping paths).
+  if (sharded_mode) {
+    std::vector<Scenario> keep;
+    for (Scenario& sc : scenarios) {
+      if (sc.name == "pod-outage" || sc.name == "gray-links") {
+        keep.push_back(std::move(sc));
+      }
+    }
+    scenarios = std::move(keep);
+  }
+
+  TablePrinter table(
+      sharded_mode
+          ? std::vector<std::string>{"scenario", "fail/rep", "mPareto",
+                                     "Optimal", "quarantined", "ladder",
+                                     "qshards", "retries", "shardpen",
+                                     "polfail"}
+          : std::vector<std::string>{"scenario", "fail/rep", "mPareto",
+                                     "Optimal", "quarantined", "downtime",
+                                     "ladder", "refresh/frozen", "polfail"});
   int audit_violations = 0;
   try {
     for (const Scenario& sc : scenarios) {
@@ -163,6 +204,23 @@ int main(int argc, char** argv) {
       cfg.sim.ladder.enabled = true;
       cfg.sim.audit.enabled = true;
       cfg.threads = threads;
+      if (sharded_mode) {
+        // Pod-sharded streaming path: churn every epoch, re-solve on the
+        // churn threshold, contain per-shard failures under the ladder,
+        // and price quarantined shard-epochs via the SLA. The epoch
+        // journal base is tagged per scenario so the per-cell derived
+        // paths of consecutive scenarios never collide.
+        cfg.sharded.enabled = true;
+        cfg.sharded.threads = shard_threads;
+        cfg.sharded.resolve_churn_fraction = resolve_frac;
+        cfg.sharded.quarantine_sla = quarantine_sla;
+        cfg.sharded.churn.arrivals_per_epoch = std::max(1, l / 10);
+        cfg.sharded.churn.departure_prob = 0.05;
+        cfg.sharded.churn.rerate_prob = 0.1;
+        if (!epoch_journal.empty()) {
+          cfg.sharded.epoch_journal = epoch_journal + "." + sc.name;
+        }
+      }
       bench::apply_robustness(cfg, robust, sc.name);
 
       ParetoMigrationPolicy pareto(mu);
@@ -182,16 +240,31 @@ int main(int argc, char** argv) {
       // The Optimal column is the pressured one — its ladder columns show
       // the soak actually exercising the degradation machinery.
       const PolicyStats& hot = stats[1];
-      table.add_row(
-          {sc.name, std::to_string(failures) + "/" + std::to_string(repairs),
-           bench::cell(stats[0], stats[0].total_cost),
-           bench::cell(hot, hot.total_cost),
-           bench::cell(hot, hot.quarantined_flow_epochs, 1),
-           bench::cell(hot, hot.downtime_epochs, 1),
-           bench::cell(hot, hot.ladder_transitions, 1),
-           bench::cell(hot, hot.refresh_only_epochs, 1) + "/" +
-               bench::cell(hot, hot.frozen_epochs, 1),
-           bench::cell(hot, hot.policy_failures, 1)});
+      if (sharded_mode) {
+        table.add_row(
+            {sc.name,
+             std::to_string(failures) + "/" + std::to_string(repairs),
+             bench::cell(stats[0], stats[0].total_cost),
+             bench::cell(hot, hot.total_cost),
+             bench::cell(hot, hot.quarantined_flow_epochs, 1),
+             bench::cell(hot, hot.ladder_transitions, 1),
+             bench::cell(hot, hot.quarantined_shard_epochs, 1),
+             bench::cell(hot, hot.shard_retries, 1),
+             bench::cell(hot, hot.shard_penalty, 1),
+             bench::cell(hot, hot.policy_failures, 1)});
+      } else {
+        table.add_row(
+            {sc.name,
+             std::to_string(failures) + "/" + std::to_string(repairs),
+             bench::cell(stats[0], stats[0].total_cost),
+             bench::cell(hot, hot.total_cost),
+             bench::cell(hot, hot.quarantined_flow_epochs, 1),
+             bench::cell(hot, hot.downtime_epochs, 1),
+             bench::cell(hot, hot.ladder_transitions, 1),
+             bench::cell(hot, hot.refresh_only_epochs, 1) + "/" +
+                 bench::cell(hot, hot.frozen_epochs, 1),
+             bench::cell(hot, hot.policy_failures, 1)});
+      }
     }
   } catch (const PpdcError& e) {
     // Without --keep-going the first audit violation (or any other
@@ -204,12 +277,24 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
-  std::cout << "\nnote: every epoch ran under the invariant auditor "
-               "(placement feasibility, cost conservation, injector "
-               "consistency, event-stream sanity); 'ladder' counts rung "
-               "transitions and 'refresh/frozen' the epochs spent "
-               "degraded. The Optimal policy runs under a node budget of "
-            << node_budget << " to keep the ladder busy on purpose.\n";
+  if (sharded_mode) {
+    std::cout << "\nnote: every epoch ran under the sharded invariant "
+                 "auditor (per-shard placement feasibility and cost "
+                 "conservation, id-map and injector consistency, merged "
+                 "event stream); 'qshards' counts failure-quarantined "
+                 "shard-epochs, 'retries' the seeded-backoff re-solve "
+                 "attempts, and 'shardpen' the quarantine SLA charge. The "
+                 "Optimal policy runs under a node budget of "
+              << node_budget << " to keep the per-shard ladders busy on "
+                                "purpose.\n";
+  } else {
+    std::cout << "\nnote: every epoch ran under the invariant auditor "
+                 "(placement feasibility, cost conservation, injector "
+                 "consistency, event-stream sanity); 'ladder' counts rung "
+                 "transitions and 'refresh/frozen' the epochs spent "
+                 "degraded. The Optimal policy runs under a node budget of "
+              << node_budget << " to keep the ladder busy on purpose.\n";
+  }
   if (audit_violations > 0) {
     std::cerr << "error: " << audit_violations
               << " invariant audit violation(s) — see warnings above\n";

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/sharded_cost_model.hpp"
 #include "fault/degraded.hpp"
 #include "fault/fault.hpp"
 #include "graph/graph.hpp"
@@ -30,6 +32,7 @@
 #include "sim/policy.hpp"
 #include "util/ids.hpp"
 #include "util/require.hpp"
+#include "workload/traffic.hpp"
 
 namespace ppdc {
 
@@ -55,10 +58,11 @@ struct AuditViolation {
   Hour epoch = Hour::invalid();
   std::string policy;
   /// One of "placement-feasibility", "cost-conservation",
-  /// "injector-consistency", "event-stream".
+  /// "injector-consistency", "id-map-consistency", "event-stream".
   std::string invariant;
   FlowId flow = FlowId::invalid();     ///< offending flow, when one exists
   NodeId node = kInvalidNode;          ///< offending switch, when one exists
+  std::string shard;                   ///< offending shard name (sharded runs)
   std::string detail;                  ///< human-readable specifics
 };
 
@@ -140,6 +144,122 @@ class InvariantAuditor final : public EpochObserver {
   int stream_quarantined_ = 0;          ///< on_quarantine payload
   double stream_penalty_ = 0.0;
   DegradationRung stream_rung_ = DegradationRung::kFull;  ///< from transitions
+};
+
+class ShardedCostModel;  // core/sharded_cost_model.hpp
+class StreamingWorkload;  // workload/streaming.hpp
+
+/// Everything the sharded auditor needs to re-derive one *shard's* epoch
+/// truth (DESIGN.md §15). `model` is the model the shard's epoch was
+/// costed on (the degraded model on faulty epochs); `flows` carry the
+/// epoch's quarantine-adjusted rates.
+struct ShardAuditContext {
+  Hour epoch = Hour::invalid();
+  int shard = -1;
+  const std::string* name = nullptr;
+  const CostModel* model = nullptr;
+  const std::vector<VmFlow>* flows = nullptr;
+  const Placement* placement = nullptr;
+  double charged_comm = 0.0;  ///< the comm cost the merge charged this shard
+  bool frozen = false;        ///< executed at kFrozen (stale charge, exempt)
+  bool service_down = false;  ///< blackout epoch (nothing served)
+  const DegradedNetwork* degraded = nullptr;
+  int n = 0;
+};
+
+/// The epoch-global inputs of the sharded audit (after the merge).
+struct ShardedAuditContext {
+  Hour epoch = Hour::invalid();
+  const ShardedCostModel* shards = nullptr;
+  const std::vector<VmFlow>* global_flows = nullptr;  ///< base-rate vector
+  const EpochDecision* decision = nullptr;
+  const DegradedNetwork* degraded = nullptr;
+  const FaultInjector* injector = nullptr;
+};
+
+/// Per-run invariant checker of the sharded streaming engine
+/// (sim/sharded.hpp). Reasons per shard where the monolithic auditor
+/// reasons per run: placement feasibility on each shard's degraded core,
+/// per-shard comm-cost conservation against from-scratch flow_cost sums
+/// (including the exactly-patched costs of held shards), global↔local
+/// id-map consistency in ShardedCostModel, and the merged event stream
+/// with its per-shard ladder. Attach to the engine's event stream, call
+/// check_shard_epoch once per shard (fixed shard order) after
+/// on_epoch_end, then check_epoch for the merged decision, and check_run
+/// on the finished trace. Violations throw AuditError naming the shard.
+class ShardedInvariantAuditor final : public EpochObserver {
+ public:
+  ShardedInvariantAuditor(AuditOptions options, std::string policy_name,
+                          std::vector<std::string> shard_names);
+
+  // -- Event-stream sanity tracking (invariant "event-stream") ----------
+  void on_run_begin(Hour horizon, const Placement& initial) override;
+  void on_epoch_begin(Hour hour) override;
+  void on_faults(Hour hour, const EpochFaults& events) override;
+  void on_quarantine(Hour hour, int flows, double unserved_rate,
+                     double penalty) override;
+  void on_shard_ladder_transition(Hour hour, int shard,
+                                  const std::string& name,
+                                  DegradationRung from, DegradationRung to,
+                                  const std::string& reason) override;
+  void on_epoch_end(Hour hour, const EpochDecision& decision) override;
+
+  /// Epoch-journal resume support: the first `epochs` epochs of the trace
+  /// were replayed from the journal (with `transitions` ladder steps and
+  /// the given per-shard rungs), not observed live. check_run accounts
+  /// for them; the stream checks start at the first live epoch.
+  void note_resumed(int epochs, int transitions,
+                    const std::vector<DegradationRung>& rungs);
+
+  /// Validates one shard's fully costed epoch. Call in fixed shard order
+  /// after the epoch's on_epoch_end, before check_epoch.
+  void check_shard_epoch(const ShardAuditContext& ctx);
+
+  /// Validates the merged epoch: injector consistency, id-map
+  /// consistency, and the merged comm cost against the per-shard charges
+  /// accumulated by check_shard_epoch.
+  void check_epoch(const ShardedAuditContext& ctx);
+
+  /// Validates the finished trace (TraceRecorder conservation, stream
+  /// closure, per-shard counter sums).
+  void check_run(const SimTrace& trace) const;
+
+  int checked_epochs() const noexcept { return checked_epochs_; }
+
+ private:
+  [[noreturn]] void fail(Hour epoch, std::string invariant,
+                         std::string detail, int shard = -1,
+                         FlowId flow = FlowId::invalid(),
+                         NodeId node = kInvalidNode) const;
+
+  void check_shard_placement(const ShardAuditContext& ctx,
+                             const Placement& p) const;
+  void check_shard_conservation(const ShardAuditContext& ctx) const;
+  void check_idmap(const ShardedAuditContext& ctx) const;
+  void check_injector(const ShardedAuditContext& ctx) const;
+
+  AuditOptions options_;
+  std::string policy_;
+  std::vector<std::string> shard_names_;
+  int checked_epochs_ = 0;
+  int transitions_seen_ = 0;
+  int replayed_epochs_ = 0;
+
+  // Stream state accumulated from the observer callbacks.
+  Hour horizon_ = Hour::invalid();
+  Hour open_epoch_ = Hour::invalid();
+  Hour last_ended_ = Hour::invalid();
+  bool epoch_ended_ = false;
+  EpochFaults last_faults_;
+  bool saw_faults_event_ = false;
+  int stream_quarantined_ = 0;
+  double stream_penalty_ = 0.0;
+  std::vector<DegradationRung> shard_rungs_;  ///< from per-shard transitions
+
+  // Per-epoch accumulation from check_shard_epoch (reset by
+  // on_epoch_begin; compared by check_epoch).
+  double epoch_comm_sum_ = 0.0;  ///< Σ charged_comm, fixed shard order
+  int shards_checked_ = 0;
 };
 
 }  // namespace ppdc

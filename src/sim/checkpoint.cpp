@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -13,13 +14,18 @@
 #include <sstream>
 #include <utility>
 
+#include "core/cost_model.hpp"
 #include "fault/fault.hpp"
 #include "io/serialize.hpp"
+#include "sim/engine.hpp"
 #include "sim/policy.hpp"
+#include "sim/sharded.hpp"
 #include "topology/topology.hpp"
 #include "util/checksum.hpp"
+#include "util/ids.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
+#include "workload/streaming.hpp"
 #include "workload/traffic.hpp"
 #include "workload/vm_placement.hpp"
 
@@ -33,10 +39,13 @@ constexpr char kMagic[8] = {'P', 'P', 'D', 'C', 'J', 'N', 'L', '1'};
 // sim-config fingerprint covers the ladder/audit knobs. Version 3:
 // StatsBundle grew the shard scalars (shard_resolves, shard_holds) and
 // the sim-config fingerprint covers the sharded streaming knobs (churn
-// intensities, resolve_churn_fraction, max_staleness). Older journals
-// are rejected with a clear message — their records cannot be merged
-// bit-exactly into the wider bundle.
-constexpr std::uint32_t kVersion = 3;
+// intensities, resolve_churn_fraction, max_staleness). Version 4:
+// StatsBundle grew the shard failure-containment scalars
+// (shard_quarantines, shard_retries, shard_penalty) and the sim-config
+// fingerprint covers ShardedStreamingConfig::quarantine_sla. Older
+// journals are rejected with a clear message — their records cannot be
+// merged bit-exactly into the wider bundle.
+constexpr std::uint32_t kVersion = 4;
 
 // ---------------------------------------------------------------------------
 // Little serialization layer: fixed-width fields appended to a string,
@@ -209,6 +218,9 @@ std::string serialize_record(const JobRecord& rec) {
     put_running_stats(payload, rec.stats.policy_failures);
     put_running_stats(payload, rec.stats.shard_resolves);
     put_running_stats(payload, rec.stats.shard_holds);
+    put_running_stats(payload, rec.stats.shard_quarantines);
+    put_running_stats(payload, rec.stats.shard_retries);
+    put_running_stats(payload, rec.stats.shard_penalty);
     for (const RunningStats& s : rec.stats.hourly_cost) {
       put_running_stats(payload, s);
     }
@@ -265,6 +277,9 @@ JobRecord parse_record(const std::string& bytes, std::size_t begin,
     rec.stats.policy_failures = c.running_stats();
     rec.stats.shard_resolves = c.running_stats();
     rec.stats.shard_holds = c.running_stats();
+    rec.stats.shard_quarantines = c.running_stats();
+    rec.stats.shard_retries = c.running_stats();
+    rec.stats.shard_penalty = c.running_stats();
     for (std::uint32_t h = 0; h < hours; ++h) {
       rec.stats.hourly_cost[h] = c.running_stats();
     }
@@ -446,6 +461,11 @@ ExperimentFingerprint fingerprint_experiment(
     h.f64(config.sharded.churn.rerate_prob);
     h.f64(config.sharded.resolve_churn_fraction);
     h.i64(config.sharded.max_staleness);
+    // Shard failure containment: the quarantine SLA prices quarantined
+    // shard-epochs into total cost. The epoch-journal knobs
+    // (epoch_journal, epoch_checkpoint_every) stay excluded — they only
+    // decide durability, never results.
+    h.f64(config.sharded.quarantine_sla);
     fp.sim_config = h.value();
   }
   return fp;
@@ -555,6 +575,393 @@ JournalContents read_journal(const std::string& path) {
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-granular journal of one sharded run (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kEpochMagic[8] = {'P', 'P', 'D', 'C', 'E', 'J', 'L', '1'};
+constexpr std::uint32_t kEpochVersion = 1;
+
+void put_i32(std::string& out, std::int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::int32_t cursor_i32(Cursor& c) {
+  return static_cast<std::int32_t>(c.u32());
+}
+
+void put_i32_vec(std::string& out, const std::vector<std::int32_t>& v) {
+  put_u32(out, checked_cast<std::uint32_t>(v.size(), "epoch journal vector"));
+  for (const std::int32_t x : v) put_i32(out, x);
+}
+
+std::vector<std::int32_t> cursor_i32_vec(Cursor& c) {
+  const std::uint32_t size = c.u32();
+  std::vector<std::int32_t> v(size);
+  for (std::uint32_t i = 0; i < size; ++i) v[i] = cursor_i32(c);
+  return v;
+}
+
+void put_f64_vec(std::string& out, const std::vector<double>& v) {
+  put_u32(out, checked_cast<std::uint32_t>(v.size(), "epoch journal vector"));
+  for (const double x : v) put_f64(out, x);
+}
+
+std::vector<double> cursor_f64_vec(Cursor& c) {
+  const std::uint32_t size = c.u32();
+  std::vector<double> v(size);
+  for (std::uint32_t i = 0; i < size; ++i) v[i] = c.f64();
+  return v;
+}
+
+void put_flowid_vec(std::string& out, const std::vector<FlowId>& v) {
+  put_u32(out, checked_cast<std::uint32_t>(v.size(), "epoch journal vector"));
+  for (const FlowId id : v) put_i32(out, id.value());
+}
+
+std::vector<FlowId> cursor_flowid_vec(Cursor& c) {
+  const std::uint32_t size = c.u32();
+  std::vector<FlowId> v(size);
+  for (std::uint32_t i = 0; i < size; ++i) v[i] = FlowId{cursor_i32(c)};
+  return v;
+}
+
+void put_vm_flows(std::string& out, const std::vector<VmFlow>& flows) {
+  put_u32(out, checked_cast<std::uint32_t>(flows.size(),
+                                           "epoch journal flow vector"));
+  for (const VmFlow& f : flows) {
+    put_i32(out, f.src_host);
+    put_i32(out, f.dst_host);
+    put_f64(out, f.rate);
+    put_i32(out, f.group);
+  }
+}
+
+std::vector<VmFlow> cursor_vm_flows(Cursor& c) {
+  const std::uint32_t size = c.u32();
+  std::vector<VmFlow> flows(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    flows[i].src_host = cursor_i32(c);
+    flows[i].dst_host = cursor_i32(c);
+    flows[i].rate = c.f64();
+    flows[i].group = cursor_i32(c);
+  }
+  return flows;
+}
+
+void put_decision(std::string& out, const EpochDecision& d) {
+  // moved_flows is deliberately not journaled: the sharded engine rejects
+  // VM-relocating policies, so a sharded decision never carries any.
+  PPDC_REQUIRE(d.moved_flows.empty(),
+               "epoch journal cannot persist moved_flows (VM-relocating "
+               "policies are monolithic-only)");
+  put_f64(out, d.comm_cost);
+  put_f64(out, d.migration_cost);
+  put_f64(out, d.migration_distance);
+  put_i32(out, d.vnf_migrations);
+  put_i32(out, d.vm_migrations);
+  put_i32(out, d.truncated_solves);
+  put_i32(out, d.switch_failures);
+  put_i32(out, d.link_failures);
+  put_i32(out, d.repairs);
+  put_i32(out, d.recovery_migrations);
+  put_f64(out, d.recovery_cost);
+  put_i32(out, d.quarantined_flows);
+  put_f64(out, d.quarantine_penalty);
+  put_u8(out, d.service_down ? 1 : 0);
+  put_u8(out, static_cast<std::uint8_t>(d.rung));
+  put_u8(out, d.policy_failed ? 1 : 0);
+  put_i32(out, d.resolved_shards);
+  put_i32(out, d.held_shards);
+  put_i32(out, d.quarantined_shards);
+  put_i32(out, d.shard_retries);
+  put_f64(out, d.shard_penalty);
+}
+
+EpochDecision cursor_decision(Cursor& c) {
+  EpochDecision d;
+  d.comm_cost = c.f64();
+  d.migration_cost = c.f64();
+  d.migration_distance = c.f64();
+  d.vnf_migrations = cursor_i32(c);
+  d.vm_migrations = cursor_i32(c);
+  d.truncated_solves = cursor_i32(c);
+  d.switch_failures = cursor_i32(c);
+  d.link_failures = cursor_i32(c);
+  d.repairs = cursor_i32(c);
+  d.recovery_migrations = cursor_i32(c);
+  d.recovery_cost = c.f64();
+  d.quarantined_flows = cursor_i32(c);
+  d.quarantine_penalty = c.f64();
+  d.service_down = c.u8() != 0;
+  const std::uint8_t rung = c.u8();
+  PPDC_REQUIRE(rung <= static_cast<std::uint8_t>(DegradationRung::kFrozen),
+               "epoch journal decision carries unknown rung " +
+                   std::to_string(rung));
+  d.rung = static_cast<DegradationRung>(rung);
+  d.policy_failed = c.u8() != 0;
+  d.resolved_shards = cursor_i32(c);
+  d.held_shards = cursor_i32(c);
+  d.quarantined_shards = cursor_i32(c);
+  d.shard_retries = cursor_i32(c);
+  d.shard_penalty = c.f64();
+  return d;
+}
+
+void put_group_snapshot(std::string& out, const CostModel::GroupSnapshot& g) {
+  put_i32(out, g.num_groups);
+  put_f64_vec(out, g.base_rates);
+  put_i32_vec(out, g.groups);
+  put_i32_vec(out, g.group_rows);
+  put_i32_vec(out, g.row_groups);
+  put_f64_vec(out, g.group_ingress);
+  put_f64_vec(out, g.group_egress);
+  put_f64_vec(out, g.last_scales);
+  put_i32_vec(out, g.snap_src);
+  put_i32_vec(out, g.snap_dst);
+}
+
+CostModel::GroupSnapshot cursor_group_snapshot(Cursor& c) {
+  CostModel::GroupSnapshot g;
+  g.num_groups = cursor_i32(c);
+  g.base_rates = cursor_f64_vec(c);
+  g.groups = cursor_i32_vec(c);
+  g.group_rows = cursor_i32_vec(c);
+  g.row_groups = cursor_i32_vec(c);
+  g.group_ingress = cursor_f64_vec(c);
+  g.group_egress = cursor_f64_vec(c);
+  g.last_scales = cursor_f64_vec(c);
+  g.snap_src = cursor_i32_vec(c);
+  g.snap_dst = cursor_i32_vec(c);
+  return g;
+}
+
+void put_shard_state(std::string& out, const ShardResumeState& s) {
+  put_vm_flows(out, s.shard.flows);
+  put_f64_vec(out, s.shard.base_rates);
+  put_i32_vec(out, s.shard.groups);
+  put_flowid_vec(out, s.shard.global_ids);
+  put_flowid_vec(out, s.shard.free_locals);
+  put_i32(out, s.shard.live);
+  put_group_snapshot(out, s.shard.model);
+  put_i32_vec(out, s.placement);
+  put_f64(out, s.last_comm);
+  put_i32(out, s.staleness);
+  put_i32(out, s.churned);
+  put_u8(out, s.resync_pending ? 1 : 0);
+  put_u8(out, s.rung);
+  put_i32(out, s.clean_streak);
+  put_i32(out, s.fail_streak);
+}
+
+ShardResumeState cursor_shard_state(Cursor& c) {
+  ShardResumeState s;
+  s.shard.flows = cursor_vm_flows(c);
+  s.shard.base_rates = cursor_f64_vec(c);
+  s.shard.groups = cursor_i32_vec(c);
+  s.shard.global_ids = cursor_flowid_vec(c);
+  s.shard.free_locals = cursor_flowid_vec(c);
+  s.shard.live = cursor_i32(c);
+  s.shard.model = cursor_group_snapshot(c);
+  s.placement = cursor_i32_vec(c);
+  s.last_comm = c.f64();
+  s.staleness = cursor_i32(c);
+  s.churned = cursor_i32(c);
+  s.resync_pending = c.u8() != 0;
+  s.rung = c.u8();
+  PPDC_REQUIRE(s.rung <= static_cast<std::uint8_t>(DegradationRung::kFrozen),
+               "epoch journal shard state carries unknown rung " +
+                   std::to_string(s.rung));
+  s.clean_streak = cursor_i32(c);
+  s.fail_streak = cursor_i32(c);
+  return s;
+}
+
+std::string serialize_workload_snapshot(
+    const StreamingWorkload::Snapshot& snap) {
+  std::string out;
+  put_vm_flows(out, snap.flows);
+  put_flowid_vec(out, snap.free_slots);
+  put_i32(out, snap.next_index);
+  for (const std::uint64_t s : snap.rng) put_u64(out, s);
+  return out;
+}
+
+StreamingWorkload::Snapshot cursor_workload_snapshot(Cursor& c) {
+  StreamingWorkload::Snapshot snap;
+  snap.flows = cursor_vm_flows(c);
+  snap.free_slots = cursor_flowid_vec(c);
+  snap.next_index = cursor_i32(c);
+  for (std::uint64_t& s : snap.rng) s = c.u64();
+  return snap;
+}
+
+/// Kill-resume fault injection (PPDC_EPOCH_CRASH_AFTER=N): hard-exit after
+/// the N-th durable epoch-journal write of this process.
+int epoch_crash_after_from_env() {
+  const char* v = std::getenv("PPDC_EPOCH_CRASH_AFTER");
+  if (v == nullptr) return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return 0;
+  return n > 0 && n <= std::numeric_limits<int>::max()
+             ? static_cast<int>(n)
+             : 0;
+}
+
+std::atomic<int> g_epoch_journal_writes{0};
+
+}  // namespace
+
+std::uint64_t fingerprint_sharded_run(
+    const StreamingWorkload::Snapshot& entry_state, const SimConfig& config,
+    const ShardedStreamingConfig& sharded, int n, int num_shards,
+    const std::string& policy_name) {
+  Hash64 h;
+  // The entry-state snapshot pins the exact initial draw; the churn knobs
+  // pin how it evolves (the snapshot alone cannot — two configs share an
+  // epoch-0 state but diverge from epoch 1).
+  h.u64(hash64(serialize_workload_snapshot(entry_state)));
+  h.i64(sharded.churn.arrivals_per_epoch);
+  h.f64(sharded.churn.departure_prob);
+  h.f64(sharded.churn.rerate_prob);
+  h.f64(sharded.resolve_churn_fraction);
+  h.i64(sharded.max_staleness);
+  h.f64(sharded.quarantine_sla);
+  h.str(policy_name);
+  h.i64(n).i64(num_shards).i64(config.hours);
+  h.i64(config.diurnal.hours_per_day).f64(config.diurnal.tau_min);
+  h.i64(config.diurnal.coast_offset);
+  h.i64(config.initial_placement.candidate_limit);
+  h.f64(config.downtime_factor);
+  h.u64(config.faults.size());
+  for (const FaultEvent& e : config.faults) {
+    h.i64(e.epoch.value()).u64(static_cast<std::uint64_t>(e.kind));
+    h.i64(e.node).i64(e.u).i64(e.v);
+  }
+  h.f64(config.fault.mu).f64(config.fault.quarantine_penalty);
+  h.i64(config.fault.placement.candidate_limit);
+  h.b(config.fault.exhaustive_recovery);
+  h.f64(config.fault.budget.wall_ms);
+  h.b(config.ladder.enabled);
+  h.f64(config.ladder.max_quarantined_fraction);
+  h.i64(config.ladder.trip_truncations);
+  h.i64(config.ladder.recovery_epochs);
+  h.b(config.audit.enabled);
+  return h.value();
+}
+
+void write_epoch_journal(const std::string& path,
+                         const EpochJournalState& state) {
+  PPDC_REQUIRE(!path.empty(), "epoch journal path is empty");
+  std::string bytes(kEpochMagic, sizeof kEpochMagic);
+  {
+    std::string header;
+    put_u32(header, kEpochVersion);
+    put_u64(header, state.fingerprint);
+    put_u32(header, state.hours);
+    put_u32(header, checked_cast<std::uint32_t>(state.epochs.size(),
+                                                "epoch journal epochs"));
+    put_u32(header, checked_cast<std::uint32_t>(state.shards.size(),
+                                                "epoch journal shards"));
+    put_i32_vec(header, state.merged_initial);
+    append_frame(bytes, header);
+  }
+  for (const EpochRecord& rec : state.epochs) {
+    std::string payload;
+    put_decision(payload, rec.decision);
+    put_u32(payload, rec.ladder_steps);
+    append_frame(bytes, payload);
+  }
+  {
+    std::string payload;
+    for (const ShardResumeState& s : state.shards) {
+      put_shard_state(payload, s);
+    }
+    payload += serialize_workload_snapshot(state.workload);
+    append_frame(bytes, payload);
+  }
+  write_atomic(path, bytes);
+  static const int crash_after = epoch_crash_after_from_env();
+  const int writes =
+      g_epoch_journal_writes.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (crash_after > 0 && writes >= crash_after) {
+    // SIGKILL stand-in for the sharded kill-resume gate: no unwinding, no
+    // flushing beyond what is already durable.
+    std::_Exit(37);
+  }
+}
+
+bool read_epoch_journal(const std::string& path, EpochJournalState& out) {
+  if (!file_exists(path)) return false;
+  const std::string bytes = read_file(path);
+  PPDC_REQUIRE(bytes.size() >= sizeof kEpochMagic &&
+                   std::memcmp(bytes.data(), kEpochMagic,
+                               sizeof kEpochMagic) == 0,
+               "'" + path + "' is not a ppdc epoch journal (bad magic)");
+  std::size_t pos = sizeof kEpochMagic;
+  std::uint32_t num_epochs = 0;
+  std::uint32_t num_shards = 0;
+  {
+    const auto [begin, end] = read_frame(bytes, pos);
+    Cursor c(bytes, begin, end);
+    const std::uint32_t version = c.u32();
+    PPDC_REQUIRE(version == kEpochVersion,
+                 "epoch journal '" + path + "' has version " +
+                     std::to_string(version) + ", this build reads version " +
+                     std::to_string(kEpochVersion));
+    out.fingerprint = c.u64();
+    out.hours = c.u32();
+    num_epochs = c.u32();
+    num_shards = c.u32();
+    out.merged_initial = cursor_i32_vec(c);
+    PPDC_REQUIRE(c.exhausted(),
+                 "epoch journal '" + path + "' header has trailing bytes");
+    PPDC_REQUIRE(num_epochs >= 1 && num_epochs <= out.hours,
+                 "epoch journal '" + path + "' claims " +
+                     std::to_string(num_epochs) + " epochs for a " +
+                     std::to_string(out.hours) + "-hour horizon");
+  }
+  out.epochs.clear();
+  out.epochs.reserve(num_epochs);
+  for (std::uint32_t e = 0; e < num_epochs; ++e) {
+    const auto [begin, end] = read_frame(bytes, pos);
+    Cursor c(bytes, begin, end);
+    EpochRecord rec;
+    rec.decision = cursor_decision(c);
+    rec.ladder_steps = c.u32();
+    PPDC_REQUIRE(c.exhausted(),
+                 "epoch journal '" + path + "' epoch frame has trailing "
+                 "bytes");
+    out.epochs.push_back(std::move(rec));
+  }
+  {
+    const auto [begin, end] = read_frame(bytes, pos);
+    Cursor c(bytes, begin, end);
+    out.shards.clear();
+    out.shards.reserve(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      out.shards.push_back(cursor_shard_state(c));
+    }
+    out.workload = cursor_workload_snapshot(c);
+    PPDC_REQUIRE(c.exhausted(),
+                 "epoch journal '" + path + "' state frame has trailing "
+                 "bytes");
+  }
+  PPDC_REQUIRE(pos == bytes.size(),
+               "epoch journal '" + path + "' has " +
+                   std::to_string(bytes.size() - pos) +
+                   " trailing byte(s) after the state frame");
+  return true;
+}
+
+void remove_epoch_journal(const std::string& path) {
+  if (path.empty()) return;
+  ::unlink(path.c_str());
 }
 
 }  // namespace ppdc

@@ -28,10 +28,15 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_model.hpp"
+#include "core/sharded_cost_model.hpp"
+#include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/policy.hpp"
+#include "sim/sharded.hpp"
 #include "topology/topology.hpp"
 #include "util/require.hpp"
+#include "workload/streaming.hpp"
 
 namespace ppdc {
 
@@ -150,5 +155,82 @@ struct JournalContents {
 /// file is missing or its header is unreadable; a bad record tail is
 /// reported via tail_dropped/warning instead of thrown.
 JournalContents read_journal(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Epoch-granular journal of one sharded run (DESIGN.md §15).
+//
+// The grid journal above is cell-granular: a killed job reruns from epoch
+// 0. At l = 10^6 one cell is hours of work, so the sharded engine
+// additionally journals *within* the cell: every merged epoch decision
+// plus one trailing resume-state frame carrying everything mutable —
+// per-shard placements and ladder scalars, the CostModel group state
+// verbatim (its base vectors accumulate exact float patch history no
+// rebuild reproduces), the StreamingWorkload flows/free-list/RNG cursor.
+// The file is rewritten atomically (temp + fsync + rename) each
+// checkpoint epoch, CRC32-framed like the grid journal, and keyed by a
+// fingerprint of the run's entry state — a relaunch with a stale or
+// foreign journal warns and starts fresh instead of resuming garbage.
+// ---------------------------------------------------------------------------
+
+/// One journaled epoch of a sharded run.
+struct EpochRecord {
+  EpochDecision decision;
+  /// Shard ladder transitions emitted after this epoch (replayed into the
+  /// TraceRecorder so SimTrace::ladder_transitions survives the resume).
+  std::uint32_t ladder_steps = 0;
+};
+
+/// One shard's full mutable engine state at the journal's checkpoint.
+struct ShardResumeState {
+  ShardedCostModel::ShardSnapshot shard;
+  Placement placement;
+  double last_comm = 0.0;
+  std::int32_t staleness = 0;
+  std::int32_t churned = 0;
+  bool resync_pending = false;
+  std::uint8_t rung = 0;  ///< DegradationRung of the shard's ladder
+  std::int32_t clean_streak = 0;
+  std::int32_t fail_streak = 0;
+};
+
+/// Everything an epoch journal persists: the identity key, the replayable
+/// epoch prefix, and the state to continue from. `epochs.size()` is the
+/// first epoch a resumed run executes live.
+struct EpochJournalState {
+  std::uint64_t fingerprint = 0;  ///< fingerprint_sharded_run of the run
+  std::uint32_t hours = 0;        ///< horizon (sanity bound)
+  Placement merged_initial;       ///< on_run_begin payload of the trace
+  std::vector<EpochRecord> epochs;
+  std::vector<ShardResumeState> shards;  ///< fixed pod order
+  StreamingWorkload::Snapshot workload;  ///< state *after* epoch epochs-1
+};
+
+/// Identity of one sharded run for the epoch journal: the run's entry
+/// state (workload snapshot bytes before any epoch ran) plus every config
+/// knob that shapes its trace. Wall-clock knobs (threads, journal paths,
+/// checkpoint cadence) are excluded.
+std::uint64_t fingerprint_sharded_run(
+    const StreamingWorkload::Snapshot& entry_state, const SimConfig& config,
+    const ShardedStreamingConfig& sharded, int n, int num_shards,
+    const std::string& policy_name);
+
+/// Serializes `state` and atomically replaces the journal at `path`.
+/// Honors the PPDC_EPOCH_CRASH_AFTER=N fault-injection hook: the process
+/// hard-exits (code 37) right after the N-th epoch-journal write of this
+/// process becomes durable — the kill half of the kill-resume gate.
+void write_epoch_journal(const std::string& path,
+                         const EpochJournalState& state);
+
+/// Loads the epoch journal at `path` into `out`. Returns false when the
+/// file does not exist; throws PpdcError when it exists but is malformed
+/// (bad magic/version/CRC or truncated — callers typically warn and start
+/// fresh). A fingerprint mismatch is the caller's check: compare
+/// `out.fingerprint` against fingerprint_sharded_run.
+bool read_epoch_journal(const std::string& path, EpochJournalState& out);
+
+/// Removes an epoch journal if present (idempotent; the runner calls this
+/// once the cell's terminal record lands in the grid journal, and before
+/// retry attempts so a retry never resumes the failed run's state).
+void remove_epoch_journal(const std::string& path);
 
 }  // namespace ppdc

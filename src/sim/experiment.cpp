@@ -42,6 +42,9 @@ void StatsBundle::add(const SimTrace& trace) {
   policy_failures.add(static_cast<double>(trace.policy_failures));
   shard_resolves.add(static_cast<double>(trace.total_shard_resolves));
   shard_holds.add(static_cast<double>(trace.total_shard_holds));
+  shard_quarantines.add(static_cast<double>(trace.quarantined_shard_epochs));
+  shard_retries.add(static_cast<double>(trace.total_shard_retries));
+  shard_penalty.add(trace.total_shard_penalty);
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     const EpochDecision& d = trace.epochs[h];
     hourly_cost[h].add(d.comm_cost + d.migration_cost);
@@ -68,6 +71,9 @@ void StatsBundle::merge(const StatsBundle& other) {
   policy_failures.merge(other.policy_failures);
   shard_resolves.merge(other.shard_resolves);
   shard_holds.merge(other.shard_holds);
+  shard_quarantines.merge(other.shard_quarantines);
+  shard_retries.merge(other.shard_retries);
+  shard_penalty.merge(other.shard_penalty);
   for (std::size_t h = 0; h < hourly_cost.size(); ++h) {
     hourly_cost[h].merge(other.hourly_cost[h]);
     hourly_moves[h].merge(other.hourly_moves[h]);
@@ -231,6 +237,15 @@ std::vector<PolicyStats> run_experiment(
       rec.policy = static_cast<std::uint32_t>(job.policy);
       rec.policy_name = policies[job.policy]->name();
 
+      // Intra-cell epoch journal (DESIGN.md §15): one path per (trial,
+      // policy) cell, derived from the configured base so concurrent
+      // cells never clobber each other's journals.
+      ShardedStreamingConfig cell_sharded = config.sharded;
+      if (!cell_sharded.epoch_journal.empty()) {
+        cell_sharded.epoch_journal += ".t" + std::to_string(job.trial) + "p" +
+                                      std::to_string(job.policy);
+      }
+
       bool interrupted = false;
       for (int attempt = 0;; ++attempt) {
         rec.attempts = static_cast<std::uint32_t>(attempt + 1);
@@ -247,6 +262,10 @@ std::vector<PolicyStats> run_experiment(
             Rng attempt_rng(
                 attempt_seed(config.seed, job.trial, job.policy, attempt));
             policy->reseed(attempt_rng);
+            // A retry must never resume the failed attempt's state: the
+            // reseeded policy clone would diverge from the journaled
+            // trajectory (the fingerprint does not cover attempt seeds).
+            remove_epoch_journal(cell_sharded.epoch_journal);
           }
           SimTrace trace;
           if (config.sharded.enabled) {
@@ -255,7 +274,7 @@ std::vector<PolicyStats> run_experiment(
                                         trial_rngs[job.trial]);
             trace = run_sharded_simulation(apsp, *shard_map, streaming,
                                            config.sfc_length, config.sim,
-                                           config.sharded, *policy);
+                                           cell_sharded, *policy);
           } else {
             trace = run_simulation(apsp, trial_flows[job.trial],
                                    config.sfc_length, config.sim, *policy);
@@ -308,6 +327,10 @@ std::vector<PolicyStats> run_experiment(
           if (!errors[j]) errors[j] = std::current_exception();
         }
       }
+      // The cell reached a terminal record, so its intra-cell epoch
+      // journal is spent (a cancelled job keeps its journal — that is
+      // the mid-run resume path).
+      remove_epoch_journal(cell_sharded.epoch_journal);
       cells[job.trial * num_policies + job.policy] = std::move(rec);
     }
   };
@@ -398,6 +421,9 @@ std::vector<PolicyStats> run_experiment(
     s.policy_failures = mean_ci_of(b.policy_failures);
     s.shard_resolves = mean_ci_of(b.shard_resolves);
     s.shard_holds = mean_ci_of(b.shard_holds);
+    s.quarantined_shard_epochs = mean_ci_of(b.shard_quarantines);
+    s.shard_retries = mean_ci_of(b.shard_retries);
+    s.shard_penalty = mean_ci_of(b.shard_penalty);
     s.hourly_cost.reserve(hours);
     s.hourly_migrations.reserve(hours);
     for (std::size_t h = 0; h < hours; ++h) {

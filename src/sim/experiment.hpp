@@ -115,6 +115,10 @@ struct PolicyStats {
   // shard per epoch; see EpochDecision::resolved_shards).
   MeanCi shard_resolves;            ///< Σ per-epoch re-solved shards
   MeanCi shard_holds;               ///< Σ per-epoch held shards
+  // Shard failure containment (DESIGN.md §15; zero on monolithic runs).
+  MeanCi quarantined_shard_epochs;  ///< Σ per-epoch failure-quarantined shards
+  MeanCi shard_retries;             ///< quarantine re-solve attempts per run
+  MeanCi shard_penalty;             ///< Σ quarantine_sla · served rate
   /// Per-hour mean of comm + migration cost and of migration counts.
   std::vector<MeanCi> hourly_cost;
   std::vector<MeanCi> hourly_migrations;
@@ -140,14 +144,15 @@ struct StatsBundle {
   RunningStats total, comm, migration, vnf_moves, vm_moves, recovery_moves,
       recovery_cost, quarantined, penalty, downtime, truncated,
       ladder_transitions, refresh_only, frozen, policy_failures,
-      shard_resolves, shard_holds;
+      shard_resolves, shard_holds, shard_quarantines, shard_retries,
+      shard_penalty;
   std::vector<RunningStats> hourly_cost, hourly_moves;
 
   explicit StatsBundle(std::size_t hours = 0)
       : hourly_cost(hours), hourly_moves(hours) {}
 
-  /// The 17 scalar accumulators, in journal serialization order.
-  static constexpr std::size_t kScalarFields = 17;
+  /// The 20 scalar accumulators, in journal serialization order.
+  static constexpr std::size_t kScalarFields = 20;
 
   void add(const SimTrace& trace);
   void merge(const StatsBundle& other);

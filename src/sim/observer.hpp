@@ -80,6 +80,35 @@ class EpochObserver {
   virtual void on_shard_batch(Hour /*hour*/, int /*resolved*/, int /*held*/,
                               int /*churned*/) {}
 
+  /// Sharded runs only: shard `shard` (named `name`) stepped its private
+  /// degradation ladder from `from` to `to` for `reason` (same tags as
+  /// on_ladder_transition, per shard). The default body forwards to
+  /// on_ladder_transition, so observers written against the monolithic
+  /// stream — including TraceRecorder's transition counter — see every
+  /// per-shard step without overriding anything new.
+  virtual void on_shard_ladder_transition(Hour hour, int /*shard*/,
+                                          const std::string& /*name*/,
+                                          DegradationRung from,
+                                          DegradationRung to,
+                                          const std::string& reason) {
+    on_ladder_transition(hour, from, to, reason);
+  }
+
+  /// Sharded runs only: shard `shard` entered (or stayed in) failure
+  /// quarantine after its policy clone threw for the `fail_streak`-th
+  /// consecutive attempt; `required_clean` clean epochs (seeded backoff)
+  /// must pass before its next re-solve attempt.
+  virtual void on_shard_quarantine(Hour /*hour*/, int /*shard*/,
+                                   const std::string& /*name*/,
+                                   int /*fail_streak*/,
+                                   int /*required_clean*/) {}
+
+  /// Sharded runs only: a quarantined shard's backoff elapsed and its
+  /// policy was re-attempted this epoch; `healed` reports whether the
+  /// attempt completed (ending the quarantine) or threw again.
+  virtual void on_shard_retry(Hour /*hour*/, int /*shard*/,
+                              const std::string& /*name*/, bool /*healed*/) {}
+
   /// The epoch is fully costed; `decision` carries the final bookkeeping
   /// (policy costs plus the engine's fault stamps).
   virtual void on_epoch_end(Hour /*hour*/, const EpochDecision& /*decision*/) {}
@@ -103,7 +132,7 @@ struct SimTrace {
   double total_comm_cost = 0.0;
   double total_migration_cost = 0.0;
   /// Grand total: communication + policy migration + emergency recovery
-  /// migration + quarantine penalties.
+  /// migration + quarantine penalties (flow and shard).
   double total_cost = 0.0;
   int total_vnf_migrations = 0;
   int total_vm_migrations = 0;
@@ -134,6 +163,11 @@ struct SimTrace {
   // one always-resolving shard — see EpochDecision::resolved_shards).
   int total_shard_resolves = 0;  ///< Σ per-epoch resolved shards
   int total_shard_holds = 0;     ///< Σ per-epoch held shards
+
+  // Per-shard failure containment (sharded runs only; DESIGN.md §15).
+  int quarantined_shard_epochs = 0;  ///< Σ per-epoch quarantined shards
+  int total_shard_retries = 0;       ///< backoff re-solve attempts
+  double total_shard_penalty = 0.0;  ///< SLA penalty for quarantined shards
 };
 
 /// The observer that builds `SimTrace`. The engine always installs one;
@@ -170,6 +204,9 @@ class TraceRecorder final : public EpochObserver {
     trace_.total_truncated_solves += d.truncated_solves;
     trace_.total_shard_resolves += d.resolved_shards;
     trace_.total_shard_holds += d.held_shards;
+    trace_.quarantined_shard_epochs += d.quarantined_shards;
+    trace_.total_shard_retries += d.shard_retries;
+    trace_.total_shard_penalty += d.shard_penalty;
     if (d.service_down) ++trace_.downtime_epochs;
     trace_.epochs.push_back(d);
   }
@@ -178,7 +215,8 @@ class TraceRecorder final : public EpochObserver {
     trace_.total_cost = trace_.total_comm_cost +
                         trace_.total_migration_cost +
                         trace_.total_recovery_cost +
-                        trace_.total_quarantine_penalty;
+                        trace_.total_quarantine_penalty +
+                        trace_.total_shard_penalty;
   }
 
   /// Hands the accumulated trace out (recorder is spent afterwards).

@@ -90,6 +90,15 @@ struct EpochDecision {
   // identical to the monolithic trace.
   int resolved_shards = 0;  ///< shards whose placement was re-solved
   int held_shards = 0;      ///< shards that kept their placement
+
+  // Per-shard failure containment (sim/sharded.hpp, DESIGN.md §15). A
+  // shard whose policy clone throws is quarantined — placement held,
+  // costs patched exactly, SLA-penalized — while the other shards keep
+  // solving; the sharded engine fills these, the monolithic engine
+  // leaves them zero.
+  int quarantined_shards = 0;   ///< shards that spent this epoch quarantined
+  int shard_retries = 0;        ///< backoff re-solve attempts this epoch
+  double shard_penalty = 0.0;   ///< SLA penalty for quarantined shard-epochs
 };
 
 /// Interface implemented by every migration strategy.

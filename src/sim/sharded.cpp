@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,7 +18,10 @@
 #include "fault/fault.hpp"
 #include "graph/apsp.hpp"
 #include "graph/graph.hpp"
+#include "sim/audit.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
+#include "util/checksum.hpp"
 #include "util/ids.hpp"
 #include "util/require.hpp"
 #include "workload/diurnal.hpp"
@@ -36,6 +40,11 @@ struct ShardRun {
   int staleness = 0;          ///< consecutive held epochs
   int churned = 0;            ///< churned flows since the last re-solve
   bool resync_pending = false;  ///< primary bases stale after faults
+
+  // Private degradation ladder + failure containment (DESIGN.md §15).
+  DegradationRung rung = DegradationRung::kFull;
+  int clean_streak = 0;  ///< trip-free epochs at the current rung
+  int fail_streak = 0;   ///< consecutive failed policy attempts (quarantine)
 };
 
 /// One shard's contribution to one epoch, merged in fixed shard order.
@@ -43,12 +52,30 @@ struct ShardEpochResult {
   EpochDecision d;
   int quarantined = 0;
   double unserved = 0.0;
+  double served_rate = 0.0;  ///< Σ served rates (quarantine-SLA base)
   int recovery_migrations = 0;
   double recovery_cost = 0.0;
   int recovery_truncations = 0;
   bool resolved = false;
   bool held = false;
+  bool frozen = false;   ///< executed at kFrozen (stale charge, audit-exempt)
+  bool retried = false;  ///< re-solve attempt of a failure-quarantined shard
 };
+
+/// Clean epochs a shard must string together before climbing one rung.
+/// First failure (and every non-throw trip) matches the monolithic ladder
+/// — `recovery_epochs` — so single-shard non-throwing runs transcribe the
+/// monolithic trace exactly. Repeat failures back off exponentially
+/// (capped) with a seeded jitter, so repeatedly-failing shards across a
+/// pod-sharded run do not retry in lockstep.
+int required_clean_epochs(int shard, int fail_streak, int recovery_epochs) {
+  if (fail_streak <= 1) return recovery_epochs;
+  const int backoff = (1 << std::min(fail_streak - 1, 4)) - 1;
+  const int jitter = static_cast<int>(
+      Hash64().i64(shard).i64(fail_streak).value() %
+      static_cast<std::uint64_t>(fail_streak));
+  return recovery_epochs + backoff + jitter;
+}
 
 }  // namespace
 
@@ -72,17 +99,23 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
                "negative ladder truncation trip");
   PPDC_REQUIRE(config.ladder.recovery_epochs >= 1,
                "ladder recovery needs at least one clean epoch");
+  PPDC_REQUIRE(config.audit.rel_tol >= 0.0 && config.audit.abs_tol >= 0.0,
+               "negative audit tolerance");
   PPDC_REQUIRE(!config.rate_schedule,
-               "the sharded engine rides the grouped diurnal fast path; "
-               "custom rate schedules are monolithic-only");
-  PPDC_REQUIRE(!config.audit.enabled,
-               "runtime invariant auditing reasons over one monolithic "
-               "model and is not supported by the sharded engine");
+               "SimConfig::rate_schedule is not supported by the sharded "
+               "engine (it rides the grouped diurnal fast path, which a "
+               "per-flow schedule would invalidate every epoch); run custom "
+               "schedules on the monolithic run_simulation, or express the "
+               "traffic shape through DiurnalModel group scales");
   PPDC_REQUIRE(sharded.resolve_churn_fraction >= 0.0 &&
                    sharded.resolve_churn_fraction <= 1.0,
                "resolve_churn_fraction outside [0,1]");
   PPDC_REQUIRE(sharded.max_staleness >= 1,
                "bounded staleness needs max_staleness >= 1");
+  PPDC_REQUIRE(sharded.quarantine_sla >= 0.0,
+               "negative shard quarantine SLA penalty");
+  PPDC_REQUIRE(sharded.epoch_checkpoint_every >= 1,
+               "epoch checkpoint cadence must be >= 1");
 
   const Graph& graph = apsp.graph();
   std::optional<FaultInjector> injector;
@@ -110,11 +143,96 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
   auto scales_at = [&](Hour hour) {
     return config.diurnal.group_scales(hour, n_groups);
   };
+  std::vector<std::string> shard_names;
+  shard_names.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shard_names.push_back(shards.shard(s).name);
+  }
 
-  // Hour 0: per-shard initial traffic-optimal placement on the pristine
-  // fabric (mirrors the monolithic hour-0 TOP solve per shard).
+  // Epoch journal (DESIGN.md §15): when configured, try to resume from a
+  // previous incarnation of this exact run. The fingerprint is computed
+  // over the *entry* state — the workload before any epoch ran — plus
+  // every result-shaping knob, so a journal from a different trial,
+  // policy, or configuration warns and is ignored instead of resuming
+  // garbage.
+  const bool journaling = !sharded.epoch_journal.empty();
+  EpochJournalState journal;
+  std::uint64_t run_fp = 0;
+  bool resumed = false;
+  if (journaling) {
+    run_fp = fingerprint_sharded_run(workload.snapshot(), config, sharded, n,
+                                     num_shards, prototype.name());
+    EpochJournalState loaded;
+    bool have = false;
+    try {
+      have = read_epoch_journal(sharded.epoch_journal, loaded);
+    } catch (const PpdcError& e) {
+      std::cerr << "warning: " << e.what()
+                << " — starting the sharded run fresh\n";
+    }
+    if (have) {
+      if (loaded.fingerprint != run_fp) {
+        std::cerr << "warning: epoch journal '" << sharded.epoch_journal
+                  << "' was written by a different sharded run — starting "
+                     "fresh\n";
+      } else if (loaded.shards.size() !=
+                     static_cast<std::size_t>(num_shards) ||
+                 loaded.hours != static_cast<std::uint32_t>(config.hours)) {
+        std::cerr << "warning: epoch journal '" << sharded.epoch_journal
+                  << "' dimensions disagree with a matching fingerprint "
+                     "(corrupt journal?) — starting fresh\n";
+      } else {
+        journal = std::move(loaded);
+        resumed = true;
+      }
+    }
+  }
+
   std::vector<ShardRun> runs(static_cast<std::size_t>(num_shards));
-  {
+  Placement merged_initial;
+  int start_epoch = 0;
+
+  if (resumed) {
+    // Restore everything mutable from the journal's state frame. The
+    // shard cost models are rebuilt over the restored flow vectors and
+    // handed their group state verbatim — the base vectors carry exact
+    // float patch history, which is what makes the resumed trace
+    // bit-identical. Policies are re-cloned from the prototype: the
+    // placement-policy contract is stateless across epochs (each
+    // on_epoch derives everything from the model and state it is
+    // handed), so a fresh clone resumes exactly.
+    start_epoch = static_cast<int>(journal.epochs.size());
+    workload.restore(journal.workload);
+    std::vector<ShardedCostModel::ShardSnapshot> snaps;
+    snaps.reserve(journal.shards.size());
+    for (const ShardResumeState& st : journal.shards) {
+      snaps.push_back(st.shard);
+    }
+    shards.restore_shards(snaps);
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardResumeState& st =
+          journal.shards[static_cast<std::size_t>(s)];
+      ShardRun& run = runs[static_cast<std::size_t>(s)];
+      run.placement = st.placement;
+      run.last_comm = st.last_comm;
+      run.staleness = st.staleness;
+      run.churned = st.churned;
+      run.resync_pending = st.resync_pending;
+      run.rung = static_cast<DegradationRung>(st.rung);
+      run.clean_streak = st.clean_streak;
+      run.fail_streak = st.fail_streak;
+      run.policy = prototype.clone();
+      PPDC_REQUIRE(run.policy != nullptr,
+                   "policy '" + prototype.name() +
+                       "' returned a null clone()");
+    }
+    merged_initial = journal.merged_initial;
+    std::cerr << "note: resuming sharded run from epoch journal '"
+              << sharded.epoch_journal << "': " << start_epoch << " of "
+              << config.hours << " epochs already journaled\n";
+  } else {
+    // Hour 0: per-shard initial traffic-optimal placement on the pristine
+    // fabric (mirrors the monolithic hour-0 TOP solve per shard).
     const std::vector<double> scales0 = scales_at(Hour{0});
     for (int s = 0; s < num_shards; ++s) {
       ShardedCostModel::Shard& sh = shards.shard(s);
@@ -128,17 +246,30 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       PPDC_REQUIRE(run.policy != nullptr,
                    "policy '" + prototype.name() + "' returned a null clone()");
     }
+    merged_initial.reserve(static_cast<std::size_t>(num_shards * n));
+    for (const ShardRun& run : runs) {
+      merged_initial.insert(merged_initial.end(), run.placement.begin(),
+                            run.placement.end());
+    }
+    if (journaling) {
+      journal.fingerprint = run_fp;
+      journal.hours = static_cast<std::uint32_t>(config.hours);
+      journal.merged_initial = merged_initial;
+    }
   }
-  Placement merged_initial;
-  merged_initial.reserve(static_cast<std::size_t>(num_shards * n));
-  for (const ShardRun& run : runs) {
-    merged_initial.insert(merged_initial.end(), run.placement.begin(),
-                          run.placement.end());
+
+  // Sharded runtime invariant auditing (sim/audit.hpp, DESIGN.md §15):
+  // one per-run checker that re-derives every shard's epoch from scratch.
+  std::unique_ptr<ShardedInvariantAuditor> auditor;
+  if (config.audit.enabled) {
+    auditor = std::make_unique<ShardedInvariantAuditor>(
+        config.audit, prototype.name(), shard_names);
   }
 
   TraceRecorder recorder;
   auto emit = [&](auto&& fn) {
     fn(static_cast<EpochObserver&>(recorder));
+    if (auditor) fn(static_cast<EpochObserver&>(*auditor));
     if (observer != nullptr) fn(*observer);
   };
   emit([&](EpochObserver& o) {
@@ -147,12 +278,45 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
 
   std::unique_ptr<DegradedNetwork> degraded;
 
-  DegradationRung rung = DegradationRung::kFull;
-  int clean_streak = 0;
+  if (resumed) {
+    // Replay the journaled epoch prefix into the TraceRecorder only —
+    // external observers (and the auditor's stream checks) see live
+    // epochs exclusively; the auditor is told about the replay instead.
+    int replayed_transitions = 0;
+    for (std::size_t e = 0; e < journal.epochs.size(); ++e) {
+      const EpochRecord& rec = journal.epochs[e];
+      recorder.on_epoch_end(Hour{static_cast<std::int32_t>(e)},
+                            rec.decision);
+      for (std::uint32_t t = 0; t < rec.ladder_steps; ++t) {
+        recorder.on_ladder_transition(Hour{static_cast<std::int32_t>(e)},
+                                      DegradationRung::kFull,
+                                      DegradationRung::kRefreshOnly,
+                                      "replayed");
+        ++replayed_transitions;
+      }
+    }
+    if (auditor) {
+      std::vector<DegradationRung> rungs;
+      rungs.reserve(runs.size());
+      for (const ShardRun& run : runs) rungs.push_back(run.rung);
+      auditor->note_resumed(start_epoch, replayed_transitions, rungs);
+    }
+    // Fast-forward the fault timeline to the resume point and rebuild the
+    // shared degraded view. Per-shard degraded models are reconstructed
+    // lazily — ctor and refresh() are both full rescans, so a fresh model
+    // bit-equals the evolved one wherever it is observed.
+    if (injector && start_epoch >= 2) {
+      (void)injector->advance_to(Hour{start_epoch - 1});
+    }
+    if (injector && injector->any_faults_active()) {
+      degraded = std::make_unique<DegradedNetwork>(
+          graph, injector->dead_nodes(), injector->dead_edges());
+    }
+  }
 
   const int pool_want = resolve_experiment_threads(sharded.threads);
 
-  for (const Hour hour : id_range(Hour{0}, Hour{config.hours})) {
+  for (const Hour hour : id_range(Hour{start_epoch}, Hour{config.hours})) {
     if (config.cancel != nullptr &&
         config.cancel->load(std::memory_order_relaxed)) {
       emit([&](EpochObserver& o) { o.on_interrupted(hour); });
@@ -196,15 +360,12 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
     }
     const bool blackout = faults_active && !degraded->core_can_host(n);
 
-    const bool frozen =
-        config.ladder.enabled && rung == DegradationRung::kFrozen;
-    const bool refresh_only =
-        config.ladder.enabled && rung == DegradationRung::kRefreshOnly;
     const std::vector<double> scales = scales_at(hour);
 
     // 2.-5. Per-shard epoch work — traffic, quarantine, model
     // maintenance, emergency recovery, policy or bounded-staleness hold.
     // Shards are independent; results merge in fixed shard order below.
+    // Each shard executes at its *own* ladder rung.
     std::vector<ShardEpochResult> results(
         static_cast<std::size_t>(num_shards));
     std::vector<std::exception_ptr> errors(
@@ -214,6 +375,11 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       ShardedCostModel::Shard& sh = shards.shard(s);
       ShardRun& run = runs[static_cast<std::size_t>(s)];
       ShardEpochResult& r = results[static_cast<std::size_t>(s)];
+      const bool frozen =
+          config.ladder.enabled && run.rung == DegradationRung::kFrozen;
+      const bool refresh_only =
+          config.ladder.enabled && run.rung == DegradationRung::kRefreshOnly;
+      r.frozen = frozen;
 
       // 2. This epoch's traffic; flows cut off from the core quarantine.
       std::vector<double> rates =
@@ -233,6 +399,7 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
         }
       }
       set_rates(sh.flows, rates);
+      for (const double rate : rates) r.served_rate += rate;
 
       if (blackout) {
         // Nothing is served and nothing is charged; the stale estimate a
@@ -315,7 +482,7 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       } else {
         const bool resolve =
             sharded.resolve_churn_fraction <= 0.0 || faults_active ||
-            stranded ||
+            stranded || run.fail_streak > 0 ||
             static_cast<double>(run.churned) >=
                 sharded.resolve_churn_fraction *
                     static_cast<double>(std::max(sh.live, 1)) ||
@@ -325,6 +492,7 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
           r.held = true;
           ++run.staleness;
         } else {
+          if (run.fail_streak > 0) r.retried = true;
           SimState st;
           st.flows = sh.flows;
           st.placement = run.placement;
@@ -347,6 +515,12 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
                               std::to_string(hour.value()) + ": " + e.what());
             }
           } catch (const PpdcError&) {
+            // Failure containment: with the ladder enabled the throw is
+            // absorbed per shard — this shard holds its placement, gets
+            // charged the exactly refreshed cost, and the post-merge
+            // ladder block quarantines it; every other shard's epoch is
+            // untouched. Without the ladder the monolithic contract
+            // applies: the run aborts.
             if (!config.ladder.enabled) throw;
             d = EpochDecision{};
             d.policy_failed = true;
@@ -356,10 +530,13 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
             PPDC_REQUIRE(
                 d.moved_flows.empty(),
                 "policy '" + run.policy->name() +
-                    "' relocated VM endpoints at epoch " +
-                    std::to_string(hour.value()) +
-                    ": VM-migration policies are not supported by the "
-                    "sharded engine (shard flow vectors are private)");
+                    "' relocated VM endpoints (EpochDecision::moved_flows) "
+                    "at epoch " + std::to_string(hour.value()) +
+                    ": VM-migration policies such as PLAN/MCF are not "
+                    "supported by the sharded engine (shard flow vectors "
+                    "are private) — run them on the monolithic "
+                    "run_simulation, or use a placement policy "
+                    "(NoMigration/mPareto/Optimal/Resolve) here");
             run.placement = st.placement;
             if (config.downtime_factor > 0.0) {
               d.migration_cost += config.downtime_factor * m->total_rate() *
@@ -374,9 +551,20 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       run.last_comm = d.comm_cost;
     };
 
+    // Cooperative cancellation is honored at *shard* boundaries: a worker
+    // stops pulling shards the moment the flag flips, so a SIGINT during
+    // a million-flow epoch responds in milliseconds instead of waiting
+    // out the epoch. The partially solved epoch is abandoned wholesale
+    // (SimInterrupted below) — mutated state never escapes because a
+    // cancelled run is rerun (or journal-resumed) from a clean snapshot.
+    const std::atomic<bool>* cancel = config.cancel;
+    auto cancelled = [&]() {
+      return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+    };
     const int pool = std::min(pool_want, num_shards);
     if (pool <= 1) {
       for (int s = 0; s < num_shards; ++s) {
+        if (cancelled()) break;
         try {
           shard_epoch(s);
         } catch (...) {
@@ -388,6 +576,7 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       std::atomic<int> next{0};
       auto worker = [&]() noexcept {
         for (;;) {
+          if (cancelled()) return;
           const int s = next.fetch_add(1, std::memory_order_relaxed);
           if (s >= num_shards) return;
           try {
@@ -402,6 +591,12 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
       for (std::thread& t : threads) t.join();
     }
+    if (cancelled()) {
+      emit([&](EpochObserver& o) { o.on_interrupted(hour); });
+      throw SimInterrupted("simulation cancelled inside epoch " +
+                           std::to_string(hour.value()) + " of " +
+                           std::to_string(config.hours));
+    }
     // Deterministic error surfacing: first failing shard in pod order.
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
@@ -409,13 +604,17 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
 
     // 6. Fixed-order merge: sums accumulate in shard order, so the
     // merged decision is a pure function of shard state — identical at
-    // every thread count.
+    // every thread count. The merged rung is the worst rung any shard
+    // executed at; quarantined shards (failure backoff, rung below
+    // kFull) accrue the shard-SLA penalty on their served rate.
     EpochDecision d;
     int quarantined = 0;
     double unserved = 0.0;
     int recovery_migrations = 0;
     double recovery_cost = 0.0;
-    for (const ShardEpochResult& r : results) {
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardEpochResult& r = results[static_cast<std::size_t>(s)];
+      const ShardRun& run = runs[static_cast<std::size_t>(s)];
       quarantined += r.quarantined;
       unserved += r.unserved;
       recovery_migrations += r.recovery_migrations;
@@ -429,6 +628,14 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
       d.resolved_shards += r.resolved ? 1 : 0;
       d.held_shards += r.held ? 1 : 0;
       if (r.d.policy_failed) d.policy_failed = true;
+      if (static_cast<int>(run.rung) > static_cast<int>(d.rung)) {
+        d.rung = run.rung;
+      }
+      if (r.retried) ++d.shard_retries;
+      if (run.fail_streak > 0 && run.rung != DegradationRung::kFull) {
+        ++d.quarantined_shards;
+        d.shard_penalty += sharded.quarantine_sla * r.served_rate;
+      }
     }
     const double epoch_penalty = config.fault.quarantine_penalty * unserved;
     if (quarantined > 0) {
@@ -451,7 +658,6 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
     d.recovery_cost = recovery_cost;
     d.quarantined_flows = quarantined;
     d.quarantine_penalty = epoch_penalty;
-    d.rung = rung;
     if (d.truncated_solves > 0) {
       emit([&](EpochObserver& o) {
         o.on_budget_truncation(hour, d.truncated_solves);
@@ -462,47 +668,155 @@ SimTrace run_sharded_simulation(const AllPairs& apsp, const ShardMap& map,
     });
     emit([&](EpochObserver& o) { o.on_epoch_end(hour, d); });
 
-    // 7. Ladder transition on the merged epoch (the global rung governs
-    // every shard — one control loop, many solvers).
+    // 7. Per-shard ladder transitions, evaluated in fixed shard order
+    // after the merge (many private control loops, one deterministic
+    // event stream). Trip priority per shard mirrors the monolithic
+    // ladder: policy-throw > blackout > solve-budget > quarantine.
+    std::uint32_t epoch_ladder_steps = 0;
     if (config.ladder.enabled) {
-      const char* trip = nullptr;
-      if (d.policy_failed) {
-        trip = "policy-throw";
-      } else if (blackout) {
-        trip = "blackout";
-      } else if (config.ladder.trip_truncations > 0 &&
-                 d.truncated_solves >= config.ladder.trip_truncations) {
-        trip = "solve-budget";
-      } else if (static_cast<double>(quarantined) >
-                 config.ladder.max_quarantined_fraction *
-                     static_cast<double>(workload.flows().size())) {
-        trip = "quarantine";
+      for (int s = 0; s < num_shards; ++s) {
+        ShardRun& run = runs[static_cast<std::size_t>(s)];
+        const ShardEpochResult& r = results[static_cast<std::size_t>(s)];
+        if (r.retried) {
+          const bool healed = !r.d.policy_failed;
+          emit([&](EpochObserver& o) {
+            o.on_shard_retry(hour, s, shard_names[static_cast<std::size_t>(s)],
+                             healed);
+          });
+          if (healed) run.fail_streak = 0;
+        }
+        const char* trip = nullptr;
+        const ShardedCostModel::Shard& sh = shards.shard(s);
+        if (r.d.policy_failed) {
+          trip = "policy-throw";
+        } else if (blackout) {
+          trip = "blackout";
+        } else if (config.ladder.trip_truncations > 0 &&
+                   r.d.truncated_solves + r.recovery_truncations >=
+                       config.ladder.trip_truncations) {
+          trip = "solve-budget";
+        } else if (static_cast<double>(r.quarantined) >
+                   config.ladder.max_quarantined_fraction *
+                       static_cast<double>(sh.flows.size())) {
+          trip = "quarantine";
+        }
+        if (trip != nullptr) {
+          run.clean_streak = 0;
+          if (r.d.policy_failed) {
+            ++run.fail_streak;
+            const int need = required_clean_epochs(
+                s, run.fail_streak, config.ladder.recovery_epochs);
+            emit([&](EpochObserver& o) {
+              o.on_shard_quarantine(hour, s,
+                                    shard_names[static_cast<std::size_t>(s)],
+                                    run.fail_streak, need);
+            });
+          }
+          if (run.rung != DegradationRung::kFrozen) {
+            const DegradationRung from = run.rung;
+            run.rung =
+                static_cast<DegradationRung>(static_cast<int>(run.rung) + 1);
+            ++epoch_ladder_steps;
+            emit([&](EpochObserver& o) {
+              o.on_shard_ladder_transition(
+                  hour, s, shard_names[static_cast<std::size_t>(s)], from,
+                  run.rung, trip);
+            });
+          }
+        } else {
+          ++run.clean_streak;
+          const int need = required_clean_epochs(
+              s, run.fail_streak, config.ladder.recovery_epochs);
+          if (run.rung != DegradationRung::kFull &&
+              run.clean_streak >= need) {
+            const DegradationRung from = run.rung;
+            run.rung =
+                static_cast<DegradationRung>(static_cast<int>(run.rung) - 1);
+            run.clean_streak = 0;
+            ++epoch_ladder_steps;
+            emit([&](EpochObserver& o) {
+              o.on_shard_ladder_transition(
+                  hour, s, shard_names[static_cast<std::size_t>(s)], from,
+                  run.rung, "recovered");
+            });
+          }
+        }
       }
-      if (trip != nullptr) {
-        clean_streak = 0;
-        if (rung != DegradationRung::kFrozen) {
-          const DegradationRung from = rung;
-          rung = static_cast<DegradationRung>(static_cast<int>(rung) + 1);
-          emit([&](EpochObserver& o) {
-            o.on_ladder_transition(hour, from, rung, trip);
-          });
+    }
+
+    // 8. Runtime audit (after the ladder block, like the monolithic
+    // engine): each shard's epoch re-derived from scratch in fixed shard
+    // order, then the merged epoch's global invariants.
+    if (auditor) {
+      for (int s = 0; s < num_shards; ++s) {
+        const ShardRun& run = runs[static_cast<std::size_t>(s)];
+        const ShardEpochResult& r = results[static_cast<std::size_t>(s)];
+        ShardAuditContext sc;
+        sc.epoch = hour;
+        sc.shard = s;
+        sc.name = &shard_names[static_cast<std::size_t>(s)];
+        sc.model = (faults_active && run.degraded_model)
+                       ? run.degraded_model.get()
+                       : shards.shard(s).model.get();
+        sc.flows = &shards.shard(s).flows;
+        sc.placement = &run.placement;
+        sc.charged_comm = r.d.comm_cost;
+        sc.frozen = r.frozen;
+        sc.service_down = blackout;
+        sc.degraded = degraded.get();
+        sc.n = n;
+        auditor->check_shard_epoch(sc);
+      }
+      ShardedAuditContext gc;
+      gc.epoch = hour;
+      gc.shards = &shards;
+      gc.global_flows = &workload.flows();
+      gc.decision = &d;
+      gc.degraded = degraded.get();
+      gc.injector = injector ? &*injector : nullptr;
+      auditor->check_epoch(gc);
+    }
+
+    // 9. Epoch journal: append this epoch's record and, at the
+    // configured cadence, rewrite the file with a fresh resume-state
+    // frame (skipped after the final epoch — the run is complete and the
+    // caller deletes the journal once the cell lands durably upstream).
+    if (journaling) {
+      EpochRecord rec;
+      rec.decision = d;
+      rec.ladder_steps = epoch_ladder_steps;
+      journal.epochs.push_back(std::move(rec));
+      const bool last = hour.value() + 1 == config.hours;
+      if (!last &&
+          (hour.value() + 1) % sharded.epoch_checkpoint_every == 0) {
+        journal.shards.clear();
+        journal.shards.reserve(static_cast<std::size_t>(num_shards));
+        for (int s = 0; s < num_shards; ++s) {
+          const ShardRun& run = runs[static_cast<std::size_t>(s)];
+          ShardResumeState st;
+          st.shard = shards.shard_snapshot(s);
+          st.placement = run.placement;
+          st.last_comm = run.last_comm;
+          st.staleness = run.staleness;
+          st.churned = run.churned;
+          st.resync_pending = run.resync_pending;
+          st.rung = static_cast<std::uint8_t>(run.rung);
+          st.clean_streak = run.clean_streak;
+          st.fail_streak = run.fail_streak;
+          journal.shards.push_back(std::move(st));
         }
-      } else {
-        ++clean_streak;
-        if (rung != DegradationRung::kFull &&
-            clean_streak >= config.ladder.recovery_epochs) {
-          const DegradationRung from = rung;
-          rung = static_cast<DegradationRung>(static_cast<int>(rung) - 1);
-          clean_streak = 0;
-          emit([&](EpochObserver& o) {
-            o.on_ladder_transition(hour, from, rung, "recovered");
-          });
-        }
+        journal.workload = workload.snapshot();
+        write_epoch_journal(sharded.epoch_journal, journal);
       }
     }
   }
   emit([&](EpochObserver& o) { o.on_run_end(); });
-  return recorder.take();
+  SimTrace trace = recorder.take();
+  if (auditor) {
+    trace.audited_epochs = auditor->checked_epochs();
+    auditor->check_run(trace);
+  }
+  return trace;
 }
 
 }  // namespace ppdc

@@ -19,10 +19,27 @@
 //     transcribes the monolithic engine: the returned trace equals
 //     run_simulation's field for field (sharded_equivalence_test).
 //
+// Fault containment (DESIGN.md §15): with the ladder enabled each shard
+// owns a private degradation ladder. A shard whose policy clone throws is
+// quarantined — placement held, costs patched exactly on the refreshed
+// model, SLA-penalized via `quarantine_sla` — while the other shards keep
+// solving; seeded-backoff re-solve attempts (on_shard_retry) end the
+// quarantine once a retry completes. Runtime invariant auditing
+// (SimConfig::audit) attaches a ShardedInvariantAuditor that re-derives
+// every shard's epoch from scratch.
+//
+// Epoch checkpointing: with `epoch_journal` set, the run journals every
+// merged epoch decision plus a full resume-state frame (per-shard
+// placements, cost-model group state, RNG cursors, workload state) to a
+// CRC32-framed file, rewritten atomically every `epoch_checkpoint_every`
+// epochs. A killed run relaunched with the same journal path resumes
+// mid-horizon bit-identically at any thread count.
+//
 // Restrictions vs the monolithic engine: only placement policies (the VNF
 // migration family) are supported — a policy that relocates VM endpoints
-// (PLAN/MCF, EpochDecision::moved_flows non-empty) fails by name; custom
-// SimConfig::rate_schedule and runtime auditing are monolithic-only.
+// (PLAN/MCF, EpochDecision::moved_flows non-empty) fails by name with the
+// nearest supported alternative; custom SimConfig::rate_schedule is
+// monolithic-only.
 #pragma once
 
 #include "core/sharded_cost_model.hpp"
@@ -53,6 +70,22 @@ struct ShardedStreamingConfig {
   /// concurrency; 1 under PPDC_TSAN). Any value is bit-identical — the
   /// merge order is fixed — so threads are never fingerprinted.
   int threads = 1;
+  /// SLA penalty per unit of served traffic rate per quarantined
+  /// shard-epoch (a shard sitting out its failure backoff still serves on
+  /// a stale placement; this prices that staleness). Shapes results, so
+  /// it is part of the experiment fingerprint. 0 only counts quarantined
+  /// shard-epochs without charging them.
+  double quarantine_sla = 0.0;
+  /// Intra-cell epoch journal path (empty = no epoch checkpointing).
+  /// Purely a wall-clock/durability knob — never fingerprinted; the
+  /// journal itself is fingerprint-keyed so a stale file from another run
+  /// is detected and ignored. The experiment runner derives one path per
+  /// (trial, policy) cell from this base.
+  std::string epoch_journal;
+  /// Journal rewrite cadence in epochs (>= 1). Each write is a full
+  /// atomic rewrite carrying the resume-state frame, so larger values
+  /// trade resume granularity for per-epoch I/O.
+  int epoch_checkpoint_every = 1;
 };
 
 /// Runs one policy prototype over the horizon, sharded by `map`. The

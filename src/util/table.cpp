@@ -72,10 +72,11 @@ void TablePrinter::write_csv(std::ostream& os) const {
 }
 
 void print_banner(std::ostream& os, const std::string& title) {
-  os << '\n'
-     << "==== " << title << " " << std::string(std::max<std::size_t>(
-                                     4, 74 - title.size()), '=')
-     << '\n';
+  // Saturate: a title longer than the 74-column rule must not underflow
+  // the unsigned subtraction into a gigabyte of '='.
+  const std::size_t fill =
+      title.size() < 74 ? std::max<std::size_t>(4, 74 - title.size()) : 4;
+  os << '\n' << "==== " << title << " " << std::string(fill, '=') << '\n';
 }
 
 }  // namespace ppdc

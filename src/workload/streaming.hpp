@@ -16,6 +16,8 @@
 // dense in slots while only live_flows() of them carry traffic.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -75,6 +77,19 @@ class StreamingWorkload {
   FlowChurn advance();
 
   const StreamingChurnConfig& churn_config() const noexcept { return churn_; }
+
+  /// The full mutable workload state, for the epoch checkpoint journal
+  /// (sim/checkpoint.hpp). restore() on a workload built with the same
+  /// (topo, initial, churn) reproduces the exact churn stream: every
+  /// later advance() is bit-identical to the snapshotted instance.
+  struct Snapshot {
+    std::vector<VmFlow> flows;
+    std::vector<FlowId> free_slots;  ///< sorted descending
+    int next_index = 0;
+    std::array<std::uint64_t, 4> rng{};
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
 
  private:
   VmFlowSampler sampler_;

@@ -17,9 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "core/sharded_cost_model.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sharded.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/require.hpp"
+#include "workload/streaming.hpp"
+#include "workload/vm_placement.hpp"
 
 namespace ppdc {
 namespace {
@@ -161,6 +165,10 @@ void expect_same(const PolicyStats& a, const PolicyStats& b) {
   expect_same(a.shard_resolves, b.shard_resolves,
               a.name + " shard_resolves");
   expect_same(a.shard_holds, b.shard_holds, a.name + " shard_holds");
+  expect_same(a.quarantined_shard_epochs, b.quarantined_shard_epochs,
+              a.name + " quarantined_shard_epochs");
+  expect_same(a.shard_retries, b.shard_retries, a.name + " shard_retries");
+  expect_same(a.shard_penalty, b.shard_penalty, a.name + " shard_penalty");
   ASSERT_EQ(a.hourly_cost.size(), b.hourly_cost.size());
   for (std::size_t h = 0; h < a.hourly_cost.size(); ++h) {
     expect_same(a.hourly_cost[h], b.hourly_cost[h],
@@ -447,12 +455,18 @@ TEST_F(CheckpointTest, ShardedConfigIsFingerprintedExceptThreads) {
     other.sharded.max_staleness = 9;
     EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
                  CheckpointMismatchError);
+    other = cfg;
+    other.sharded.quarantine_sla = 1.5;  // shapes total cost
+    EXPECT_THROW(run_experiment(topo_, apsp_, other, policies),
+                 CheckpointMismatchError);
   }
   {
-    // Shard worker threads are wall-clock-only (bit-identical results):
-    // they must NOT invalidate the journal.
+    // Shard worker threads and the epoch-journal knobs are wall-clock-only
+    // (bit-identical results): they must NOT invalidate the journal.
     ExperimentConfig other = cfg;
     other.sharded.threads = 8;
+    other.sharded.epoch_journal = journal_path("sharded-fp-epoch");
+    other.sharded.epoch_checkpoint_every = 3;
     EXPECT_NO_THROW(run_experiment(topo_, apsp_, other, policies));
   }
 }
@@ -584,6 +598,143 @@ TEST_F(CheckpointTest, BudgetTruncatedJobsJournalAsTruncated) {
   EXPECT_STREQ(to_string(JobOutcome::kTruncated), "truncated");
   EXPECT_STREQ(to_string(JobOutcome::kOk), "ok");
   EXPECT_STREQ(to_string(JobOutcome::kFailed), "failed");
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-granular journal of the sharded engine (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, EpochJournalRoundTripAndFingerprint) {
+  const ShardMap map = ShardMap::by_ingress_pod(topo_);
+  const std::string path = ::testing::TempDir() + "ppdc_epoch_rt.ejl";
+  remove_epoch_journal(path);
+
+  SimConfig sim;
+  sim.hours = 6;
+  ShardedStreamingConfig sharded;
+  sharded.enabled = true;
+  sharded.threads = 1;
+  sharded.epoch_journal = path;
+  VmPlacementConfig wl;
+  wl.num_pairs = 40;
+
+  NoMigrationPolicy proto;
+  StreamingWorkload workload(topo_, wl, StreamingChurnConfig{}, Rng(3));
+  const std::uint64_t fp = fingerprint_sharded_run(
+      workload.snapshot(), sim, sharded, 3, map.num_shards(), proto.name());
+  run_sharded_simulation(apsp_, map, workload, 3, sim, sharded, proto);
+
+  EpochJournalState state;
+  ASSERT_TRUE(read_epoch_journal(path, state));
+  EXPECT_EQ(state.fingerprint, fp);
+  EXPECT_EQ(state.hours, 6u);
+  // Written after every epoch but the last (the run was about to finish).
+  EXPECT_EQ(state.epochs.size(), 5u);
+  ASSERT_EQ(state.shards.size(), static_cast<std::size_t>(map.num_shards()));
+  for (const ShardResumeState& st : state.shards) {
+    EXPECT_EQ(st.placement.size(), 3u);
+    EXPECT_EQ(st.rung, 0u);
+    EXPECT_EQ(st.fail_streak, 0);
+  }
+  EXPECT_FALSE(state.workload.flows.empty());
+  EXPECT_FALSE(state.merged_initial.empty());
+
+  // Byte-level round trip: writing the parsed state back and re-reading
+  // reproduces every field.
+  write_epoch_journal(path, state);
+  EpochJournalState again;
+  ASSERT_TRUE(read_epoch_journal(path, again));
+  EXPECT_EQ(again.fingerprint, state.fingerprint);
+  EXPECT_EQ(again.merged_initial, state.merged_initial);
+  ASSERT_EQ(again.epochs.size(), state.epochs.size());
+  for (std::size_t e = 0; e < state.epochs.size(); ++e) {
+    EXPECT_EQ(again.epochs[e].decision.comm_cost,
+              state.epochs[e].decision.comm_cost);
+    EXPECT_EQ(again.epochs[e].ladder_steps, state.epochs[e].ladder_steps);
+  }
+  EXPECT_EQ(again.shards[0].placement, state.shards[0].placement);
+  EXPECT_EQ(again.workload.rng, state.workload.rng);
+  EXPECT_EQ(again.workload.next_index, state.workload.next_index);
+
+  remove_epoch_journal(path);
+  EXPECT_FALSE(read_epoch_journal(path, again));  // gone: fresh start
+}
+
+TEST_F(CheckpointTest, EpochJournalMismatchOrCorruptionStartsFresh) {
+  const ShardMap map = ShardMap::by_ingress_pod(topo_);
+  const std::string path = ::testing::TempDir() + "ppdc_epoch_stale.ejl";
+  remove_epoch_journal(path);
+
+  SimConfig sim;
+  sim.hours = 8;
+  sim.ladder.enabled = true;
+  StreamingChurnConfig churn;
+  churn.arrivals_per_epoch = 4;
+  churn.departure_prob = 0.05;
+  churn.rerate_prob = 0.1;
+  ShardedStreamingConfig sharded;
+  sharded.enabled = true;
+  sharded.threads = 2;
+  sharded.churn = churn;
+  sharded.epoch_journal = path;
+  VmPlacementConfig wl;
+  wl.num_pairs = 40;
+  ParetoMigrationPolicy proto(1e3);
+
+  auto run = [&](std::uint64_t seed, bool with_journal) {
+    ShardedStreamingConfig cfg = sharded;
+    if (!with_journal) cfg.epoch_journal.clear();
+    StreamingWorkload w(topo_, wl, churn, Rng(seed));
+    return run_sharded_simulation(apsp_, map, w, 3, sim, cfg, proto);
+  };
+
+  const SimTrace reference = run(5, false);
+
+  // A completed seed-9 run leaves its journal behind (the bare engine
+  // never deletes it; the experiment runner does). A seed-5 run handed
+  // that stale journal must detect the fingerprint mismatch and start
+  // fresh — bit-identical to the journal-free reference.
+  run(9, true);
+  const SimTrace after_mismatch = run(5, true);
+  EXPECT_EQ(after_mismatch.total_cost, reference.total_cost);
+  EXPECT_EQ(after_mismatch.total_comm_cost, reference.total_comm_cost);
+
+  // Corrupt tail (the previous run refreshed the journal to seed-5): a
+  // torn write must degrade to a fresh start, never a poisoned resume.
+  flip_byte(path, std::filesystem::file_size(path) - 3);
+  const SimTrace after_corruption = run(5, true);
+  EXPECT_EQ(after_corruption.total_cost, reference.total_cost);
+  EXPECT_EQ(after_corruption.total_comm_cost, reference.total_comm_cost);
+  remove_epoch_journal(path);
+}
+
+TEST_F(CheckpointTest, ExperimentRunnerDerivesAndCleansEpochJournals) {
+  ExperimentConfig cfg = base_config();
+  cfg.sharded.enabled = true;
+  cfg.sharded.churn.arrivals_per_epoch = 3;
+  cfg.sharded.churn.departure_prob = 0.05;
+  const std::vector<const MigrationPolicy*> policies{&none_, &pareto_};
+  const std::vector<PolicyStats> reference =
+      run_experiment(topo_, apsp_, cfg, policies);
+
+  ExperimentConfig with = cfg;
+  with.sharded.epoch_journal = ::testing::TempDir() + "ppdc_cell.ejl";
+  // Pre-seed one derived cell path with garbage: that cell must warn,
+  // start fresh, and the campaign still matches bit for bit.
+  std::ofstream(with.sharded.epoch_journal + ".t1p0") << "not a journal";
+  const std::vector<PolicyStats> stats =
+      run_experiment(topo_, apsp_, with, policies);
+  expect_same(stats, reference);
+  // Epoch journals are per-cell scratch: every derived path is removed
+  // once its cell's terminal record lands.
+  for (int trial = 0; trial < 3; ++trial) {
+    for (int p = 0; p < 2; ++p) {
+      const std::string cell = with.sharded.epoch_journal + ".t" +
+                               std::to_string(trial) + "p" +
+                               std::to_string(p);
+      EXPECT_FALSE(std::filesystem::exists(cell)) << cell;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+// Shard-retry bookkeeping fixture (DESIGN.md §15): quarantine/backoff
+// state must live in order-stable containers — iterating a hash set of
+// quarantined shard ids inside the deterministic scope (src/sim) fires,
+// while the fixed-shard-order vector walk the engine actually uses stays
+// clean.
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+namespace fix {
+
+struct ShardRetry {
+  int fail_streak = 0;
+  bool quarantined = false;
+};
+
+double drain_retries() {
+  std::unordered_set<std::size_t> quarantined;
+  quarantined.insert(3);
+  double penalty = 0.0;
+  for (std::size_t s : quarantined) {  // expect-finding(unordered-iteration)
+    penalty += static_cast<double>(s);
+  }
+  // The engine's spelling: retry state in a fixed shard-order vector.
+  std::vector<ShardRetry> runs(4);
+  runs[3].quarantined = true;
+  for (const ShardRetry& run : runs) {
+    if (run.quarantined) penalty += 1.0;
+  }
+  // Membership probes on the hash set are order-free and stay clean.
+  if (quarantined.count(3) != 0) penalty += 1.0;
+  return penalty;
+}
+
+}  // namespace fix

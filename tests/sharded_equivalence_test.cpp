@@ -12,13 +12,18 @@
 //   * run_experiment's sharded path inherits the same thread invariance.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/sharded_cost_model.hpp"
 #include "fault/fault.hpp"
+#include "sim/audit.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
+#include "sim/observer.hpp"
 #include "sim/sharded.hpp"
 #include "topology/fat_tree.hpp"
 #include "workload/streaming.hpp"
@@ -54,6 +59,9 @@ void expect_equal_decisions(const EpochDecision& a, const EpochDecision& b,
   EXPECT_EQ(a.policy_failed, b.policy_failed) << "hour " << hour;
   EXPECT_EQ(a.resolved_shards, b.resolved_shards) << "hour " << hour;
   EXPECT_EQ(a.held_shards, b.held_shards) << "hour " << hour;
+  EXPECT_EQ(a.quarantined_shards, b.quarantined_shards) << "hour " << hour;
+  EXPECT_EQ(a.shard_retries, b.shard_retries) << "hour " << hour;
+  EXPECT_EQ(a.shard_penalty, b.shard_penalty) << "hour " << hour;
 }
 
 void expect_equal_traces(const SimTrace& a, const SimTrace& b) {
@@ -78,6 +86,9 @@ void expect_equal_traces(const SimTrace& a, const SimTrace& b) {
   EXPECT_EQ(a.policy_failures, b.policy_failures);
   EXPECT_EQ(a.total_shard_resolves, b.total_shard_resolves);
   EXPECT_EQ(a.total_shard_holds, b.total_shard_holds);
+  EXPECT_EQ(a.quarantined_shard_epochs, b.quarantined_shard_epochs);
+  EXPECT_EQ(a.total_shard_retries, b.total_shard_retries);
+  EXPECT_EQ(a.total_shard_penalty, b.total_shard_penalty);
   ASSERT_EQ(a.epochs.size(), b.epochs.size());
   for (std::size_t h = 0; h < a.epochs.size(); ++h) {
     expect_equal_decisions(a.epochs[h], b.epochs[h], static_cast<int>(h));
@@ -262,16 +273,291 @@ TEST(ShardedEquivalence, MonolithicOnlyFeaturesAreRejected) {
                                         proto),
                  PpdcError);
   }
+  // SimConfig::audit is no longer monolithic-only: the sharded engine
+  // attaches a ShardedInvariantAuditor and a clean run passes with full
+  // epoch coverage.
   {
     StreamingWorkload workload(topo, workload_config(40),
                                StreamingChurnConfig{}, Rng(1));
     SimConfig sim;
     sim.hours = 2;
     sim.audit.enabled = true;
-    EXPECT_THROW(run_sharded_simulation(apsp, map, workload, 3, sim, sharded,
-                                        proto),
-                 PpdcError);
+    const SimTrace t =
+        run_sharded_simulation(apsp, map, workload, 3, sim, sharded, proto);
+    EXPECT_EQ(t.audited_epochs, 2);
   }
+}
+
+/// Prototype whose `throwing_clone`-th clone() (1-based) yields a policy
+/// that throws on every on_epoch call; every other clone behaves like
+/// NoMigration. run_sharded_simulation clones once per shard in fixed pod
+/// order, so "clone #2 throws" means "shard 1 fails every attempt".
+class SelectiveThrowPolicy : public MigrationPolicy {
+ public:
+  explicit SelectiveThrowPolicy(int throwing_clone)
+      : throwing_clone_(throwing_clone), clones_(std::make_shared<int>(0)) {}
+
+  std::string name() const override { return "SelectiveThrow"; }
+
+  std::unique_ptr<MigrationPolicy> clone() const override {
+    const int index = ++*clones_;
+    auto p = std::make_unique<SelectiveThrowPolicy>(throwing_clone_);
+    p->clones_ = clones_;
+    p->throws_ = index == throwing_clone_;
+    return p;
+  }
+
+  EpochDecision on_epoch(const CostModel& model, SimState& state) override {
+    if (throws_) throw PpdcError("synthetic shard failure");
+    EpochDecision d;
+    d.comm_cost = model.communication_cost(state.placement);
+    return d;
+  }
+
+ private:
+  int throwing_clone_;
+  std::shared_ptr<int> clones_;
+  bool throws_ = false;
+};
+
+TEST(ShardedFaultContainment, ThrowingShardIsQuarantinedWhileOthersProgress) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const ShardMap map = ShardMap::by_ingress_pod(topo);
+  SimConfig sim;
+  sim.hours = 12;
+  sim.ladder.enabled = true;
+  sim.audit.enabled = true;
+
+  ShardedStreamingConfig sharded;
+  sharded.enabled = true;
+  sharded.threads = 2;
+  sharded.quarantine_sla = 3.0;
+
+  auto run = [&](const MigrationPolicy& proto, int threads) {
+    ShardedStreamingConfig cfg = sharded;
+    cfg.threads = threads;
+    StreamingWorkload workload(topo, workload_config(140),
+                               StreamingChurnConfig{}, Rng(9));
+    return run_sharded_simulation(apsp, map, workload, 5, sim, cfg, proto);
+  };
+
+  NoMigrationPolicy healthy;
+  const SimTrace baseline = run(healthy, 2);
+  SelectiveThrowPolicy failing(2);  // shard 1 throws on every attempt
+  const SimTrace contained = run(failing, 2);
+
+  // Containment: the quarantined shard holds its placement and is
+  // re-costed exactly, so every epoch's communication cost is
+  // bit-identical to the all-healthy baseline — the other shards' costs
+  // never move.
+  ASSERT_EQ(contained.epochs.size(), baseline.epochs.size());
+  for (std::size_t h = 0; h < contained.epochs.size(); ++h) {
+    EXPECT_EQ(contained.epochs[h].comm_cost, baseline.epochs[h].comm_cost)
+        << "hour " << h;
+  }
+  EXPECT_EQ(contained.total_comm_cost, baseline.total_comm_cost);
+  EXPECT_EQ(contained.downtime_epochs, 0);
+
+  // ...while the failure is fully visible in the containment accounting:
+  // the first throw plus at least one backed-off retry, quarantined
+  // shard-epochs, and the SLA penalty on the quarantined shard's served
+  // rate (the only cost delta vs the baseline).
+  EXPECT_GE(contained.policy_failures, 2);
+  EXPECT_GE(contained.total_shard_retries, 1);
+  EXPECT_GT(contained.quarantined_shard_epochs, 0);
+  EXPECT_GT(contained.total_shard_penalty, 0.0);
+  EXPECT_EQ(contained.total_cost,
+            contained.total_comm_cost + contained.total_shard_penalty);
+  EXPECT_EQ(baseline.quarantined_shard_epochs, 0);
+  EXPECT_EQ(baseline.total_shard_penalty, 0.0);
+  EXPECT_EQ(baseline.policy_failures, 0);
+
+  // Per-shard ladder, down and back up: the merged rung degrades while
+  // the failing shard sits out its backoff and returns to kFull for the
+  // retry attempts.
+  EXPECT_GE(contained.ladder_transitions, 3);
+  bool saw_degraded = false;
+  bool saw_retry_at_full = false;
+  for (std::size_t h = 1; h < contained.epochs.size(); ++h) {
+    const EpochDecision& d = contained.epochs[h];
+    if (d.rung != DegradationRung::kFull) saw_degraded = true;
+    if (saw_degraded && d.rung == DegradationRung::kFull &&
+        d.shard_retries > 0) {
+      saw_retry_at_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_TRUE(saw_retry_at_full);
+
+  // And the whole containment trajectory is thread-count invariant.
+  SelectiveThrowPolicy failing1(2);
+  SelectiveThrowPolicy failing4(2);
+  expect_equal_traces(run(failing1, 1), run(failing4, 4));
+}
+
+TEST(ShardedAudit, CleanOnPristineAndPodOutage) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const ShardMap map = ShardMap::by_ingress_pod(topo);
+  StreamingChurnConfig churn;
+  churn.arrivals_per_epoch = 8;
+  churn.departure_prob = 0.05;
+  churn.rerate_prob = 0.1;
+
+  auto run = [&](bool pod_outage) {
+    SimConfig sim;
+    sim.hours = 10;
+    sim.ladder.enabled = true;
+    sim.audit.enabled = true;
+    if (pod_outage) {
+      FaultScheduleConfig fc;
+      fc.hours = sim.hours;
+      fc.maintenance = {{"pod0", Hour{3}, Hour{6}}};
+      sim.faults = generate_fault_schedule(topo, fc);
+    }
+    ShardedStreamingConfig sharded;
+    sharded.enabled = true;
+    sharded.threads = 4;
+    sharded.churn = churn;
+    sharded.resolve_churn_fraction = 0.3;
+    sharded.max_staleness = 3;
+    sharded.quarantine_sla = 2.0;
+    StreamingWorkload workload(topo, workload_config(160), churn, Rng(31));
+    ParetoMigrationPolicy proto(1e3);
+    return run_sharded_simulation(apsp, map, workload, 5, sim, sharded,
+                                  proto);
+  };
+
+  const SimTrace pristine = run(false);
+  EXPECT_EQ(pristine.audited_epochs, 10);
+  EXPECT_GT(pristine.total_shard_holds, 0);
+
+  const SimTrace outage = run(true);
+  EXPECT_EQ(outage.audited_epochs, 10);
+  // The drained pod actually cut flows off from the core (the audit
+  // covered real quarantine accounting, not a silently pristine run).
+  EXPECT_GT(outage.quarantined_flow_epochs, 0);
+  EXPECT_GT(outage.total_switch_failures, 0);
+}
+
+TEST(ShardedAudit, CorruptPlacementNamesShard) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const ShardMap map = ShardMap::by_ingress_pod(topo);
+  SimConfig sim;
+  sim.hours = 6;
+  sim.audit.enabled = true;
+  sim.audit.corrupt_placement_epoch = Hour{2};
+  ShardedStreamingConfig sharded;
+  sharded.enabled = true;
+  sharded.threads = 2;
+  StreamingWorkload workload(topo, workload_config(120),
+                             StreamingChurnConfig{}, Rng(5));
+  NoMigrationPolicy proto;
+  try {
+    run_sharded_simulation(apsp, map, workload, 5, sim, sharded, proto);
+    FAIL() << "corrupted shard placement escaped the sharded auditor";
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.violation().invariant, "placement-feasibility");
+    EXPECT_EQ(e.violation().epoch, Hour{2});
+    EXPECT_EQ(e.violation().shard, map.names[0]);
+    EXPECT_NE(std::string(e.what()).find(map.names[0]), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Flips the cancellation flag at the end of a chosen epoch, simulating a
+/// SIGTERM that lands mid-run.
+class CancelAtEpoch : public EpochObserver {
+ public:
+  CancelAtEpoch(std::atomic<bool>* flag, int epoch)
+      : flag_(flag), epoch_(epoch) {}
+  void on_epoch_end(Hour hour, const EpochDecision&) override {
+    if (hour.value() == epoch_) flag_->store(true);
+  }
+
+ private:
+  std::atomic<bool>* flag_;
+  int epoch_;
+};
+
+TEST(ShardedEpochJournal, KillResumeBitIdentityAcrossThreadCounts) {
+  const Topology topo = build_fat_tree(4);
+  const AllPairs apsp(topo.graph);
+  const ShardMap map = ShardMap::by_ingress_pod(topo);
+  const std::string journal = "sharded_epoch_journal_test.bin";
+
+  StreamingChurnConfig churn;
+  churn.arrivals_per_epoch = 10;
+  churn.departure_prob = 0.05;
+  churn.rerate_prob = 0.1;
+
+  SimConfig base;
+  base.hours = 10;
+  base.ladder.enabled = true;
+  base.audit.enabled = true;
+  {
+    FaultScheduleConfig fc;
+    fc.hours = base.hours;
+    fc.switch_mtbf = 8.0;
+    fc.switch_mttr = 2.0;
+    fc.seed = 99;
+    base.faults = generate_fault_schedule(topo, fc);
+  }
+
+  auto make_sharded = [&](int threads, bool with_journal) {
+    ShardedStreamingConfig cfg;
+    cfg.enabled = true;
+    cfg.threads = threads;
+    cfg.churn = churn;
+    cfg.resolve_churn_fraction = 0.25;
+    cfg.max_staleness = 3;
+    cfg.quarantine_sla = 1.0;
+    if (with_journal) cfg.epoch_journal = journal;
+    return cfg;
+  };
+  auto make_workload = [&]() {
+    return StreamingWorkload(topo, workload_config(150), churn, Rng(77));
+  };
+
+  ParetoMigrationPolicy proto(1e3);
+  remove_epoch_journal(journal);
+
+  // Reference: one uninterrupted run.
+  auto uninterrupted = [&](int threads) {
+    StreamingWorkload w = make_workload();
+    return run_sharded_simulation(apsp, map, w, 5, base,
+                                  make_sharded(threads, false), proto);
+  };
+  const SimTrace reference = uninterrupted(1);
+  expect_equal_traces(reference, uninterrupted(4));
+
+  // Kill at the end of epoch 4, then resume from the journal — at a
+  // different thread count than the killed run — and require the resumed
+  // trace bit-identical to the uninterrupted reference.
+  auto kill_and_resume = [&](int kill_threads, int resume_threads) {
+    remove_epoch_journal(journal);
+    {
+      std::atomic<bool> cancel{false};
+      CancelAtEpoch canceller(&cancel, 4);
+      SimConfig interrupted = base;
+      interrupted.cancel = &cancel;
+      StreamingWorkload w = make_workload();
+      EXPECT_THROW(
+          run_sharded_simulation(apsp, map, w, 5, interrupted,
+                                 make_sharded(kill_threads, true), proto,
+                                 &canceller),
+          SimInterrupted);
+    }
+    StreamingWorkload w = make_workload();
+    const SimTrace resumed = run_sharded_simulation(
+        apsp, map, w, 5, base, make_sharded(resume_threads, true), proto);
+    expect_equal_traces(resumed, reference);
+  };
+  kill_and_resume(1, 4);
+  kill_and_resume(4, 1);
+  remove_epoch_journal(journal);
 }
 
 TEST(ShardedEquivalence, ExperimentRunnerThreadInvariant) {

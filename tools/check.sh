@@ -198,6 +198,26 @@ else
        "sanitize preset first)"
 fi
 
+# The sharded epoch journal gets the same treatment: kill the sharded
+# chaos soak between epoch-journal writes mid-cell and resume it, under
+# both sanitizer presets (raw POSIX I/O, _Exit mid-epoch, per-shard
+# resume-state restore).
+for resume_build in build-asan build-tsan; do
+  RESUME_BIN=$resume_build/bench/bench_chaos
+  if [ -x "$RESUME_BIN" ]; then
+    note "sharded resume smoke ($resume_build): tools/smoke_resume_sharded.sh"
+    if tools/smoke_resume_sharded.sh --build-dir "$resume_build" > /dev/null; then
+      echo "   OK: epoch-journal kill-resume is clean under $resume_build"
+    else
+      echo "   FAIL: sharded kill-resume smoke failed under $resume_build" >&2
+      failures=$((failures + 1))
+    fi
+  else
+    note "sharded resume smoke ($resume_build): SKIPPED (no $RESUME_BIN —" \
+         "build that preset first)"
+  fi
+done
+
 # ---------------------------------------------------------------------------
 # Stage 7: BENCH_*.json perf-trajectory gate (optional; needs the bench
 # preset built plus committed baselines in bench/baselines/). Runs the
@@ -236,6 +256,13 @@ for chaos_build in build-asan build-tsan; do
       echo "   OK: chaos soak clean (0 audit violations) under $chaos_build"
     else
       echo "   FAIL: chaos soak failed under $chaos_build" >&2
+      failures=$((failures + 1))
+    fi
+    note "chaos soak ($chaos_build): $CHAOS_BIN --smoke --sharded"
+    if "$CHAOS_BIN" --smoke --sharded > /dev/null; then
+      echo "   OK: sharded chaos soak clean under $chaos_build"
+    else
+      echo "   FAIL: sharded chaos soak failed under $chaos_build" >&2
       failures=$((failures + 1))
     fi
   else
